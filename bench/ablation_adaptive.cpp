@@ -1,0 +1,86 @@
+// Ablation/extension: online kick-strategy selection. §4.1 shows no fixed
+// kick wins everywhere (Random on small instances, Random-walk on large,
+// Random again on pla33810); the bandit variant learns per instance. This
+// bench pits each fixed strategy against the adaptive CLK across three
+// structural families with the same kick budget.
+//
+//   ablation_adaptive [--runs R] [--max-n N]
+#include <cstdio>
+#include <iostream>
+
+#include "construct/construct.h"
+#include "experiments/harness.h"
+#include "lk/adaptive_kick.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace distclk;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const BenchConfig cfg = BenchConfig::fromArgs(args);
+
+  Table table({"Instance", "Random", "Geometric", "Close", "Random-walk",
+               "Adaptive", "Adaptive's favorite"});
+  const KickStrategy kicks[] = {KickStrategy::kRandom, KickStrategy::kGeometric,
+                                KickStrategy::kClose,
+                                KickStrategy::kRandomWalk};
+
+  for (const char* name : {"E1k.1", "C1k.1", "fl3795"}) {
+    const auto* spec = findPaperInstance(name);
+    const int n = cfg.sizeFor(*spec);
+    const Instance inst = makeScaledInstance(*spec, n);
+    const CandidateLists cand(inst, 10);
+    const std::int64_t kickBudget = 2 * n;
+
+    // Collect final lengths for every variant, then score against the best.
+    std::vector<std::vector<std::int64_t>> finals(6);
+    std::array<std::int64_t, 4> adaptiveUses{};
+    for (int run = 0; run < cfg.runs; ++run) {
+      const std::uint64_t seed = cfg.seed + std::uint64_t(run) * 7717;
+      for (std::size_t k = 0; k < 4; ++k) {
+        Rng rng(seed + k);
+        Tour t(inst, quickBoruvkaTour(inst, cand));
+        ClkOptions co;
+        co.kick = kicks[k];
+        co.maxKicks = kickBudget;
+        chainedLinKernighan(t, cand, rng, co);
+        finals[k].push_back(t.length());
+      }
+      Rng rng(seed + 11);
+      Tour t(inst, quickBoruvkaTour(inst, cand));
+      AdaptiveClkOptions ao;
+      ao.maxKicks = kickBudget;
+      const AdaptiveClkResult res = adaptiveChainedLk(t, cand, rng, ao);
+      finals[4].push_back(res.length);
+      for (std::size_t k = 0; k < 4; ++k) adaptiveUses[k] += res.uses[k];
+    }
+
+    std::int64_t best = finals[0][0];
+    for (std::size_t v = 0; v < 5; ++v)
+      for (std::int64_t len : finals[v]) best = std::min(best, len);
+
+    auto meanExcess = [&](const std::vector<std::int64_t>& lens) {
+      RunningStats ex;
+      for (std::int64_t len : lens)
+        ex.add(excess(len, static_cast<double>(best)));
+      return fmtPctOrOpt(ex.mean(), 1e-6);
+    };
+    const std::size_t fav = std::size_t(
+        std::max_element(adaptiveUses.begin(), adaptiveUses.end()) -
+        adaptiveUses.begin());
+    table.addRow({spec->standinName, meanExcess(finals[0]),
+                  meanExcess(finals[1]), meanExcess(finals[2]),
+                  meanExcess(finals[3]), meanExcess(finals[4]),
+                  toString(kicks[fav])});
+  }
+
+  table.print(std::cout);
+  if (!cfg.csvDir.empty())
+    table.writeCsvFile(cfg.csvDir + "/ablation_adaptive.csv");
+  std::printf("\nexpected shape: the adaptive column tracks the best fixed "
+              "column per row (never the worst), and its favorite arm "
+              "shifts with the instance family — automating the per-"
+              "instance strategy choice Table 4 shows matters.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: partial reduction (Bachem & Wottawa, cited in §1.3). Protect
+// the edges two optimized tours agree on and seed LK only at unprotected
+// anchors; the original authors report 10-50% runtime reduction at
+// constant quality. Measured here as LK work (flips) and wall time per
+// kick-repair cycle, full vs reduced.
+//
+//   ablation_reduction [--runs R] [--max-n N]
+#include <cstdio>
+#include <iostream>
+
+#include "experiments/harness.h"
+#include "lk/partial_reduction.h"
+#include "construct/construct.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace distclk;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const BenchConfig cfg = BenchConfig::fromArgs(args);
+
+  Table table({"Instance", "Protected", "Full flips", "Reduced flips",
+               "Flip savings", "Quality gap"});
+
+  for (const char* name : {"E1k.1", "C1k.1", "fl1577"}) {
+    const auto* spec = findPaperInstance(name);
+    const int n = cfg.sizeFor(*spec);
+    const Instance inst = makeScaledInstance(*spec, n);
+    const CandidateLists cand(inst, 10);
+    Rng rng(cfg.seed);
+
+    // Build the protection mask from two optimized tours.
+    Tour a(inst, quickBoruvkaTour(inst, cand));
+    ClkOptions co;
+    co.maxKicks = n / 4;
+    chainedLinKernighan(a, cand, rng, co);
+    Tour b = a;
+    applyKick(b, KickStrategy::kRandom, cand, rng);
+    linKernighanOptimize(b, cand);
+    const auto mask = protectedCityMask({a.orderVector(), b.orderVector()});
+    int protectedCount = 0;
+    for (char m : mask) protectedCount += m;
+
+    // Measure repeated kick-repair cycles, full vs reduced.
+    RunningStats fullFlips, reducedFlips, gap;
+    const int cycles = 10 * cfg.runs;
+    for (int i = 0; i < cycles; ++i) {
+      Tour kicked = a;
+      const auto dirty = applyKick(kicked, KickStrategy::kRandom, cand, rng);
+      Tour fullT = kicked;
+      Tour reducedT = kicked;
+      fullFlips.add(
+          static_cast<double>(linKernighanOptimize(fullT, cand).flips));
+      reducedFlips.add(static_cast<double>(
+          reducedLinKernighanOptimize(reducedT, cand, mask, dirty).flips));
+      gap.add(static_cast<double>(reducedT.length()) /
+                  static_cast<double>(fullT.length()) -
+              1.0);
+    }
+    table.addRow(
+        {spec->standinName,
+         fmtPct(static_cast<double>(protectedCount) / n, 1),
+         fmt(fullFlips.mean(), 0), fmt(reducedFlips.mean(), 0),
+         fmtPct(1.0 - reducedFlips.mean() / fullFlips.mean(), 1),
+         fmtPct(gap.mean())});
+  }
+
+  table.print(std::cout);
+  if (!cfg.csvDir.empty())
+    table.writeCsvFile(cfg.csvDir + "/ablation_reduction.csv");
+  std::printf("\nreference (Bachem & Wottawa via §1.3): protecting edges "
+              "seen on previous good tours cut LK runtime by 10-50%% while "
+              "keeping tour quality constant — expect flip savings in that "
+              "band with a near-zero quality gap.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Population-diversity analysis (beyond the paper, supporting its §5
+// conclusion that tour exchange lets nodes "leave their neighborhood to
+// enter more promising areas"): tracks how similar the nodes' tours are
+// over time, with cooperation on vs off. Cooperation collapses diversity
+// as the cluster agrees on one basin; isolated nodes stay spread out.
+//
+//   diversity_stats [--runs R] [--dist-budget S] [--nodes K] [--max-n N]
+#include <cstdio>
+#include <iostream>
+
+#include "core/node.h"
+#include "experiments/harness.h"
+#include "net/sim_network.h"
+#include "tsp/metrics.h"
+#include "util/table.h"
+
+using namespace distclk;
+
+namespace {
+
+/// Runs an N-node cooperative (or isolated) population for `rounds` EA
+/// steps per node in lockstep and samples the mean pairwise bond
+/// similarity after each round. Lockstep keeps the sampling simple; the
+/// event-driven driver is exercised by every other bench.
+std::vector<double> diversityTrace(const Instance& inst,
+                                   const CandidateLists& cand, int nodes,
+                                   int rounds, bool cooperate,
+                                   std::uint64_t seed) {
+  Rng master(seed);
+  std::vector<DistNode> pop;
+  pop.reserve(std::size_t(nodes));
+  DistParams params = scaledNodeParams(inst);
+  for (int i = 0; i < nodes; ++i)
+    pop.emplace_back(inst, cand, params, i, master());
+  SimNetwork net(buildTopology(TopologyKind::kHypercube, nodes), 0.0);
+
+  for (auto& node : pop) node.initialStep();
+  std::vector<double> trace;
+  double clock = 1.0;
+  for (int round = 0; round < rounds; ++round, clock += 1.0) {
+    for (auto& node : pop) {
+      const auto received =
+          cooperate ? net.collect(node.id(), clock) : std::vector<Message>{};
+      const auto out = node.step(received);
+      if (cooperate && out.broadcast)
+        net.broadcast(node.id(), clock, node.makeTourMessage());
+    }
+    std::vector<std::vector<int>> tours;
+    tours.reserve(pop.size());
+    for (const auto& node : pop) tours.push_back(node.best().orderVector());
+    trace.push_back(populationDiversity(tours));
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const BenchConfig cfg = BenchConfig::fromArgs(args);
+
+  const auto* spec = findPaperInstance("C1k.1");
+  const int n = cfg.sizeFor(*spec);
+  const Instance inst = makeScaledInstance(*spec, n);
+  const CandidateLists cand(inst, 10);
+  const int rounds = 12;
+
+  std::printf("Population diversity on %s (n=%d), %d nodes, %d EA rounds\n",
+              spec->standinName.c_str(), n, cfg.nodes, rounds);
+  std::printf("metric: mean pairwise bond similarity of node tours "
+              "(1.0 = identical cycles)\n\n");
+
+  const auto coop =
+      diversityTrace(inst, cand, cfg.nodes, rounds, true, cfg.seed);
+  const auto iso =
+      diversityTrace(inst, cand, cfg.nodes, rounds, false, cfg.seed);
+
+  Table table({"Round", "Cooperating", "Isolated"});
+  for (int r = 0; r < rounds; ++r)
+    table.addRow({std::to_string(r + 1), fmt(coop[std::size_t(r)], 4),
+                  fmt(iso[std::size_t(r)], 4)});
+  table.print(std::cout);
+  if (!cfg.csvDir.empty())
+    table.writeCsvFile(cfg.csvDir + "/diversity_stats.csv");
+
+  std::printf("\nexpected shape: cooperating similarity climbs toward 1.0 "
+              "as winning tours spread through the hypercube; isolated "
+              "nodes converge to distinct local optima and stay below.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 2: anytime curves (tour length vs CPU time).
+//   (a,b) ABCC-CLK under the four kicking strategies (paper: fl1577 and
+//         sw24978; sw24978 is size-capped in default mode),
+//   (c,d) DistCLK (8 nodes) vs ABCC-CLK with the Random-walk kick.
+// Prints mean curves sampled on a log-ish time grid; --csv-dir writes the
+// series for plotting.
+//
+//   fig2_anytime [--runs R] [--clk-budget S] [--nodes K] [--full]
+//                [--max-n N] [--csv-dir DIR]
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments/harness.h"
+#include "util/table.h"
+
+using namespace distclk;
+
+namespace {
+
+std::vector<double> timeGrid(double budget) {
+  std::vector<double> grid;
+  for (double t = budget / 100.0; t < budget * 0.999; t *= 1.5)
+    grid.push_back(t);
+  grid.push_back(budget);
+  return grid;
+}
+
+std::string cell(std::int64_t v) {
+  return v == std::numeric_limits<std::int64_t>::max() ? "-"
+                                                       : std::to_string(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const BenchConfig cfg = BenchConfig::fromArgs(args);
+  const KickStrategy kicks[] = {KickStrategy::kRandom, KickStrategy::kGeometric,
+                                KickStrategy::kClose,
+                                KickStrategy::kRandomWalk};
+
+  for (const char* name : {"fl1577", "sw24978"}) {
+    const auto* spec = findPaperInstance(name);
+    const int n = cfg.sizeFor(*spec);
+    const Instance inst = makeScaledInstance(*spec, n);
+    const CandidateLists cand(inst, 10);
+    const double budget = cfg.clkBudgetFor(*spec);
+    const auto grid = timeGrid(budget);
+
+    // Panels (a)/(b): CLK per kick strategy.
+    std::printf("Fig 2 (%s, n=%d): ABCC-CLK tour length vs CPU time per "
+                "kick strategy\n",
+                spec->standinName.c_str(), n);
+    Table kickTable({"t[s]", "Random", "Geometric", "Close", "Random-walk"});
+    std::vector<AnytimeCurve> mean(4);
+    for (std::size_t k = 0; k < 4; ++k) {
+      std::vector<AnytimeCurve> runs;
+      for (int run = 0; run < cfg.runs; ++run)
+        runs.push_back(runClkExperiment(inst, cand, kicks[k], budget, -1,
+                                        cfg.seed + std::uint64_t(run) * 7 +
+                                            k * 131)
+                           .curve);
+      mean[k] = meanCurve(runs, grid);
+    }
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      std::vector<std::string> row{fmt(grid[g], 2)};
+      for (std::size_t k = 0; k < 4; ++k)
+        row.push_back(cell(valueAtOrFirst(mean[k], grid[g])));
+      kickTable.addRow(row);
+    }
+    kickTable.print(std::cout);
+    if (!cfg.csvDir.empty())
+      kickTable.writeCsvFile(cfg.csvDir + "/fig2_kicks_" + spec->standinName +
+                             ".csv");
+
+    // Panels (c)/(d): DistCLK(8) vs CLK, Random-walk kick, on a shared
+    // per-node time axis. (The paper additionally caps DistCLK at a tenth
+    // of the CLK budget; at laptop scale that tenth barely covers a node's
+    // initial optimization, so both get the full axis here — the claim
+    // under test is the vertical ordering of the curves.)
+    std::printf("\nFig 2 (%s): DistCLK(%d nodes) vs ABCC-CLK, Random-walk "
+                "kick (per-node time axis)\n",
+                spec->standinName.c_str(), cfg.nodes);
+    std::vector<AnytimeCurve> distRuns;
+    for (int run = 0; run < cfg.runs; ++run)
+      distRuns.push_back(runDistExperiment(inst, cand,
+                                           KickStrategy::kRandomWalk,
+                                           cfg.nodes, budget, -1,
+                                           cfg.seed + std::uint64_t(run) * 11)
+                             .curve);
+    const AnytimeCurve distMean = meanCurve(distRuns, grid);
+    Table cmp({"t[s] per node", "DistCLK", "ABCC-CLK"});
+    for (double t : grid)
+      cmp.addRow({fmt(t, 2), cell(valueAtOrFirst(distMean, t)),
+                  cell(valueAtOrFirst(mean[3], t))});
+    cmp.print(std::cout);
+    if (!cfg.csvDir.empty())
+      cmp.writeCsvFile(cfg.csvDir + "/fig2_dist_" + spec->standinName +
+                       ".csv");
+    std::printf("\n");
+  }
+
+  std::printf("paper reference (Fig 2): on fl1577 CLK flatlines in a local "
+              "optimum after ~150s while DistCLK keeps descending to the "
+              "optimum; on sw24978 the DistCLK curve sits strictly below "
+              "CLK's at every per-node time.\n");
+  return 0;
+}

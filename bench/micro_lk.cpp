@@ -1,0 +1,107 @@
+// Micro-benchmarks of the local-search engine: full 2-opt / Or-opt / LK
+// passes from a construction, the kick-and-repair cycle that dominates CLK
+// runtime, and the four kick strategies.
+#include <benchmark/benchmark.h>
+
+#include "construct/construct.h"
+#include "lk/chained_lk.h"
+#include "lk/kicks.h"
+#include "lk/lin_kernighan.h"
+#include "lk/or_opt.h"
+#include "lk/two_opt.h"
+#include "tsp/gen.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace distclk;
+
+struct Fixture {
+  explicit Fixture(int n)
+      : inst(uniformSquare("bm", n, std::uint64_t(n) + 1)),
+        cand(inst, 10),
+        start(inst, quickBoruvkaTour(inst, cand)) {}
+  Instance inst;
+  CandidateLists cand;
+  Tour start;
+};
+
+Fixture& fixtureOf(int n) {
+  static std::map<int, Fixture> cache;
+  auto it = cache.find(n);
+  // try_emplace constructs in place: the Tour member points at the Instance
+  // member, so the fixture must never be moved after construction.
+  if (it == cache.end()) it = cache.try_emplace(n, n).first;
+  return it->second;
+}
+
+void BM_TwoOptPass(benchmark::State& state) {
+  Fixture& f = fixtureOf(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Tour t = f.start;
+    benchmark::DoNotOptimize(twoOptOptimize(t, f.cand));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TwoOptPass)->Arg(1000)->Arg(3000);
+
+void BM_OrOptPass(benchmark::State& state) {
+  Fixture& f = fixtureOf(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Tour t = f.start;
+    benchmark::DoNotOptimize(orOptOptimize(t, f.cand));
+  }
+}
+BENCHMARK(BM_OrOptPass)->Arg(1000)->Arg(3000);
+
+void BM_LinKernighanPass(benchmark::State& state) {
+  Fixture& f = fixtureOf(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Tour t = f.start;
+    benchmark::DoNotOptimize(linKernighanOptimize(t, f.cand));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LinKernighanPass)->Arg(1000)->Arg(3000);
+
+// The inner loop of Chained LK: kick the optimized tour, repair locally.
+void BM_KickRepairCycle(benchmark::State& state) {
+  Fixture& f = fixtureOf(1000);
+  Rng rng(5);
+  Tour t = f.start;
+  linKernighanOptimize(t, f.cand);
+  for (auto _ : state) {
+    Tour work = t;
+    const auto dirty = applyKick(work, KickStrategy::kRandomWalk, f.cand, rng);
+    benchmark::DoNotOptimize(
+        linKernighanOptimize(work, f.cand, dirty, LkOptions{}));
+  }
+}
+BENCHMARK(BM_KickRepairCycle);
+
+void BM_KickApply(benchmark::State& state) {
+  Fixture& f = fixtureOf(1000);
+  Rng rng(6);
+  const auto strategy = static_cast<KickStrategy>(state.range(0));
+  Tour t = f.start;
+  for (auto _ : state) benchmark::DoNotOptimize(applyKick(t, strategy, f.cand, rng));
+}
+BENCHMARK(BM_KickApply)
+    ->Arg(static_cast<int>(KickStrategy::kRandom))
+    ->Arg(static_cast<int>(KickStrategy::kGeometric))
+    ->Arg(static_cast<int>(KickStrategy::kClose))
+    ->Arg(static_cast<int>(KickStrategy::kRandomWalk));
+
+void BM_Clk100Kicks(benchmark::State& state) {
+  Fixture& f = fixtureOf(1000);
+  Rng rng(7);
+  for (auto _ : state) {
+    Tour t = f.start;
+    ClkOptions opt;
+    opt.maxKicks = 100;
+    benchmark::DoNotOptimize(chainedLinKernighan(t, f.cand, rng, opt));
+  }
+}
+BENCHMARK(BM_Clk100Kicks)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Micro-benchmark: array Tour vs TwoLevelList as a reversal substrate.
+// The array flips the shorter arc (O(n) worst case); the two-level list
+// flips whole segments (O(sqrt(n)) amortized). The crossover as n grows is
+// why Concorde-class codes use segment lists for six-digit instances.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "construct/construct.h"
+#include "lk/lin_kernighan.h"
+#include "tsp/big_tour.h"
+#include "tsp/gen.h"
+#include "tsp/tour.h"
+#include "tsp/twolevel.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace distclk;
+
+void BM_ArrayTourReverse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Instance inst = uniformSquare("bm", n, 1);
+  Tour t(inst);
+  Rng rng(2);
+  for (auto _ : state) {
+    const int i = static_cast<int>(rng.below(std::uint64_t(n)));
+    const int j = static_cast<int>(rng.below(std::uint64_t(n)));
+    t.reverseSegment(i, j);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArrayTourReverse)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TwoLevelReverse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  TwoLevelList t(order);
+  Rng rng(2);
+  for (auto _ : state) {
+    const int a = static_cast<int>(rng.below(std::uint64_t(n)));
+    const int b = static_cast<int>(rng.below(std::uint64_t(n)));
+    if (a != b) t.reverse(a, b);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoLevelReverse)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ArrayTourNext(benchmark::State& state) {
+  const Instance inst = uniformSquare("bm", 10000, 3);
+  Tour t(inst);
+  int c = 0;
+  for (auto _ : state) {
+    c = t.next(c);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ArrayTourNext);
+
+void BM_TwoLevelNext(benchmark::State& state) {
+  std::vector<int> order(10000);
+  std::iota(order.begin(), order.end(), 0);
+  TwoLevelList t(order);
+  int c = 0;
+  for (auto _ : state) {
+    c = t.next(c);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_TwoLevelNext);
+
+// Full LK passes on the two representations at sizes where the array's
+// O(n) flips start to hurt.
+void BM_LkPassArrayTour(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Instance inst = uniformSquare("bm", n, 6);
+  const CandidateLists cand(inst, 6);
+  const auto start = spaceFillingTour(inst);
+  LkOptions opt;
+  opt.maxDepth = 6;
+  for (auto _ : state) {
+    Tour t(inst, start);
+    benchmark::DoNotOptimize(linKernighanOptimize(t, cand, opt));
+  }
+}
+BENCHMARK(BM_LkPassArrayTour)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_LkPassBigTour(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Instance inst = uniformSquare("bm", n, 6);
+  const CandidateLists cand(inst, 6);
+  const auto start = spaceFillingTour(inst);
+  LkOptions opt;
+  opt.maxDepth = 6;
+  for (auto _ : state) {
+    BigTour t(inst, start);
+    benchmark::DoNotOptimize(linKernighanOptimize(t, cand, opt));
+  }
+}
+BENCHMARK(BM_LkPassBigTour)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_ArrayTourBetween(benchmark::State& state) {
+  const Instance inst = uniformSquare("bm", 10000, 4);
+  Tour t(inst);
+  Rng rng(5);
+  for (auto _ : state) {
+    const int a = static_cast<int>(rng.below(10000));
+    const int b = static_cast<int>(rng.below(10000));
+    const int c = static_cast<int>(rng.below(10000));
+    benchmark::DoNotOptimize(t.between(a, b, c));
+  }
+}
+BENCHMARK(BM_ArrayTourBetween);
+
+void BM_TwoLevelBetween(benchmark::State& state) {
+  std::vector<int> order(10000);
+  std::iota(order.begin(), order.end(), 0);
+  TwoLevelList t(order);
+  Rng rng(5);
+  for (auto _ : state) {
+    const int a = static_cast<int>(rng.below(10000));
+    const int b = static_cast<int>(rng.below(10000));
+    const int c = static_cast<int>(rng.below(10000));
+    benchmark::DoNotOptimize(t.between(a, b, c));
+  }
+}
+BENCHMARK(BM_TwoLevelBetween);
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Micro-benchmarks of the TSP substrate: distance evaluation, tour length,
+// kd-tree construction and queries, candidate-list construction, and the
+// construction heuristics.
+#include <benchmark/benchmark.h>
+
+#include "construct/construct.h"
+#include "tsp/gen.h"
+#include "tsp/kdtree.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace distclk;
+
+const Instance& instanceOf(int n) {
+  static std::map<int, Instance> cache;
+  auto it = cache.find(n);
+  if (it == cache.end())
+    it = cache.emplace(n, uniformSquare("bm", n, std::uint64_t(n))).first;
+  return it->second;
+}
+
+void BM_DistEuc2D(benchmark::State& state) {
+  const Instance& inst = instanceOf(1000);
+  int i = 0, j = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.dist(i, j));
+    i = (i + 1) % 1000;
+    j = (j + 7) % 1000;
+  }
+}
+BENCHMARK(BM_DistEuc2D);
+
+void BM_TourLength(benchmark::State& state) {
+  const Instance& inst = instanceOf(static_cast<int>(state.range(0)));
+  Tour t(inst);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(inst.tourLength(t.order()));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TourLength)->Arg(1000)->Arg(10000);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const Instance& inst = instanceOf(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    KdTree tree(inst.points());
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_KdTreeKnn(benchmark::State& state) {
+  const Instance& inst = instanceOf(10000);
+  KdTree tree(inst.points());
+  int q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.knn(q, 10));
+    q = (q + 1) % 10000;
+  }
+}
+BENCHMARK(BM_KdTreeKnn);
+
+void BM_CandidateLists(benchmark::State& state) {
+  const Instance& inst = instanceOf(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    CandidateLists cand(inst, 10);
+    benchmark::DoNotOptimize(cand.n());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CandidateLists)->Arg(1000)->Arg(5000);
+
+void BM_QuadrantLists(benchmark::State& state) {
+  const Instance& inst = instanceOf(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    CandidateLists cand(inst, 12, CandidateLists::Kind::kQuadrant);
+    benchmark::DoNotOptimize(cand.n());
+  }
+}
+BENCHMARK(BM_QuadrantLists)->Arg(1000);
+
+void BM_QuickBoruvka(benchmark::State& state) {
+  const Instance& inst = instanceOf(static_cast<int>(state.range(0)));
+  const CandidateLists cand(inst, 10);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(quickBoruvkaTour(inst, cand));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuickBoruvka)->Arg(1000)->Arg(5000);
+
+void BM_GreedyConstruct(benchmark::State& state) {
+  const Instance& inst = instanceOf(static_cast<int>(state.range(0)));
+  const CandidateLists cand(inst, 10);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(greedyTour(inst, cand));
+}
+BENCHMARK(BM_GreedyConstruct)->Arg(1000)->Arg(5000);
+
+void BM_SpaceFilling(benchmark::State& state) {
+  const Instance& inst = instanceOf(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(spaceFillingTour(inst));
+}
+BENCHMARK(BM_SpaceFilling)->Arg(1000)->Arg(10000);
+
+void BM_TourReverseSegment(benchmark::State& state) {
+  const Instance& inst = instanceOf(10000);
+  Tour t(inst);
+  Rng rng(3);
+  for (auto _ : state) {
+    const int i = static_cast<int>(rng.below(10000));
+    const int j = static_cast<int>(rng.below(10000));
+    t.reverseSegment(i, j);
+  }
+}
+BENCHMARK(BM_TourReverseSegment);
+
+}  // namespace

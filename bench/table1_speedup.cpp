@@ -1,0 +1,120 @@
+// Table 1: CPU time (per node) to reach fixed quality levels for ABCC-CLK,
+// DistCLK on one node and DistCLK on 8 nodes, plus the speed-up factor of
+// 8 nodes over plain CLK in TOTAL CPU time. A factor above 8 is the
+// paper's super-linear cooperation effect. Instances: pr2392, fl3795,
+// fi10639 (stand-ins; fi10639 is size-capped by --max-n in default mode).
+//
+//   table1_speedup [--runs R] [--clk-budget S] [--dist-budget S]
+//                  [--nodes K] [--full] [--max-n N] [--csv-dir DIR]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "experiments/harness.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace distclk;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const BenchConfig cfg = BenchConfig::fromArgs(args);
+
+  const char* instances[] = {"pr2392", "fl3795", "fi10639"};
+  const double levels[] = {0.01, 0.005, 0.002};  // excess over the reference
+
+  Table table({"Instance", "Level", "ABCC-CLK", "1 node", "8 nodes",
+               "Speed-up(8 vs CLK)"});
+
+  std::printf("Table 1 reproduction: mean CPU seconds per node to reach an "
+              "excess level; speed-up = CLK time / (8 x 8-node time)\n");
+  std::printf("runs=%d, CLK budget %.2fs, Dist budget %.2fs/node\n\n",
+              cfg.runs, cfg.clkBudget, cfg.distBudget);
+
+  for (const char* name : instances) {
+    const auto* spec = findPaperInstance(name);
+    if (spec == nullptr) continue;
+    const int n = cfg.sizeFor(*spec);
+    const Instance inst = makeScaledInstance(*spec, n);
+    const CandidateLists cand(inst, 10);
+
+    // Collect anytime curves for the three algorithms. Give every variant
+    // the same generous budget so the level lookups are comparable.
+    const double budget = cfg.clkBudgetFor(*spec);
+    std::vector<AnytimeCurve> clkCurves, one, eight;
+    for (int run = 0; run < cfg.runs; ++run) {
+      const std::uint64_t seed = cfg.seed + std::uint64_t(run) * 31;
+      clkCurves.push_back(
+          runClkExperiment(inst, cand, KickStrategy::kRandomWalk, budget, -1,
+                           seed)
+              .curve);
+      one.push_back(runDistExperiment(inst, cand, KickStrategy::kRandomWalk,
+                                      1, budget, -1, seed + 7)
+                        .curve);
+      eight.push_back(runDistExperiment(inst, cand, KickStrategy::kRandomWalk,
+                                        cfg.nodes, budget / cfg.nodes, -1,
+                                        seed + 13)
+                          .curve);
+    }
+
+    // Reference ("optimum") = best length any of the runs achieved; the
+    // quality levels are defined relative to it, as the paper defines them
+    // relative to the known optimum.
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (const auto* group : {&clkCurves, &one, &eight})
+      for (const auto& c : *group)
+        if (!c.empty()) best = std::min(best, c.back().length);
+    const double ref = static_cast<double>(best);
+
+    for (double level : levels) {
+      const auto target = static_cast<std::int64_t>(ref * (1.0 + level));
+      // Mean over the runs that reached the level, annotated with how many
+      // did ("0.44 (1/2)"); "-" when none did. The paper's cells are means
+      // over 10 runs at much longer budgets.
+      struct LevelTime {
+        double mean = std::numeric_limits<double>::infinity();
+        int hits = 0;
+        int runs = 0;
+      };
+      auto levelTime = [&](const std::vector<AnytimeCurve>& curves) {
+        LevelTime lt;
+        lt.runs = static_cast<int>(curves.size());
+        RunningStats s;
+        for (const auto& c : curves) {
+          const double t = timeToReach(c, target);
+          if (!std::isinf(t)) s.add(t);
+        }
+        lt.hits = static_cast<int>(s.count());
+        if (lt.hits > 0) lt.mean = s.mean();
+        return lt;
+      };
+      auto show = [&](const LevelTime& lt) {
+        if (lt.hits == 0) return std::string("-");
+        return fmt(lt.mean, 2) + " (" + std::to_string(lt.hits) + "/" +
+               std::to_string(lt.runs) + ")";
+      };
+      const LevelTime tClk = levelTime(clkCurves);
+      const LevelTime t1 = levelTime(one);
+      const LevelTime t8 = levelTime(eight);
+      std::string speedup = "-";
+      if (tClk.hits > 0 && t8.hits > 0)
+        speedup = fmt(tClk.mean / (cfg.nodes * t8.mean), 2);
+      else if (tClk.hits == 0 && t8.hits > 0)
+        speedup = "inf (CLK never)";
+      table.addRow({spec->standinName, fmtPct(level, 1), show(tClk),
+                    show(t1), show(t8), speedup});
+    }
+  }
+
+  table.print(std::cout);
+  if (!cfg.csvDir.empty())
+    table.writeCsvFile(cfg.csvDir + "/table1_speedup.csv");
+  std::printf("\npaper reference (Table 1): pr2392 @0.1%%: 1721.9s vs 10.7s "
+              "per node -> factor 20.1; fl3795 to OPT: factor 8.38 (median); "
+              "fi10639 @0.08%%: 6961s (1 node) vs 723s (8 nodes) -> 9.63.\n"
+              "Expected shape: 8-node times well below CLK; factors near or "
+              "above the node count.\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Full command-line solver: the entry point a downstream user would adopt.
+// Loads a TSPLIB file or generates a synthetic family, runs the selected
+// algorithm, reports quality against the Held-Karp bound, and optionally
+// writes the tour in TSPLIB format.
+//
+//   distclk_cli [options]
+//     --file F.tsp          load a TSPLIB instance (else --gen)
+//     --gen FAMILY          uniform | clustered | drill | grid | road
+//     --n N                 size for --gen (default 1000)
+//     --gen-seed S          generator seed (default 1)
+//     --algo A              clk | dist | dist-threads | lk | 2opt |
+//                           lkh | multilevel | tourmerge   (default dist)
+//     --seconds S           time budget (per node for dist*)  (default 2)
+//     --nodes K             node count for dist*              (default 8)
+//     --topology T          hypercube|ring|grid|complete|star (default hypercube)
+//     --kick K              Random|Geometric|Close|Random-walk
+//     --candidates K        candidate list size (default 10)
+//     --quadrant            use quadrant candidate lists
+//     --seed S              solver seed (default 1)
+//     --out F.tour          write the best tour
+//     --trace               print the distributed event trace
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "baselines/lkh_style.h"
+#include "baselines/multilevel.h"
+#include "baselines/tour_merge.h"
+#include "bound/held_karp.h"
+#include "construct/construct.h"
+#include "core/dist_clk.h"
+#include "core/thread_driver.h"
+#include "experiments/harness.h"
+#include "lk/two_opt.h"
+#include "tsp/gen.h"
+#include "tsp/tsplib.h"
+#include "util/timer.h"
+
+using namespace distclk;
+
+namespace {
+
+Instance makeInstanceFromArgs(const Args& args) {
+  const std::string file = args.getString("file", "");
+  if (!file.empty()) return loadTsplibFile(file);
+  const std::string family = args.getString("gen", "uniform");
+  const int n = args.getInt("n", 1000);
+  const auto seed = static_cast<std::uint64_t>(args.getInt("gen-seed", 1));
+  if (family == "uniform") return uniformSquare("cli-uniform", n, seed);
+  if (family == "clustered") return clustered("cli-clustered", n, 10, seed);
+  if (family == "drill") return drillPlate("cli-drill", n, seed);
+  if (family == "grid") return perforatedGrid("cli-grid", n, seed);
+  if (family == "road") return roadNetwork("cli-road", n, seed);
+  throw std::invalid_argument("unknown --gen family: " + family);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const Instance inst = makeInstanceFromArgs(args);
+  const int candK = args.getInt("candidates", 10);
+  const CandidateLists cand(inst, candK,
+                            args.has("quadrant")
+                                ? CandidateLists::Kind::kQuadrant
+                                : CandidateLists::Kind::kNearest);
+  const double seconds = args.getDouble("seconds", 2.0);
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const KickStrategy kick =
+      kickStrategyFromString(args.getString("kick", "Random-walk"));
+  const std::string algo = args.getString("algo", "dist");
+
+  std::printf("instance : %s (n=%d, %s)\n", inst.name().c_str(), inst.n(),
+              toString(inst.weightType()));
+  std::printf("algorithm: %s, %.1fs, kick=%s, candidates=%d\n", algo.c_str(),
+              seconds, toString(kick), candK);
+
+  Timer timer;
+  std::vector<int> bestOrder;
+
+  if (algo == "clk") {
+    Rng rng(seed);
+    Tour tour(inst, quickBoruvkaTour(inst, cand));
+    ClkOptions opt;
+    opt.kick = kick;
+    opt.timeLimitSeconds = seconds;
+    const ClkResult res = chainedLinKernighan(tour, cand, rng, opt);
+    bestOrder = tour.orderVector();
+    std::printf("result   : %lld (%lld kicks, %lld improvements)\n",
+                static_cast<long long>(res.length),
+                static_cast<long long>(res.kicks),
+                static_cast<long long>(res.improvements));
+  } else if (algo == "dist") {
+    SimOptions opt;
+    opt.nodes = args.getInt("nodes", 8);
+    opt.topology = topologyFromString(args.getString("topology", "hypercube"));
+    opt.node = scaledNodeParams(inst);
+    opt.node.clkKick = kick;
+    opt.timeLimitPerNode = seconds;
+    opt.seed = seed;
+    const SimResult res = runSimulatedDistClk(inst, cand, opt);
+    bestOrder = res.bestOrder;
+    std::printf("result   : %lld (%lld steps, %lld broadcasts, %lld "
+                "restarts)\n",
+                static_cast<long long>(res.bestLength),
+                static_cast<long long>(res.totalSteps),
+                static_cast<long long>(res.net.broadcasts),
+                static_cast<long long>(res.totalRestarts));
+    if (args.has("trace")) {
+      for (const auto& e : res.events)
+        std::printf("  t=%8.3fs node %d  %-18s %lld\n", e.time, e.node,
+                    toString(e.type), static_cast<long long>(e.value));
+    }
+  } else if (algo == "dist-threads") {
+    ThreadRunOptions opt;
+    opt.nodes = args.getInt("nodes", 8);
+    opt.topology = topologyFromString(args.getString("topology", "hypercube"));
+    opt.node = scaledNodeParams(inst);
+    opt.node.clkKick = kick;
+    opt.timeLimitPerNode = seconds;
+    opt.seed = seed;
+    const ThreadRunResult res = runThreadedDistClk(inst, cand, opt);
+    bestOrder = res.bestOrder;
+    std::printf("result   : %lld (%lld steps, %lld messages)\n",
+                static_cast<long long>(res.bestLength),
+                static_cast<long long>(res.totalSteps),
+                static_cast<long long>(res.messagesSent));
+  } else if (algo == "lk" || algo == "2opt") {
+    Tour tour(inst, quickBoruvkaTour(inst, cand));
+    if (algo == "lk")
+      linKernighanOptimize(tour, cand);
+    else
+      twoOptOptimize(tour, cand);
+    bestOrder = tour.orderVector();
+    std::printf("result   : %lld\n", static_cast<long long>(tour.length()));
+  } else if (algo == "lkh") {
+    Rng rng(seed);
+    LkhStyleOptions opt;
+    opt.timeLimitSeconds = seconds;
+    opt.trials = 1000000;  // time-bounded
+    const LkhStyleResult res = lkhStyleSolve(inst, rng, opt);
+    bestOrder = res.order;
+    std::printf("result   : %lld (%d trials)\n",
+                static_cast<long long>(res.length), res.trialsRun);
+  } else if (algo == "multilevel") {
+    Rng rng(seed);
+    const MultilevelResult res = multilevelSolve(inst, rng);
+    bestOrder = res.order;
+    std::printf("result   : %lld (%d levels)\n",
+                static_cast<long long>(res.length), res.levels);
+  } else if (algo == "tourmerge") {
+    Rng rng(seed);
+    const TourMergeResult res = tourMergeSolve(inst, rng);
+    bestOrder = res.order;
+    std::printf("result   : %lld (union %d edges, best run %lld)\n",
+                static_cast<long long>(res.length), res.unionEdges,
+                static_cast<long long>(res.bestRunLength));
+  } else {
+    std::fprintf(stderr, "unknown --algo '%s'\n", algo.c_str());
+    return 1;
+  }
+
+  const std::int64_t length = inst.tourLength(bestOrder);
+  std::printf("wall time: %.2fs\n", timer.seconds());
+  if (inst.n() <= 20000) {
+    const HeldKarpResult hk = heldKarpBound(inst);
+    std::printf("held-karp: %.0f -> %.3f%% above (NB: loose on clustered "
+                "geometry)\n",
+                hk.bound,
+                (static_cast<double>(length) / hk.bound - 1.0) * 100.0);
+  }
+
+  const std::string out = args.getString("out", "");
+  if (!out.empty()) {
+    std::ofstream stream(out);
+    writeTsplibTour(stream, inst.name() + ".best", bestOrder);
+    std::printf("wrote    : %s\n", out.c_str());
+  }
+  return 0;
+}

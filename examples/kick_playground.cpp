@@ -1,0 +1,67 @@
+// Kick playground: how the four ABCC double-bridge kicking strategies
+// behave on different instance families — the damage each kick inflicts,
+// how much of it LK repairs, and the resulting CLK performance (a miniature
+// of the paper's Fig. 2a/2b).
+//
+//   ./kick_playground [n] [kicks]
+#include <cstdio>
+#include <cstdlib>
+
+#include "construct/construct.h"
+#include "lk/chained_lk.h"
+#include "lk/lin_kernighan.h"
+#include "tsp/gen.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace distclk;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 600;
+  const int kicks = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  const KickStrategy strategies[] = {
+      KickStrategy::kRandom, KickStrategy::kGeometric, KickStrategy::kClose,
+      KickStrategy::kRandomWalk};
+
+  struct Family {
+    const char* name;
+    Instance inst;
+  };
+  Family families[] = {
+      {"uniform", uniformSquare("u", n, 11)},
+      {"clustered", clustered("c", n, 10, 12)},
+      {"drill-plate", drillPlate("d", n, 13)},
+  };
+
+  for (const auto& fam : families) {
+    const CandidateLists cand(fam.inst, 10);
+    Rng rng(5);
+    Tour base(fam.inst, quickBoruvkaTour(fam.inst, cand));
+    linKernighanOptimize(base, cand);
+    std::printf("\n%s (n=%d), LK optimum %lld\n", fam.name, n,
+                static_cast<long long>(base.length()));
+    std::printf("  %-12s %10s %10s %12s\n", "kick", "damage", "repaired",
+                "clk-final");
+    for (KickStrategy s : strategies) {
+      // Average kick damage and post-repair quality over a few kicks.
+      double damage = 0, repaired = 0;
+      for (int i = 0; i < 10; ++i) {
+        Tour t = base;
+        const auto dirty = applyKick(t, s, cand, rng);
+        damage += static_cast<double>(t.length() - base.length());
+        linKernighanOptimize(t, cand, dirty, LkOptions{});
+        repaired += static_cast<double>(t.length() - base.length());
+      }
+      // Full CLK run with this strategy.
+      Tour t = base;
+      ClkOptions opt;
+      opt.kick = s;
+      opt.maxKicks = kicks;
+      chainedLinKernighan(t, cand, rng, opt);
+      std::printf("  %-12s %10.0f %10.0f %12lld\n", toString(s), damage / 10,
+                  repaired / 10, static_cast<long long>(t.length()));
+    }
+  }
+  return 0;
+}

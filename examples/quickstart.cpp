@@ -1,0 +1,55 @@
+// Quickstart: generate a random TSP instance, build a starting tour, run
+// Chained Lin-Kernighan, and compare against the Held-Karp lower bound.
+//
+//   ./quickstart [n] [seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bound/held_karp.h"
+#include "construct/construct.h"
+#include "lk/chained_lk.h"
+#include "tsp/gen.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace distclk;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 1000;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
+
+  // 1. An instance: 'n' cities uniform in a square (TSPLIB files load via
+  //    loadTsplibFile() instead).
+  const Instance inst = uniformSquare("quickstart", n, /*seed=*/42);
+  std::printf("instance  : %s (n=%d, %s)\n", inst.name().c_str(), inst.n(),
+              toString(inst.weightType()));
+
+  // 2. Candidate lists: LK only looks at each city's k nearest neighbors.
+  const CandidateLists cand(inst, 10);
+
+  // 3. A starting tour from the Quick-Boruvka construction (ABCC default).
+  Tour tour(inst, quickBoruvkaTour(inst, cand));
+  std::printf("construct : %lld (Quick-Boruvka)\n",
+              static_cast<long long>(tour.length()));
+
+  // 4. Chained LK: LK to a local optimum, then double-bridge kicks.
+  Rng rng(7);
+  ClkOptions opt;
+  opt.kick = KickStrategy::kRandomWalk;  // linkern's default
+  opt.timeLimitSeconds = seconds;
+  const ClkResult res = chainedLinKernighan(
+      tour, cand, rng, opt, [](double t, std::int64_t len) {
+        std::printf("  %7.2fs  %lld\n", t, static_cast<long long>(len));
+      });
+  std::printf("chained-lk: %lld after %lld kicks (%.2fs)\n",
+              static_cast<long long>(res.length),
+              static_cast<long long>(res.kicks), res.seconds);
+
+  // 5. How good is that? Compare to the Held-Karp lower bound.
+  const HeldKarpResult hk = heldKarpBound(inst);
+  std::printf("held-karp : %.0f (%s)\n", hk.bound,
+              hk.exact ? "exact 1-trees" : "candidate estimate");
+  std::printf("excess    : %.3f%% above the bound\n",
+              (static_cast<double>(res.length) / hk.bound - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// TSPLIB workbench: load a .tsp file (or generate a stand-in), compare all
+// construction heuristics and optimizers, and optionally save the best tour
+// as a TSPLIB .tour file.
+//
+//   ./tsplib_tool [file.tsp] [--out best.tour] [--seconds S]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bound/held_karp.h"
+#include "construct/construct.h"
+#include "lk/chained_lk.h"
+#include "lk/lin_kernighan.h"
+#include "lk/or_opt.h"
+#include "lk/two_opt.h"
+#include "tsp/gen.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "tsp/tsplib.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace distclk;
+  std::string file, outFile;
+  double seconds = 2.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) outFile = argv[++i];
+    else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc)
+      seconds = std::atof(argv[++i]);
+    else file = argv[i];
+  }
+
+  const Instance inst = file.empty()
+                            ? clustered("demo-c1k", 1000, 10, 3)
+                            : loadTsplibFile(file);
+  std::printf("instance %s: n=%d type=%s\n", inst.name().c_str(), inst.n(),
+              toString(inst.weightType()));
+
+  const CandidateLists cand(inst, 10);
+  Rng rng(1);
+
+  auto report = [&](const char* name, const std::vector<int>& order,
+                    double secs) {
+    std::printf("  %-16s %12lld   (%.3fs)\n", name,
+                static_cast<long long>(inst.tourLength(order)), secs);
+  };
+
+  std::printf("construction heuristics:\n");
+  {
+    Timer t;
+    const auto o = randomTour(inst, rng);
+    report("random", o, t.seconds());
+  }
+  {
+    Timer t;
+    const auto o = spaceFillingTour(inst);
+    report("hilbert", o, t.seconds());
+  }
+  {
+    Timer t;
+    const auto o = nearestNeighborTour(inst);
+    report("nearest-neighbor", o, t.seconds());
+  }
+  {
+    Timer t;
+    const auto o = greedyTour(inst, cand);
+    report("greedy", o, t.seconds());
+  }
+  Timer qbTimer;
+  const auto qb = quickBoruvkaTour(inst, cand);
+  report("quick-boruvka", qb, qbTimer.seconds());
+
+  std::printf("local search from the Quick-Boruvka tour:\n");
+  {
+    Timer t;
+    Tour tour(inst, qb);
+    twoOptOptimize(tour, cand);
+    report("2-opt", tour.orderVector(), t.seconds());
+  }
+  {
+    Timer t;
+    Tour tour(inst, qb);
+    twoOptOptimize(tour, cand);
+    orOptOptimize(tour, cand);
+    report("2-opt + or-opt", tour.orderVector(), t.seconds());
+  }
+  {
+    Timer t;
+    Tour tour(inst, qb);
+    linKernighanOptimize(tour, cand);
+    report("lin-kernighan", tour.orderVector(), t.seconds());
+  }
+  Tour best(inst, qb);
+  {
+    Timer t;
+    ClkOptions opt;
+    opt.timeLimitSeconds = seconds;
+    chainedLinKernighan(best, cand, rng, opt);
+    report("chained-lk", best.orderVector(), t.seconds());
+  }
+
+  const HeldKarpResult hk = heldKarpBound(inst);
+  std::printf("held-karp bound: %.0f -> best is %.3f%% above\n", hk.bound,
+              (static_cast<double>(best.length()) / hk.bound - 1.0) * 100.0);
+
+  if (!outFile.empty()) {
+    std::ofstream out(outFile);
+    writeTsplibTour(out, inst.name() + ".best", best.orderVector());
+    std::printf("wrote %s\n", outFile.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "baselines/lkh_style.h"
+
+#include <limits>
+
+#include "bound/alpha.h"
+#include "bound/held_karp.h"
+#include "construct/construct.h"
+#include "lk/kicks.h"
+#include "lk/lin_kernighan.h"
+#include "lk/or_opt.h"
+#include "tsp/tour.h"
+#include "util/timer.h"
+
+namespace distclk {
+
+LkhStyleResult lkhStyleSolve(const Instance& inst, Rng& rng,
+                             const LkhStyleOptions& opt,
+                             const AnytimeCallback& onImprove) {
+  Timer timer;
+  LkhStyleResult res;
+
+  // Preprocessing, as in LKH: Held-Karp potentials, then alpha candidates.
+  HeldKarpOptions hkOpt;
+  hkOpt.iterations = opt.hkIterations;
+  const HeldKarpResult hk = heldKarpBound(inst, hkOpt);
+  res.hkBound = hk.bound;
+  const CandidateLists alphaCand = alphaCandidates(inst, hk.pi, opt.alphaK);
+  // A distance-sorted list for construction and kicks.
+  const CandidateLists nearCand(inst, opt.alphaK);
+
+  Tour best(inst, greedyTour(inst, nearCand));
+  linKernighanOptimize(best, alphaCand, opt.lk);
+  orOptOptimize(best, nearCand);
+  res.trialsRun = 1;
+  if (onImprove) onImprove(timer.seconds(), best.length());
+
+  auto done = [&] {
+    if (opt.targetLength >= 0 && best.length() <= opt.targetLength)
+      return true;
+    return opt.timeLimitSeconds > 0 &&
+           timer.seconds() >= opt.timeLimitSeconds;
+  };
+
+  for (int trial = 1; trial < opt.trials && !done(); ++trial) {
+    // New trial: perturb the champion with a few double bridges, as LKH's
+    // successive trials reuse the best tour's structure.
+    Tour t = best;
+    for (int i = 0; i < 3; ++i)
+      applyKick(t, KickStrategy::kRandom, nearCand, rng);
+    linKernighanOptimize(t, alphaCand, opt.lk);
+    orOptOptimize(t, nearCand);
+    ++res.trialsRun;
+    if (t.length() < best.length()) {
+      best = t;
+      if (onImprove) onImprove(timer.seconds(), best.length());
+    }
+  }
+
+  res.length = best.length();
+  res.order = best.orderVector();
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace distclk

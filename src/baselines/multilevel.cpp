@@ -1,0 +1,173 @@
+#include "baselines/multilevel.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "construct/construct.h"
+#include "tsp/kdtree.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "util/timer.h"
+
+namespace distclk {
+
+namespace {
+
+/// One coarsening level: the representative cities (ids of the parent
+/// level) and, for each representative, the chain of parent-level cities it
+/// absorbed (representative first).
+struct Level {
+  std::vector<int> reps;                 // parent-level city ids
+  std::vector<std::vector<int>> chains;  // chains[i] expands reps[i]
+};
+
+/// Greedy nearest-unmatched matching over the given subset of original
+/// cities. Each match fixes the edge (a, b) and keeps a as representative.
+Level coarsen(const Instance& inst, const std::vector<int>& cities) {
+  Level level;
+  std::vector<Point> pts;
+  pts.reserve(cities.size());
+  for (int c : cities) pts.push_back(inst.point(c));
+  KdTree tree(pts);
+
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    if (!tree.isActive(static_cast<int>(i))) continue;  // already matched
+    tree.deactivate(static_cast<int>(i));
+    const int partner = tree.nearestActive(pts[i]);
+    level.reps.push_back(cities[i]);
+    if (partner == -1) {
+      level.chains.push_back({cities[i]});
+    } else {
+      tree.deactivate(partner);
+      level.chains.push_back(
+          {cities[i], cities[static_cast<std::size_t>(partner)]});
+    }
+  }
+  return level;
+}
+
+/// Sub-instance over a subset of the original cities (same metric).
+Instance subInstance(const Instance& inst, const std::vector<int>& cities,
+                     int levelNo) {
+  std::vector<Point> pts;
+  pts.reserve(cities.size());
+  for (int c : cities) pts.push_back(inst.point(c));
+  return Instance(inst.name() + "/L" + std::to_string(levelNo),
+                  std::move(pts), inst.weightType());
+}
+
+}  // namespace
+
+MultilevelResult multilevelSolve(const Instance& inst, Rng& rng,
+                                 const MultilevelOptions& opt) {
+  if (!inst.hasCoords())
+    throw std::invalid_argument("multilevelSolve: needs coordinates");
+  Timer timer;
+  MultilevelResult res;
+
+  // Coarsening phase: levels[0] matches over the full instance, levels[k]
+  // over the representatives of levels[k-1].
+  std::vector<int> current(static_cast<std::size_t>(inst.n()));
+  for (int i = 0; i < inst.n(); ++i) current[std::size_t(i)] = i;
+  std::vector<Level> levels;
+  while (static_cast<int>(current.size()) > opt.coarsestSize) {
+    levels.push_back(coarsen(inst, current));
+    current = levels.back().reps;
+    ++res.levels;
+    if (levels.back().chains.size() == current.size() &&
+        levels.size() > 1 &&
+        levels[levels.size() - 2].reps.size() == current.size())
+      break;  // no progress (degenerate geometry); stop coarsening
+  }
+
+  // Solve the coarsest level.
+  Instance coarse = subInstance(inst, current, res.levels);
+  CandidateLists coarseCand(coarse, std::min(opt.candidateK, coarse.n() - 1));
+  Tour coarseTour(coarse, greedyTour(coarse, coarseCand));
+  {
+    ClkOptions co;
+    co.kick = opt.kick;
+    co.lk = opt.lk;
+    co.maxKicks = std::max<std::int64_t>(16, coarse.n());
+    chainedLinKernighan(coarseTour, coarseCand, rng, co);
+  }
+  // Tour as original-city ids.
+  std::vector<int> order;
+  order.reserve(current.size());
+  for (int p = 0; p < coarseTour.n(); ++p)
+    order.push_back(current[std::size_t(coarseTour.at(p))]);
+
+  // Uncoarsening: expand chains, then refine with a kick budget of
+  // level-size / kickDivisor.
+  for (auto levelIt = levels.rbegin(); levelIt != levels.rend(); ++levelIt) {
+    const Level& level = *levelIt;
+    // rep -> chain lookup.
+    std::vector<const std::vector<int>*> chainOf;
+    {
+      int maxRep = 0;
+      for (int r : level.reps) maxRep = std::max(maxRep, r);
+      chainOf.assign(std::size_t(maxRep) + 1, nullptr);
+      for (std::size_t i = 0; i < level.reps.size(); ++i)
+        chainOf[std::size_t(level.reps[i])] = &level.chains[i];
+    }
+    std::vector<int> expanded;
+    for (std::size_t p = 0; p < order.size(); ++p) {
+      const auto& chain = *chainOf[std::size_t(order[p])];
+      if (chain.size() == 1) {
+        expanded.push_back(chain[0]);
+        continue;
+      }
+      // Orient the 2-chain to minimize the connection cost to the next
+      // tour city (the previous one is already fixed in `expanded`).
+      const int nextRep = order[(p + 1) % order.size()];
+      const int nextCity = chainOf[std::size_t(nextRep)]->front();
+      const int prevCity = expanded.empty() ? -1 : expanded.back();
+      const std::int64_t forward =
+          (prevCity >= 0 ? inst.dist(prevCity, chain[0]) : 0) +
+          inst.dist(chain[1], nextCity);
+      const std::int64_t backward =
+          (prevCity >= 0 ? inst.dist(prevCity, chain[1]) : 0) +
+          inst.dist(chain[0], nextCity);
+      if (backward < forward) {
+        expanded.push_back(chain[1]);
+        expanded.push_back(chain[0]);
+      } else {
+        expanded.push_back(chain[0]);
+        expanded.push_back(chain[1]);
+      }
+    }
+    order = std::move(expanded);
+
+    // Refinement on the expanded level: CLK over the sub-instance.
+    std::vector<int> cities = order;  // city subset (in tour order)
+    std::sort(cities.begin(), cities.end());
+    std::vector<int> rank(static_cast<std::size_t>(inst.n()), -1);
+    for (std::size_t i = 0; i < cities.size(); ++i)
+      rank[std::size_t(cities[i])] = static_cast<int>(i);
+    Instance levelInst = subInstance(
+        inst, cities, static_cast<int>(levels.rend() - levelIt) - 1);
+    CandidateLists levelCand(levelInst,
+                             std::min(opt.candidateK, levelInst.n() - 1));
+    std::vector<int> localOrder;
+    localOrder.reserve(order.size());
+    for (int c : order) localOrder.push_back(rank[std::size_t(c)]);
+    Tour levelTour(levelInst, std::move(localOrder));
+    ClkOptions co;
+    co.kick = opt.kick;
+    co.lk = opt.lk;
+    co.maxKicks = std::max<std::int64_t>(
+        1, levelInst.n() / std::max(1, opt.kickDivisor));
+    chainedLinKernighan(levelTour, levelCand, rng, co);
+    for (std::size_t p = 0; p < order.size(); ++p)
+      order[p] = cities[std::size_t(levelTour.at(static_cast<int>(p)))];
+  }
+
+  Tour final(inst, std::move(order));
+  res.length = final.length();
+  res.order = final.orderVector();
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace distclk

@@ -1,0 +1,40 @@
+// Walshaw-style multilevel CLK (Table 2's MLC_N LK): coarsen the instance
+// by repeatedly matching each city with its nearest unmatched neighbor
+// (fixing the connecting edge), solve the coarsest instance, then uncoarsen
+// level by level, splicing each super-city's fixed chain back in and
+// refining the expanded tour with a kick-budgeted Chained LK.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lk/chained_lk.h"
+#include "tsp/instance.h"
+#include "util/rng.h"
+
+namespace distclk {
+
+struct MultilevelOptions {
+  int coarsestSize = 32;     ///< stop coarsening at this many super-cities
+  /// Kicks per refinement = level size / kickDivisor. Walshaw's best setup
+  /// is MLC_{N/10}LK, i.e. divisor 10.
+  int kickDivisor = 10;
+  int candidateK = 10;
+  KickStrategy kick = KickStrategy::kRandomWalk;
+  LkOptions lk;
+  std::int64_t targetLength = -1;
+};
+
+struct MultilevelResult {
+  std::int64_t length = 0;
+  std::vector<int> order;
+  double seconds = 0.0;
+  int levels = 0;
+};
+
+/// Runs the multilevel heuristic (geometric instances only; throws for
+/// explicit matrices, which have no coordinates to coarsen on).
+MultilevelResult multilevelSolve(const Instance& inst, Rng& rng,
+                                 const MultilevelOptions& opt = {});
+
+}  // namespace distclk

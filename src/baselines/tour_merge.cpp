@@ -1,0 +1,80 @@
+#include "baselines/tour_merge.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "construct/construct.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "util/timer.h"
+
+namespace distclk {
+
+TourMergeResult tourMergeSolve(const Instance& inst, Rng& rng,
+                               const TourMergeOptions& opt) {
+  Timer timer;
+  TourMergeResult res;
+
+  const CandidateLists cand(inst, opt.candidateK,
+                            CandidateLists::Kind::kQuadrant);
+
+  // Phase 1: independent CLK runs.
+  std::vector<std::vector<int>> tours;
+  tours.reserve(std::size_t(opt.runs));
+  res.bestRunLength = std::numeric_limits<std::int64_t>::max();
+  std::vector<int> bestOrder;
+  for (int run = 0; run < opt.runs; ++run) {
+    Tour t(inst, quickBoruvkaTour(inst, cand));
+    if (run > 0) {
+      // Diversify the deterministic construction between runs.
+      for (int i = 0; i < 2; ++i)
+        applyKick(t, KickStrategy::kRandom, cand, rng);
+    }
+    ClkOptions co;
+    co.kick = opt.kick;
+    co.lk = opt.lk;
+    co.maxKicks = opt.kicksPerRun > 0 ? opt.kicksPerRun : inst.n();
+    co.targetLength = opt.targetLength;
+    chainedLinKernighan(t, cand, rng, co);
+    if (t.length() < res.bestRunLength) {
+      res.bestRunLength = t.length();
+      bestOrder = t.orderVector();
+    }
+    tours.push_back(t.orderVector());
+  }
+
+  // Phase 2: union graph of all tour edges, as per-city neighbor lists
+  // sorted by distance.
+  std::vector<std::vector<int>> unionAdj(static_cast<std::size_t>(inst.n()));
+  auto addEdge = [&](int a, int b) {
+    auto& la = unionAdj[std::size_t(a)];
+    if (std::find(la.begin(), la.end(), b) == la.end()) {
+      la.push_back(b);
+      unionAdj[std::size_t(b)].push_back(a);
+      ++res.unionEdges;
+    }
+  };
+  for (const auto& order : tours) {
+    for (std::size_t p = 0; p < order.size(); ++p)
+      addEdge(order[p], order[(p + 1) % order.size()]);
+  }
+  for (int c = 0; c < inst.n(); ++c) {
+    auto& l = unionAdj[std::size_t(c)];
+    std::sort(l.begin(), l.end(), [&](int a, int b) {
+      const auto da = inst.dist(c, a), db = inst.dist(c, b);
+      return da != db ? da < db : a < b;
+    });
+  }
+  const CandidateLists unionCand(inst, std::move(unionAdj));
+
+  // Phase 3: deep LK restricted to the union, starting from the best run.
+  Tour merged(inst, std::move(bestOrder));
+  linKernighanOptimize(merged, unionCand, opt.mergeLk);
+
+  res.length = merged.length();
+  res.order = merged.orderVector();
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace distclk

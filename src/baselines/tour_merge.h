@@ -1,0 +1,44 @@
+// Cook/Seymour-style tour merging (Table 2's TM-CLK): run several
+// independent CLK runs, take the union graph of their edges, and search for
+// a better tour inside that union. Cook & Seymour solve the union exactly
+// by branch decomposition; we re-optimize heuristically with LK restricted
+// to union edges (see DESIGN.md "Substitutions"), which keeps the
+// characteristic behaviour — the union of suboptimal tours contains a
+// better (often optimal) tour that a restricted search finds quickly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lk/chained_lk.h"
+#include "tsp/instance.h"
+#include "util/rng.h"
+
+namespace distclk {
+
+struct TourMergeOptions {
+  int runs = 10;              ///< independent CLK runs to merge (paper: 10)
+  std::int64_t kicksPerRun = 0;  ///< <= 0: one kick per city (linkern default)
+  int candidateK = 12;        ///< quadrant-ish candidate size for the runs
+  KickStrategy kick = KickStrategy::kGeometric;  ///< Cook&Seymour's setup
+  LkOptions lk;
+  // breadthDeep stays 1: deeper backtracking is exponential in maxDepth
+  // on failed searches. The union graph is tiny, so breadth at the first
+  // two levels already explores most of it.
+  LkOptions mergeLk{/*maxDepth=*/50, /*breadth0=*/10, /*breadth1=*/6,
+                    /*breadthDeep=*/1, /*candidatesDistanceSorted=*/true};
+  std::int64_t targetLength = -1;
+};
+
+struct TourMergeResult {
+  std::int64_t length = 0;
+  std::vector<int> order;
+  double seconds = 0.0;
+  std::int64_t bestRunLength = 0;  ///< best of the unmerged CLK runs
+  int unionEdges = 0;              ///< edges in the union graph
+};
+
+TourMergeResult tourMergeSolve(const Instance& inst, Rng& rng,
+                               const TourMergeOptions& opt = {});
+
+}  // namespace distclk

@@ -1,0 +1,120 @@
+#include "bound/alpha.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "bound/onetree.h"
+
+namespace distclk {
+
+CandidateLists alphaCandidates(const Instance& inst,
+                               const std::vector<double>& pi, int k) {
+  const int n = inst.n();
+  if (pi.size() != std::size_t(n))
+    throw std::invalid_argument("alphaCandidates: pi size mismatch");
+  k = std::min(k, n - 1);
+
+  const OneTree tree = minimumOneTree(inst, pi);
+  auto w = [&](int a, int b) {
+    return static_cast<double>(inst.dist(a, b)) + pi[std::size_t(a)] +
+           pi[std::size_t(b)];
+  };
+
+  // Spanning-tree adjacency (edges not incident to the special city 0) and
+  // the two special edge weights at city 0.
+  std::vector<std::vector<std::pair<int, double>>> adj(static_cast<std::size_t>(n));
+  double special1 = std::numeric_limits<double>::infinity();
+  double special2 = special1;
+  std::vector<int> specialTo;
+  for (const auto& [a, b] : tree.edges) {
+    if (a == 0 || b == 0) {
+      const int other = a == 0 ? b : a;
+      const double ww = w(0, other);
+      specialTo.push_back(other);
+      if (ww < special1) {
+        special2 = special1;
+        special1 = ww;
+      } else if (ww < special2) {
+        special2 = ww;
+      }
+      continue;
+    }
+    adj[std::size_t(a)].emplace_back(b, w(a, b));
+    adj[std::size_t(b)].emplace_back(a, w(a, b));
+  }
+
+  std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
+  std::vector<double> beta(static_cast<std::size_t>(n));
+  std::vector<int> stack;
+  struct Scored {
+    double alpha;
+    double weight;
+    int city;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(static_cast<std::size_t>(n));
+
+  auto pickTopK = [&](int c) {
+    const auto kk = std::min<std::size_t>(std::size_t(k), scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
+                      [](const Scored& x, const Scored& y) {
+                        if (x.alpha != y.alpha) return x.alpha < y.alpha;
+                        if (x.weight != y.weight) return x.weight < y.weight;
+                        return x.city < y.city;
+                      });
+    auto& out = lists[std::size_t(c)];
+    out.reserve(kk);
+    for (std::size_t i = 0; i < kk; ++i) out.push_back(scored[i].city);
+  };
+
+  // City 0: alpha(0,j) = w(0,j) - second-cheapest special edge.
+  scored.clear();
+  for (int j = 1; j < n; ++j) {
+    const bool isSpecial =
+        std::find(specialTo.begin(), specialTo.end(), j) != specialTo.end();
+    const double a = isSpecial ? 0.0 : std::max(0.0, w(0, j) - special2);
+    scored.push_back({a, w(0, j), j});
+  }
+  pickTopK(0);
+
+  // Other cities: beta(i,j) = max edge weight on the spanning-tree path
+  // i..j; alpha(i,j) = w(i,j) - beta(i,j). One DFS per root, O(n) memory.
+  for (int root = 1; root < n; ++root) {
+    std::fill(beta.begin(), beta.end(),
+              -std::numeric_limits<double>::infinity());
+    beta[std::size_t(root)] = 0.0;
+    stack.assign(1, root);
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (const auto& [v, ww] : adj[std::size_t(u)]) {
+        if (beta[std::size_t(v)] !=
+            -std::numeric_limits<double>::infinity())
+          continue;
+        beta[std::size_t(v)] = std::max(beta[std::size_t(u)], ww);
+        stack.push_back(v);
+      }
+    }
+    scored.clear();
+    for (int j = 1; j < n; ++j) {
+      if (j == root) continue;
+      const double a = std::max(0.0, w(root, j) - beta[std::size_t(j)]);
+      scored.push_back({a, w(root, j), j});
+    }
+    // alpha(root, 0) mirrors the city-0 rule.
+    {
+      const bool isSpecial = std::find(specialTo.begin(), specialTo.end(),
+                                       root) != specialTo.end();
+      const double a =
+          isSpecial ? 0.0 : std::max(0.0, w(0, root) - special2);
+      scored.push_back({a, w(0, root), 0});
+    }
+    pickTopK(root);
+  }
+
+  return CandidateLists(inst, std::move(lists));
+}
+
+}  // namespace distclk

@@ -1,0 +1,21 @@
+// Alpha-nearness (Helsgaun): alpha(i,j) is the increase of the minimum
+// 1-tree length when edge (i,j) is forced into it. Candidate lists ordered
+// by alpha dominate plain nearest-neighbor lists; the LKH-style baseline of
+// Table 2 uses them, exactly as Helsgaun's solver does.
+#pragma once
+
+#include <vector>
+
+#include "tsp/instance.h"
+#include "tsp/neighbors.h"
+
+namespace distclk {
+
+/// Builds candidate lists of the k alpha-nearest neighbors per city, using
+/// potentials `pi` (typically the Held-Karp potentials; pass an all-zero
+/// vector for the unweighted variant). O(n^2) time and memory traffic —
+/// intended for n up to a few thousand.
+CandidateLists alphaCandidates(const Instance& inst,
+                               const std::vector<double>& pi, int k);
+
+}  // namespace distclk

@@ -1,0 +1,91 @@
+#include "bound/exact.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace distclk {
+
+ExactResult solveExactDp(const Instance& inst) {
+  const int n = inst.n();
+  if (n > 20) throw std::invalid_argument("solveExactDp: n > 20");
+  const int m = n - 1;  // cities 1..n-1; city 0 is the fixed start
+  const std::size_t full = std::size_t(1) << m;
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+  // dp[mask][j]: cheapest path 0 -> (visits mask) -> city j+1.
+  std::vector<std::int64_t> dp(full * std::size_t(m), kInf);
+  std::vector<int> parent(full * std::size_t(m), -1);
+  for (int j = 0; j < m; ++j)
+    dp[(std::size_t(1) << j) * std::size_t(m) + std::size_t(j)] =
+        inst.dist(0, j + 1);
+
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    for (int j = 0; j < m; ++j) {
+      if (!(mask & (std::size_t(1) << j))) continue;
+      const std::int64_t cur = dp[mask * std::size_t(m) + std::size_t(j)];
+      if (cur >= kInf) continue;
+      for (int k2 = 0; k2 < m; ++k2) {
+        if (mask & (std::size_t(1) << k2)) continue;
+        const std::size_t nmask = mask | (std::size_t(1) << k2);
+        const std::int64_t cand = cur + inst.dist(j + 1, k2 + 1);
+        auto& slot = dp[nmask * std::size_t(m) + std::size_t(k2)];
+        if (cand < slot) {
+          slot = cand;
+          parent[nmask * std::size_t(m) + std::size_t(k2)] = j;
+        }
+      }
+    }
+  }
+
+  ExactResult res;
+  res.length = kInf;
+  int lastCity = -1;
+  const std::size_t all = full - 1;
+  for (int j = 0; j < m; ++j) {
+    const std::int64_t total =
+        dp[all * std::size_t(m) + std::size_t(j)] + inst.dist(j + 1, 0);
+    if (total < res.length) {
+      res.length = total;
+      lastCity = j;
+    }
+  }
+  // Reconstruct the tour.
+  std::vector<int> rev;
+  std::size_t mask = all;
+  int j = lastCity;
+  while (j != -1) {
+    rev.push_back(j + 1);
+    const int pj = parent[mask * std::size_t(m) + std::size_t(j)];
+    mask &= ~(std::size_t(1) << j);
+    j = pj;
+  }
+  res.order.push_back(0);
+  res.order.insert(res.order.end(), rev.rbegin(), rev.rend());
+  return res;
+}
+
+ExactResult solveExactBruteForce(const Instance& inst) {
+  const int n = inst.n();
+  if (n > 11) throw std::invalid_argument("solveExactBruteForce: n > 11");
+  std::vector<int> perm(std::size_t(n - 1));
+  std::iota(perm.begin(), perm.end(), 1);
+  ExactResult res;
+  res.length = std::numeric_limits<std::int64_t>::max();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  order[0] = 0;
+  do {
+    // Fix orientation: only count each cycle once.
+    if (perm.front() > perm.back()) continue;
+    std::copy(perm.begin(), perm.end(), order.begin() + 1);
+    const std::int64_t len = inst.tourLength(order);
+    if (len < res.length) {
+      res.length = len;
+      res.order = order;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return res;
+}
+
+}  // namespace distclk

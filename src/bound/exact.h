@@ -1,0 +1,25 @@
+// Exact solvers for tiny instances. Test oracles only: the Held-Karp
+// dynamic program certifies optimal lengths so heuristic and bound code can
+// be checked against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsp/instance.h"
+
+namespace distclk {
+
+struct ExactResult {
+  std::int64_t length = 0;
+  std::vector<int> order;
+};
+
+/// Held-Karp dynamic program, O(2^n * n^2). Throws for n > 20.
+ExactResult solveExactDp(const Instance& inst);
+
+/// Brute-force enumeration of all (n-1)!/2 tours. Throws for n > 11.
+/// Slower but independent of the DP — used to cross-check it.
+ExactResult solveExactBruteForce(const Instance& inst);
+
+}  // namespace distclk

@@ -1,0 +1,35 @@
+// Held-Karp lower bound via subgradient optimization on 1-tree node
+// potentials. The paper measures tour quality against this bound whenever
+// the optimum is unknown (fi10639, pla33810, pla85900); our synthetic
+// stand-ins do the same for every instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tsp/instance.h"
+
+namespace distclk {
+
+struct HeldKarpOptions {
+  int iterations = 200;  ///< subgradient steps (Polyak step sizing inside)
+  /// Use candidate-restricted 1-trees above this size (exact Prim below).
+  int exactLimit = 4000;
+  int candidateK = 12;   ///< k for the restricted 1-tree graph
+};
+
+struct HeldKarpResult {
+  double bound = 0.0;               ///< best (highest) Lagrangian value seen
+  std::vector<double> pi;           ///< potentials at the best iteration
+  bool exact = true;                ///< false when candidate 1-trees were used
+  int iterationsRun = 0;
+};
+
+/// Computes (an estimate of) the Held-Karp bound. With default options the
+/// value is a true lower bound for n <= exactLimit (exact minimum 1-trees);
+/// beyond that, candidate-restricted trees make it an estimate, flagged via
+/// `exact == false`.
+HeldKarpResult heldKarpBound(const Instance& inst,
+                             const HeldKarpOptions& opt = {});
+
+}  // namespace distclk

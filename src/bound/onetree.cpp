@@ -1,0 +1,157 @@
+#include "bound/onetree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+namespace distclk {
+
+namespace {
+
+double modWeight(const Instance& inst, const std::vector<double>& pi, int a,
+                 int b) {
+  return static_cast<double>(inst.dist(a, b)) + pi[std::size_t(a)] +
+         pi[std::size_t(b)];
+}
+
+/// Finalizes a spanning tree over {1..n-1} into a 1-tree by attaching the
+/// two cheapest modified-weight edges at city 0.
+void attachSpecialCity(const Instance& inst, const std::vector<double>& pi,
+                       OneTree& t) {
+  const int n = inst.n();
+  int best1 = -1, best2 = -1;
+  double w1 = std::numeric_limits<double>::infinity(), w2 = w1;
+  for (int j = 1; j < n; ++j) {
+    const double w = modWeight(inst, pi, 0, j);
+    if (w < w1) {
+      w2 = w1;
+      best2 = best1;
+      w1 = w;
+      best1 = j;
+    } else if (w < w2) {
+      w2 = w;
+      best2 = j;
+    }
+  }
+  t.edges.emplace_back(0, best1);
+  t.edges.emplace_back(0, best2);
+  t.weight += w1 + w2;
+  t.degree[0] += 2;
+  ++t.degree[std::size_t(best1)];
+  ++t.degree[std::size_t(best2)];
+}
+
+}  // namespace
+
+OneTree minimumOneTree(const Instance& inst, const std::vector<double>& pi) {
+  const int n = inst.n();
+  if (pi.size() != std::size_t(n))
+    throw std::invalid_argument("minimumOneTree: pi size mismatch");
+  OneTree t;
+  t.degree.assign(std::size_t(n), 0);
+  t.edges.reserve(static_cast<std::size_t>(n));
+
+  // Prim over cities {1..n-1} (dense version).
+  std::vector<double> minCost(std::size_t(n),
+                              std::numeric_limits<double>::infinity());
+  std::vector<int> parent(std::size_t(n), -1);
+  std::vector<bool> inTree(std::size_t(n), false);
+  minCost[1] = 0.0;
+  for (int iter = 1; iter < n; ++iter) {
+    int u = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int v = 1; v < n; ++v)
+      if (!inTree[std::size_t(v)] && minCost[std::size_t(v)] < best) {
+        best = minCost[std::size_t(v)];
+        u = v;
+      }
+    inTree[std::size_t(u)] = true;
+    if (parent[std::size_t(u)] != -1) {
+      t.edges.emplace_back(parent[std::size_t(u)], u);
+      t.weight += best;
+      ++t.degree[std::size_t(parent[std::size_t(u)])];
+      ++t.degree[std::size_t(u)];
+    }
+    for (int v = 1; v < n; ++v) {
+      if (inTree[std::size_t(v)]) continue;
+      const double w = modWeight(inst, pi, u, v);
+      if (w < minCost[std::size_t(v)]) {
+        minCost[std::size_t(v)] = w;
+        parent[std::size_t(v)] = u;
+      }
+    }
+  }
+  attachSpecialCity(inst, pi, t);
+  return t;
+}
+
+OneTree candidateOneTree(const Instance& inst, const std::vector<double>& pi,
+                         const CandidateLists& cand) {
+  const int n = inst.n();
+  if (pi.size() != std::size_t(n))
+    throw std::invalid_argument("candidateOneTree: pi size mismatch");
+  // Symmetric adjacency from the candidate lists.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (int a = 0; a < n; ++a)
+    for (int b : cand.of(a)) {
+      adj[std::size_t(a)].push_back(b);
+      adj[std::size_t(b)].push_back(a);
+    }
+  OneTree t;
+  t.degree.assign(std::size_t(n), 0);
+  t.edges.reserve(static_cast<std::size_t>(n));
+
+  // Lazy-deletion Prim over the sparse graph, cities {1..n-1}.
+  using Entry = std::tuple<double, int, int>;  // (weight, to, from)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<bool> inTree(std::size_t(n), false);
+  inTree[0] = true;  // excluded from the spanning tree part
+  auto push = [&](int from) {
+    for (int v : adj[std::size_t(from)])
+      if (v != 0 && !inTree[std::size_t(v)])
+        heap.emplace(modWeight(inst, pi, from, v), v, from);
+  };
+  int covered = 1;
+  inTree[1] = true;
+  push(1);
+  ++covered;  // counts city 0 placeholder + city 1
+  while (covered < n) {
+    if (heap.empty()) {
+      // Candidate graph disconnected: bridge to the nearest uncovered city
+      // from an arbitrary covered one (rare; keeps the structure a tree).
+      int u = -1;
+      for (int v = 1; v < n; ++v)
+        if (!inTree[std::size_t(v)]) {
+          u = v;
+          break;
+        }
+      int bestFrom = -1;
+      double bestW = std::numeric_limits<double>::infinity();
+      for (int v = 1; v < n; ++v) {
+        if (!inTree[std::size_t(v)]) continue;
+        const double w = modWeight(inst, pi, v, u);
+        if (w < bestW) {
+          bestW = w;
+          bestFrom = v;
+        }
+      }
+      heap.emplace(bestW, u, bestFrom);
+    }
+    auto [w, to, from] = heap.top();
+    heap.pop();
+    if (inTree[std::size_t(to)]) continue;
+    inTree[std::size_t(to)] = true;
+    ++covered;
+    t.edges.emplace_back(from, to);
+    t.weight += w;
+    ++t.degree[std::size_t(from)];
+    ++t.degree[std::size_t(to)];
+    push(to);
+  }
+  attachSpecialCity(inst, pi, t);
+  return t;
+}
+
+}  // namespace distclk

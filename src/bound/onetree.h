@@ -1,0 +1,38 @@
+// Minimum 1-trees under node potentials: the building block of the
+// Held-Karp lower bound and of alpha-nearness candidate lists.
+// A 1-tree is a spanning tree over cities {1..n-1} plus the two cheapest
+// edges incident to the special city 0; every tour is a 1-tree, so the
+// minimum 1-tree under potential-modified weights bounds the optimum.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tsp/instance.h"
+#include "tsp/neighbors.h"
+
+namespace distclk {
+
+struct OneTree {
+  /// Edges of the 1-tree (n edges: n-2 tree edges + 2 special edges).
+  std::vector<std::pair<int, int>> edges;
+  /// Degree of each city in the 1-tree.
+  std::vector<int> degree;
+  /// Total modified weight sum over edges, i.e. sum of d(i,j)+pi[i]+pi[j].
+  double weight = 0.0;
+};
+
+/// Builds the exact minimum 1-tree under weights d(i,j) + pi[i] + pi[j]
+/// with Prim's algorithm over the complete graph. O(n^2); intended for
+/// n up to a few thousand.
+OneTree minimumOneTree(const Instance& inst, const std::vector<double>& pi);
+
+/// Builds a 1-tree restricted to candidate edges (plus enough fallback
+/// edges to stay connected). Near-exact for Euclidean instances with
+/// k >= ~10 but only an estimate in general; used for large n, where the
+/// Held-Karp value it yields is reported as an estimate.
+OneTree candidateOneTree(const Instance& inst, const std::vector<double>& pi,
+                         const CandidateLists& cand);
+
+}  // namespace distclk

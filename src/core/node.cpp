@@ -1,0 +1,143 @@
+#include "core/node.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "construct/construct.h"
+#include "util/timer.h"
+
+namespace distclk {
+
+DistNode::DistNode(const Instance& inst, const CandidateLists& cand,
+                   DistParams params, int id, std::uint64_t seed)
+    : inst_(inst), cand_(cand), params_(params), id_(id), rng_(seed),
+      sPrev_(inst), sBest_(inst) {
+  if (params_.cv < 1 || params_.cr < 1)
+    throw std::invalid_argument("DistNode: c_v and c_r must be >= 1");
+}
+
+Tour DistNode::initialTour() { return Tour(inst_, quickBoruvkaTour(inst_, cand_)); }
+
+std::int64_t DistNode::innerKicks() const noexcept {
+  return params_.clkKicksPerCall > 0 ? params_.clkKicksPerCall : inst_.n();
+}
+
+DistNode::StepOutcome DistNode::initialStep() {
+  if (initialized_) throw std::logic_error("DistNode: initialStep called twice");
+  initialized_ = true;
+  Timer timer;
+  sPrev_ = initialTour();
+  ClkOptions co;
+  co.kick = params_.clkKick;
+  co.kickOpt = params_.kickOpt;
+  co.lk = params_.lk;
+  co.maxKicks = innerKicks();
+  co.targetLength = params_.targetLength;
+  Tour s = sPrev_;
+  const ClkResult clk = chainedLinKernighan(s, cand_, rng_, co);
+  sBest_ = s;
+  sPrev_ = s;
+  StepOutcome out;
+  out.bestLength = sBest_.length();
+  out.modelCost = clk.flips + inst_.n();
+  out.measuredSeconds = timer.seconds();
+  out.foundTarget =
+      params_.targetLength >= 0 && out.bestLength <= params_.targetLength;
+  return out;
+}
+
+DistNode::ComputePhase DistNode::compute() {
+  if (!initialized_)
+    throw std::logic_error("DistNode: compute before initialStep");
+  Timer timer;
+  ComputePhase phase{sBest_, 0, 0.0, 0, false};
+
+  // PERTURBATE(s_best): fresh construction after c_r stagnant iterations,
+  // otherwise NumNoImprovements / c_v + 1 random double bridges.
+  if (params_.usePerturbation) {
+    if (numNoImprovements_ > params_.cr) {
+      numNoImprovements_ = 0;
+      ++restarts_;
+      phase.restarted = true;
+      phase.s = initialTour();
+      phase.modelCost += inst_.n();  // construction work
+    } else {
+      phase.perturbations = numNoImprovements_ / params_.cv + 1;
+      for (int i = 0; i < phase.perturbations; ++i)
+        applyKick(phase.s, KickStrategy::kRandom, cand_, rng_);
+    }
+  }
+
+  // CHAINEDLINKERNIGHAN(s).
+  ClkOptions co;
+  co.kick = params_.clkKick;
+  co.kickOpt = params_.kickOpt;
+  co.lk = params_.lk;
+  co.maxKicks = innerKicks();
+  co.targetLength = params_.targetLength;
+  const ClkResult clk = chainedLinKernighan(phase.s, cand_, rng_, co);
+  phase.modelCost += clk.flips + clk.kicks;
+  phase.measuredSeconds = timer.seconds();
+  return phase;
+}
+
+DistNode::StepOutcome DistNode::merge(ComputePhase phase,
+                                      const std::vector<Message>& received) {
+  StepOutcome out;
+  out.modelCost = phase.modelCost;
+  out.measuredSeconds = phase.measuredSeconds;
+  out.perturbations = phase.perturbations;
+  out.restarted = phase.restarted;
+  Tour& s = phase.s;
+
+  // SELECTBESTTOUR over {received} ∪ {s} ∪ {s_prev}.
+  const Tour* best = &s;
+  if (sPrev_.length() < best->length()) best = &sPrev_;
+  Tour receivedBest(sPrev_);  // storage for the best received tour, if any
+  bool haveReceived = false;
+  for (const Message& msg : received) {
+    if (msg.type != MessageType::kTour) continue;
+    if (msg.length >= best->length()) continue;  // cheap reject before O(n)
+    std::vector<int> order(msg.order.begin(), msg.order.end());
+    Tour t(inst_, std::move(order));
+    if (t.length() < best->length()) {
+      receivedBest = std::move(t);
+      haveReceived = true;
+      best = &receivedBest;
+    }
+  }
+
+  // Counter bookkeeping and broadcast decision (Fig. 1): stagnation bumps
+  // the counter; any strict improvement resets it; only locally produced
+  // improvements are re-broadcast.
+  if (best->length() == sPrev_.length()) {
+    ++numNoImprovements_;
+  } else {
+    numNoImprovements_ = 0;
+    if (best == &s) out.broadcast = true;
+    out.improvedByMessage = haveReceived && best == &receivedBest;
+  }
+
+  sBest_ = *best;
+  sPrev_ = sBest_;
+  out.bestLength = sBest_.length();
+  out.foundTarget =
+      params_.targetLength >= 0 && out.bestLength <= params_.targetLength;
+  return out;
+}
+
+DistNode::StepOutcome DistNode::step(const std::vector<Message>& received) {
+  return merge(compute(), received);
+}
+
+Message DistNode::makeTourMessage() const {
+  Message msg;
+  msg.type = MessageType::kTour;
+  msg.from = id_;
+  msg.length = sBest_.length();
+  const auto order = sBest_.order();
+  msg.order.assign(order.begin(), order.end());
+  return msg;
+}
+
+}  // namespace distclk

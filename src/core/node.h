@@ -1,0 +1,107 @@
+// The distributed EA node of Fig. 1: perturb the best-known tour with
+// variable-strength double-bridge moves, re-optimize with Chained LK, merge
+// with tours received from neighbors, broadcast local wins, and restart
+// from a fresh construction when c_r consecutive non-improvements pile up.
+// DistNode is pure logic — transports and clocks live in the drivers, so
+// the identical node runs under the discrete-event simulator and under real
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lk/chained_lk.h"
+#include "net/message.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+namespace distclk {
+
+struct DistParams {
+  int cv = 64;   ///< perturbation-strength divisor (paper default)
+  int cr = 256;  ///< restart threshold (paper default)
+  /// Kick strategy handed to the inner CLK (the EA-level perturbation is
+  /// always random double bridges, as in the paper).
+  KickStrategy clkKick = KickStrategy::kRandomWalk;
+  KickOptions kickOpt;
+  LkOptions lk;
+  /// Kicks per inner CLK call; <= 0 means "instance size" (linkern's
+  /// default of one kick per city).
+  std::int64_t clkKicksPerCall = 0;
+  /// Ablation switch: disable the EA-level double-bridge perturbation
+  /// (paper §4.2 "running without DBMs").
+  bool usePerturbation = true;
+  /// Known optimum (or calibrated target); termination criterion 1.
+  std::int64_t targetLength = -1;
+};
+
+class DistNode {
+ public:
+  DistNode(const Instance& inst, const CandidateLists& cand, DistParams params,
+           int id, std::uint64_t seed);
+
+  struct StepOutcome {
+    std::int64_t bestLength = 0;
+    bool broadcast = false;     ///< caller must broadcast best() to neighbors
+    bool improvedByMessage = false;
+    bool foundTarget = false;
+    std::int64_t modelCost = 0;  ///< deterministic work units (LK flips)
+    double measuredSeconds = 0;  ///< wall time of the compute phase
+    int perturbations = 0;       ///< double bridges applied this step
+    bool restarted = false;
+  };
+
+  /// First step: construct (Quick-Borůvka) and CLK-optimize the initial
+  /// tour. Must be called exactly once, before step().
+  StepOutcome initialStep();
+
+  /// The compute half of an EA iteration: perturbation + inner CLK. The
+  /// simulator charges virtual time for this phase before delivering the
+  /// messages that arrived while it "ran" (the paper's nodes poll their
+  /// receive queue only after CLK returns).
+  struct ComputePhase {
+    Tour s;                      ///< the locally optimized challenger
+    std::int64_t modelCost = 0;  ///< deterministic work units (LK flips)
+    double measuredSeconds = 0;  ///< wall time of the phase
+    int perturbations = 0;
+    bool restarted = false;
+  };
+  ComputePhase compute();
+
+  /// The merge half: SELECTBESTTOUR over received ∪ {s} ∪ {s_prev},
+  /// counter bookkeeping, and the broadcast decision.
+  StepOutcome merge(ComputePhase phase, const std::vector<Message>& received);
+
+  /// Convenience: compute + merge in one call (thread driver, tests).
+  StepOutcome step(const std::vector<Message>& received);
+
+  int id() const noexcept { return id_; }
+  const Tour& best() const noexcept { return sBest_; }
+  int noImprovements() const noexcept { return numNoImprovements_; }
+  /// Current perturbation level (NumPerturbations the next step will use).
+  int perturbationLevel() const noexcept {
+    return numNoImprovements_ / params_.cv + 1;
+  }
+  std::int64_t restarts() const noexcept { return restarts_; }
+
+  /// Builds the broadcast message for the current best tour.
+  Message makeTourMessage() const;
+
+ private:
+  Tour initialTour();
+  std::int64_t innerKicks() const noexcept;
+
+  const Instance& inst_;
+  const CandidateLists& cand_;
+  DistParams params_;
+  int id_;
+  Rng rng_;
+  Tour sPrev_;
+  Tour sBest_;
+  int numNoImprovements_ = 0;
+  std::int64_t restarts_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace distclk

@@ -1,0 +1,50 @@
+// Concurrent driver: the same DistNode logic on real threads with mailbox
+// message passing and wall-clock budgets. On a multi-core host this IS the
+// paper's system (minus TCP); on a single core it still exercises the
+// concurrent code path end to end. One std::jthread per node; termination
+// via std::stop_token (target found or budget exhausted).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/node.h"
+#include "core/trace.h"
+#include "net/topology.h"
+#include "tsp/instance.h"
+#include "tsp/neighbors.h"
+
+namespace distclk {
+
+struct ThreadRunOptions {
+  int nodes = 8;
+  TopologyKind topology = TopologyKind::kHypercube;
+  DistParams node;
+  double timeLimitPerNode = 5.0;  ///< wall seconds per node thread
+  std::uint64_t seed = 1;
+};
+
+struct ThreadRunResult {
+  std::int64_t bestLength = 0;
+  std::vector<int> bestOrder;
+  bool hitTarget = false;
+  std::int64_t messagesSent = 0;
+  std::int64_t totalSteps = 0;
+  /// Per-node final best lengths (the paper collects results from each
+  /// node's local output, there being no global control).
+  std::vector<std::int64_t> nodeBest;
+  /// Per-node anytime curves (wall seconds since the node's thread start
+  /// vs its best length) — the concurrent counterpart of SimResult::curve.
+  std::vector<AnytimeCurve> nodeCurves;
+  /// Cross-node event log (improvements, broadcasts, restarts), timestamped
+  /// with each node's local wall clock and merged at the end.
+  EventLog events;
+};
+
+/// Runs the distributed algorithm on real threads; blocks until all node
+/// threads finish.
+ThreadRunResult runThreadedDistClk(const Instance& inst,
+                                   const CandidateLists& cand,
+                                   const ThreadRunOptions& opt);
+
+}  // namespace distclk

@@ -1,0 +1,60 @@
+#include "core/trace.h"
+
+#include <algorithm>
+
+namespace distclk {
+
+std::int64_t valueAt(const AnytimeCurve& curve, double t) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (const auto& p : curve) {
+    if (p.time > t) break;
+    best = std::min(best, p.length);
+  }
+  return best;
+}
+
+std::int64_t valueAtOrFirst(const AnytimeCurve& curve, double t) {
+  const std::int64_t v = valueAt(curve, t);
+  if (v != std::numeric_limits<std::int64_t>::max() || curve.empty()) return v;
+  return curve.front().length;
+}
+
+double timeToReach(const AnytimeCurve& curve, std::int64_t target) {
+  for (const auto& p : curve)
+    if (p.length <= target) return p.time;
+  return std::numeric_limits<double>::infinity();
+}
+
+AnytimeCurve meanCurve(const std::vector<AnytimeCurve>& runs,
+                       const std::vector<double>& times) {
+  AnytimeCurve out;
+  out.reserve(times.size());
+  for (double t : times) {
+    double sum = 0.0;
+    int count = 0;
+    for (const auto& run : runs) {
+      const std::int64_t v = valueAt(run, t);
+      if (v == std::numeric_limits<std::int64_t>::max()) continue;
+      sum += static_cast<double>(v);
+      ++count;
+    }
+    if (count > 0)
+      out.push_back({t, static_cast<std::int64_t>(sum / count)});
+  }
+  return out;
+}
+
+const char* toString(NodeEventType t) noexcept {
+  switch (t) {
+    case NodeEventType::kInitialTour: return "initial-tour";
+    case NodeEventType::kImprovement: return "improvement";
+    case NodeEventType::kBroadcastSent: return "broadcast-sent";
+    case NodeEventType::kTourReceived: return "tour-received";
+    case NodeEventType::kPerturbationLevel: return "perturbation-level";
+    case NodeEventType::kRestart: return "restart";
+    case NodeEventType::kTargetReached: return "target-reached";
+  }
+  return "?";
+}
+
+}  // namespace distclk

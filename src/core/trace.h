@@ -1,0 +1,58 @@
+// Anytime-curve and event-trace types shared by the drivers and the
+// experiment harness. The paper's figures are tour-length-vs-CPU-time
+// curves (Figs. 2 and 3); its speed-up tables (Table 1) are time-to-quality
+// lookups on the same curves; §4.2.1 narrates per-node event traces.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace distclk {
+
+struct AnytimePoint {
+  double time = 0.0;          ///< CPU seconds (per node for distributed runs)
+  std::int64_t length = 0;    ///< global best tour length at that time
+};
+
+/// Non-increasing length over increasing time.
+using AnytimeCurve = std::vector<AnytimePoint>;
+
+/// Best length achieved by time t (max int64 before the first point).
+std::int64_t valueAt(const AnytimeCurve& curve, double t);
+
+/// Like valueAt, but clamps to the curve's first point when t precedes it
+/// (checkpoint semantics: before the first improvement the algorithm still
+/// holds its starting tour).
+std::int64_t valueAtOrFirst(const AnytimeCurve& curve, double t);
+
+/// First time the curve reaches length <= target (infinity when never).
+double timeToReach(const AnytimeCurve& curve, std::int64_t target);
+
+/// Samples the pointwise mean of several runs' curves at `times`.
+/// Runs that have no value yet at a time are skipped for that sample.
+AnytimeCurve meanCurve(const std::vector<AnytimeCurve>& runs,
+                       const std::vector<double>& times);
+
+enum class NodeEventType {
+  kInitialTour,         ///< value = length after the initial CLK
+  kImprovement,         ///< value = new best length
+  kBroadcastSent,       ///< value = broadcast tour length
+  kTourReceived,        ///< value = received tour length (improving only)
+  kPerturbationLevel,   ///< value = new NumPerturbations level
+  kRestart,             ///< value = NumNoImprovements at restart
+  kTargetReached,       ///< value = target length
+};
+
+const char* toString(NodeEventType t) noexcept;
+
+struct NodeEvent {
+  double time = 0.0;  ///< per-node CPU seconds
+  int node = -1;
+  NodeEventType type = NodeEventType::kImprovement;
+  std::int64_t value = 0;
+};
+
+using EventLog = std::vector<NodeEvent>;
+
+}  // namespace distclk

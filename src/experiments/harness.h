@@ -1,0 +1,96 @@
+// Shared experiment plumbing for the bench binaries: a tiny CLI-flag
+// parser, wrappers that run one ABCC-CLK / DistCLK experiment and return an
+// anytime curve, and reference-quality helpers (Held-Karp bounds, excess
+// percentages). Every table/figure bench is a thin composition of these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dist_clk.h"
+#include "core/trace.h"
+#include "experiments/instances.h"
+#include "lk/chained_lk.h"
+#include "tsp/instance.h"
+#include "tsp/neighbors.h"
+
+namespace distclk {
+
+/// Minimal `--flag value` / `--flag` parser for the bench mains.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool has(const std::string& flag) const;
+  int getInt(const std::string& flag, int def) const;
+  double getDouble(const std::string& flag, double def) const;
+  std::string getString(const std::string& flag, const std::string& def) const;
+
+ private:
+  std::vector<std::string> argv_;
+};
+
+/// Scaled experiment configuration shared by the benches. The defaults
+/// reproduce the paper's shape at laptop scale; --full switches to the
+/// paper's instance sizes, --runs/--budget adjust repetition and time.
+struct BenchConfig {
+  int runs = 2;              ///< repetitions per cell (paper: 10)
+  double clkBudget = 1.0;    ///< ABCC-CLK seconds (paper: 1e4 / 1e5)
+  double distBudget = 0.1;   ///< DistCLK seconds/node (paper keeps 10:1)
+  int nodes = 8;
+  int maxN = 1600;           ///< instances are scaled down to at most this n
+  bool full = false;         ///< run the paper's true sizes/budgets
+  std::uint64_t seed = 12345;
+  std::string csvDir;        ///< when set, benches mirror tables to CSV
+
+  static BenchConfig fromArgs(const Args& args);
+  /// Instance size used for a spec under this config.
+  int sizeFor(const PaperInstance& spec) const;
+  /// CLK budget for a spec (paper rule: 10x for >= 10^4 cities).
+  double clkBudgetFor(const PaperInstance& spec) const;
+  double distBudgetFor(const PaperInstance& spec) const;
+};
+
+/// One ABCC-CLK run; returns the anytime curve of champion improvements.
+struct ClkRunSummary {
+  std::int64_t finalLength = 0;
+  bool hitTarget = false;
+  double targetTime = 0.0;
+  AnytimeCurve curve;
+};
+ClkRunSummary runClkExperiment(const Instance& inst,
+                               const CandidateLists& cand, KickStrategy kick,
+                               double seconds, std::int64_t target,
+                               std::uint64_t seed);
+
+/// One DistCLK run under the discrete-event simulator, with EA step costs
+/// scaled for laptop budgets (see scaledNodeParams).
+SimResult runDistExperiment(const Instance& inst, const CandidateLists& cand,
+                            KickStrategy kick, int nodes, double secondsPerNode,
+                            std::int64_t target, std::uint64_t seed);
+
+/// Node parameters with the inner-CLK kick budget scaled to the instance
+/// (n/16 kicks per EA step instead of linkern's n), so scaled runs perform
+/// many EA iterations. Benches that build SimOptions directly start here.
+DistParams scaledNodeParams(const Instance& inst);
+
+/// Reference length for excess computations: the calibrated presumed
+/// optimum when available, else a Held-Karp bound computed (and cached per
+/// process) for the given instance. NOTE: on heavily clustered families the
+/// HK duality gap is large (several percent — verified against exact DP),
+/// so quality tables should prefer calibrateReference().
+double referenceLength(const PaperInstance& spec, const Instance& inst);
+
+/// Presumed optimum by calibration: a cooperative DistCLK run on a complete
+/// topology with the given per-node budget. Plays the role of the paper's
+/// known optima for the synthetic stand-ins; combine with observed run
+/// results via std::min for the tightest reference.
+std::int64_t calibrateReference(const Instance& inst,
+                                const CandidateLists& cand,
+                                double secondsPerNode, std::uint64_t seed);
+
+/// (length / reference) - 1, the paper's "distance to optimum".
+double excess(std::int64_t length, double reference);
+
+}  // namespace distclk

@@ -1,0 +1,76 @@
+#include "experiments/instances.h"
+
+#include <stdexcept>
+
+#include "tsp/gen.h"
+
+namespace distclk {
+
+namespace {
+
+// Presumed optima are calibrated by tools/calibrate (long multi-restart
+// distributed runs); -1 marks "not yet calibrated". Values are exact tour
+// lengths of the seeded stand-ins, NOT of the TSPLIB originals.
+std::vector<PaperInstance> buildTestbed() {
+  return {
+      {"C1k.1", "C1k.1s", 1000, InstanceFamily::kClustered, 101, 8663976,
+       false, true},
+      {"E1k.1", "E1k.1s", 1000, InstanceFamily::kUniform, 102, 23164272,
+       false, true},
+      {"fl1577", "fl1577s", 1577, InstanceFamily::kDrillPlate, 103, 15290435,
+       false, true},
+      {"pr2392", "pr2392s", 2392, InstanceFamily::kBoardGrid, 104, 38454332,
+       false, true},
+      {"pcb3038", "pcb3038s", 3038, InstanceFamily::kBoardGrid, 105, 43118023,
+       false, true},
+      {"fl3795", "fl3795s", 3795, InstanceFamily::kDrillPlate, 106, 24607209,
+       false, true},
+      {"fnl4461", "fnl4461s", 4461, InstanceFamily::kRoadNetwork, 107, 27652825,
+       false, true},
+      {"fi10639", "fi10639s", 10639, InstanceFamily::kRoadNetwork, 108, -1,
+       true, false},
+      {"usa13509", "usa13509s", 13509, InstanceFamily::kRoadNetwork, 109, -1,
+       false, false},
+      {"sw24978", "sw24978s", 24978, InstanceFamily::kRoadNetwork, 110, -1,
+       false, false},
+      {"pla33810", "pla33810s", 33810, InstanceFamily::kDrillPlate, 111, -1,
+       true, false},
+      {"pla85900", "pla85900s", 85900, InstanceFamily::kDrillPlate, 112, -1,
+       true, false},
+  };
+}
+
+}  // namespace
+
+const std::vector<PaperInstance>& paperTestbed() {
+  static const std::vector<PaperInstance> testbed = buildTestbed();
+  return testbed;
+}
+
+const PaperInstance* findPaperInstance(const std::string& name) {
+  for (const auto& spec : paperTestbed())
+    if (spec.paperName == name || spec.standinName == name) return &spec;
+  return nullptr;
+}
+
+Instance makeScaledInstance(const PaperInstance& spec, int n) {
+  switch (spec.family) {
+    case InstanceFamily::kUniform:
+      return uniformSquare(spec.standinName, n, spec.seed);
+    case InstanceFamily::kClustered:
+      return clustered(spec.standinName, n, 10, spec.seed);
+    case InstanceFamily::kDrillPlate:
+      return drillPlate(spec.standinName, n, spec.seed);
+    case InstanceFamily::kBoardGrid:
+      return perforatedGrid(spec.standinName, n, spec.seed);
+    case InstanceFamily::kRoadNetwork:
+      return roadNetwork(spec.standinName, n, spec.seed);
+  }
+  throw std::logic_error("makeScaledInstance: bad family");
+}
+
+Instance makeInstance(const PaperInstance& spec) {
+  return makeScaledInstance(spec, spec.n);
+}
+
+}  // namespace distclk

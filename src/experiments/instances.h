@@ -1,0 +1,54 @@
+// Registry of the paper's testbed (§3) mapped to seeded synthetic
+// stand-ins (TSPLIB is not shipped; see DESIGN.md "Substitutions").
+// Every stand-in carries the structural family of its original, the paper's
+// published reference data for that instance, and a calibrated presumed
+// optimum (best length ever found by long calibration runs of our own
+// solvers — playing the role of the known optima the paper tests against).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tsp/instance.h"
+
+namespace distclk {
+
+enum class InstanceFamily {
+  kUniform,        ///< DIMACS E-family
+  kClustered,      ///< DIMACS C-family
+  kDrillPlate,     ///< TSPLIB fl*
+  kBoardGrid,      ///< TSPLIB pr*/pcb*
+  kRoadNetwork,    ///< national TSPs and fnl/usa
+};
+
+struct PaperInstance {
+  std::string paperName;    ///< e.g. "fl3795"
+  std::string standinName;  ///< e.g. "fl3795s"
+  int n = 0;                ///< city count (same as the original)
+  InstanceFamily family = InstanceFamily::kUniform;
+  std::uint64_t seed = 0;   ///< generator seed (fixed: stand-ins are stable)
+  /// Calibrated presumed optimum of the stand-in; -1 before calibration.
+  std::int64_t presumedOptimum = -1;
+  /// True for the instances whose optimum the paper did NOT know (it used
+  /// Held-Karp bounds for these: fi10639, pla33810, pla85900).
+  bool paperUsedHkBound = false;
+  /// Part of the paper's "small" set (Table 3: everything up to fnl4461).
+  bool smallSet = false;
+};
+
+/// The full 12-instance testbed of §3, in the paper's order.
+const std::vector<PaperInstance>& paperTestbed();
+
+/// Lookup by paper name or stand-in name; nullptr when unknown.
+const PaperInstance* findPaperInstance(const std::string& name);
+
+/// Builds the synthetic stand-in (deterministic in the registry seed).
+Instance makeInstance(const PaperInstance& spec);
+
+/// Builds a smaller instance of the same family/seed lineage, used by the
+/// default (laptop-scale) bench configuration; `n` overrides the size.
+Instance makeScaledInstance(const PaperInstance& spec, int n);
+
+}  // namespace distclk

@@ -1,0 +1,85 @@
+#include "lk/adaptive_kick.h"
+
+#include <algorithm>
+
+#include "lk/lin_kernighan.h"
+#include "util/timer.h"
+
+namespace distclk {
+
+AdaptiveClkResult adaptiveChainedLk(Tour& tour, const CandidateLists& cand,
+                                    Rng& rng, const AdaptiveClkOptions& opt,
+                                    const AnytimeCallback& onImprove) {
+  Timer timer;
+  AdaptiveClkResult res;
+
+  linKernighanOptimize(tour, cand, opt.lk);
+  if (onImprove) onImprove(timer.seconds(), tour.length());
+
+  auto hitTarget = [&] {
+    return opt.targetLength >= 0 && tour.length() <= opt.targetLength;
+  };
+  auto timeUp = [&] {
+    return opt.timeLimitSeconds > 0 && timer.seconds() >= opt.timeLimitSeconds;
+  };
+
+  constexpr std::array<KickStrategy, 4> kStrategies{
+      KickStrategy::kRandom, KickStrategy::kGeometric, KickStrategy::kClose,
+      KickStrategy::kRandomWalk};
+
+  Tour work = tour;
+  for (std::int64_t kick = 0;
+       kick < opt.maxKicks && !hitTarget() && !timeUp(); ++kick) {
+    ++res.kicks;
+
+    // Epsilon-greedy arm selection; untried arms are explored first.
+    std::size_t arm = 0;
+    bool haveUntried = false;
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (res.uses[i] == 0) {
+        arm = i;
+        haveUntried = true;
+        break;
+      }
+    }
+    if (!haveUntried) {
+      if (rng.uniform() < opt.epsilon) {
+        arm = rng.below(4);
+      } else {
+        arm = std::size_t(std::max_element(res.rewards.begin(),
+                                           res.rewards.end()) -
+                          res.rewards.begin());
+      }
+    }
+    ++res.uses[arm];
+
+    work = tour;
+    const auto dirty =
+        applyKick(work, kStrategies[arm], cand, rng, opt.kickOpt);
+    linKernighanOptimize(work, cand, dirty, opt.lk);
+
+    // Reward: relative improvement of the champion (0 when none).
+    const double reward =
+        work.length() < tour.length()
+            ? static_cast<double>(tour.length() - work.length()) /
+                  static_cast<double>(tour.length())
+            : 0.0;
+    res.rewards[arm] = opt.decay * res.rewards[arm] + (1.0 - opt.decay) * reward;
+
+    if (work.length() <= tour.length()) {
+      const bool strict = work.length() < tour.length();
+      tour = work;
+      if (strict) {
+        ++res.improvements;
+        if (onImprove) onImprove(timer.seconds(), tour.length());
+      }
+    }
+  }
+
+  res.length = tour.length();
+  res.seconds = timer.seconds();
+  res.hitTarget = hitTarget();
+  return res;
+}
+
+}  // namespace distclk

@@ -1,0 +1,45 @@
+// Adaptive kick selection: an extension beyond the paper. §4.1 shows the
+// best kick strategy depends on the instance (Random wins small instances,
+// Random-walk large ones, pla33810 flips the order again) — so instead of
+// fixing one, learn online which kick pays off: an epsilon-greedy bandit
+// over the four ABCC strategies with recency-weighted rewards (the
+// improvement each kick-repair cycle achieves).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "lk/chained_lk.h"
+
+namespace distclk {
+
+struct AdaptiveClkOptions {
+  KickOptions kickOpt;
+  LkOptions lk;
+  std::int64_t maxKicks = std::numeric_limits<std::int64_t>::max();
+  double timeLimitSeconds = -1.0;
+  std::int64_t targetLength = -1;
+  double epsilon = 0.15;  ///< exploration probability
+  double decay = 0.9;     ///< recency weighting of per-strategy rewards
+};
+
+struct AdaptiveClkResult {
+  std::int64_t length = 0;
+  std::int64_t kicks = 0;
+  std::int64_t improvements = 0;
+  double seconds = 0.0;
+  bool hitTarget = false;
+  /// Kick-cycle counts and decayed mean rewards per strategy, indexed by
+  /// static_cast<int>(KickStrategy).
+  std::array<std::int64_t, 4> uses{};
+  std::array<double, 4> rewards{};
+};
+
+/// Chained LK whose kick strategy is chosen per kick by the bandit.
+AdaptiveClkResult adaptiveChainedLk(Tour& tour, const CandidateLists& cand,
+                                    Rng& rng,
+                                    const AdaptiveClkOptions& opt = {},
+                                    const AnytimeCallback& onImprove = {});
+
+}  // namespace distclk

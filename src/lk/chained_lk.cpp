@@ -1,0 +1,69 @@
+#include "lk/chained_lk.h"
+
+#include <vector>
+
+#include "util/timer.h"
+
+namespace distclk {
+
+namespace {
+
+template <typename TourT>
+ClkResult chainedLkImpl(TourT& tour, const CandidateLists& cand, Rng& rng,
+                        const ClkOptions& opt,
+                        const AnytimeCallback& onImprove) {
+  Timer timer;
+  ClkResult res;
+
+  res.flips += linKernighanOptimize(tour, cand, opt.lk).flips;
+  if (onImprove) onImprove(timer.seconds(), tour.length());
+
+  auto hitTarget = [&] {
+    return opt.targetLength >= 0 && tour.length() <= opt.targetLength;
+  };
+  auto timeUp = [&] {
+    return opt.timeLimitSeconds > 0 && timer.seconds() >= opt.timeLimitSeconds;
+  };
+
+  // The champion lives in `tour`; kicked challengers are built in `work` and
+  // copied back only when they win, so a bad kick never damages the champion.
+  TourT work = tour;
+  for (std::int64_t kick = 0;
+       kick < opt.maxKicks && !hitTarget() && !timeUp(); ++kick) {
+    ++res.kicks;
+    work = tour;
+    const std::vector<int> dirty =
+        applyKick(work, opt.kick, cand, rng, opt.kickOpt);
+    res.flips += linKernighanOptimize(work, cand, dirty, opt.lk).flips;
+    // ABCC-style acceptance: keep ties as well, so plateaus stay mobile.
+    if (work.length() <= tour.length()) {
+      const bool strict = work.length() < tour.length();
+      tour = work;
+      if (strict) {
+        ++res.improvements;
+        if (onImprove) onImprove(timer.seconds(), tour.length());
+      }
+    }
+  }
+
+  res.length = tour.length();
+  res.seconds = timer.seconds();
+  res.hitTarget = hitTarget();
+  return res;
+}
+
+}  // namespace
+
+ClkResult chainedLinKernighan(Tour& tour, const CandidateLists& cand,
+                              Rng& rng, const ClkOptions& opt,
+                              const AnytimeCallback& onImprove) {
+  return chainedLkImpl(tour, cand, rng, opt, onImprove);
+}
+
+ClkResult chainedLinKernighan(BigTour& tour, const CandidateLists& cand,
+                              Rng& rng, const ClkOptions& opt,
+                              const AnytimeCallback& onImprove) {
+  return chainedLkImpl(tour, cand, rng, opt, onImprove);
+}
+
+}  // namespace distclk

@@ -1,0 +1,60 @@
+// Chained Lin-Kernighan (Martin/Otto/Felten 1991, ABCC implementation
+// style): LK-optimize, then repeatedly kick the champion tour with a
+// double-bridge move, re-optimize locally, and keep the result iff it is no
+// worse. This is both the paper's baseline ("ABCC-CLK") and the local
+// engine inside every distributed node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "lk/kicks.h"
+#include "lk/lin_kernighan.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+namespace distclk {
+
+struct ClkOptions {
+  KickStrategy kick = KickStrategy::kRandomWalk;  ///< linkern's default
+  KickOptions kickOpt;
+  LkOptions lk;
+  /// Stop after this many kicks (the paper sets it effectively unlimited
+  /// and lets time/target terminate).
+  std::int64_t maxKicks = std::numeric_limits<std::int64_t>::max();
+  /// Stop once the champion reaches this length (e.g. a known optimum).
+  std::int64_t targetLength = -1;
+  /// Stop after this many seconds of wall time (<= 0: unlimited).
+  double timeLimitSeconds = -1.0;
+};
+
+struct ClkResult {
+  std::int64_t length = 0;
+  std::int64_t kicks = 0;
+  std::int64_t improvements = 0;
+  /// Total LK segment reversals across all optimizations; a deterministic
+  /// proxy for CPU work, used by the simulator's modeled-cost mode.
+  std::int64_t flips = 0;
+  double seconds = 0.0;
+  bool hitTarget = false;
+};
+
+/// Invoked on every champion improvement with (elapsed seconds, length).
+using AnytimeCallback = std::function<void(double, std::int64_t)>;
+
+/// Runs Chained LK on `tour` in place. The initial tour is first optimized
+/// to an LK local optimum, then kicked maxKicks times (or until the time
+/// limit / target triggers).
+ClkResult chainedLinKernighan(Tour& tour, const CandidateLists& cand,
+                              Rng& rng, const ClkOptions& opt = {},
+                              const AnytimeCallback& onImprove = {});
+
+/// The same driver on the segment-list BigTour: O(sqrt n) flips and kicks,
+/// the configuration for six-digit city counts (the paper's pla85900).
+ClkResult chainedLinKernighan(BigTour& tour, const CandidateLists& cand,
+                              Rng& rng, const ClkOptions& opt = {},
+                              const AnytimeCallback& onImprove = {});
+
+}  // namespace distclk

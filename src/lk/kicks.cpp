@@ -1,0 +1,188 @@
+#include "lk/kicks.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace distclk {
+
+const char* toString(KickStrategy s) noexcept {
+  switch (s) {
+    case KickStrategy::kRandom: return "Random";
+    case KickStrategy::kGeometric: return "Geometric";
+    case KickStrategy::kClose: return "Close";
+    case KickStrategy::kRandomWalk: return "Random-walk";
+  }
+  return "?";
+}
+
+KickStrategy kickStrategyFromString(const std::string& s) {
+  if (s == "Random" || s == "random") return KickStrategy::kRandom;
+  if (s == "Geometric" || s == "geometric") return KickStrategy::kGeometric;
+  if (s == "Close" || s == "close") return KickStrategy::kClose;
+  if (s == "Random-walk" || s == "random-walk" || s == "walk")
+    return KickStrategy::kRandomWalk;
+  throw std::invalid_argument("unknown kick strategy: " + s);
+}
+
+namespace {
+
+bool pushUnique(std::vector<int>& v, int c) {
+  if (std::find(v.begin(), v.end(), c) != v.end()) return false;
+  v.push_back(c);
+  return true;
+}
+
+std::vector<int> selectRandom(int n, Rng& rng) {
+  std::vector<int> cities;
+  while (cities.size() < 4)
+    pushUnique(cities, static_cast<int>(rng.below(std::uint64_t(n))));
+  return cities;
+}
+
+std::vector<int> selectGeometric(int n, const CandidateLists& cand, Rng& rng,
+                                 int k) {
+  const int v = static_cast<int>(rng.below(std::uint64_t(n)));
+  const auto nbrs = cand.of(v);
+  const int avail = std::min<int>(k, static_cast<int>(nbrs.size()));
+  if (avail < 3) return selectRandom(n, rng);
+  std::vector<int> cities{v};
+  for (int attempts = 0; cities.size() < 4 && attempts < 64; ++attempts)
+    pushUnique(cities, nbrs[rng.below(std::uint64_t(avail))]);
+  if (cities.size() < 4) return selectRandom(n, rng);
+  return cities;
+}
+
+std::vector<int> selectClose(const Instance& inst, Rng& rng, double beta) {
+  const int n = inst.n();
+  const int v = static_cast<int>(rng.below(std::uint64_t(n)));
+  const int subsetSize =
+      std::clamp(static_cast<int>(beta * n), 8, std::max(8, n - 1));
+  std::vector<int> subset;
+  subset.reserve(static_cast<std::size_t>(subsetSize));
+  for (int attempts = 0;
+       static_cast<int>(subset.size()) < subsetSize && attempts < 4 * subsetSize;
+       ++attempts) {
+    const int c = static_cast<int>(rng.below(std::uint64_t(n)));
+    if (c != v) pushUnique(subset, c);
+  }
+  if (subset.size() < 6) return selectRandom(n, rng);
+  // Six subset cities nearest to v; pick three of them.
+  std::partial_sort(subset.begin(), subset.begin() + 6, subset.end(),
+                    [&](int a, int b) {
+                      const auto da = inst.dist(v, a), db = inst.dist(v, b);
+                      return da != db ? da < db : a < b;
+                    });
+  std::vector<int> cities{v};
+  for (int attempts = 0; cities.size() < 4 && attempts < 64; ++attempts)
+    pushUnique(cities, subset[rng.below(6)]);
+  if (cities.size() < 4) return selectRandom(n, rng);
+  return cities;
+}
+
+std::vector<int> selectRandomWalk(int n, const CandidateLists& cand, Rng& rng,
+                                  int walkLength) {
+  const int v = static_cast<int>(rng.below(std::uint64_t(n)));
+  std::vector<int> cities{v};
+  for (int walk = 0; walk < 3; ++walk) {
+    bool placed = false;
+    for (int retry = 0; retry < 10 && !placed; ++retry) {
+      int cur = v;
+      for (int step = 0; step < walkLength; ++step) {
+        const auto nbrs = cand.of(cur);
+        if (nbrs.empty()) break;
+        cur = nbrs[rng.below(nbrs.size())];
+      }
+      placed = cur != v && pushUnique(cities, cur);
+    }
+    if (!placed) return selectRandom(n, rng);
+  }
+  return cities;
+}
+
+}  // namespace
+
+std::vector<int> selectKickCities(const Instance& inst, KickStrategy strategy,
+                                  const CandidateLists& cand, Rng& rng,
+                                  const KickOptions& opt) {
+  switch (strategy) {
+    case KickStrategy::kRandom: return selectRandom(inst.n(), rng);
+    case KickStrategy::kGeometric:
+      return selectGeometric(inst.n(), cand, rng, opt.geometricK);
+    case KickStrategy::kClose: return selectClose(inst, rng, opt.closeBeta);
+    case KickStrategy::kRandomWalk:
+      return selectRandomWalk(inst.n(), cand, rng, opt.walkLength);
+  }
+  return selectRandom(inst.n(), rng);
+}
+
+std::vector<int> applyKick(Tour& tour, KickStrategy strategy,
+                           const CandidateLists& cand, Rng& rng,
+                           const KickOptions& opt) {
+  if (tour.n() < 8)
+    throw std::invalid_argument("applyKick: tour too small for a 4-exchange");
+
+  const std::vector<int> cities =
+      selectKickCities(tour.instance(), strategy, cand, rng, opt);
+
+  // The cut edges are (c, next(c)). Ensure the four cut positions are
+  // distinct and non-degenerate; collect the dirty cities before mutating.
+  std::vector<int> dirty;
+  for (int c : cities) {
+    dirty.push_back(c);
+    dirty.push_back(tour.next(c));
+  }
+
+  std::array<int, 4> q{};
+  for (std::size_t i = 0; i < 4; ++i) q[i] = tour.pos(cities[i]);
+  std::sort(q.begin(), q.end());
+
+  // Rotate so the cut after q[3] becomes the array boundary, then the other
+  // three cuts are the interior double-bridge positions.
+  const int n = tour.n();
+  const int s = (q[3] + 1) % n;
+  std::vector<int> rotated;
+  rotated.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) rotated.push_back(tour.at((s + i) % n));
+  tour.setOrder(std::move(rotated));
+  const int p1 = (q[0] - s + n) % n + 1;
+  const int p2 = (q[1] - s + n) % n + 1;
+  const int p3 = (q[2] - s + n) % n + 1;
+  tour.doubleBridge(p1, p2, p3);
+  return dirty;
+}
+
+std::vector<int> applyKick(BigTour& tour, KickStrategy strategy,
+                           const CandidateLists& cand, Rng& rng,
+                           const KickOptions& opt) {
+  if (tour.n() < 8)
+    throw std::invalid_argument("applyKick: tour too small for a 4-exchange");
+  const std::vector<int> cities =
+      selectKickCities(tour.instance(), strategy, cand, rng, opt);
+
+  std::vector<int> dirty;
+  for (int c : cities) {
+    dirty.push_back(c);
+    dirty.push_back(tour.next(c));
+  }
+
+  // Sort the four cut cities in cyclic tour order (anchor = cities[0]).
+  std::array<int, 4> q{cities[0], cities[1], cities[2], cities[3]};
+  std::sort(q.begin() + 1, q.end(),
+            [&](int x, int y) { return tour.between(q[0], x, y); });
+
+  // Segments A=(next(q3)..q0) B=(next(q0)..q1) C=(next(q1)..q2)
+  // D=(next(q2)..q3); recombine A C B D — the same double bridge the array
+  // implementation performs — via three path reversals:
+  //   flip(B C) -> C^r B^r, then un-reverse each block.
+  const int b1 = tour.next(q[0]);
+  const int b2 = q[1];
+  const int c1 = tour.next(q[1]);
+  const int c2 = q[2];
+  tour.reverseForward(b1, c2);
+  if (c1 != c2) tour.reverseForward(c2, c1);
+  if (b1 != b2) tour.reverseForward(b2, b1);
+  return dirty;
+}
+
+}  // namespace distclk

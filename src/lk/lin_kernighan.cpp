@@ -1,0 +1,197 @@
+#include "lk/lin_kernighan.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace distclk {
+
+namespace {
+
+/// One LK search over a tour: owns the flip stack and bookkeeping for a
+/// single improveCity() chain at a time. Templated over the tour
+/// representation; TourT must provide next/prev/length/instance and the
+/// city-addressed reverseForward(a, b) whose inverse is
+/// reverseForward(b, a).
+template <typename TourT>
+class LkSearch {
+ public:
+  LkSearch(TourT& tour, const CandidateLists& cand, const LkOptions& opt)
+      : tour_(tour), cand_(cand), opt_(opt), inst_(tour.instance()) {}
+
+  LkStats& stats() noexcept { return stats_; }
+  const std::vector<int>& touched() const noexcept { return touched_; }
+
+  /// Attempts an improving move chain anchored at t1 (both directions).
+  /// On success the tour is already updated and touched() lists the cities
+  /// incident to changed edges.
+  bool improveCity(int t1) {
+    for (int dir : {+1, -1}) {
+      t1_ = t1;
+      dir_ = dir;
+      startLen_ = tour_.length();
+      flipBudget_ = opt_.maxFlipsPerChain;
+      const int t2 = dir > 0 ? tour_.next(t1) : tour_.prev(t1);
+      addedEdges_.clear();
+      touched_.clear();
+      if (chain(0, t2, inst_.dist(t1, t2))) {
+        touched_.push_back(t1);
+        touched_.push_back(t2);
+        ++stats_.chains;
+        stats_.improvement += startLen_ - tour_.length();
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  int breadthAt(int level) const noexcept {
+    if (level == 0) return opt_.breadth0;
+    if (level == 1) return opt_.breadth1;
+    return opt_.breadthDeep;
+  }
+
+  bool edgeWasAdded(int a, int b) const noexcept {
+    for (const auto& [x, y] : addedEdges_)
+      if ((x == a && y == b) || (x == b && y == a)) return true;
+    return false;
+  }
+
+  /// Applies the level flip: removes (t1, t2cur) and (t4, t3), adds
+  /// (t1, t4) and (t2cur, t3). Returns the representation's undo token.
+  typename TourT::FlipToken applyFlip(int t2cur, int t4) {
+    ++stats_.flips;
+    return dir_ > 0 ? tour_.flipForward(t2cur, t4)
+                    : tour_.flipForward(t4, t2cur);
+  }
+
+  void undoFlip(const typename TourT::FlipToken& token) {
+    tour_.unflip(token);
+    ++stats_.flips;
+  }
+
+  // `gain` is the LK sequential gain: total removed-edge weight minus
+  // added-edge weight of the open chain; a continuation via t3 is only
+  // admissible while gain - d(t2cur, t3) stays positive.
+  bool chain(int level, int t2cur, std::int64_t gain) {
+    const int breadth = breadthAt(level);
+    int tried = 0;
+    for (int t3 : cand_.of(t2cur)) {
+      if (flipBudget_ <= 0) break;  // chain search budget exhausted
+      const std::int64_t d23 = inst_.dist(t2cur, t3);
+      if (d23 >= gain) {
+        if (opt_.candidatesDistanceSorted) break;
+        continue;
+      }
+      if (t3 == t1_) continue;
+      const int t4 = dir_ > 0 ? tour_.prev(t3) : tour_.next(t3);
+      if (t4 == t2cur) continue;       // degenerate flip
+      if (edgeWasAdded(t3, t4)) continue;  // LK rule: x_i not in {y_j}
+
+      const auto undoToken = applyFlip(t2cur, t4);
+      --flipBudget_;
+      addedEdges_.emplace_back(t2cur, t3);
+      // The physical tour is now the chain closed at (t1, t4).
+      if (tour_.length() < startLen_ ||
+          (level + 1 < opt_.maxDepth &&
+           chain(level + 1, t4, gain - d23 + inst_.dist(t3, t4)))) {
+        touched_.push_back(t2cur);
+        touched_.push_back(t3);
+        touched_.push_back(t4);
+        return true;
+      }
+      addedEdges_.pop_back();
+      undoFlip(undoToken);
+      if (++tried >= breadth) break;
+    }
+    return false;
+  }
+
+  TourT& tour_;
+  const CandidateLists& cand_;
+  const LkOptions& opt_;
+  const Instance& inst_;
+  LkStats stats_;
+  std::vector<std::pair<int, int>> addedEdges_;
+  std::vector<int> touched_;
+  int t1_ = -1;
+  int dir_ = +1;
+  std::int64_t startLen_ = 0;
+  std::int64_t flipBudget_ = 0;
+};
+
+template <typename TourT>
+LkStats runQueue(TourT& tour, const CandidateLists& cand,
+                 std::span<const int> seed, const LkOptions& opt) {
+  const int n = tour.n();
+  std::vector<char> inQueue(std::size_t(n), 0);
+  std::vector<int> queue;
+  queue.reserve(std::size_t(n));
+  for (int c : seed) {
+    if (!inQueue[std::size_t(c)]) {
+      inQueue[std::size_t(c)] = 1;
+      queue.push_back(c);
+    }
+  }
+
+  LkSearch<TourT> search(tour, cand, opt);
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const int t1 = queue[head++];
+    inQueue[std::size_t(t1)] = 0;
+    if (search.improveCity(t1)) {
+      auto enqueue = [&](int c) {
+        if (!inQueue[std::size_t(c)]) {
+          inQueue[std::size_t(c)] = 1;
+          queue.push_back(c);
+        }
+      };
+      // Changed-edge endpoints plus their candidate neighbors (a changed
+      // partner edge can enable moves for cities whose own edges did not
+      // change), plus t1 itself for further chains.
+      for (int c : search.touched()) {
+        enqueue(c);
+        for (int nb : cand.of(c)) enqueue(nb);
+      }
+      enqueue(t1);
+    }
+    if (head > queue.size() / 2 && head > 4096) {
+      queue.erase(queue.begin(), queue.begin() + static_cast<long>(head));
+      head = 0;
+    }
+  }
+  return search.stats();
+}
+
+template <typename TourT>
+LkStats optimizeAll(TourT& tour, const CandidateLists& cand,
+                    const LkOptions& opt) {
+  const auto all = tour.orderVector();
+  return runQueue(tour, cand, all, opt);
+}
+
+}  // namespace
+
+LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
+                             const LkOptions& opt) {
+  return optimizeAll(tour, cand, opt);
+}
+
+LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
+                             std::span<const int> dirty,
+                             const LkOptions& opt) {
+  return runQueue(tour, cand, dirty, opt);
+}
+
+LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
+                             const LkOptions& opt) {
+  return optimizeAll(tour, cand, opt);
+}
+
+LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
+                             std::span<const int> dirty,
+                             const LkOptions& opt) {
+  return runQueue(tour, cand, dirty, opt);
+}
+
+}  // namespace distclk

@@ -1,0 +1,61 @@
+// Variable-depth Lin-Kernighan local search (Lin & Kernighan 1973), in the
+// flip-based formulation used by array-tour implementations: every level of
+// the move chain is realized as a physical 2-opt flip, so the tour is always
+// a valid closed cycle; the chain deepens while the sequential gain
+// criterion holds, commits at the first level whose closed tour improves on
+// the start, and rewinds the flips otherwise (flips are involutions).
+// Search is restricted to candidate edges and driven by don't-look bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsp/big_tour.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+
+namespace distclk {
+
+struct LkOptions {
+  int maxDepth = 25;       ///< maximum chain length (edges exchanged)
+  int breadth0 = 8;        ///< candidates tried at chain level 0
+  int breadth1 = 4;        ///< candidates tried at chain level 1
+  /// Candidates tried at deeper levels (1 = pure greedy deepening).
+  int breadthDeep = 1;
+  /// True when candidate lists are sorted by distance, enabling the early
+  /// `break` on the gain criterion. Set false for alpha-nearness lists,
+  /// which are sorted by alpha instead (candidates are then only skipped).
+  bool candidatesDistanceSorted = true;
+  /// Hard cap on flips explored per anchor city and direction. Backtracking
+  /// breadth > 1 at deep levels makes failed searches exponential in
+  /// maxDepth; this bounds the damage for any parameter combination.
+  std::int64_t maxFlipsPerChain = 20000;
+};
+
+struct LkStats {
+  std::int64_t improvement = 0;  ///< total length reduction
+  std::int64_t chains = 0;       ///< committed move chains
+  std::int64_t flips = 0;        ///< physical segment reversals (incl. rewinds)
+};
+
+/// Optimizes `tour` to an LK local optimum. Returns statistics.
+LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
+                             const LkOptions& opt = {});
+
+/// Same, but only cities in `dirty` (and whatever improvements touch) are
+/// examined. This is what makes Chained LK fast: after a double-bridge kick
+/// only the 8 cities incident to the changed edges need re-optimization.
+LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
+                             std::span<const int> dirty,
+                             const LkOptions& opt);
+
+/// The same engine on the segment-list BigTour: identical search, O(sqrt n)
+/// flips — the variant for six-digit city counts.
+LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
+                             const LkOptions& opt = {});
+LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
+                             std::span<const int> dirty,
+                             const LkOptions& opt);
+
+}  // namespace distclk

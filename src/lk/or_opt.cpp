@@ -1,0 +1,84 @@
+#include "lk/or_opt.h"
+
+#include <vector>
+
+namespace distclk {
+
+namespace {
+
+/// Tries relocating the segment starting at city s (lengths 1..maxSegLen)
+/// behind a candidate neighbor of either segment end. First improvement.
+std::int64_t improveSegment(Tour& tour, const CandidateLists& cand, int s,
+                            int maxSegLen, std::vector<int>& touched) {
+  const Instance& inst = tour.instance();
+  int segEnd = s;
+  for (int len = 1; len <= maxSegLen; ++len, segEnd = tour.next(segEnd)) {
+    if (len >= tour.n() - 2) break;
+    const int before = tour.prev(s);
+    const int after = tour.next(segEnd);
+    const std::int64_t removed = inst.dist(before, s) +
+                                 inst.dist(segEnd, after) -
+                                 inst.dist(before, after);
+    if (removed <= 0) continue;  // closing the gap already costs more
+    // Insertion after candidate c: new edges (c, head) + (tail, next(c)).
+    for (int endSel = 0; endSel < 2; ++endSel) {
+      const int anchor = endSel == 0 ? s : segEnd;
+      for (int c : cand.of(anchor)) {
+        // c must be outside the segment [s..segEnd].
+        bool inside = false;
+        for (int x = s;; x = tour.next(x)) {
+          if (x == c) {
+            inside = true;
+            break;
+          }
+          if (x == segEnd) break;
+        }
+        if (inside || c == before) continue;
+        const int cNext = tour.next(c);
+        if (cNext == s) continue;
+        for (int rev = 0; rev < 2; ++rev) {
+          const int head = rev ? segEnd : s;
+          const int tail = rev ? s : segEnd;
+          const std::int64_t added = inst.dist(c, head) +
+                                     inst.dist(tail, cNext) -
+                                     inst.dist(c, cNext);
+          if (added < removed) {
+            tour.orOptMove(s, len, c, rev != 0);
+            touched.assign({s, segEnd, before, after, c, cNext});
+            return added - removed;  // negative delta
+          }
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::int64_t orOptOptimize(Tour& tour, const CandidateLists& cand,
+                           int maxSegLen) {
+  // Full sweeps until a whole pass finds nothing: a changed edge can enable
+  // relocations anchored far from its endpoints (any segment overlapping
+  // it, any anchor whose candidate insertion edge it is), so a don't-look
+  // queue would terminate early. Or-opt is not on the CLK hot path, and the
+  // sweep converges in a handful of passes.
+  const int n = tour.n();
+  std::int64_t total = 0;
+  std::vector<int> touched;
+  bool improvedInPass = true;
+  while (improvedInPass) {
+    improvedInPass = false;
+    for (int c = 0; c < n; ++c) {
+      const std::int64_t delta =
+          improveSegment(tour, cand, c, maxSegLen, touched);
+      if (delta < 0) {
+        total -= delta;
+        improvedInPass = true;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace distclk

@@ -1,0 +1,18 @@
+// Or-opt local search: relocates segments of 1-3 consecutive cities next to
+// one of their endpoints' candidate neighbors, optionally reversed. A cheap
+// complement to 2-opt/LK that repairs "stranded" short segments.
+#pragma once
+
+#include <cstdint>
+
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+
+namespace distclk {
+
+/// Runs Or-opt (segment lengths 1..maxSegLen) to a local optimum w.r.t. the
+/// candidate lists. Returns the total improvement (>= 0).
+std::int64_t orOptOptimize(Tour& tour, const CandidateLists& cand,
+                           int maxSegLen = 3);
+
+}  // namespace distclk

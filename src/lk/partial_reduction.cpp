@@ -1,0 +1,66 @@
+#include "lk/partial_reduction.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace distclk {
+
+std::vector<char> protectedCityMask(
+    const std::vector<std::vector<int>>& recentTours) {
+  if (recentTours.size() < 2)
+    throw std::invalid_argument("protectedCityMask: need >= 2 tours");
+  const std::size_t n = recentTours.front().size();
+  for (const auto& t : recentTours)
+    if (t.size() != n)
+      throw std::invalid_argument("protectedCityMask: tour size mismatch");
+
+  auto edgeSet = [](const std::vector<int>& order) {
+    std::set<std::pair<int, int>> edges;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const int a = order[i];
+      const int b = order[(i + 1) % order.size()];
+      edges.insert({std::min(a, b), std::max(a, b)});
+    }
+    return edges;
+  };
+
+  // Intersection of all tours' edge sets.
+  std::set<std::pair<int, int>> common = edgeSet(recentTours.front());
+  for (std::size_t t = 1; t < recentTours.size() && !common.empty(); ++t) {
+    const auto edges = edgeSet(recentTours[t]);
+    std::set<std::pair<int, int>> kept;
+    for (const auto& e : common)
+      if (edges.count(e)) kept.insert(e);
+    common = std::move(kept);
+  }
+
+  // A city is protected iff both its edges (in the first tour) are common.
+  std::vector<int> degree(n, 0);
+  for (const auto& [a, b] : common) {
+    ++degree[std::size_t(a)];
+    ++degree[std::size_t(b)];
+  }
+  std::vector<char> mask(n, 0);
+  for (std::size_t c = 0; c < n; ++c) mask[c] = degree[c] >= 2 ? 1 : 0;
+  return mask;
+}
+
+LkStats reducedLinKernighanOptimize(Tour& tour, const CandidateLists& cand,
+                                    const std::vector<char>& protectedCity,
+                                    std::span<const int> extraAnchors,
+                                    const LkOptions& opt) {
+  if (protectedCity.size() != std::size_t(tour.n()))
+    throw std::invalid_argument(
+        "reducedLinKernighanOptimize: mask size mismatch");
+  std::vector<int> anchors;
+  anchors.reserve(protectedCity.size());
+  for (int p = 0; p < tour.n(); ++p) {
+    const int c = tour.at(p);
+    if (!protectedCity[std::size_t(c)]) anchors.push_back(c);
+  }
+  anchors.insert(anchors.end(), extraAnchors.begin(), extraAnchors.end());
+  return linKernighanOptimize(tour, cand, anchors, opt);
+}
+
+}  // namespace distclk

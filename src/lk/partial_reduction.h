@@ -1,0 +1,31 @@
+// Partial reduction (Bachem & Wottawa, §1.3 of the paper): edges that
+// occur on every recent good tour are "protected"; subsequent LK rounds
+// skip anchor cities whose both incident edges are protected, cutting
+// runtime 10-50% at essentially unchanged quality. Implemented as a city
+// mask plus an LK wrapper that seeds only unprotected anchors (the engine's
+// dirty-list entry point does the rest).
+#pragma once
+
+#include <vector>
+
+#include "lk/lin_kernighan.h"
+#include "tsp/tour.h"
+
+namespace distclk {
+
+/// Cities whose BOTH tour edges (w.r.t. the first tour) appear in every
+/// given tour. Requires at least two tours (otherwise everything would be
+/// protected and LK would have nothing to do); the mask is indexed by city.
+std::vector<char> protectedCityMask(
+    const std::vector<std::vector<int>>& recentTours);
+
+/// LK restricted to unprotected anchors plus `extraAnchors` (cities a
+/// perturbation just touched must always be re-examined, protected or
+/// not). Improvements may still move protected cities — their don't-look
+/// bits reset when a neighbor changes; only the initial scan skips them.
+LkStats reducedLinKernighanOptimize(Tour& tour, const CandidateLists& cand,
+                                    const std::vector<char>& protectedCity,
+                                    std::span<const int> extraAnchors = {},
+                                    const LkOptions& opt = {});
+
+}  // namespace distclk

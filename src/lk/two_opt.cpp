@@ -1,0 +1,97 @@
+#include "lk/two_opt.h"
+
+#include <vector>
+
+namespace distclk {
+
+namespace {
+
+/// Tries all candidate 2-opt moves around city a; applies the first
+/// improving one. Returns the (negative) delta or 0.
+std::int64_t improveCity(Tour& tour, const CandidateLists& cand, int a,
+                         std::vector<int>& touched) {
+  const Instance& inst = tour.instance();
+  // Successor direction: remove (a, next(a)) and (b, next(b)).
+  {
+    const int na = tour.next(a);
+    const std::int64_t dA = inst.dist(a, na);
+    for (int b : cand.of(a)) {
+      const std::int64_t dAB = inst.dist(a, b);
+      if (dAB >= dA) break;  // candidates sorted: no gain possible
+      const int nb = tour.next(b);
+      if (b == na || nb == a) continue;
+      const std::int64_t delta =
+          dAB + inst.dist(na, nb) - dA - inst.dist(b, nb);
+      if (delta < 0) {
+        tour.twoOptMove(a, b);
+        touched.assign({a, na, b, nb});
+        return delta;
+      }
+    }
+  }
+  // Predecessor direction: remove (prev(a), a) and (prev(b), b).
+  {
+    const int pa = tour.prev(a);
+    const std::int64_t dA = inst.dist(pa, a);
+    for (int b : cand.of(a)) {
+      const std::int64_t dAB = inst.dist(a, b);
+      if (dAB >= dA) break;
+      const int pb = tour.prev(b);
+      if (b == pa || pb == a) continue;
+      const std::int64_t delta =
+          dAB + inst.dist(pa, pb) - dA - inst.dist(pb, b);
+      if (delta < 0) {
+        // Same move expressed on successor edges of pb and pa.
+        tour.twoOptMove(pb, pa);
+        touched.assign({a, pa, b, pb});
+        return delta;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::int64_t twoOptOptimize(Tour& tour, const CandidateLists& cand) {
+  const int n = tour.n();
+  std::vector<char> inQueue(std::size_t(n), 1);
+  std::vector<int> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) queue.push_back(tour.at(p));
+
+  std::int64_t total = 0;
+  std::vector<int> touched;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const int a = queue[head++];
+    inQueue[std::size_t(a)] = 0;
+    const std::int64_t delta = improveCity(tour, cand, a, touched);
+    if (delta < 0) {
+      total -= delta;
+      // Re-enqueue the endpoints of changed edges AND their candidate
+      // neighbors: a changed partner edge can make a previously-rejected
+      // move improving for a city whose own edges did not change. With
+      // symmetric candidate lists this closes the classical DLB coverage
+      // hole.
+      auto enqueue = [&](int c) {
+        if (!inQueue[std::size_t(c)]) {
+          inQueue[std::size_t(c)] = 1;
+          queue.push_back(c);
+        }
+      };
+      for (int c : touched) {
+        enqueue(c);
+        for (int nb : cand.of(c)) enqueue(nb);
+      }
+    }
+    // Compact the queue occasionally so it cannot grow unboundedly.
+    if (head > queue.size() / 2 && head > 4096) {
+      queue.erase(queue.begin(), queue.begin() + static_cast<long>(head));
+      head = 0;
+    }
+  }
+  return total;
+}
+
+}  // namespace distclk

@@ -1,0 +1,17 @@
+// Candidate-list 2-opt local search with don't-look bits. Serves as a
+// baseline optimizer, a test oracle for the LK engine (LK must never be
+// worse), and the repair step of the multilevel baseline's coarsest level.
+#pragma once
+
+#include <cstdint>
+
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+
+namespace distclk {
+
+/// Runs 2-opt to a local optimum w.r.t. the candidate lists.
+/// Returns the total improvement (>= 0, length units).
+std::int64_t twoOptOptimize(Tour& tour, const CandidateLists& cand);
+
+}  // namespace distclk

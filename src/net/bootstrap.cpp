@@ -1,0 +1,104 @@
+#include "net/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace distclk {
+
+BootstrapHub::BootstrapHub(TopologyKind kind, int expectedNodes)
+    : kind_(kind), expected_(expectedNodes) {
+  if (expectedNodes < 1)
+    throw std::invalid_argument("BootstrapHub: need at least one node");
+}
+
+int BootstrapHub::positionOf(int nodeId) const {
+  for (const auto& [id, pos] : positionOf_)
+    if (id == nodeId) return pos;
+  return -1;
+}
+
+Message BootstrapHub::handleJoin(const Message& request) {
+  if (request.type != MessageType::kJoinRequest)
+    throw std::invalid_argument("BootstrapHub: not a join request");
+  const int nodeId = request.from;
+  if (positionOf(nodeId) != -1)
+    throw std::invalid_argument("BootstrapHub: duplicate join");
+  if (joined() >= expected_)
+    throw std::invalid_argument("BootstrapHub: network full");
+
+  const int position = joined();
+  positionOf_.emplace_back(nodeId, position);
+
+  // Ideal neighbors of the assigned position, filtered to nodes the hub
+  // already knows (their positions are all < position by construction),
+  // translated back to node ids.
+  Message reply;
+  reply.type = MessageType::kNeighborList;
+  reply.from = -1;  // the hub
+  for (int nbrPos : idealTopologyNeighbors(kind_, position, expected_)) {
+    if (nbrPos >= position) continue;  // not joined yet
+    for (const auto& [id, pos] : positionOf_)
+      if (pos == nbrPos) reply.order.push_back(id);
+  }
+  return reply;
+}
+
+Message BootstrapPeer::makeJoinRequest() const {
+  Message msg;
+  msg.type = MessageType::kJoinRequest;
+  msg.from = id_;
+  return msg;
+}
+
+std::vector<Message> BootstrapPeer::handleNeighborList(const Message& reply) {
+  if (reply.type != MessageType::kNeighborList)
+    throw std::invalid_argument("BootstrapPeer: not a neighbor list");
+  std::vector<Message> greetings;
+  for (std::int32_t nbr : reply.order) {
+    if (std::find(neighbors_.begin(), neighbors_.end(), nbr) ==
+        neighbors_.end())
+      neighbors_.push_back(nbr);
+    Message hello;
+    hello.type = MessageType::kHello;
+    hello.from = id_;
+    hello.length = nbr;  // addressee (transports route by this)
+    greetings.push_back(hello);
+  }
+  return greetings;
+}
+
+void BootstrapPeer::handleHello(const Message& hello) {
+  if (hello.type != MessageType::kHello)
+    throw std::invalid_argument("BootstrapPeer: not a hello");
+  // "If the contacted node did not know the contacting node before, the
+  // contacting node is added to the contacted node's neighbor list."
+  if (std::find(neighbors_.begin(), neighbors_.end(), hello.from) ==
+      neighbors_.end())
+    neighbors_.push_back(hello.from);
+}
+
+Adjacency runBootstrap(TopologyKind kind, const std::vector<int>& joinOrder) {
+  const int n = static_cast<int>(joinOrder.size());
+  BootstrapHub hub(kind, n);
+  std::vector<BootstrapPeer> peers;
+  peers.reserve(std::size_t(n));
+  for (int id = 0; id < n; ++id) peers.emplace_back(id);
+
+  for (int nodeId : joinOrder) {
+    if (nodeId < 0 || nodeId >= n)
+      throw std::invalid_argument("runBootstrap: node id out of range");
+    BootstrapPeer& joiner = peers[std::size_t(nodeId)];
+    const Message reply = hub.handleJoin(joiner.makeJoinRequest());
+    for (const Message& hello : joiner.handleNeighborList(reply))
+      peers[std::size_t(hello.length)].handleHello(hello);
+  }
+
+  Adjacency adj(static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    adj[std::size_t(id)] = peers[std::size_t(id)].neighbors();
+    std::sort(adj[std::size_t(id)].begin(), adj[std::size_t(id)].end());
+  }
+  return adj;
+}
+
+}  // namespace distclk

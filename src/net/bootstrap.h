@@ -1,0 +1,67 @@
+// Message-level implementation of the paper's bootstrap protocol (§2.2):
+// nodes contact a dedicated hub which assigns each its position in the
+// structured topology and returns the neighbors it already knows; the
+// joiner then greets those neighbors, which add it back. Once every node
+// has joined, the resulting peer graph equals the ideal topology (a
+// property net/topology's buildViaHub models functionally and tests
+// verify against this protocol run).
+#pragma once
+
+#include <vector>
+
+#include "net/message.h"
+#include "net/topology.h"
+
+namespace distclk {
+
+/// The hub: hands out positions and filtered neighbor lists. Positions are
+/// assigned in join order (the paper's hub "determines the node's position
+/// within the hypercube").
+class BootstrapHub {
+ public:
+  BootstrapHub(TopologyKind kind, int expectedNodes);
+
+  /// Handles one kJoinRequest; returns the kNeighborList reply.
+  /// Throws on duplicate joins or when the network is full.
+  Message handleJoin(const Message& request);
+
+  int joined() const noexcept { return static_cast<int>(positionOf_.size()); }
+  /// Position assigned to a node id (-1 if it has not joined).
+  int positionOf(int nodeId) const;
+
+ private:
+  TopologyKind kind_;
+  int expected_;
+  std::vector<std::pair<int, int>> positionOf_;  // (nodeId, position)
+};
+
+/// A peer's bootstrap state: its own neighbor list, grown from the hub's
+/// reply and incoming kHello greetings.
+class BootstrapPeer {
+ public:
+  explicit BootstrapPeer(int id) : id_(id) {}
+
+  int id() const noexcept { return id_; }
+
+  Message makeJoinRequest() const;
+
+  /// Consumes the hub's kNeighborList; returns the kHello greetings this
+  /// peer must now send (one per listed neighbor).
+  std::vector<Message> handleNeighborList(const Message& reply);
+
+  /// Consumes a kHello from a later joiner.
+  void handleHello(const Message& hello);
+
+  const std::vector<int>& neighbors() const noexcept { return neighbors_; }
+
+ private:
+  int id_;
+  std::vector<int> neighbors_;
+};
+
+/// Convenience: runs the full protocol for `joinOrder` (node ids joining in
+/// that sequence) and returns the final adjacency, which must equal
+/// buildViaHub(kind, ...) with positions equal to join ranks.
+Adjacency runBootstrap(TopologyKind kind, const std::vector<int>& joinOrder);
+
+}  // namespace distclk

@@ -1,0 +1,64 @@
+#include "net/message.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace distclk {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x444c4b31;  // "DLK1"
+
+template <typename T>
+void put(std::vector<std::uint8_t>& buf, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t at = buf.size();
+  buf.resize(at + sizeof(T));
+  std::memcpy(buf.data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T take(const std::vector<std::uint8_t>& buf, std::size_t& at) {
+  if (at + sizeof(T) > buf.size())
+    throw std::runtime_error("Message: truncated buffer");
+  T v;
+  std::memcpy(&v, buf.data() + at, sizeof(T));
+  at += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Message& msg) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(24 + msg.order.size() * sizeof(std::int32_t));
+  put(buf, kMagic);
+  put(buf, static_cast<std::uint8_t>(msg.type));
+  put(buf, msg.from);
+  put(buf, msg.length);
+  put(buf, static_cast<std::uint32_t>(msg.order.size()));
+  for (std::int32_t c : msg.order) put(buf, c);
+  return buf;
+}
+
+Message deserialize(const std::vector<std::uint8_t>& buf) {
+  std::size_t at = 0;
+  if (take<std::uint32_t>(buf, at) != kMagic)
+    throw std::runtime_error("Message: bad magic");
+  Message msg;
+  const auto type = take<std::uint8_t>(buf, at);
+  if (type < static_cast<std::uint8_t>(MessageType::kTour) ||
+      type > static_cast<std::uint8_t>(MessageType::kHello))
+    throw std::runtime_error("Message: unknown type");
+  msg.type = static_cast<MessageType>(type);
+  msg.from = take<std::int32_t>(buf, at);
+  msg.length = take<std::int64_t>(buf, at);
+  const auto count = take<std::uint32_t>(buf, at);
+  msg.order.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    msg.order.push_back(take<std::int32_t>(buf, at));
+  if (at != buf.size()) throw std::runtime_error("Message: trailing bytes");
+  return msg;
+}
+
+}  // namespace distclk

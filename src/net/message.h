@@ -1,0 +1,39 @@
+// Wire-level message model of the P2P layer. The paper's nodes exchange
+// complete tours over TCP; here messages are structured objects plus a
+// compact binary codec (used by the serialization tests and available to
+// anyone embedding the node logic behind a real transport).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace distclk {
+
+enum class MessageType : std::uint8_t {
+  kTour = 1,          ///< a locally improved tour, broadcast to neighbors
+  kOptimumFound = 2,  ///< termination notification (paper criterion 2)
+  // Bootstrap protocol (§2.2): a joiner asks the hub for its neighbor
+  // list, then greets each listed neighbor, which adds it back.
+  kJoinRequest = 3,   ///< node -> hub: request position + neighbor list
+  kNeighborList = 4,  ///< hub -> node: `order` holds the neighbor ids
+  kHello = 5,         ///< joiner -> neighbor: add me to your list
+};
+
+struct Message {
+  MessageType type = MessageType::kTour;
+  std::int32_t from = -1;          ///< sender node id
+  std::int64_t length = 0;         ///< tour length (kTour/kOptimumFound)
+  /// kTour: city order; kNeighborList: neighbor node ids; else empty.
+  std::vector<std::int32_t> order;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// Encodes to a self-describing little-endian byte buffer.
+std::vector<std::uint8_t> serialize(const Message& msg);
+
+/// Decodes a buffer produced by serialize(). Throws std::runtime_error on
+/// truncated or corrupt input.
+Message deserialize(const std::vector<std::uint8_t>& buf);
+
+}  // namespace distclk

@@ -1,0 +1,62 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace distclk {
+
+SimNetwork::SimNetwork(Adjacency adj, double latencySeconds)
+    : adj_(std::move(adj)), latency_(latencySeconds) {
+  if (!isValidTopology(adj_))
+    throw std::invalid_argument("SimNetwork: invalid topology");
+  inbox_.resize(adj_.size());
+  alive_.assign(adj_.size(), 1);
+  stats_.sentByNode.assign(adj_.size(), 0);
+}
+
+void SimNetwork::killNode(int node) { alive_[std::size_t(node)] = 0; }
+
+void SimNetwork::setAlive(int node, bool alive) {
+  alive_[std::size_t(node)] = alive ? 1 : 0;
+}
+
+void SimNetwork::send(int from, int to, double sendTime, const Message& msg) {
+  if (!alive_[std::size_t(from)] || !alive_[std::size_t(to)]) return;
+  inbox_[std::size_t(to)].push_back({sendTime + latency_, seq_++, msg});
+  ++stats_.messagesSent;
+  ++stats_.sentByNode[std::size_t(from)];
+  // 21-byte header + 4 bytes per city, matching net/message's codec.
+  stats_.bytesSent += 21 + static_cast<std::int64_t>(msg.order.size()) * 4;
+}
+
+void SimNetwork::broadcast(int from, double sendTime, const Message& msg) {
+  if (!alive_[std::size_t(from)]) return;
+  ++stats_.broadcasts;
+  for (int to : adj_[std::size_t(from)]) send(from, to, sendTime, msg);
+}
+
+std::vector<Message> SimNetwork::collect(int node, double upTo) {
+  auto& box = inbox_[std::size_t(node)];
+  std::vector<Message> out;
+  std::vector<Pending> ready;
+  for (auto& p : box)
+    if (p.arrival <= upTo) ready.push_back(std::move(p));
+  std::erase_if(box, [&](const Pending& p) { return p.arrival <= upTo; });
+  std::sort(ready.begin(), ready.end(), [](const Pending& a, const Pending& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.seq < b.seq;
+  });
+  out.reserve(ready.size());
+  for (auto& p : ready) out.push_back(std::move(p.msg));
+  return out;
+}
+
+double SimNetwork::nextArrival(int node) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : inbox_[std::size_t(node)])
+    best = std::min(best, p.arrival);
+  return best;
+}
+
+}  // namespace distclk

@@ -1,0 +1,66 @@
+#include "net/thread_network.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace distclk {
+
+void Mailbox::push(Message msg) {
+  {
+    const std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+std::vector<Message> Mailbox::drain() {
+  const std::scoped_lock lock(mu_);
+  std::vector<Message> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+std::vector<Message> Mailbox::waitAndDrain(double timeoutSeconds) {
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, std::chrono::duration<double>(timeoutSeconds),
+               [&] { return !queue_.empty() || interrupted_; });
+  interrupted_ = false;
+  std::vector<Message> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+void Mailbox::interrupt() {
+  {
+    const std::scoped_lock lock(mu_);
+    interrupted_ = true;
+  }
+  cv_.notify_all();
+}
+
+ThreadNetwork::ThreadNetwork(Adjacency adj)
+    : adj_(std::move(adj)), boxes_(adj_.size()) {
+  if (!isValidTopology(adj_))
+    throw std::invalid_argument("ThreadNetwork: invalid topology");
+}
+
+void ThreadNetwork::broadcast(int from, const Message& msg) {
+  for (int to : adj_[std::size_t(from)]) send(to, msg);
+}
+
+void ThreadNetwork::send(int to, const Message& msg) {
+  boxes_[std::size_t(to)].push(msg);
+  const std::scoped_lock lock(statsMu_);
+  ++messagesSent_;
+}
+
+void ThreadNetwork::interruptAll() {
+  for (auto& box : boxes_) box.interrupt();
+}
+
+std::int64_t ThreadNetwork::messagesSent() const noexcept {
+  const std::scoped_lock lock(statsMu_);
+  return messagesSent_;
+}
+
+}  // namespace distclk

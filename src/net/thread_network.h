@@ -1,0 +1,57 @@
+// Concurrent in-process transport: one mailbox per node, real threads as
+// peers. Follows the C++ Core Guidelines concurrency rules — message
+// passing instead of shared mutable state, RAII locks, no detached threads
+// (drivers own std::jthread instances that join on destruction).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "net/message.h"
+#include "net/topology.h"
+
+namespace distclk {
+
+/// MPSC mailbox. push() never blocks; drain() grabs everything available;
+/// waitAndDrain() blocks until a message arrives or the timeout elapses.
+class Mailbox {
+ public:
+  void push(Message msg);
+  std::vector<Message> drain();
+  std::vector<Message> waitAndDrain(double timeoutSeconds);
+  /// Wakes a blocked waitAndDrain() without delivering anything.
+  void interrupt();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool interrupted_ = false;
+};
+
+/// Topology-aware broadcast fabric over mailboxes; thread-safe.
+class ThreadNetwork {
+ public:
+  explicit ThreadNetwork(Adjacency adj);
+
+  int nodes() const noexcept { return static_cast<int>(adj_.size()); }
+  const Adjacency& adjacency() const noexcept { return adj_; }
+  Mailbox& mailbox(int node) { return boxes_[std::size_t(node)]; }
+
+  void broadcast(int from, const Message& msg);
+  void send(int to, const Message& msg);
+  /// Wakes every node blocked on its mailbox (used at shutdown).
+  void interruptAll();
+
+  std::int64_t messagesSent() const noexcept;
+
+ private:
+  Adjacency adj_;
+  std::vector<Mailbox> boxes_;
+  mutable std::mutex statsMu_;
+  std::int64_t messagesSent_ = 0;
+};
+
+}  // namespace distclk

@@ -1,0 +1,153 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace distclk {
+
+const char* toString(TopologyKind k) noexcept {
+  switch (k) {
+    case TopologyKind::kHypercube: return "hypercube";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kComplete: return "complete";
+    case TopologyKind::kStar: return "star";
+  }
+  return "?";
+}
+
+TopologyKind topologyFromString(const std::string& s) {
+  if (s == "hypercube") return TopologyKind::kHypercube;
+  if (s == "ring") return TopologyKind::kRing;
+  if (s == "grid") return TopologyKind::kGrid;
+  if (s == "complete") return TopologyKind::kComplete;
+  if (s == "star") return TopologyKind::kStar;
+  throw std::invalid_argument("unknown topology: " + s);
+}
+
+namespace {
+
+void addEdge(Adjacency& adj, int a, int b) {
+  if (a == b) return;
+  auto& na = adj[std::size_t(a)];
+  if (std::find(na.begin(), na.end(), b) == na.end()) na.push_back(b);
+  auto& nb = adj[std::size_t(b)];
+  if (std::find(nb.begin(), nb.end(), a) == nb.end()) nb.push_back(a);
+}
+
+}  // namespace
+
+std::vector<int> idealTopologyNeighbors(TopologyKind kind, int node, int n) {
+  std::vector<int> nbrs;
+  switch (kind) {
+    case TopologyKind::kHypercube: {
+      int dims = 0;
+      while ((1 << dims) < n) ++dims;
+      for (int b = 0; b < dims; ++b) {
+        const int other = node ^ (1 << b);
+        if (other < n) nbrs.push_back(other);
+      }
+      break;
+    }
+    case TopologyKind::kRing: {
+      if (n > 1) nbrs.push_back((node + 1) % n);
+      if (n > 2) nbrs.push_back((node + n - 1) % n);
+      break;
+    }
+    case TopologyKind::kGrid: {
+      // Most-square factorization rows x cols, rows <= cols.
+      int rows = static_cast<int>(std::sqrt(double(n)));
+      while (rows > 1 && n % rows != 0) --rows;
+      const int cols = n / rows;
+      const int r = node / cols, c = node % cols;
+      if (c + 1 < cols) nbrs.push_back(node + 1);
+      if (c > 0) nbrs.push_back(node - 1);
+      if (r + 1 < rows) nbrs.push_back(node + cols);
+      if (r > 0) nbrs.push_back(node - cols);
+      break;
+    }
+    case TopologyKind::kComplete: {
+      for (int o = 0; o < n; ++o)
+        if (o != node) nbrs.push_back(o);
+      break;
+    }
+    case TopologyKind::kStar: {
+      if (node == 0)
+        for (int o = 1; o < n; ++o) nbrs.push_back(o);
+      else
+        nbrs.push_back(0);
+      break;
+    }
+  }
+  return nbrs;
+}
+
+Adjacency buildTopology(TopologyKind kind, int n) {
+  if (n < 1) throw std::invalid_argument("buildTopology: n must be >= 1");
+  Adjacency adj(static_cast<std::size_t>(n));
+  for (int node = 0; node < n; ++node)
+    for (int o : idealTopologyNeighbors(kind, node, n)) addEdge(adj, node, o);
+  for (auto& l : adj) std::sort(l.begin(), l.end());
+  return adj;
+}
+
+Adjacency buildViaHub(TopologyKind kind, const std::vector<int>& joinOrder) {
+  const int n = static_cast<int>(joinOrder.size());
+  Adjacency adj(static_cast<std::size_t>(n));
+  std::vector<bool> joined(static_cast<std::size_t>(n), false);
+  for (int idx = 0; idx < n; ++idx) {
+    const int node = joinOrder[std::size_t(idx)];
+    if (node < 0 || node >= n || joined[std::size_t(node)])
+      throw std::invalid_argument("buildViaHub: joinOrder not a permutation");
+    // Hub: position = node id; neighbor list filtered to joined nodes.
+    for (int o : idealTopologyNeighbors(kind, node, n)) {
+      if (!joined[std::size_t(o)]) continue;
+      // Joiner contacts o; o did not know the joiner and adds it back.
+      addEdge(adj, node, o);
+    }
+    joined[std::size_t(node)] = true;
+  }
+  for (auto& l : adj) std::sort(l.begin(), l.end());
+  return adj;
+}
+
+bool isValidTopology(const Adjacency& adj) {
+  const int n = static_cast<int>(adj.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b : adj[std::size_t(a)]) {
+      if (b < 0 || b >= n || b == a) return false;
+      const auto& nb = adj[std::size_t(b)];
+      if (std::find(nb.begin(), nb.end(), a) == nb.end()) return false;
+    }
+  }
+  return n <= 1 || diameter(adj) >= 0;
+}
+
+int diameter(const Adjacency& adj) {
+  const int n = static_cast<int>(adj.size());
+  int best = 0;
+  std::vector<int> dist(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::deque<int> queue{s};
+    dist[std::size_t(s)] = 0;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (int v : adj[std::size_t(u)]) {
+        if (dist[std::size_t(v)] != -1) continue;
+        dist[std::size_t(v)] = dist[std::size_t(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      if (dist[std::size_t(v)] == -1) return -1;
+      best = std::max(best, dist[std::size_t(v)]);
+    }
+  }
+  return best;
+}
+
+}  // namespace distclk

@@ -1,0 +1,45 @@
+// Network topologies and the hub bootstrap protocol. The paper arranges
+// eight nodes in a hypercube whose neighbor lists are handed out by a
+// central hub as nodes join one by one (§2.2); nodes then contact their
+// neighbors, which add the newcomer back, so the final graph is the
+// symmetric closure of the hub's incremental assignments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace distclk {
+
+/// Adjacency lists; adjacency[i] holds the neighbor ids of node i.
+using Adjacency = std::vector<std::vector<int>>;
+
+enum class TopologyKind { kHypercube, kRing, kGrid, kComplete, kStar };
+
+const char* toString(TopologyKind k) noexcept;
+TopologyKind topologyFromString(const std::string& s);
+
+/// Builds the ideal (fully joined) topology over n nodes. For kHypercube a
+/// partial cube is produced when n is not a power of two (edges to missing
+/// corners are dropped). kGrid uses the most-square factorization of n.
+Adjacency buildTopology(TopologyKind kind, int n);
+
+/// Ideal neighbor positions of one position in a topology of n positions
+/// (directed view; buildTopology is its symmetric closure). Exposed for
+/// the bootstrap hub, which filters it to already-joined positions.
+std::vector<int> idealTopologyNeighbors(TopologyKind kind, int position,
+                                        int n);
+
+/// Simulates the paper's bootstrap: nodes join in the order given; the hub
+/// assigns the next free position and returns only already-joined
+/// neighbors; the joiner then contacts those neighbors, which add it back.
+/// The result equals buildTopology() once everyone has joined — this
+/// function exists so tests can verify exactly that property.
+Adjacency buildViaHub(TopologyKind kind, const std::vector<int>& joinOrder);
+
+/// True iff the adjacency is symmetric, self-loop-free and connected.
+bool isValidTopology(const Adjacency& adj);
+
+/// Graph diameter via BFS from every node (-1 when disconnected).
+int diameter(const Adjacency& adj);
+
+}  // namespace distclk

@@ -1,0 +1,43 @@
+#include "tsp/big_tour.h"
+
+#include <numeric>
+
+namespace distclk {
+
+namespace {
+std::vector<int> identityOrder(int n) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+}  // namespace
+
+BigTour::BigTour(const Instance& inst)
+    : BigTour(inst, identityOrder(inst.n())) {}
+
+BigTour::BigTour(const Instance& inst, std::vector<int> order)
+    : inst_(&inst), list_(order) {
+  length_ = inst.tourLength(order);
+}
+
+void BigTour::reverseForward(int a, int b) {
+  if (a == b) return;
+  const int before = list_.prev(a);
+  const int after = list_.next(b);
+  if (after == a) {
+    // Whole-cycle reversal: the edge set (and hence the length) is
+    // unchanged; only the traversal direction flips.
+    list_.reverse(a, b);
+    return;
+  }
+  length_ += inst_->dist(before, b) + inst_->dist(a, after) -
+             inst_->dist(before, a) - inst_->dist(b, after);
+  list_.reverse(a, b);
+}
+
+bool BigTour::valid() const {
+  if (!list_.valid()) return false;
+  return length_ == inst_->tourLength(list_.order(0));
+}
+
+}  // namespace distclk

@@ -1,0 +1,57 @@
+// Large-instance tour: the TwoLevelList segment structure bound to an
+// instance with incremental length bookkeeping. Exposes the same local-
+// search surface as the array Tour (next/prev/length/reverseForward), so
+// the LK engine runs on either; reversals cost O(sqrt(n)) instead of the
+// array's O(shorter arc), which is what makes pla85900-class instances
+// workable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsp/instance.h"
+#include "tsp/twolevel.h"
+
+namespace distclk {
+
+class BigTour {
+ public:
+  explicit BigTour(const Instance& inst);
+  BigTour(const Instance& inst, std::vector<int> order);
+
+  const Instance& instance() const noexcept { return *inst_; }
+  int n() const noexcept { return list_.n(); }
+
+  int next(int c) const noexcept { return list_.next(c); }
+  int prev(int c) const noexcept { return list_.prev(c); }
+  bool between(int a, int b, int c) const { return list_.between(a, b, c); }
+
+  std::int64_t length() const noexcept { return length_; }
+  std::vector<int> orderVector() const { return list_.order(0); }
+
+  /// Reverses the forward path a..b, updating the cached length.
+  void reverseForward(int a, int b);
+
+  /// Invertible flip for LK chain rewinding: the segment list reverses the
+  /// addressed span explicitly (no complement trick), so the inverse of
+  /// reverseForward(a, b) is exactly reverseForward(b, a).
+  using FlipToken = std::pair<int, int>;
+  FlipToken flipForward(int a, int b) {
+    reverseForward(a, b);
+    return {b, a};
+  }
+  void unflip(const FlipToken& token) {
+    reverseForward(token.first, token.second);
+  }
+
+  /// O(n) invariant check (structure valid, cached length exact).
+  bool valid() const;
+
+ private:
+  const Instance* inst_;
+  TwoLevelList list_;
+  std::int64_t length_ = 0;
+};
+
+}  // namespace distclk

@@ -1,0 +1,156 @@
+#include "tsp/gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace distclk {
+
+namespace {
+double clampTo(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+}  // namespace
+
+Instance uniformSquare(std::string name, int n, std::uint64_t seed,
+                       double side) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  Instance inst(std::move(name), std::move(pts));
+  inst.setComment("synthetic uniform square, seed=" + std::to_string(seed));
+  return inst;
+}
+
+Instance clustered(std::string name, int n, int clusters, std::uint64_t seed,
+                   double side, double sigma) {
+  Rng rng(seed);
+  if (sigma <= 0.0) sigma = side / (clusters * 5.0);
+  std::vector<Point> centers;
+  centers.reserve(static_cast<std::size_t>(clusters));
+  for (int c = 0; c < clusters; ++c)
+    centers.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Point& c = centers[rng.below(std::uint64_t(clusters))];
+    pts.push_back({clampTo(c.x + sigma * rng.normal(), 0.0, side),
+                   clampTo(c.y + sigma * rng.normal(), 0.0, side)});
+  }
+  Instance inst(std::move(name), std::move(pts));
+  inst.setComment("synthetic clustered (" + std::to_string(clusters) +
+                  " centers), seed=" + std::to_string(seed));
+  return inst;
+}
+
+Instance drillPlate(std::string name, int n, std::uint64_t seed, double side) {
+  Rng rng(seed);
+  // Blocks of drill holes on a coarse grid. Each block is a small, very
+  // dense rectangular raster (holes a few units apart on a plate of ~1e6),
+  // which is what makes fl-type instances trap local search: inside a block
+  // almost all permutations cost the same, so kicks rarely change length.
+  const int blocks = std::max(4, n / 120);
+  const int gridDim = static_cast<int>(std::ceil(std::sqrt(blocks)));
+  const double cell = side / gridDim;
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  const int perBlock = (n * 9) / (blocks * 10);  // ~90% of points in blocks
+  for (int b = 0; b < blocks && static_cast<int>(pts.size()) < n; ++b) {
+    const double bx = (b % gridDim) * cell + cell * rng.uniform(0.15, 0.45);
+    const double by = (b / gridDim) * cell + cell * rng.uniform(0.15, 0.45);
+    const int rows = 2 + static_cast<int>(rng.below(4));
+    const int holes = std::max(4, perBlock);
+    const int cols = (holes + rows - 1) / rows;
+    const double pitch = cell * 0.02;
+    for (int h = 0; h < holes && static_cast<int>(pts.size()) < n; ++h) {
+      const int r = h / cols, cidx = h % cols;
+      pts.push_back({clampTo(bx + cidx * pitch, 0.0, side),
+                     clampTo(by + r * pitch, 0.0, side)});
+    }
+  }
+  while (static_cast<int>(pts.size()) < n)  // sparse connecting holes
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  Instance inst(std::move(name), std::move(pts));
+  inst.setComment("synthetic drill plate, seed=" + std::to_string(seed));
+  return inst;
+}
+
+Instance perforatedGrid(std::string name, int n, std::uint64_t seed,
+                        double side) {
+  Rng rng(seed);
+  const int dim = static_cast<int>(std::ceil(std::sqrt(n * 1.3)));
+  const double pitch = side / dim;
+  // Cut out a few rectangular regions (component keep-outs on a board).
+  struct Rect { double x0, y0, x1, y1; };
+  std::vector<Rect> holes;
+  const int nHoles = 3 + static_cast<int>(rng.below(4));
+  for (int h = 0; h < nHoles; ++h) {
+    const double w = side * rng.uniform(0.08, 0.2);
+    const double ht = side * rng.uniform(0.08, 0.2);
+    const double x0 = rng.uniform(0.0, side - w);
+    const double y0 = rng.uniform(0.0, side - ht);
+    holes.push_back({x0, y0, x0 + w, y0 + ht});
+  }
+  auto inHole = [&](double x, double y) {
+    return std::any_of(holes.begin(), holes.end(), [&](const Rect& r) {
+      return x >= r.x0 && x <= r.x1 && y >= r.y0 && y <= r.y1;
+    });
+  };
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int gy = 0; gy < dim && static_cast<int>(pts.size()) < n; ++gy) {
+    for (int gx = 0; gx < dim && static_cast<int>(pts.size()) < n; ++gx) {
+      const double x = (gx + rng.uniform(0.2, 0.8)) * pitch;
+      const double y = (gy + rng.uniform(0.2, 0.8)) * pitch;
+      if (!inHole(x, y)) pts.push_back({x, y});
+    }
+  }
+  while (static_cast<int>(pts.size()) < n) {
+    const double x = rng.uniform(0.0, side), y = rng.uniform(0.0, side);
+    if (!inHole(x, y)) pts.push_back({x, y});
+  }
+  Instance inst(std::move(name), std::move(pts));
+  inst.setComment("synthetic perforated grid, seed=" + std::to_string(seed));
+  return inst;
+}
+
+Instance roadNetwork(std::string name, int n, std::uint64_t seed,
+                     double side) {
+  Rng rng(seed);
+  const int towns = std::max(8, n / 60);
+  struct Town { Point center; double weight; double spread; };
+  std::vector<Town> ts;
+  ts.reserve(static_cast<std::size_t>(towns));
+  double totalWeight = 0.0;
+  for (int t = 0; t < towns; ++t) {
+    // Zipf-ish town sizes: a few big cities, many villages.
+    const double w = 1.0 / std::pow(double(t + 1), 0.8);
+    totalWeight += w;
+    ts.push_back({{rng.uniform(0.0, side), rng.uniform(0.0, side)},
+                  w,
+                  side * rng.uniform(0.004, 0.03)});
+  }
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  while (static_cast<int>(pts.size()) < n) {
+    double pick = rng.uniform(0.0, totalWeight);
+    std::size_t t = 0;
+    while (t + 1 < ts.size() && pick > ts[t].weight) {
+      pick -= ts[t].weight;
+      ++t;
+    }
+    const Town& town = ts[t];
+    pts.push_back(
+        {clampTo(town.center.x + town.spread * rng.normal(), 0.0, side),
+         clampTo(town.center.y + town.spread * rng.normal(), 0.0, side)});
+  }
+  Instance inst(std::move(name), std::move(pts));
+  inst.setComment("synthetic road network, seed=" + std::to_string(seed));
+  return inst;
+}
+
+}  // namespace distclk

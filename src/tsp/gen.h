@@ -1,0 +1,44 @@
+// Synthetic instance generators. TSPLIB files are not shipped, so the
+// experiment harness builds seeded stand-ins from the same structural
+// families as the paper's testbed (see DESIGN.md "Substitutions"):
+//   * uniformSquare    — DIMACS E-family (E1k.1): uniform in a square
+//   * clustered        — DIMACS C-family (C1k.1): normal around k centers
+//   * drillPlate       — fl-family: dense hole clusters on a plate
+//   * perforatedGrid   — pr/pcb-family: jittered grid with cut-outs
+//   * roadNetwork      — national TSPs (fi/sw/usa/fnl): hierarchical towns
+// All generators are deterministic in (n, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tsp/instance.h"
+
+namespace distclk {
+
+/// n cities uniform in [0, side]^2 (DIMACS random-uniform recipe).
+Instance uniformSquare(std::string name, int n, std::uint64_t seed,
+                       double side = 1e6);
+
+/// n cities normally distributed around `clusters` uniform centers with
+/// standard deviation `sigma` (DIMACS random-clustered recipe uses
+/// clusters=10).
+Instance clustered(std::string name, int n, int clusters, std::uint64_t seed,
+                   double side = 1e6, double sigma = 0.0);
+
+/// Drilling-plate layout: most holes sit in tight blocks laid out on a
+/// coarse grid (circuit-board drill patterns), a minority trace connecting
+/// rows. Mimics the pathological clustering of TSPLIB's fl* instances.
+Instance drillPlate(std::string name, int n, std::uint64_t seed,
+                    double side = 1e6);
+
+/// Jittered regular grid with rectangular cut-outs (pr/pcb-style).
+Instance perforatedGrid(std::string name, int n, std::uint64_t seed,
+                        double side = 1e6);
+
+/// Hierarchical town model: town centers uniform, power-law town sizes,
+/// Gaussian spread per town — the structure of national road-net TSPs.
+Instance roadNetwork(std::string name, int n, std::uint64_t seed,
+                     double side = 1e6);
+
+}  // namespace distclk

@@ -1,0 +1,99 @@
+#include "tsp/instance.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace distclk {
+
+const char* toString(EdgeWeightType t) noexcept {
+  switch (t) {
+    case EdgeWeightType::kEuc2D: return "EUC_2D";
+    case EdgeWeightType::kCeil2D: return "CEIL_2D";
+    case EdgeWeightType::kAtt: return "ATT";
+    case EdgeWeightType::kGeo: return "GEO";
+    case EdgeWeightType::kMan2D: return "MAN_2D";
+    case EdgeWeightType::kMax2D: return "MAX_2D";
+    case EdgeWeightType::kExplicit: return "EXPLICIT";
+  }
+  return "?";
+}
+
+Instance::Instance(std::string name, std::vector<Point> pts,
+                   EdgeWeightType type)
+    : name_(std::move(name)), n_(pts.size()), type_(type),
+      pts_(std::move(pts)) {
+  if (n_ < 3) throw std::invalid_argument("Instance: need at least 3 cities");
+  if (type_ == EdgeWeightType::kExplicit)
+    throw std::invalid_argument("Instance: explicit type needs a matrix");
+}
+
+Instance::Instance(std::string name, int n, std::vector<std::int64_t> matrix)
+    : name_(std::move(name)), n_(static_cast<std::size_t>(n)),
+      type_(EdgeWeightType::kExplicit), matrix_(std::move(matrix)) {
+  if (n < 3) throw std::invalid_argument("Instance: need at least 3 cities");
+  if (matrix_.size() != n_ * n_)
+    throw std::invalid_argument("Instance: matrix size != n*n");
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i + 1; j < n_; ++j)
+      if (matrix_[i * n_ + j] != matrix_[j * n_ + i])
+        throw std::invalid_argument("Instance: asymmetric matrix");
+}
+
+namespace {
+
+// TSPLIB GEO conversion: coordinate DDD.MM (degrees.minutes) to radians.
+double geoRadians(double coord) noexcept {
+  const double deg = std::trunc(coord);
+  const double min = coord - deg;
+  constexpr double kPi = 3.141592;  // TSPLIB mandates this value of pi
+  return kPi * (deg + 5.0 * min / 3.0) / 180.0;
+}
+
+}  // namespace
+
+std::int64_t Instance::geomDist(int i, int j) const noexcept {
+  const Point& a = pts_[std::size_t(i)];
+  const Point& b = pts_[std::size_t(j)];
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  switch (type_) {
+    case EdgeWeightType::kEuc2D:
+      return std::llround(std::sqrt(dx * dx + dy * dy));
+    case EdgeWeightType::kCeil2D:
+      return static_cast<std::int64_t>(std::ceil(std::sqrt(dx * dx + dy * dy)));
+    case EdgeWeightType::kAtt: {
+      const double r = std::sqrt((dx * dx + dy * dy) / 10.0);
+      const auto t = std::llround(r);
+      return static_cast<double>(t) < r ? t + 1 : t;
+    }
+    case EdgeWeightType::kGeo: {
+      constexpr double kRadius = 6378.388;  // TSPLIB Earth radius
+      const double latA = geoRadians(a.x), lonA = geoRadians(a.y);
+      const double latB = geoRadians(b.x), lonB = geoRadians(b.y);
+      const double q1 = std::cos(lonA - lonB);
+      const double q2 = std::cos(latA - latB);
+      const double q3 = std::cos(latA + latB);
+      return static_cast<std::int64_t>(
+          kRadius * std::acos(0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3)) +
+          1.0);
+    }
+    case EdgeWeightType::kMan2D:
+      return std::llround(std::abs(dx) + std::abs(dy));
+    case EdgeWeightType::kMax2D:
+      return std::max<std::int64_t>(std::llround(std::abs(dx)),
+                                    std::llround(std::abs(dy)));
+    case EdgeWeightType::kExplicit:
+      break;  // handled by dist()
+  }
+  return 0;
+}
+
+std::int64_t Instance::tourLength(std::span<const int> order) const noexcept {
+  if (order.size() < 2) return 0;
+  std::int64_t total = dist(order.back(), order.front());
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    total += dist(order[i], order[i + 1]);
+  return total;
+}
+
+}  // namespace distclk

@@ -1,0 +1,73 @@
+// TSP instance model: city coordinates plus a TSPLIB-conformant integral
+// distance function. All costs in the library are int64 (TSPLIB rounds
+// distances to integers), which keeps tour lengths exact and comparable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace distclk {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Distance semantics, mirroring the TSPLIB EDGE_WEIGHT_TYPE keywords.
+enum class EdgeWeightType {
+  kEuc2D,    ///< round(sqrt(dx^2+dy^2)) — most TSPLIB instances
+  kCeil2D,   ///< ceil(sqrt(dx^2+dy^2)) — e.g. the pla* instances
+  kAtt,      ///< pseudo-Euclidean "ATT" metric (att48/att532)
+  kGeo,      ///< geographical distance from latitude/longitude
+  kMan2D,    ///< Manhattan distance
+  kMax2D,    ///< Chebyshev distance
+  kExplicit  ///< full distance matrix supplied
+};
+
+const char* toString(EdgeWeightType t) noexcept;
+
+/// Immutable TSP instance. For kExplicit a full n*n matrix is stored;
+/// all other types compute from coordinates on the fly.
+class Instance {
+ public:
+  /// Geometric instance.
+  Instance(std::string name, std::vector<Point> pts,
+           EdgeWeightType type = EdgeWeightType::kEuc2D);
+
+  /// Explicit-matrix instance; matrix is row-major n*n and must be symmetric.
+  Instance(std::string name, int n, std::vector<std::int64_t> matrix);
+
+  const std::string& name() const noexcept { return name_; }
+  void setComment(std::string c) { comment_ = std::move(c); }
+  const std::string& comment() const noexcept { return comment_; }
+
+  int n() const noexcept { return static_cast<int>(n_); }
+  EdgeWeightType weightType() const noexcept { return type_; }
+  bool hasCoords() const noexcept { return !pts_.empty(); }
+  const Point& point(int i) const noexcept { return pts_[std::size_t(i)]; }
+  std::span<const Point> points() const noexcept { return pts_; }
+
+  /// Integral, symmetric distance between cities i and j.
+  std::int64_t dist(int i, int j) const noexcept {
+    if (type_ == EdgeWeightType::kExplicit)
+      return matrix_[std::size_t(i) * n_ + std::size_t(j)];
+    return geomDist(i, j);
+  }
+
+  /// Total length of a city permutation (closing edge included).
+  std::int64_t tourLength(std::span<const int> order) const noexcept;
+
+ private:
+  std::int64_t geomDist(int i, int j) const noexcept;
+
+  std::string name_;
+  std::string comment_;
+  std::size_t n_;
+  EdgeWeightType type_;
+  std::vector<Point> pts_;
+  std::vector<std::int64_t> matrix_;  // only for kExplicit
+};
+
+}  // namespace distclk

@@ -1,0 +1,195 @@
+#include "tsp/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace distclk {
+
+KdTree::KdTree(std::span<const Point> pts) : pts_(pts) {
+  order_.resize(pts_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  leafOf_.resize(pts_.size(), -1);
+  active_.assign(pts_.size(), 1);
+  activeCount_ = static_cast<int>(pts_.size());
+  nodes_.reserve(2 * pts_.size() / kLeafSize + 4);
+  if (!pts_.empty()) build(0, static_cast<int>(pts_.size()));
+  posInOrder_.resize(pts_.size());
+  for (std::size_t p = 0; p < order_.size(); ++p)
+    posInOrder_[std::size_t(order_[p])] = static_cast<int>(p);
+}
+
+int KdTree::build(int begin, int end) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& nd = nodes_.back();
+    nd.begin = begin;
+    nd.end = end;
+    nd.activeInSubtree = end - begin;
+    nd.xmin = nd.ymin = std::numeric_limits<double>::infinity();
+    nd.xmax = nd.ymax = -std::numeric_limits<double>::infinity();
+    for (int i = begin; i < end; ++i) {
+      const Point& p = pts_[std::size_t(order_[std::size_t(i)])];
+      nd.xmin = std::min(nd.xmin, p.x);
+      nd.xmax = std::max(nd.xmax, p.x);
+      nd.ymin = std::min(nd.ymin, p.y);
+      nd.ymax = std::max(nd.ymax, p.y);
+    }
+  }
+  if (end - begin <= kLeafSize) {
+    for (int i = begin; i < end; ++i)
+      leafOf_[std::size_t(order_[std::size_t(i)])] = id;
+    return id;
+  }
+  const int dim = (nodes_[std::size_t(id)].xmax - nodes_[std::size_t(id)].xmin >=
+                   nodes_[std::size_t(id)].ymax - nodes_[std::size_t(id)].ymin)
+                      ? 0
+                      : 1;
+  const int mid = (begin + end) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](int a, int b) {
+                     const Point& pa = pts_[std::size_t(a)];
+                     const Point& pb = pts_[std::size_t(b)];
+                     return dim == 0 ? pa.x < pb.x : pa.y < pb.y;
+                   });
+  const Point& mp = pts_[std::size_t(order_[std::size_t(mid)])];
+  // Children may reallocate nodes_, so write fields through the index.
+  const int left = build(begin, mid);
+  const int right = build(mid, end);
+  Node& nd = nodes_[std::size_t(id)];
+  nd.splitDim = dim;
+  nd.splitVal = dim == 0 ? mp.x : mp.y;
+  nd.left = left;
+  nd.right = right;
+  return id;
+}
+
+double KdTree::boxDist2(const Node& nd, const Point& p) const noexcept {
+  const double dx = p.x < nd.xmin ? nd.xmin - p.x
+                                  : (p.x > nd.xmax ? p.x - nd.xmax : 0.0);
+  const double dy = p.y < nd.ymin ? nd.ymin - p.y
+                                  : (p.y > nd.ymax ? p.y - nd.ymax : 0.0);
+  return dx * dx + dy * dy;
+}
+
+// Generic branch-and-bound traversal. `visit(pointIndex, dist2)` may lower
+// `bound` (squared radius of interest); subtrees farther than `bound` prune.
+template <typename Visit>
+void KdTree::search(int node, const Point& p, double& bound,
+                    Visit&& visit) const {
+  const Node& nd = nodes_[std::size_t(node)];
+  if (nd.splitDim < 0) {
+    for (int i = nd.begin; i < nd.end; ++i) {
+      const int idx = order_[std::size_t(i)];
+      const Point& q = pts_[std::size_t(idx)];
+      const double d2 = sq(p.x - q.x) + sq(p.y - q.y);
+      if (d2 <= bound) visit(idx, d2);
+    }
+    return;
+  }
+  const int first =
+      ((nd.splitDim == 0 ? p.x : p.y) < nd.splitVal) ? nd.left : nd.right;
+  const int second = first == nd.left ? nd.right : nd.left;
+  if (boxDist2(nodes_[std::size_t(first)], p) <= bound)
+    search(first, p, bound, visit);
+  if (boxDist2(nodes_[std::size_t(second)], p) <= bound)
+    search(second, p, bound, visit);
+}
+
+std::vector<int> KdTree::knn(const Point& loc, int k) const {
+  k = std::min<int>(k, static_cast<int>(pts_.size()));
+  if (k <= 0) return {};
+  // Max-heap of the best k candidates seen so far.
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry> heap;
+  double bound = std::numeric_limits<double>::infinity();
+  search(0, loc, bound, [&](int idx, double d2) {
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace(d2, idx);
+      if (static_cast<int>(heap.size()) == k) bound = heap.top().first;
+    } else if (d2 < heap.top().first) {
+      heap.pop();
+      heap.emplace(d2, idx);
+      bound = heap.top().first;
+    }
+  });
+  std::vector<int> out(heap.size());
+  for (auto it = out.rbegin(); it != out.rend(); ++it) {
+    *it = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<int> KdTree::knn(int query, int k) const {
+  // Ask for one extra and drop the query point itself.
+  auto res = knn(pts_[std::size_t(query)], k + 1);
+  std::erase(res, query);
+  if (static_cast<int>(res.size()) > k) res.resize(static_cast<std::size_t>(k));
+  return res;
+}
+
+void KdTree::deactivate(int i) {
+  if (!active_[std::size_t(i)]) return;
+  active_[std::size_t(i)] = 0;
+  --activeCount_;
+  // Descend from the root to the point's leaf by positional containment
+  // (order_ is fixed after build; node ranges partition it exactly),
+  // decrementing the active count along the way.
+  const int p = posInOrder_[std::size_t(i)];
+  int node = 0;
+  while (true) {
+    Node& nd = nodes_[std::size_t(node)];
+    --nd.activeInSubtree;
+    if (nd.splitDim < 0) break;
+    const Node& lc = nodes_[std::size_t(nd.left)];
+    node = (p < lc.end) ? nd.left : nd.right;
+  }
+}
+
+void KdTree::reactivateAll() {
+  std::fill(active_.begin(), active_.end(), 1);
+  activeCount_ = static_cast<int>(pts_.size());
+  for (auto& nd : nodes_) nd.activeInSubtree = nd.end - nd.begin;
+}
+
+int KdTree::nearestActive(const Point& p, int exclude) const {
+  if (activeCount_ == 0) return -1;
+  double bound = std::numeric_limits<double>::infinity();
+  int best = -1;
+  // Custom traversal that prunes fully-deactivated subtrees.
+  struct Frame { int node; };
+  std::vector<Frame> stack;
+  stack.push_back({0});
+  while (!stack.empty()) {
+    const int node = stack.back().node;
+    stack.pop_back();
+    const Node& nd = nodes_[std::size_t(node)];
+    if (nd.activeInSubtree == 0 || boxDist2(nd, p) > bound) continue;
+    if (nd.splitDim < 0) {
+      for (int i = nd.begin; i < nd.end; ++i) {
+        const int idx = order_[std::size_t(i)];
+        if (!active_[std::size_t(idx)] || idx == exclude) continue;
+        const Point& q = pts_[std::size_t(idx)];
+        const double d2 = sq(p.x - q.x) + sq(p.y - q.y);
+        if (d2 < bound || (d2 == bound && (best == -1 || idx < best))) {
+          bound = d2;
+          best = idx;
+        }
+      }
+      continue;
+    }
+    const int first =
+        ((nd.splitDim == 0 ? p.x : p.y) < nd.splitVal) ? nd.left : nd.right;
+    const int second = first == nd.left ? nd.right : nd.left;
+    // Push the farther child first so the nearer one is explored next.
+    stack.push_back({second});
+    stack.push_back({first});
+  }
+  return best;
+}
+
+}  // namespace distclk

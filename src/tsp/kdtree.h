@@ -1,0 +1,67 @@
+// Static 2-d tree over instance coordinates. Supports k-nearest-neighbor
+// queries (candidate-list construction) and nearest-active queries with
+// deactivation (greedy construction heuristics such as nearest-neighbor and
+// Quick-Borůvka consume cities one by one).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsp/instance.h"
+
+namespace distclk {
+
+class KdTree {
+ public:
+  /// Builds a balanced tree over `pts` (copied indices only; the caller
+  /// keeps ownership of the coordinates, which must outlive the tree).
+  explicit KdTree(std::span<const Point> pts);
+
+  int size() const noexcept { return static_cast<int>(pts_.size()); }
+
+  /// Indices of the k nearest points to pts[query], excluding query itself,
+  /// ordered by increasing Euclidean distance. Ignores active flags.
+  std::vector<int> knn(int query, int k) const;
+
+  /// Indices of the k nearest points to an arbitrary location.
+  std::vector<int> knn(const Point& loc, int k) const;
+
+  /// Deactivates a point (it will no longer be returned by nearestActive).
+  void deactivate(int i);
+  /// Re-activates every point.
+  void reactivateAll();
+  bool isActive(int i) const noexcept { return active_[std::size_t(i)]; }
+  int activeCount() const noexcept { return activeCount_; }
+
+  /// Nearest active point to `p`, excluding index `exclude` (-1 for none).
+  /// Returns -1 when no active point qualifies.
+  int nearestActive(const Point& p, int exclude = -1) const;
+
+ private:
+  struct Node {
+    int begin = 0, end = 0;      // range in order_
+    int splitDim = -1;           // -1 for leaf
+    double splitVal = 0.0;
+    int left = -1, right = -1;   // children node ids
+    int activeInSubtree = 0;
+    double xmin = 0, xmax = 0, ymin = 0, ymax = 0;  // bounding box
+  };
+
+  int build(int begin, int end);
+  template <typename Visit>
+  void search(int node, const Point& p, double& bound, Visit&& visit) const;
+  static double sq(double v) noexcept { return v * v; }
+  double boxDist2(const Node& nd, const Point& p) const noexcept;
+
+  std::span<const Point> pts_;
+  std::vector<int> order_;       // point indices, partitioned by the tree
+  std::vector<int> posInOrder_;  // point index -> its slot in order_
+  std::vector<int> leafOf_;      // point index -> node id of its leaf
+  std::vector<Node> nodes_;
+  std::vector<char> active_;
+  int activeCount_ = 0;
+  static constexpr int kLeafSize = 16;
+};
+
+}  // namespace distclk

@@ -1,0 +1,79 @@
+#include "tsp/metrics.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace distclk {
+
+namespace {
+
+std::set<std::pair<int, int>> edgeSet(std::span<const int> order) {
+  std::set<std::pair<int, int>> edges;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int a = order[i];
+    const int b = order[(i + 1) % order.size()];
+    edges.insert({std::min(a, b), std::max(a, b)});
+  }
+  return edges;
+}
+
+}  // namespace
+
+int sharedEdges(std::span<const int> a, std::span<const int> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("sharedEdges: tours of different size");
+  const auto ea = edgeSet(a);
+  const auto eb = edgeSet(b);
+  int shared = 0;
+  for (const auto& e : ea) shared += eb.count(e) > 0;
+  return shared;
+}
+
+double bondSimilarity(std::span<const int> a, std::span<const int> b) {
+  if (a.empty()) return 1.0;
+  return static_cast<double>(sharedEdges(a, b)) / static_cast<double>(a.size());
+}
+
+int unionEdgeCount(const std::vector<std::vector<int>>& tours) {
+  std::set<std::pair<int, int>> all;
+  for (const auto& t : tours) {
+    const auto edges = edgeSet(t);
+    all.insert(edges.begin(), edges.end());
+  }
+  return static_cast<int>(all.size());
+}
+
+double populationDiversity(const std::vector<std::vector<int>>& tours) {
+  if (tours.size() < 2) return 1.0;
+  RunningStats sim;
+  for (std::size_t i = 0; i < tours.size(); ++i)
+    for (std::size_t j = i + 1; j < tours.size(); ++j)
+      sim.add(bondSimilarity(tours[i], tours[j]));
+  return sim.mean();
+}
+
+EdgeLengthProfile edgeLengthProfile(const Instance& inst,
+                                    std::span<const int> order) {
+  EdgeLengthProfile profile;
+  if (order.size() < 2) return profile;
+  std::vector<double> lengths;
+  lengths.reserve(order.size());
+  RunningStats stats;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto d =
+        inst.dist(order[i], order[(i + 1) % order.size()]);
+    lengths.push_back(static_cast<double>(d));
+    stats.add(static_cast<double>(d));
+  }
+  profile.min = static_cast<std::int64_t>(stats.min());
+  profile.max = static_cast<std::int64_t>(stats.max());
+  profile.mean = stats.mean();
+  profile.p50 = median(lengths);
+  profile.p95 = quantile(lengths, 0.95);
+  return profile;
+}
+
+}  // namespace distclk

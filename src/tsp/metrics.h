@@ -1,0 +1,40 @@
+// Tour comparison metrics. The distributed EA works because nodes explore
+// *different* basins and exchange only winners; these metrics quantify
+// that: shared-edge counts (bond similarity), the union-graph size that
+// tour merging exploits, and edge-length profiles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsp/instance.h"
+
+namespace distclk {
+
+/// Number of undirected edges the two tours share (0..n).
+int sharedEdges(std::span<const int> a, std::span<const int> b);
+
+/// Bond similarity: sharedEdges / n in [0,1]. 1 means identical cycles.
+double bondSimilarity(std::span<const int> a, std::span<const int> b);
+
+/// Number of distinct undirected edges in the union of all tours
+/// (n for one tour, up to k*n for k disjoint ones).
+int unionEdgeCount(const std::vector<std::vector<int>>& tours);
+
+/// Mean pairwise bond similarity of a population (1.0 for size < 2).
+double populationDiversity(const std::vector<std::vector<int>>& tours);
+
+struct EdgeLengthProfile {
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Distribution of edge lengths along a tour.
+EdgeLengthProfile edgeLengthProfile(const Instance& inst,
+                                    std::span<const int> order);
+
+}  // namespace distclk

@@ -1,0 +1,130 @@
+#include "tsp/neighbors.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "tsp/kdtree.h"
+
+namespace distclk {
+
+namespace {
+
+std::vector<std::vector<int>> nearestLists(const Instance& inst, int k) {
+  const int n = inst.n();
+  std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
+  if (inst.hasCoords()) {
+    KdTree tree(inst.points());
+    for (int c = 0; c < n; ++c) lists[std::size_t(c)] = tree.knn(c, k);
+  } else {
+    std::vector<int> idx(static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c) {
+      idx.clear();
+      for (int j = 0; j < n; ++j)
+        if (j != c) idx.push_back(j);
+      const auto kk = std::min<std::size_t>(std::size_t(k), idx.size());
+      std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
+                        [&](int a, int b) {
+                          const auto da = inst.dist(c, a), db = inst.dist(c, b);
+                          return da != db ? da < db : a < b;
+                        });
+      idx.resize(kk);
+      lists[std::size_t(c)] = idx;
+    }
+  }
+  return lists;
+}
+
+std::vector<std::vector<int>> quadrantLists(const Instance& inst, int k) {
+  if (!inst.hasCoords())
+    return nearestLists(inst, k);  // quadrants undefined without coordinates
+  const int n = inst.n();
+  const int perQuad = std::max(1, (k + 3) / 4);
+  KdTree tree(inst.points());
+  std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
+  // Over-fetch nearest neighbors, then keep the closest `perQuad` per
+  // quadrant; top up with globally nearest if quadrants are starved.
+  const int fetch = std::min(n - 1, std::max(4 * k, 24));
+  for (int c = 0; c < n; ++c) {
+    const auto cand = tree.knn(c, fetch);
+    const Point& pc = inst.point(c);
+    int quadCount[4] = {0, 0, 0, 0};
+    auto& out = lists[std::size_t(c)];
+    for (int nb : cand) {
+      const Point& pn = inst.point(nb);
+      const int q = (pn.x >= pc.x ? 1 : 0) | (pn.y >= pc.y ? 2 : 0);
+      if (quadCount[q] < perQuad) {
+        ++quadCount[q];
+        out.push_back(nb);
+        if (static_cast<int>(out.size()) >= k) break;
+      }
+    }
+    for (int nb : cand) {
+      if (static_cast<int>(out.size()) >= k) break;
+      if (std::find(out.begin(), out.end(), nb) == out.end())
+        out.push_back(nb);
+    }
+    // Keep the construction metric ordering (distance ascending).
+    std::sort(out.begin(), out.end(), [&](int a, int b) {
+      const auto da = inst.dist(c, a), db = inst.dist(c, b);
+      return da != db ? da < db : a < b;
+    });
+  }
+  return lists;
+}
+
+}  // namespace
+
+CandidateLists::CandidateLists(const Instance& inst, int k, Kind kind) {
+  if (k < 1) throw std::invalid_argument("CandidateLists: k must be >= 1");
+  k = std::min(k, inst.n() - 1);
+  assign(kind == Kind::kQuadrant ? quadrantLists(inst, k)
+                                 : nearestLists(inst, k));
+}
+
+CandidateLists::CandidateLists(const Instance& inst,
+                               std::vector<std::vector<int>> lists) {
+  if (lists.size() != std::size_t(inst.n()))
+    throw std::invalid_argument("CandidateLists: wrong number of lists");
+  assign(std::move(lists));
+}
+
+void CandidateLists::assign(std::vector<std::vector<int>> lists) {
+  offsets_.assign(lists.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < lists.size(); ++c) {
+    total += lists[c].size();
+    offsets_[c + 1] = total;
+    maxDegree_ = std::max(maxDegree_, static_cast<int>(lists[c].size()));
+  }
+  data_.reserve(total);
+  for (auto& l : lists) data_.insert(data_.end(), l.begin(), l.end());
+}
+
+bool CandidateLists::contains(int a, int b) const noexcept {
+  const auto cand = of(a);
+  return std::find(cand.begin(), cand.end(), b) != cand.end();
+}
+
+void CandidateLists::makeSymmetric() {
+  const int nn = n();
+  std::vector<std::vector<int>> extra(static_cast<std::size_t>(nn));
+  for (int a = 0; a < nn; ++a)
+    for (int b : of(a))
+      if (!contains(b, a)) extra[std::size_t(b)].push_back(a);
+
+  std::vector<std::vector<int>> merged(static_cast<std::size_t>(nn));
+  for (int c = 0; c < nn; ++c) {
+    auto& m = merged[std::size_t(c)];
+    const auto cur = of(c);
+    m.assign(cur.begin(), cur.end());
+    for (int e : extra[std::size_t(c)])
+      if (std::find(m.begin(), m.end(), e) == m.end()) m.push_back(e);
+  }
+  offsets_.clear();
+  data_.clear();
+  maxDegree_ = 0;
+  assign(std::move(merged));
+}
+
+}  // namespace distclk

@@ -1,0 +1,55 @@
+// Candidate neighbor lists for local search. Lin-Kernighan only considers
+// edges to a city's candidates, which turns O(n^2) scans into O(n·k).
+// Supported constructions: k-nearest (kd-tree for geometric instances,
+// O(n^2 log k) fallback for explicit matrices), quadrant neighbors (ABCC's
+// default for clustered instances), and externally supplied orders (used for
+// alpha-nearness lists from the Held-Karp module and for tour-merging's
+// union-edge restriction).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tsp/instance.h"
+
+namespace distclk {
+
+class CandidateLists {
+ public:
+  enum class Kind {
+    kNearest,   ///< plain k nearest neighbors
+    kQuadrant,  ///< nearest per coordinate quadrant, topped up with nearest
+  };
+
+  /// Builds lists of (up to) k candidates per city.
+  CandidateLists(const Instance& inst, int k, Kind kind = Kind::kNearest);
+
+  /// Wraps externally computed lists (e.g. alpha-nearness).
+  CandidateLists(const Instance& inst, std::vector<std::vector<int>> lists);
+
+  int maxDegree() const noexcept { return maxDegree_; }
+  int n() const noexcept { return static_cast<int>(offsets_.size()) - 1; }
+
+  /// Candidates of `city`, ordered by the construction metric (ascending).
+  std::span<const int> of(int city) const noexcept {
+    const auto b = offsets_[std::size_t(city)];
+    const auto e = offsets_[std::size_t(city) + 1];
+    return {data_.data() + b, data_.data() + e};
+  }
+
+  /// True iff `b` appears in a's candidate list.
+  bool contains(int a, int b) const noexcept;
+
+  /// Adds the reverse of every directed candidate edge, so the candidate
+  /// graph becomes symmetric (new entries are appended after existing ones).
+  void makeSymmetric();
+
+ private:
+  void assign(std::vector<std::vector<int>> lists);
+
+  std::vector<std::size_t> offsets_;  // CSR layout
+  std::vector<int> data_;
+  int maxDegree_ = 0;
+};
+
+}  // namespace distclk

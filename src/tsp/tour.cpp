@@ -1,0 +1,192 @@
+#include "tsp/tour.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace distclk {
+
+Tour::Tour(const Instance& inst) : inst_(&inst) {
+  order_.resize(std::size_t(inst.n()));
+  std::iota(order_.begin(), order_.end(), 0);
+  rebuildPos();
+  length_ = inst_->tourLength(order_);
+}
+
+Tour::Tour(const Instance& inst, std::vector<int> order) : inst_(&inst) {
+  if (order.size() != std::size_t(inst.n()))
+    throw std::invalid_argument("Tour: order size != instance size");
+  order_ = std::move(order);
+  rebuildPos();
+  length_ = inst_->tourLength(order_);
+}
+
+void Tour::rebuildPos() {
+  pos_.assign(order_.size(), -1);
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    const int c = order_[p];
+    if (c < 0 || std::size_t(c) >= order_.size() || pos_[std::size_t(c)] != -1)
+      throw std::invalid_argument("Tour: order is not a permutation");
+    pos_[std::size_t(c)] = static_cast<int>(p);
+  }
+}
+
+void Tour::setOrder(std::vector<int> order) {
+  if (order.size() != order_.size())
+    throw std::invalid_argument("Tour: order size mismatch");
+  order_ = std::move(order);
+  rebuildPos();
+  length_ = inst_->tourLength(order_);
+}
+
+bool Tour::between(int a, int b, int c) const noexcept {
+  const int pa = pos(a), pb = pos(b), pc = pos(c);
+  if (pa <= pc) return pa < pb && pb < pc;
+  return pb > pa || pb < pc;  // wrapped interval
+}
+
+void Tour::rawReverse(std::size_t i, std::size_t j, std::size_t count) {
+  const std::size_t n = order_.size();
+  for (std::size_t k = 0; k < count / 2; ++k) {
+    const std::size_t ii = (i + k) % n;
+    const std::size_t jj = (j + n - k) % n;
+    std::swap(order_[ii], order_[jj]);
+    pos_[std::size_t(order_[ii])] = static_cast<int>(ii);
+    pos_[std::size_t(order_[jj])] = static_cast<int>(jj);
+  }
+}
+
+void Tour::reverseSegment(int i, int j) {
+  const auto n = static_cast<std::size_t>(order_.size());
+  auto ui = static_cast<std::size_t>(i), uj = static_cast<std::size_t>(j);
+  std::size_t len = (uj + n - ui) % n + 1;
+  if (len >= n) return;  // whole tour: identical cycle
+
+  // Boundary edges change regardless of which arc we physically flip.
+  const int before = order_[(ui + n - 1) % n];
+  const int first = order_[ui];
+  const int last = order_[uj];
+  const int after = order_[(uj + 1) % n];
+  length_ += inst_->dist(before, last) + inst_->dist(first, after) -
+             inst_->dist(before, first) - inst_->dist(last, after);
+
+  if (len * 2 <= n) {
+    rawReverse(ui, uj, len);
+  } else {
+    // Flip the complementary arc [j+1, i-1]; same resulting cycle.
+    rawReverse((uj + 1) % n, (ui + n - 1) % n, n - len);
+  }
+}
+
+std::int64_t Tour::twoOptMove(int a, int b) {
+  const int na = next(a);
+  const int nb = next(b);
+  if (a == b || na == b || nb == a) return 0;  // degenerate: no-op
+  const std::int64_t delta = inst_->dist(a, b) + inst_->dist(na, nb) -
+                             inst_->dist(a, na) - inst_->dist(b, nb);
+  // Removing (a,na) and (b,nb), adding (a,b)+(na,nb) == reversing na..b.
+  reverseSegment(pos(na), pos(b));
+  return delta;
+}
+
+std::int64_t Tour::orOptMove(int s, int segLen, int c, bool reversed) {
+  if (segLen < 1) throw std::invalid_argument("orOptMove: segLen must be >=1");
+  const auto n = static_cast<std::size_t>(order_.size());
+  if (static_cast<std::size_t>(segLen) + 2 > n)
+    throw std::invalid_argument("orOptMove: segment too long");
+
+  std::vector<int> seg(static_cast<std::size_t>(segLen));
+  {
+    int cur = s;
+    for (int k = 0; k < segLen; ++k) {
+      seg[std::size_t(k)] = cur;
+      cur = next(cur);
+    }
+  }
+  const int segEnd = seg.back();
+  const int before = prev(s);
+  const int after = next(segEnd);
+  const int cNext = next(c);
+  // c (and its successor edge) must lie outside the segment and not be the
+  // edge we are already on.
+  if (c == before || cNext == s) return 0;
+  for (int city : seg)
+    if (c == city) throw std::invalid_argument("orOptMove: c inside segment");
+
+  const int head = reversed ? segEnd : s;
+  const int tail = reversed ? s : segEnd;
+  const std::int64_t delta =
+      inst_->dist(before, after) + inst_->dist(c, head) +
+      inst_->dist(tail, cNext) - inst_->dist(before, s) -
+      inst_->dist(segEnd, after) - inst_->dist(c, cNext);
+
+  // Rebuild the order: walk from `after` around to `before`, inserting the
+  // segment after city c. O(n) but Or-opt is only used with tiny segments
+  // inside candidate-limited scans, where the rebuild cost is acceptable.
+  std::vector<int> rebuilt;
+  rebuilt.reserve(n);
+  int cur = after;
+  while (true) {
+    rebuilt.push_back(cur);
+    if (cur == c) {
+      if (reversed)
+        rebuilt.insert(rebuilt.end(), seg.rbegin(), seg.rend());
+      else
+        rebuilt.insert(rebuilt.end(), seg.begin(), seg.end());
+    }
+    if (cur == before) break;
+    cur = next(cur);
+  }
+  order_ = std::move(rebuilt);
+  for (std::size_t p = 0; p < order_.size(); ++p)
+    pos_[std::size_t(order_[p])] = static_cast<int>(p);
+  length_ += delta;
+  return delta;
+}
+
+std::int64_t Tour::doubleBridge(int p1, int p2, int p3) {
+  const int n = this->n();
+  if (!(0 < p1 && p1 < p2 && p2 < p3 && p3 < n))
+    throw std::invalid_argument("doubleBridge: need 0 < p1 < p2 < p3 < n");
+  // Segments A=[0,p1) B=[p1,p2) C=[p2,p3) D=[p3,n); recombine A C B D.
+  // This is the classical ILS double-bridge 4-exchange (Martin/Otto/Felten):
+  // no segment is reversed, and the move cannot be undone by sequential
+  // 2-opt steps.
+  const std::int64_t delta =
+      inst_->dist(order_[std::size_t(p1 - 1)], order_[std::size_t(p2)]) +
+      inst_->dist(order_[std::size_t(p3 - 1)], order_[std::size_t(p1)]) +
+      inst_->dist(order_[std::size_t(p2 - 1)], order_[std::size_t(p3)]) -
+      inst_->dist(order_[std::size_t(p1 - 1)], order_[std::size_t(p1)]) -
+      inst_->dist(order_[std::size_t(p2 - 1)], order_[std::size_t(p2)]) -
+      inst_->dist(order_[std::size_t(p3 - 1)], order_[std::size_t(p3)]);
+
+  std::vector<int> rebuilt;
+  rebuilt.reserve(static_cast<std::size_t>(n));
+  auto append = [&](int lo, int hi) {
+    for (int p = lo; p < hi; ++p) rebuilt.push_back(order_[std::size_t(p)]);
+  };
+  append(0, p1);
+  append(p2, p3);
+  append(p1, p2);
+  append(p3, n);
+  order_ = std::move(rebuilt);
+  for (std::size_t p = 0; p < order_.size(); ++p)
+    pos_[std::size_t(order_[p])] = static_cast<int>(p);
+  length_ += delta;
+  return delta;
+}
+
+bool Tour::valid() const {
+  const std::size_t n = order_.size();
+  if (pos_.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (std::size_t p = 0; p < n; ++p) {
+    const int c = order_[p];
+    if (c < 0 || std::size_t(c) >= n || seen[std::size_t(c)]) return false;
+    seen[std::size_t(c)] = true;
+    if (pos_[std::size_t(c)] != static_cast<int>(p)) return false;
+  }
+  return length_ == inst_->tourLength(order_);
+}
+
+}  // namespace distclk

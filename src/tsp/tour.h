@@ -1,0 +1,111 @@
+// Tour representation: city order + inverse position array, bound to an
+// instance so it can maintain its length incrementally. Segment reversal
+// always flips the shorter arc, giving the O(sqrt(n))-ish amortized behaviour
+// classical array-based Lin-Kernighan implementations rely on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsp/instance.h"
+
+namespace distclk {
+
+class Tour {
+ public:
+  /// Identity tour 0,1,...,n-1 over `inst` (which must outlive the tour).
+  explicit Tour(const Instance& inst);
+
+  /// Tour with a given city order (must be a permutation of 0..n-1).
+  Tour(const Instance& inst, std::vector<int> order);
+
+  const Instance& instance() const noexcept { return *inst_; }
+  int n() const noexcept { return static_cast<int>(order_.size()); }
+
+  /// City at tour position p (0 <= p < n).
+  int at(int p) const noexcept { return order_[std::size_t(p)]; }
+  /// Tour position of city c.
+  int pos(int c) const noexcept { return pos_[std::size_t(c)]; }
+  /// Successor / predecessor city of city c along the tour.
+  int next(int c) const noexcept {
+    return order_[nextPos(std::size_t(pos_[std::size_t(c)]))];
+  }
+  int prev(int c) const noexcept {
+    return order_[prevPos(std::size_t(pos_[std::size_t(c)]))];
+  }
+
+  /// True iff city b lies strictly between a and c when walking forward
+  /// from a (the classical `between` predicate of tour data structures).
+  bool between(int a, int b, int c) const noexcept;
+
+  std::int64_t length() const noexcept { return length_; }
+  std::span<const int> order() const noexcept { return order_; }
+  std::vector<int> orderVector() const { return order_; }
+
+  /// Replaces the permutation wholesale (recomputes length).
+  void setOrder(std::vector<int> order);
+
+  /// 2-opt move: removes edges (a, next(a)) and (b, next(b)) and reconnects
+  /// as (a, b) + (next(a), next(b)), reversing the shorter arc. `a` and `b`
+  /// must be distinct and not tour-adjacent in a way that makes the move a
+  /// no-op (a == b or next(a) == b and next(b) == a are rejected).
+  /// Returns the (signed) change in tour length.
+  std::int64_t twoOptMove(int a, int b);
+
+  /// Or-opt move: relocates the segment of `segLen` cities starting at city
+  /// `s` (walking forward) to sit between city `c` and next(c), optionally
+  /// reversed. `c` must not be inside the segment nor the segment's
+  /// predecessor. Returns the change in tour length.
+  std::int64_t orOptMove(int s, int segLen, int c, bool reversed);
+
+  /// Double-bridge 4-exchange at tour positions p1<p2<p3 (cutting after
+  /// positions 0..p1-1 | p1..p2-1 | p2..p3-1 | p3..n-1 and recombining
+  /// A C B D). This is the CLK "kick". Positions must satisfy
+  /// 0 < p1 < p2 < p3 < n. Returns the change in tour length.
+  std::int64_t doubleBridge(int p1, int p2, int p3);
+
+  /// Reverses cities at cyclic positions i..j inclusive (forward from i),
+  /// flipping whichever arc is shorter. Maintains length incrementally.
+  void reverseSegment(int i, int j);
+
+  /// City-addressed reversal of the forward path a..b — the common surface
+  /// shared with BigTour that the LK engine is written against.
+  void reverseForward(int a, int b) { reverseSegment(pos(a), pos(b)); }
+
+  /// Invertible flip for LK chain rewinding. reverseSegment may physically
+  /// reverse the complementary arc (same cycle, mirrored array), so the
+  /// only safe inverse is replaying the identical positional call — the
+  /// token captures those positions. BigTour exposes the same API with a
+  /// city-pair token.
+  using FlipToken = std::pair<int, int>;
+  FlipToken flipForward(int a, int b) {
+    const FlipToken token{pos(a), pos(b)};
+    reverseSegment(token.first, token.second);
+    return token;
+  }
+  void unflip(const FlipToken& token) {
+    reverseSegment(token.first, token.second);
+  }
+
+  /// Full invariant check (permutation valid, pos inverse of order, cached
+  /// length equals recomputation). Intended for tests; O(n).
+  bool valid() const;
+
+ private:
+  std::size_t nextPos(std::size_t p) const noexcept {
+    return p + 1 == order_.size() ? 0 : p + 1;
+  }
+  std::size_t prevPos(std::size_t p) const noexcept {
+    return p == 0 ? order_.size() - 1 : p - 1;
+  }
+  void rebuildPos();
+  void rawReverse(std::size_t i, std::size_t j, std::size_t count);
+
+  const Instance* inst_;
+  std::vector<int> order_;
+  std::vector<int> pos_;
+  std::int64_t length_ = 0;
+};
+
+}  // namespace distclk

@@ -1,0 +1,293 @@
+#include "tsp/tsplib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace distclk {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("TSPLIB parse error (line " + std::to_string(line) +
+                           "): " + what);
+}
+
+std::string trim(const std::string& s) {
+  auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+enum class MatrixFormat {
+  kFullMatrix,
+  kUpperRow,
+  kLowerRow,
+  kUpperDiagRow,
+  kLowerDiagRow
+};
+
+std::optional<MatrixFormat> parseFormat(const std::string& s) {
+  if (s == "FULL_MATRIX") return MatrixFormat::kFullMatrix;
+  if (s == "UPPER_ROW") return MatrixFormat::kUpperRow;
+  if (s == "LOWER_ROW") return MatrixFormat::kLowerRow;
+  if (s == "UPPER_DIAG_ROW") return MatrixFormat::kUpperDiagRow;
+  if (s == "LOWER_DIAG_ROW") return MatrixFormat::kLowerDiagRow;
+  return std::nullopt;
+}
+
+std::optional<EdgeWeightType> parseWeightType(const std::string& s) {
+  if (s == "EUC_2D") return EdgeWeightType::kEuc2D;
+  if (s == "CEIL_2D") return EdgeWeightType::kCeil2D;
+  if (s == "ATT") return EdgeWeightType::kAtt;
+  if (s == "GEO") return EdgeWeightType::kGeo;
+  if (s == "MAN_2D") return EdgeWeightType::kMan2D;
+  if (s == "MAX_2D") return EdgeWeightType::kMax2D;
+  if (s == "EXPLICIT") return EdgeWeightType::kExplicit;
+  return std::nullopt;
+}
+
+// Reads `count` whitespace-separated numbers spanning multiple lines.
+template <typename T>
+std::vector<T> readNumbers(std::istream& in, std::size_t count, int& line) {
+  std::vector<T> out;
+  out.reserve(count);
+  std::string tok;
+  while (out.size() < count && in >> tok) {
+    if (tok == "EOF") break;
+    try {
+      if constexpr (std::is_integral_v<T>)
+        out.push_back(static_cast<T>(std::stoll(tok)));
+      else
+        out.push_back(static_cast<T>(std::stod(tok)));
+    } catch (const std::exception&) {
+      fail(line, "expected a number, got '" + tok + "'");
+    }
+  }
+  if (out.size() < count) fail(line, "unexpected end of numeric section");
+  return out;
+}
+
+}  // namespace
+
+Instance parseTsplib(std::istream& in) {
+  std::string name = "unnamed";
+  std::string comment;
+  int dimension = -1;
+  std::optional<EdgeWeightType> type;
+  std::optional<MatrixFormat> format;
+  std::vector<Point> pts;
+  std::vector<std::int64_t> weights;
+
+  int line = 0;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line;
+    std::string s = trim(raw);
+    if (s.empty()) continue;
+    // Header lines are `KEYWORD : value`; sections are bare keywords.
+    std::string key = s, value;
+    if (auto colon = s.find(':'); colon != std::string::npos) {
+      key = trim(s.substr(0, colon));
+      value = trim(s.substr(colon + 1));
+    }
+    key = upper(key);
+
+    if (key == "NAME") {
+      name = value;
+    } else if (key == "COMMENT") {
+      if (!comment.empty()) comment += ' ';
+      comment += value;
+    } else if (key == "TYPE") {
+      const std::string t = upper(value);
+      if (t != "TSP") fail(line, "unsupported TYPE '" + value + "'");
+    } else if (key == "DIMENSION") {
+      dimension = std::stoi(value);
+      if (dimension < 3) fail(line, "DIMENSION must be >= 3");
+    } else if (key == "EDGE_WEIGHT_TYPE") {
+      type = parseWeightType(upper(value));
+      if (!type) fail(line, "unsupported EDGE_WEIGHT_TYPE '" + value + "'");
+    } else if (key == "EDGE_WEIGHT_FORMAT") {
+      format = parseFormat(upper(value));
+      if (!format) fail(line, "unsupported EDGE_WEIGHT_FORMAT '" + value + "'");
+    } else if (key == "NODE_COORD_TYPE" || key == "DISPLAY_DATA_TYPE") {
+      // informational only
+    } else if (key == "NODE_COORD_SECTION") {
+      if (dimension < 0) fail(line, "NODE_COORD_SECTION before DIMENSION");
+      pts.assign(std::size_t(dimension), Point{});
+      std::vector<bool> seen(std::size_t(dimension), false);
+      for (int k = 0; k < dimension; ++k) {
+        int id;
+        double x, y;
+        if (!(in >> id >> x >> y)) fail(line, "bad node coordinate entry");
+        if (id < 1 || id > dimension) fail(line, "node id out of range");
+        if (seen[std::size_t(id - 1)]) fail(line, "duplicate node id");
+        seen[std::size_t(id - 1)] = true;
+        pts[std::size_t(id - 1)] = Point{x, y};
+      }
+    } else if (key == "EDGE_WEIGHT_SECTION") {
+      if (dimension < 0) fail(line, "EDGE_WEIGHT_SECTION before DIMENSION");
+      if (!format) fail(line, "EDGE_WEIGHT_SECTION without EDGE_WEIGHT_FORMAT");
+      const auto n = static_cast<std::size_t>(dimension);
+      std::size_t count = 0;
+      switch (*format) {
+        case MatrixFormat::kFullMatrix: count = n * n; break;
+        case MatrixFormat::kUpperRow:
+        case MatrixFormat::kLowerRow: count = n * (n - 1) / 2; break;
+        case MatrixFormat::kUpperDiagRow:
+        case MatrixFormat::kLowerDiagRow: count = n * (n + 1) / 2; break;
+      }
+      weights = readNumbers<std::int64_t>(in, count, line);
+    } else if (key == "DISPLAY_DATA_SECTION") {
+      if (dimension < 0) fail(line, "DISPLAY_DATA_SECTION before DIMENSION");
+      for (int k = 0; k < dimension; ++k) {
+        int id;
+        double x, y;
+        if (!(in >> id >> x >> y)) fail(line, "bad display data entry");
+      }
+    } else if (key == "EOF") {
+      break;
+    } else {
+      fail(line, "unknown keyword '" + key + "'");
+    }
+  }
+
+  if (dimension < 0) fail(line, "missing DIMENSION");
+  if (!type) fail(line, "missing EDGE_WEIGHT_TYPE");
+
+  if (*type == EdgeWeightType::kExplicit) {
+    if (weights.empty()) fail(line, "missing EDGE_WEIGHT_SECTION");
+    const auto n = static_cast<std::size_t>(dimension);
+    std::vector<std::int64_t> full(n * n, 0);
+    std::size_t k = 0;
+    switch (format.value()) {  // format checked above
+      case MatrixFormat::kFullMatrix:
+        full = std::move(weights);
+        // TSPLIB allows asymmetric FULL_MATRIX entries for ATSP files;
+        // we only accept symmetric data, enforced by the Instance ctor.
+        break;
+      case MatrixFormat::kUpperRow:
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t j = i + 1; j < n; ++j)
+            full[i * n + j] = full[j * n + i] = weights[k++];
+        break;
+      case MatrixFormat::kLowerRow:
+        for (std::size_t i = 1; i < n; ++i)
+          for (std::size_t j = 0; j < i; ++j)
+            full[i * n + j] = full[j * n + i] = weights[k++];
+        break;
+      case MatrixFormat::kUpperDiagRow:
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t j = i; j < n; ++j)
+            full[i * n + j] = full[j * n + i] = weights[k++];
+        break;
+      case MatrixFormat::kLowerDiagRow:
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t j = 0; j <= i; ++j)
+            full[i * n + j] = full[j * n + i] = weights[k++];
+        break;
+    }
+    Instance inst(name, dimension, std::move(full));
+    inst.setComment(comment);
+    return inst;
+  }
+
+  if (pts.size() != static_cast<std::size_t>(dimension))
+    fail(line, "missing NODE_COORD_SECTION");
+  Instance inst(name, std::move(pts), *type);
+  inst.setComment(comment);
+  return inst;
+}
+
+Instance loadTsplibFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open TSPLIB file: " + path);
+  return parseTsplib(in);
+}
+
+void writeTsplib(std::ostream& out, const Instance& inst) {
+  out << "NAME : " << inst.name() << "\n";
+  if (!inst.comment().empty()) out << "COMMENT : " << inst.comment() << "\n";
+  out << "TYPE : TSP\n";
+  out << "DIMENSION : " << inst.n() << "\n";
+  out << "EDGE_WEIGHT_TYPE : " << toString(inst.weightType()) << "\n";
+  if (inst.weightType() == EdgeWeightType::kExplicit) {
+    out << "EDGE_WEIGHT_FORMAT : FULL_MATRIX\n";
+    out << "EDGE_WEIGHT_SECTION\n";
+    for (int i = 0; i < inst.n(); ++i) {
+      for (int j = 0; j < inst.n(); ++j)
+        out << inst.dist(i, j) << (j + 1 < inst.n() ? ' ' : '\n');
+    }
+  } else {
+    out << "NODE_COORD_SECTION\n";
+    // Full round-trip precision: truncated coordinates shift rounded
+    // distances by one unit.
+    const auto oldPrecision =
+        out.precision(std::numeric_limits<double>::max_digits10);
+    for (int i = 0; i < inst.n(); ++i)
+      out << (i + 1) << ' ' << inst.point(i).x << ' ' << inst.point(i).y
+          << '\n';
+    out.precision(oldPrecision);
+  }
+  out << "EOF\n";
+}
+
+std::vector<int> parseTsplibTour(std::istream& in) {
+  std::vector<int> order;
+  int dimension = -1;
+  bool inSection = false;
+  int line = 0;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line;
+    std::string s = trim(raw);
+    if (s.empty()) continue;
+    if (!inSection) {
+      std::string key = s;
+      std::string value;
+      if (auto colon = s.find(':'); colon != std::string::npos) {
+        key = trim(s.substr(0, colon));
+        value = trim(s.substr(colon + 1));
+      }
+      key = upper(key);
+      if (key == "DIMENSION") dimension = std::stoi(value);
+      else if (key == "TOUR_SECTION") inSection = true;
+      else if (key == "EOF") break;
+      // NAME/TYPE/COMMENT ignored
+      continue;
+    }
+    std::istringstream ls(s);
+    long long id;
+    while (ls >> id) {
+      if (id == -1) { inSection = false; break; }
+      if (id < 1) fail(line, "tour ids must be positive");
+      order.push_back(static_cast<int>(id - 1));
+    }
+  }
+  if (order.empty()) throw std::runtime_error("TOUR file contains no tour");
+  if (dimension > 0 && order.size() != static_cast<std::size_t>(dimension))
+    throw std::runtime_error("TOUR file length != DIMENSION");
+  return order;
+}
+
+void writeTsplibTour(std::ostream& out, const std::string& name,
+                     const std::vector<int>& order) {
+  out << "NAME : " << name << "\n";
+  out << "TYPE : TOUR\n";
+  out << "DIMENSION : " << order.size() << "\n";
+  out << "TOUR_SECTION\n";
+  for (int c : order) out << (c + 1) << '\n';
+  out << "-1\nEOF\n";
+}
+
+}  // namespace distclk

@@ -1,0 +1,33 @@
+// TSPLIB file format support (Reinelt, 1991). Parses .tsp problem files
+// (geometric and explicit-matrix symmetric instances) and .tour files, and
+// writes both, so real TSPLIB data drops into the harness unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tsp/instance.h"
+
+namespace distclk {
+
+/// Parses a TSPLIB problem from a stream. Throws std::runtime_error with a
+/// line-numbered message on malformed input or unsupported keywords.
+Instance parseTsplib(std::istream& in);
+
+/// Parses a TSPLIB problem file from disk.
+Instance loadTsplibFile(const std::string& path);
+
+/// Writes `inst` in TSPLIB format (NODE_COORD_SECTION for geometric types,
+/// FULL_MATRIX for explicit ones).
+void writeTsplib(std::ostream& out, const Instance& inst);
+
+/// Parses a TSPLIB TOUR file (TOUR_SECTION, 1-based city ids, -1 sentinel).
+/// Returns 0-based city order.
+std::vector<int> parseTsplibTour(std::istream& in);
+
+/// Writes a tour (0-based order) as a TSPLIB TOUR file.
+void writeTsplibTour(std::ostream& out, const std::string& name,
+                     const std::vector<int>& order);
+
+}  // namespace distclk

@@ -1,0 +1,220 @@
+#include "tsp/twolevel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace distclk {
+
+TwoLevelList::TwoLevelList(std::span<const int> order) {
+  if (order.size() < 3)
+    throw std::invalid_argument("TwoLevelList: need at least 3 cities");
+  cityOf_.resize(order.size());
+  std::vector<int> check(order.size(), 0);
+  for (int c : order) {
+    if (c < 0 || std::size_t(c) >= order.size() || check[std::size_t(c)]++)
+      throw std::invalid_argument("TwoLevelList: order is not a permutation");
+  }
+  rebuild(std::vector<int>(order.begin(), order.end()));
+}
+
+void TwoLevelList::rebuild(const std::vector<int>& order) {
+  const auto n = order.size();
+  groupSize_ = std::max(8, static_cast<int>(std::sqrt(double(n))));
+  segs_.clear();
+  segOrder_.clear();
+  for (std::size_t at = 0; at < n; at += std::size_t(groupSize_)) {
+    Segment seg;
+    const std::size_t end = std::min(n, at + std::size_t(groupSize_));
+    seg.cities.assign(order.begin() + static_cast<long>(at),
+                      order.begin() + static_cast<long>(end));
+    const int segId = static_cast<int>(segs_.size());
+    for (std::size_t off = 0; off < seg.cities.size(); ++off)
+      cityOf_[std::size_t(seg.cities[off])] = {segId, static_cast<int>(off)};
+    segs_.push_back(std::move(seg));
+    segOrder_.push_back(segId);
+  }
+  segRank_.assign(segs_.size(), 0);
+  refreshSegPositions(0);
+}
+
+void TwoLevelList::refreshSegPositions(std::size_t fromRank) {
+  if (segRank_.size() < segs_.size()) segRank_.resize(segs_.size());
+  for (std::size_t r = fromRank; r < segOrder_.size(); ++r)
+    segRank_[std::size_t(segOrder_[r])] = static_cast<int>(r);
+}
+
+int TwoLevelList::headCity(int segId) const noexcept {
+  const Segment& s = segs_[std::size_t(segId)];
+  return s.reversed ? s.cities.back() : s.cities.front();
+}
+
+int TwoLevelList::tailCity(int segId) const noexcept {
+  const Segment& s = segs_[std::size_t(segId)];
+  return s.reversed ? s.cities.front() : s.cities.back();
+}
+
+int TwoLevelList::forwardOffset(const CityRef& ref) const noexcept {
+  const Segment& s = segs_[std::size_t(ref.seg)];
+  return s.reversed ? static_cast<int>(s.cities.size()) - 1 - ref.off
+                    : ref.off;
+}
+
+int TwoLevelList::next(int c) const noexcept {
+  const CityRef ref = cityOf_[std::size_t(c)];
+  const Segment& s = segs_[std::size_t(ref.seg)];
+  const int fwd = forwardOffset(ref);
+  if (fwd + 1 < static_cast<int>(s.cities.size())) {
+    const int idx = s.reversed
+                        ? static_cast<int>(s.cities.size()) - 2 - fwd
+                        : fwd + 1;
+    return s.cities[std::size_t(idx)];
+  }
+  const std::size_t rank = std::size_t(segRank_[std::size_t(ref.seg)]);
+  const std::size_t nextRank = (rank + 1) % segOrder_.size();
+  return headCity(segOrder_[nextRank]);
+}
+
+int TwoLevelList::prev(int c) const noexcept {
+  const CityRef ref = cityOf_[std::size_t(c)];
+  const Segment& s = segs_[std::size_t(ref.seg)];
+  const int fwd = forwardOffset(ref);
+  if (fwd > 0) {
+    const int idx =
+        s.reversed ? static_cast<int>(s.cities.size()) - fwd : fwd - 1;
+    return s.cities[std::size_t(idx)];
+  }
+  const std::size_t rank = std::size_t(segRank_[std::size_t(ref.seg)]);
+  const std::size_t prevRank = (rank + segOrder_.size() - 1) % segOrder_.size();
+  return tailCity(segOrder_[prevRank]);
+}
+
+bool TwoLevelList::between(int a, int b, int c) const {
+  auto key = [&](int x) {
+    const CityRef ref = cityOf_[std::size_t(x)];
+    return std::pair<int, int>(segRank_[std::size_t(ref.seg)],
+                               forwardOffset(ref));
+  };
+  const auto ka = key(a), kb = key(b), kc = key(c);
+  if (ka <= kc) return ka < kb && kb < kc;
+  return kb > ka || kb < kc;  // wrapped interval
+}
+
+void TwoLevelList::splitBefore(int c) {
+  const CityRef ref = cityOf_[std::size_t(c)];
+  Segment& s = segs_[std::size_t(ref.seg)];
+  const int fwd = forwardOffset(ref);
+  if (fwd == 0) return;  // already a head
+
+  Segment fresh;
+  fresh.reversed = s.reversed;
+  if (!s.reversed) {
+    // Storage prefix stays; suffix (starting at c) becomes the new segment.
+    fresh.cities.assign(s.cities.begin() + ref.off, s.cities.end());
+    s.cities.resize(std::size_t(ref.off));
+  } else {
+    // Forward order is storage back-to-front: the forward path from c to
+    // the tour tail is storage [0..off], the retained prefix is
+    // storage [off+1..end).
+    fresh.cities.assign(s.cities.begin(), s.cities.begin() + ref.off + 1);
+    s.cities.erase(s.cities.begin(), s.cities.begin() + ref.off + 1);
+  }
+  const int freshId = static_cast<int>(segs_.size());
+  for (std::size_t off = 0; off < fresh.cities.size(); ++off)
+    cityOf_[std::size_t(fresh.cities[off])] = {freshId,
+                                               static_cast<int>(off)};
+  for (std::size_t off = 0; off < s.cities.size(); ++off)
+    cityOf_[std::size_t(s.cities[off])] = {ref.seg, static_cast<int>(off)};
+  const auto rank = std::size_t(segRank_[std::size_t(ref.seg)]);
+  segs_.push_back(std::move(fresh));
+  segOrder_.insert(segOrder_.begin() + static_cast<long>(rank) + 1, freshId);
+  refreshSegPositions(rank + 1);
+}
+
+void TwoLevelList::reverse(int a, int b) {
+  if (a == b) {
+    return;
+  }
+  splitBefore(a);
+  const int after = next(b);
+  if (after == a) {
+    // The path a..b covers the whole cycle: mirror everything.
+    std::reverse(segOrder_.begin(), segOrder_.end());
+    for (auto& s : segs_) s.reversed = !s.reversed;
+    refreshSegPositions(0);
+    maybeRebalance();
+    return;
+  }
+  splitBefore(after);  // b becomes the tail of its segment
+
+  std::size_t ra = std::size_t(segRank_[std::size_t(cityOf_[std::size_t(a)].seg)]);
+  std::size_t rb = std::size_t(segRank_[std::size_t(cityOf_[std::size_t(b)].seg)]);
+  if (rb < ra) {
+    // Rotate so the run a..b is contiguous in segOrder_.
+    std::rotate(segOrder_.begin(), segOrder_.begin() + static_cast<long>(ra),
+                segOrder_.end());
+    refreshSegPositions(0);
+    ra = 0;
+    rb = std::size_t(segRank_[std::size_t(cityOf_[std::size_t(b)].seg)]);
+  }
+  std::reverse(segOrder_.begin() + static_cast<long>(ra),
+               segOrder_.begin() + static_cast<long>(rb) + 1);
+  for (std::size_t r = ra; r <= rb; ++r)
+    segs_[std::size_t(segOrder_[r])].reversed =
+        !segs_[std::size_t(segOrder_[r])].reversed;
+  refreshSegPositions(ra);
+  maybeRebalance();
+}
+
+void TwoLevelList::maybeRebalance() {
+  const std::size_t target = cityOf_.size() / std::size_t(groupSize_) + 1;
+  if (segOrder_.size() > 2 * target + 8) rebuild(order());
+}
+
+std::vector<int> TwoLevelList::order(int start) const {
+  std::vector<int> out;
+  out.reserve(cityOf_.size());
+  for (int segId : segOrder_) {
+    const Segment& s = segs_[std::size_t(segId)];
+    if (s.reversed)
+      out.insert(out.end(), s.cities.rbegin(), s.cities.rend());
+    else
+      out.insert(out.end(), s.cities.begin(), s.cities.end());
+  }
+  if (start >= 0) {
+    const auto it = std::find(out.begin(), out.end(), start);
+    if (it != out.end()) std::rotate(out.begin(), it, out.end());
+  }
+  return out;
+}
+
+bool TwoLevelList::valid() const {
+  if (segOrder_.size() == 0) return false;
+  std::vector<int> seen(cityOf_.size(), 0);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < segOrder_.size(); ++r) {
+    const int segId = segOrder_[r];
+    if (segRank_[std::size_t(segId)] != static_cast<int>(r)) return false;
+    const Segment& s = segs_[std::size_t(segId)];
+    if (s.cities.empty()) return false;
+    total += s.cities.size();
+    for (std::size_t off = 0; off < s.cities.size(); ++off) {
+      const int c = s.cities[off];
+      if (c < 0 || std::size_t(c) >= cityOf_.size() || seen[std::size_t(c)]++)
+        return false;
+      const CityRef ref = cityOf_[std::size_t(c)];
+      if (ref.seg != segId || ref.off != static_cast<int>(off)) return false;
+    }
+  }
+  if (total != cityOf_.size()) return false;
+  // next/prev must be mutually inverse around the whole cycle.
+  const auto ord = order();
+  for (std::size_t i = 0; i < ord.size(); ++i) {
+    const int c = ord[i];
+    const int nc = ord[(i + 1) % ord.size()];
+    if (next(c) != nc || prev(nc) != c) return false;
+  }
+  return true;
+}
+
+}  // namespace distclk

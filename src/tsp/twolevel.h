@@ -1,0 +1,72 @@
+// Two-level doubly-linked tour representation (Chrobak/Szymacha/Krawczyk;
+// the "segment list" flipper of Concorde and LKH). The array Tour reverses
+// in O(shorter arc) = O(n) worst case; this structure splits the tour into
+// ~sqrt(n) segments with orientation bits so a reversal touches whole
+// segments only: O(sqrt(n)) amortized per flip, the right substrate for
+// six-digit city counts. Kept as a pure permutation structure (no length
+// bookkeeping) so it can back any cost model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace distclk {
+
+class TwoLevelList {
+ public:
+  /// Builds from a city order (a permutation of 0..n-1).
+  explicit TwoLevelList(std::span<const int> order);
+
+  int n() const noexcept { return static_cast<int>(cityOf_.size()); }
+
+  /// Tour successor / predecessor of city c.
+  int next(int c) const noexcept;
+  int prev(int c) const noexcept;
+
+  /// True iff b lies strictly between a and c walking forward from a.
+  bool between(int a, int b, int c) const;
+
+  /// Reverses the forward path a..b (inclusive). Amortized O(sqrt(n)).
+  void reverse(int a, int b);
+
+  /// Current city order starting from city `start` (default: city at the
+  /// head of the first segment).
+  std::vector<int> order(int start = -1) const;
+
+  /// Structural invariants: segment sizes, position indexes, linkage.
+  bool valid() const;
+
+  /// Number of segments (exposed for tests and benchmarks).
+  int segments() const noexcept { return static_cast<int>(segOrder_.size()); }
+
+ private:
+  struct Segment {
+    std::vector<int> cities;  // in internal storage order
+    bool reversed = false;    // traverse storage back-to-front when set
+  };
+
+  struct CityRef {
+    int seg = -1;   // segment id (index into segs_)
+    int off = -1;   // offset in segs_[seg].cities
+  };
+
+  // Tour-forward first/last city of a segment, honoring the reversed bit.
+  int headCity(int segId) const noexcept;
+  int tailCity(int segId) const noexcept;
+  // Tour-forward offset of a city within its segment (0-based).
+  int forwardOffset(const CityRef& ref) const noexcept;
+  // Splits the segment so that `c` becomes the head of a segment.
+  void splitBefore(int c);
+  void rebuild(const std::vector<int>& order);
+  void refreshSegPositions(std::size_t fromRank);
+  void maybeRebalance();
+
+  std::vector<Segment> segs_;
+  std::vector<int> segOrder_;  // segment ids in tour order
+  std::vector<int> segRank_;   // segment id -> index in segOrder_
+  std::vector<CityRef> cityOf_;
+  int groupSize_ = 0;          // target segment size (~sqrt(n))
+};
+
+}  // namespace distclk

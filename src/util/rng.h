@@ -1,0 +1,121 @@
+// Deterministic pseudo-random number generation for all stochastic parts of
+// the library. Every algorithm takes an explicit Rng so runs are reproducible
+// and independent streams can be derived per node / per run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace distclk {
+
+/// splitmix64: used to expand a single seed into xoshiro state and to derive
+/// independent child seeds (e.g. one stream per distributed node).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator so it
+/// can be plugged into <random> distributions, but the helpers below avoid
+/// <random> for speed and cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift rejection method.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal via Marsaglia polar method (stateless across calls for
+  /// determinism: both draws are consumed even when one is discarded).
+  double normal() noexcept {
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return u * sqrt_ratio(s);
+  }
+
+  bool coin(double p = 0.5) noexcept { return uniform() < p; }
+
+  /// Derive an independent child generator (stream splitting).
+  Rng split() noexcept {
+    std::uint64_t s = (*this)();
+    return Rng(s);
+  }
+
+  /// Fisher-Yates shuffle of a random-access range.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      using std::swap;
+      swap(c[i - 1], c[below(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double sqrt_ratio(double s) noexcept {
+    return std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace distclk

@@ -1,0 +1,38 @@
+// Streaming summary statistics and small-sample helpers used by the
+// experiment harnesses (mean/stddev over 10 runs, medians, quantiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace distclk {
+
+/// Streaming accumulator using Welford's algorithm; numerically stable and
+/// single-pass, so it can summarize arbitrarily long anytime traces.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median of a sample (copies; does not reorder the input).
+double median(std::vector<double> xs);
+
+/// Linear-interpolation quantile, q in [0,1].
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace distclk

@@ -1,0 +1,44 @@
+// Aligned-text table and CSV emission for the benchmark harnesses. Each
+// bench binary prints its paper table to stdout and optionally mirrors it to
+// a CSV file for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace distclk {
+
+/// A simple row/column table. Cells are strings; use cell() helpers for
+/// numeric formatting consistent across all benches.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> row);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Pretty-prints with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void writeCsv(std::ostream& os) const;
+  /// Convenience: write CSV to a path; returns false on I/O failure.
+  bool writeCsvFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers.
+std::string fmt(double v, int precision = 3);
+/// Percent with trailing '%', e.g. fmtPct(0.00123) == "0.123%".
+std::string fmtPct(double fraction, int precision = 3);
+/// "OPT" when the excess is ~0 else percentage (mirrors the paper's tables).
+std::string fmtPctOrOpt(double fraction, double eps = 1e-9);
+
+}  // namespace distclk

@@ -1,0 +1,98 @@
+#include "lk/adaptive_kick.h"
+
+#include <gtest/gtest.h>
+
+#include "bound/exact.h"
+#include "construct/construct.h"
+#include "lk/lin_kernighan.h"
+#include "tsp/gen.h"
+
+namespace distclk {
+namespace {
+
+TEST(AdaptiveKick, RunsAndStaysValid) {
+  const Instance inst = uniformSquare("a", 200, 171);
+  const CandidateLists cand(inst, 8);
+  Rng rng(1);
+  Tour t(inst, quickBoruvkaTour(inst, cand));
+  AdaptiveClkOptions opt;
+  opt.maxKicks = 200;
+  const AdaptiveClkResult res = adaptiveChainedLk(t, cand, rng, opt);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(res.length, t.length());
+  EXPECT_EQ(res.kicks, 200);
+}
+
+TEST(AdaptiveKick, ExploresEveryStrategy) {
+  const Instance inst = clustered("a", 150, 8, 172);
+  const CandidateLists cand(inst, 8);
+  Rng rng(2);
+  Tour t(inst);
+  AdaptiveClkOptions opt;
+  opt.maxKicks = 100;
+  const AdaptiveClkResult res = adaptiveChainedLk(t, cand, rng, opt);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(res.uses[i], 1u) << "strategy " << i << " never tried";
+    total += res.uses[i];
+  }
+  EXPECT_EQ(total, res.kicks);
+}
+
+TEST(AdaptiveKick, ImprovesOverPlainLk) {
+  const Instance inst = uniformSquare("a", 300, 173);
+  const CandidateLists cand(inst, 8);
+  Rng rng(3);
+  Tour lk(inst, quickBoruvkaTour(inst, cand));
+  linKernighanOptimize(lk, cand);
+  Tour ad(inst, quickBoruvkaTour(inst, cand));
+  AdaptiveClkOptions opt;
+  opt.maxKicks = 300;
+  adaptiveChainedLk(ad, cand, rng, opt);
+  EXPECT_LT(ad.length(), lk.length());
+}
+
+TEST(AdaptiveKick, StopsAtTarget) {
+  const Instance inst = uniformSquare("a", 12, 174);
+  const CandidateLists cand(inst, 8);
+  const auto opt = solveExactDp(inst);
+  Rng rng(4);
+  Tour t(inst);
+  AdaptiveClkOptions ao;
+  ao.targetLength = opt.length;
+  ao.maxKicks = 100000;
+  const AdaptiveClkResult res = adaptiveChainedLk(t, cand, rng, ao);
+  EXPECT_TRUE(res.hitTarget);
+  EXPECT_EQ(t.length(), opt.length);
+}
+
+TEST(AdaptiveKick, RewardsAreDecayedAverages) {
+  const Instance inst = uniformSquare("a", 200, 175);
+  const CandidateLists cand(inst, 8);
+  Rng rng(5);
+  Tour t(inst, quickBoruvkaTour(inst, cand));
+  AdaptiveClkOptions opt;
+  opt.maxKicks = 150;
+  const AdaptiveClkResult res = adaptiveChainedLk(t, cand, rng, opt);
+  for (double r : res.rewards) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(AdaptiveKick, CallbackMonotone) {
+  const Instance inst = uniformSquare("a", 200, 176);
+  const CandidateLists cand(inst, 8);
+  Rng rng(6);
+  Tour t(inst);
+  AdaptiveClkOptions opt;
+  opt.maxKicks = 100;
+  std::vector<std::int64_t> lengths;
+  adaptiveChainedLk(t, cand, rng, opt,
+                    [&](double, std::int64_t len) { lengths.push_back(len); });
+  for (std::size_t i = 1; i < lengths.size(); ++i)
+    EXPECT_LT(lengths[i], lengths[i - 1]);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,131 @@
+#include "baselines/lkh_style.h"
+#include "baselines/multilevel.h"
+#include "baselines/tour_merge.h"
+
+#include <gtest/gtest.h>
+
+#include "construct/construct.h"
+#include "tsp/gen.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+
+namespace distclk {
+namespace {
+
+TEST(LkhStyle, ProducesValidHighQualityTour) {
+  const Instance inst = uniformSquare("b", 200, 141);
+  Rng rng(1);
+  LkhStyleOptions opt;
+  opt.trials = 3;
+  opt.hkIterations = 150;
+  const LkhStyleResult res = lkhStyleSolve(inst, rng, opt);
+  Tour t(inst, res.order);
+  EXPECT_EQ(t.length(), res.length);
+  EXPECT_EQ(res.trialsRun, 3);
+  EXPECT_GT(res.hkBound, 0.0);
+  // Well-optimized: within 5% of the (well-converged) Held-Karp bound.
+  EXPECT_LT(static_cast<double>(res.length), res.hkBound * 1.05);
+}
+
+TEST(LkhStyle, TargetStopsEarly) {
+  const Instance inst = uniformSquare("b", 100, 142);
+  Rng rng(2);
+  LkhStyleOptions probeOpt;
+  probeOpt.trials = 1;
+  probeOpt.hkIterations = 30;
+  const auto probe = lkhStyleSolve(inst, rng, probeOpt);
+  LkhStyleOptions opt;
+  opt.trials = 50;
+  opt.hkIterations = 30;
+  opt.targetLength = probe.length;
+  Rng rng2(2);
+  const auto res = lkhStyleSolve(inst, rng2, opt);
+  EXPECT_LT(res.trialsRun, 50);
+}
+
+TEST(LkhStyle, AnytimeCallbackMonotone) {
+  const Instance inst = clustered("b", 150, 8, 143);
+  Rng rng(3);
+  LkhStyleOptions opt;
+  opt.trials = 4;
+  opt.hkIterations = 30;
+  std::vector<std::int64_t> lengths;
+  lkhStyleSolve(inst, rng, opt,
+                [&](double, std::int64_t len) { lengths.push_back(len); });
+  for (std::size_t i = 1; i < lengths.size(); ++i)
+    EXPECT_LT(lengths[i], lengths[i - 1]);
+}
+
+TEST(Multilevel, ProducesValidTourWithLevels) {
+  const Instance inst = uniformSquare("b", 500, 144);
+  Rng rng(4);
+  const MultilevelResult res = multilevelSolve(inst, rng);
+  Tour t(inst, res.order);
+  EXPECT_EQ(t.length(), res.length);
+  EXPECT_GE(res.levels, 3);  // 500 -> 250 -> 125 -> 63 -> 32
+}
+
+TEST(Multilevel, BeatsConstructionQuality) {
+  const Instance inst = clustered("b", 400, 10, 145);
+  Rng rng(5);
+  const CandidateLists cand(inst, 10);
+  const auto qb = inst.tourLength(quickBoruvkaTour(inst, cand));
+  const MultilevelResult res = multilevelSolve(inst, rng);
+  EXPECT_LT(res.length, qb);
+}
+
+TEST(Multilevel, RespectsCoarsestSize) {
+  const Instance inst = uniformSquare("b", 300, 146);
+  Rng rng(6);
+  MultilevelOptions opt;
+  opt.coarsestSize = 150;
+  const MultilevelResult res = multilevelSolve(inst, rng, opt);
+  EXPECT_EQ(res.levels, 1);
+  Tour t(inst, res.order);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(Multilevel, ThrowsWithoutCoordinates) {
+  const std::vector<std::int64_t> m{0, 1, 2, 1, 0, 3, 2, 3, 0};
+  const Instance inst("m", 3, m);
+  Rng rng(7);
+  EXPECT_THROW(multilevelSolve(inst, rng), std::invalid_argument);
+}
+
+TEST(TourMerge, MergedNeverWorseThanBestRun) {
+  const Instance inst = uniformSquare("b", 300, 147);
+  Rng rng(8);
+  TourMergeOptions opt;
+  opt.runs = 4;
+  opt.kicksPerRun = 60;
+  const TourMergeResult res = tourMergeSolve(inst, rng, opt);
+  Tour t(inst, res.order);
+  EXPECT_EQ(t.length(), res.length);
+  EXPECT_LE(res.length, res.bestRunLength);
+}
+
+TEST(TourMerge, UnionIsSparse) {
+  const Instance inst = uniformSquare("b", 200, 148);
+  Rng rng(9);
+  TourMergeOptions opt;
+  opt.runs = 5;
+  opt.kicksPerRun = 40;
+  const TourMergeResult res = tourMergeSolve(inst, rng, opt);
+  // k tours contribute at most k*n edges; after overlap far fewer.
+  EXPECT_LE(res.unionEdges, 5 * 200);
+  EXPECT_GE(res.unionEdges, 200);  // at least one tour's worth
+}
+
+TEST(TourMerge, SingleRunDegeneratesToClk) {
+  const Instance inst = uniformSquare("b", 150, 149);
+  Rng rng(10);
+  TourMergeOptions opt;
+  opt.runs = 1;
+  opt.kicksPerRun = 30;
+  const TourMergeResult res = tourMergeSolve(inst, rng, opt);
+  EXPECT_LE(res.length, res.bestRunLength);
+  EXPECT_EQ(res.unionEdges, 150);  // exactly the single tour's edges
+}
+
+}  // namespace
+}  // namespace distclk

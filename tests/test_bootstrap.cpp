@@ -1,0 +1,115 @@
+#include "net/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace distclk {
+namespace {
+
+TEST(Bootstrap, IdentityJoinOrderRebuildsIdealTopology) {
+  for (TopologyKind kind :
+       {TopologyKind::kHypercube, TopologyKind::kRing, TopologyKind::kGrid,
+        TopologyKind::kComplete, TopologyKind::kStar}) {
+    for (int n : {2, 4, 8, 12}) {
+      std::vector<int> order(static_cast<std::size_t>(n));
+      std::iota(order.begin(), order.end(), 0);
+      // With ids joining in order, position == node id, so the protocol
+      // must reproduce the ideal topology exactly.
+      EXPECT_EQ(runBootstrap(kind, order), buildTopology(kind, n))
+          << toString(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(Bootstrap, ShuffledJoinOrderIsIsomorphicToIdeal) {
+  Rng rng(7);
+  for (int n : {8, 16}) {
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    const Adjacency adj = runBootstrap(TopologyKind::kHypercube, order);
+    EXPECT_TRUE(isValidTopology(adj));
+    // Same degree sequence as the ideal hypercube (relabeled by position).
+    const Adjacency ideal = buildTopology(TopologyKind::kHypercube, n);
+    std::vector<std::size_t> degGot, degWant;
+    for (const auto& l : adj) degGot.push_back(l.size());
+    for (const auto& l : ideal) degWant.push_back(l.size());
+    std::sort(degGot.begin(), degGot.end());
+    std::sort(degWant.begin(), degWant.end());
+    EXPECT_EQ(degGot, degWant);
+    EXPECT_EQ(diameter(adj), diameter(ideal));
+  }
+}
+
+TEST(Bootstrap, HubAssignsPositionsInJoinOrder) {
+  BootstrapHub hub(TopologyKind::kRing, 4);
+  BootstrapPeer p3(3), p1(1);
+  hub.handleJoin(p3.makeJoinRequest());
+  hub.handleJoin(p1.makeJoinRequest());
+  EXPECT_EQ(hub.positionOf(3), 0);
+  EXPECT_EQ(hub.positionOf(1), 1);
+  EXPECT_EQ(hub.positionOf(0), -1);
+  EXPECT_EQ(hub.joined(), 2);
+}
+
+TEST(Bootstrap, FirstJoinerGetsEmptyNeighborList) {
+  BootstrapHub hub(TopologyKind::kComplete, 3);
+  BootstrapPeer p(0);
+  const Message reply = hub.handleJoin(p.makeJoinRequest());
+  EXPECT_EQ(reply.type, MessageType::kNeighborList);
+  EXPECT_TRUE(reply.order.empty());
+  EXPECT_TRUE(p.handleNeighborList(reply).empty());
+  EXPECT_TRUE(p.neighbors().empty());
+}
+
+TEST(Bootstrap, HelloAddsContactBack) {
+  BootstrapPeer a(0);
+  Message hello;
+  hello.type = MessageType::kHello;
+  hello.from = 5;
+  a.handleHello(hello);
+  a.handleHello(hello);  // idempotent
+  EXPECT_EQ(a.neighbors(), std::vector<int>{5});
+}
+
+TEST(Bootstrap, HubRejectsProtocolViolations) {
+  BootstrapHub hub(TopologyKind::kRing, 2);
+  BootstrapPeer p(0);
+  Message bogus;
+  bogus.type = MessageType::kTour;
+  EXPECT_THROW(hub.handleJoin(bogus), std::invalid_argument);
+  hub.handleJoin(p.makeJoinRequest());
+  EXPECT_THROW(hub.handleJoin(p.makeJoinRequest()), std::invalid_argument);
+  BootstrapPeer q(1), r(2);
+  hub.handleJoin(q.makeJoinRequest());
+  EXPECT_THROW(hub.handleJoin(r.makeJoinRequest()), std::invalid_argument);
+}
+
+TEST(Bootstrap, PeerRejectsWrongMessageTypes) {
+  BootstrapPeer p(0);
+  Message wrong;
+  wrong.type = MessageType::kTour;
+  EXPECT_THROW(p.handleNeighborList(wrong), std::invalid_argument);
+  EXPECT_THROW(p.handleHello(wrong), std::invalid_argument);
+}
+
+TEST(Bootstrap, ProtocolMessagesSurviveSerialization) {
+  BootstrapPeer p(7);
+  const Message join = p.makeJoinRequest();
+  EXPECT_EQ(deserialize(serialize(join)), join);
+  Message list;
+  list.type = MessageType::kNeighborList;
+  list.order = {1, 2, 3};
+  EXPECT_EQ(deserialize(serialize(list)), list);
+  Message hello;
+  hello.type = MessageType::kHello;
+  hello.from = 7;
+  hello.length = 3;
+  EXPECT_EQ(deserialize(serialize(hello)), hello);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,138 @@
+#include "lk/chained_lk.h"
+
+#include <gtest/gtest.h>
+
+#include "bound/exact.h"
+#include "construct/construct.h"
+#include "lk/lin_kernighan.h"
+#include "tsp/gen.h"
+
+namespace distclk {
+namespace {
+
+TEST(ChainedLk, ImprovesOverPlainLk) {
+  double lkTotal = 0, clkTotal = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Instance inst = uniformSquare("c", 400, seed * 13);
+    const CandidateLists cand(inst, 8);
+    Rng rng(seed);
+    Tour lk(inst, quickBoruvkaTour(inst, cand));
+    linKernighanOptimize(lk, cand);
+    Tour clk(inst, quickBoruvkaTour(inst, cand));
+    ClkOptions opt;
+    opt.maxKicks = 300;
+    chainedLinKernighan(clk, cand, rng, opt);
+    lkTotal += static_cast<double>(lk.length());
+    clkTotal += static_cast<double>(clk.length());
+  }
+  EXPECT_LT(clkTotal, lkTotal);
+}
+
+TEST(ChainedLk, RespectsMaxKicks) {
+  const Instance inst = uniformSquare("c", 100, 81);
+  const CandidateLists cand(inst, 8);
+  Rng rng(1);
+  Tour t(inst);
+  ClkOptions opt;
+  opt.maxKicks = 17;
+  const ClkResult res = chainedLinKernighan(t, cand, rng, opt);
+  EXPECT_EQ(res.kicks, 17);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(ChainedLk, StopsAtTarget) {
+  const Instance inst = uniformSquare("c", 12, 82);
+  const CandidateLists cand(inst, 8);
+  const auto opt = solveExactDp(inst);
+  Rng rng(2);
+  Tour t(inst);
+  ClkOptions co;
+  co.targetLength = opt.length;
+  co.maxKicks = 100000;
+  const ClkResult res = chainedLinKernighan(t, cand, rng, co);
+  EXPECT_TRUE(res.hitTarget);
+  EXPECT_EQ(t.length(), opt.length);
+  EXPECT_LT(res.kicks, 100000);
+}
+
+TEST(ChainedLk, StopsOnTimeLimit) {
+  const Instance inst = uniformSquare("c", 500, 83);
+  const CandidateLists cand(inst, 8);
+  Rng rng(3);
+  Tour t(inst);
+  ClkOptions co;
+  co.timeLimitSeconds = 0.2;
+  const ClkResult res = chainedLinKernighan(t, cand, rng, co);
+  EXPECT_LT(res.seconds, 2.0);  // generous: one kick never takes that long
+  EXPECT_FALSE(res.hitTarget);
+}
+
+TEST(ChainedLk, ChampionNeverWorsens) {
+  const Instance inst = uniformSquare("c", 200, 84);
+  const CandidateLists cand(inst, 8);
+  Rng rng(4);
+  Tour t(inst, quickBoruvkaTour(inst, cand));
+  std::vector<std::int64_t> lengths;
+  ClkOptions co;
+  co.maxKicks = 200;
+  chainedLinKernighan(t, cand, rng, co,
+                      [&](double, std::int64_t len) { lengths.push_back(len); });
+  ASSERT_GE(lengths.size(), 1u);
+  for (std::size_t i = 1; i < lengths.size(); ++i)
+    EXPECT_LT(lengths[i], lengths[i - 1]);
+  EXPECT_EQ(lengths.back(), t.length());
+}
+
+TEST(ChainedLk, CallbackTimesNonDecreasing) {
+  const Instance inst = uniformSquare("c", 200, 85);
+  const CandidateLists cand(inst, 8);
+  Rng rng(5);
+  Tour t(inst);
+  std::vector<double> times;
+  ClkOptions co;
+  co.maxKicks = 100;
+  chainedLinKernighan(t, cand, rng, co,
+                      [&](double s, std::int64_t) { times.push_back(s); });
+  for (std::size_t i = 1; i < times.size(); ++i)
+    EXPECT_GE(times[i], times[i - 1]);
+}
+
+TEST(ChainedLk, ReportsFlipWork) {
+  const Instance inst = uniformSquare("c", 150, 86);
+  const CandidateLists cand(inst, 8);
+  Rng rng(6);
+  Tour t(inst);
+  ClkOptions co;
+  co.maxKicks = 50;
+  const ClkResult res = chainedLinKernighan(t, cand, rng, co);
+  EXPECT_GT(res.flips, 0);
+  EXPECT_EQ(res.length, t.length());
+}
+
+class ChainedLkKickSweep : public ::testing::TestWithParam<KickStrategy> {};
+
+TEST_P(ChainedLkKickSweep, AllStrategiesProduceValidResults) {
+  const Instance inst = clustered("c", 200, 10, 87);
+  const CandidateLists cand(inst, 8);
+  Rng rng(7);
+  Tour t(inst, quickBoruvkaTour(inst, cand));
+  ClkOptions co;
+  co.kick = GetParam();
+  co.maxKicks = 100;
+  const ClkResult res = chainedLinKernighan(t, cand, rng, co);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(res.length, t.length());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ChainedLkKickSweep,
+    ::testing::Values(KickStrategy::kRandom, KickStrategy::kGeometric,
+                      KickStrategy::kClose, KickStrategy::kRandomWalk),
+    [](const auto& info) {
+      std::string name = toString(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+}  // namespace
+}  // namespace distclk

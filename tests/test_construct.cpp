@@ -1,0 +1,166 @@
+#include "construct/construct.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tsp/gen.h"
+#include "tsp/tour.h"
+
+namespace distclk {
+namespace {
+
+bool isPermutation(const std::vector<int>& order, int n) {
+  if (static_cast<int>(order.size()) != n) return false;
+  std::vector<bool> seen(std::size_t(n), false);
+  for (int c : order) {
+    if (c < 0 || c >= n || seen[std::size_t(c)]) return false;
+    seen[std::size_t(c)] = true;
+  }
+  return true;
+}
+
+class ConstructionTest : public ::testing::TestWithParam<int> {
+ protected:
+  Instance inst() const {
+    return uniformSquare("c", GetParam(), std::uint64_t(GetParam()) + 7);
+  }
+};
+
+TEST_P(ConstructionTest, RandomTourIsPermutation) {
+  const Instance i = inst();
+  Rng rng(1);
+  EXPECT_TRUE(isPermutation(randomTour(i, rng), i.n()));
+}
+
+TEST_P(ConstructionTest, NearestNeighborIsPermutation) {
+  const Instance i = inst();
+  EXPECT_TRUE(isPermutation(nearestNeighborTour(i, 0), i.n()));
+}
+
+TEST_P(ConstructionTest, GreedyIsPermutation) {
+  const Instance i = inst();
+  const CandidateLists cand(i, 8);
+  EXPECT_TRUE(isPermutation(greedyTour(i, cand), i.n()));
+}
+
+TEST_P(ConstructionTest, QuickBoruvkaIsPermutation) {
+  const Instance i = inst();
+  const CandidateLists cand(i, 8);
+  EXPECT_TRUE(isPermutation(quickBoruvkaTour(i, cand), i.n()));
+}
+
+TEST_P(ConstructionTest, SpaceFillingIsPermutation) {
+  const Instance i = inst();
+  EXPECT_TRUE(isPermutation(spaceFillingTour(i), i.n()));
+}
+
+TEST_P(ConstructionTest, HeuristicsBeatRandomTours) {
+  const Instance i = inst();
+  const CandidateLists cand(i, 8);
+  Rng rng(2);
+  // Average a few random tours as the reference.
+  std::int64_t randomTotal = 0;
+  for (int r = 0; r < 3; ++r)
+    randomTotal += i.tourLength(randomTour(i, rng));
+  const std::int64_t randomAvg = randomTotal / 3;
+  EXPECT_LT(i.tourLength(nearestNeighborTour(i, 0)), randomAvg);
+  EXPECT_LT(i.tourLength(greedyTour(i, cand)), randomAvg);
+  EXPECT_LT(i.tourLength(quickBoruvkaTour(i, cand)), randomAvg);
+  EXPECT_LT(i.tourLength(spaceFillingTour(i)), randomAvg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConstructionTest,
+                         ::testing::Values(8, 33, 100, 500));
+
+TEST(Construct, NearestNeighborStartsAtGivenCity) {
+  const Instance i = uniformSquare("c", 30, 5);
+  EXPECT_EQ(nearestNeighborTour(i, 17)[0], 17);
+}
+
+TEST(Construct, NearestNeighborExplicitMatrixPath) {
+  const std::vector<std::int64_t> m{0, 1, 4, 9,  //
+                                    1, 0, 2, 9,  //
+                                    4, 2, 0, 3,  //
+                                    9, 9, 3, 0};
+  const Instance inst("m", 4, m);
+  const auto order = nearestNeighborTour(inst, 0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Construct, GreedyPrefersShortEdgesOnChain) {
+  // Four collinear cities: greedy must produce the natural chain order.
+  const Instance inst("line", {{0, 0}, {1, 0}, {2, 0}, {10, 0}},
+                      EdgeWeightType::kEuc2D);
+  const CandidateLists cand(inst, 3);
+  const Tour t(inst, greedyTour(inst, cand));
+  EXPECT_EQ(t.length(), inst.tourLength(std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Construct, QuickBoruvkaDeterministic) {
+  const Instance i = uniformSquare("c", 200, 6);
+  const CandidateLists cand(i, 8);
+  EXPECT_EQ(quickBoruvkaTour(i, cand), quickBoruvkaTour(i, cand));
+}
+
+TEST(Construct, QuickBoruvkaQualityNearGreedy) {
+  // QB is expected to be in the same quality ballpark as greedy (both are
+  // within ~15-25% of optimal on uniform instances).
+  const Instance i = uniformSquare("c", 600, 8);
+  const CandidateLists cand(i, 10);
+  const auto qb = i.tourLength(quickBoruvkaTour(i, cand));
+  const auto gr = i.tourLength(greedyTour(i, cand));
+  EXPECT_LT(static_cast<double>(qb), static_cast<double>(gr) * 1.35);
+}
+
+TEST(Construct, SpaceFillingThrowsWithoutCoords) {
+  const std::vector<std::int64_t> m{0, 1, 2, 1, 0, 3, 2, 3, 0};
+  const Instance inst("m", 3, m);
+  EXPECT_THROW(spaceFillingTour(inst), std::invalid_argument);
+}
+
+TEST(Construct, SpaceFillingLocality) {
+  // On a uniform instance the Hilbert tour must be dramatically shorter
+  // than random (it visits spatially coherent runs).
+  const Instance i = uniformSquare("c", 1000, 9);
+  Rng rng(1);
+  const auto sf = i.tourLength(spaceFillingTour(i));
+  const auto rnd = i.tourLength(randomTour(i, rng));
+  EXPECT_LT(static_cast<double>(sf), static_cast<double>(rnd) * 0.2);
+}
+
+TEST(Construct, ChristofidesLikeIsPermutation) {
+  for (int n : {8, 50, 301}) {
+    const Instance i = uniformSquare("c", n, std::uint64_t(n) + 77);
+    EXPECT_TRUE(isPermutation(christofidesLikeTour(i), i.n())) << n;
+  }
+}
+
+TEST(Construct, ChristofidesLikeQualityCompetitive) {
+  // MST + matching + shortcut lands in the same quality band as greedy
+  // (both are within ~15-25% of optimal on uniform instances).
+  const Instance i = uniformSquare("c", 500, 78);
+  const CandidateLists cand(i, 10);
+  const auto chr = i.tourLength(christofidesLikeTour(i));
+  const auto gr = i.tourLength(greedyTour(i, cand));
+  EXPECT_LT(static_cast<double>(chr), static_cast<double>(gr) * 1.35);
+}
+
+TEST(Construct, ChristofidesLikeExplicitMatrixPath) {
+  const std::vector<std::int64_t> m{0, 1, 4, 9,  //
+                                    1, 0, 2, 9,  //
+                                    4, 2, 0, 3,  //
+                                    9, 9, 3, 0};
+  const Instance inst("m", 4, m);
+  EXPECT_TRUE(isPermutation(christofidesLikeTour(inst), 4));
+}
+
+TEST(Construct, WorksOnClusteredGeometry) {
+  const Instance i = clustered("c", 300, 10, 10);
+  const CandidateLists cand(i, 8);
+  EXPECT_TRUE(isPermutation(quickBoruvkaTour(i, cand), i.n()));
+  EXPECT_TRUE(isPermutation(greedyTour(i, cand), i.n()));
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,116 @@
+#include "tsp/gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace distclk {
+namespace {
+
+TEST(Gen, UniformDeterministicInSeed) {
+  const Instance a = uniformSquare("u", 100, 42);
+  const Instance b = uniformSquare("u", 100, 42);
+  const Instance c = uniformSquare("u", 100, 43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.point(i).x, b.point(i).x);
+    EXPECT_EQ(a.point(i).y, b.point(i).y);
+  }
+  int diff = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.point(i).x != c.point(i).x) ++diff;
+  EXPECT_GT(diff, 90);
+}
+
+TEST(Gen, UniformStaysInBounds) {
+  const Instance inst = uniformSquare("u", 500, 1, 1000.0);
+  for (int i = 0; i < inst.n(); ++i) {
+    EXPECT_GE(inst.point(i).x, 0.0);
+    EXPECT_LE(inst.point(i).x, 1000.0);
+    EXPECT_GE(inst.point(i).y, 0.0);
+    EXPECT_LE(inst.point(i).y, 1000.0);
+  }
+}
+
+TEST(Gen, SizesMatch) {
+  EXPECT_EQ(uniformSquare("u", 77, 1).n(), 77);
+  EXPECT_EQ(clustered("c", 123, 10, 1).n(), 123);
+  EXPECT_EQ(drillPlate("d", 211, 1).n(), 211);
+  EXPECT_EQ(perforatedGrid("g", 99, 1).n(), 99);
+  EXPECT_EQ(roadNetwork("r", 301, 1).n(), 301);
+}
+
+TEST(Gen, ClusteredIsActuallyClustered) {
+  // Mean nearest-neighbor distance of a clustered instance must be much
+  // smaller than for a uniform instance of the same size and area.
+  const int n = 400;
+  const Instance uni = uniformSquare("u", n, 5);
+  const Instance clu = clustered("c", n, 10, 5);
+  auto meanNn = [](const Instance& inst) {
+    double total = 0;
+    for (int i = 0; i < inst.n(); ++i) {
+      std::int64_t best = std::numeric_limits<std::int64_t>::max();
+      for (int j = 0; j < inst.n(); ++j)
+        if (j != i) best = std::min(best, inst.dist(i, j));
+      total += static_cast<double>(best);
+    }
+    return total / inst.n();
+  };
+  EXPECT_LT(meanNn(clu), meanNn(uni) * 0.6);
+}
+
+TEST(Gen, DrillPlateHasDenseBlocks) {
+  const Instance inst = drillPlate("d", 600, 7);
+  // Most cities must have an extremely close neighbor (same drill block).
+  int tight = 0;
+  for (int i = 0; i < inst.n(); ++i) {
+    for (int j = 0; j < inst.n(); ++j) {
+      if (j != i && inst.dist(i, j) < 30000) {  // block pitch << plate side
+        ++tight;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(tight, inst.n() * 7 / 10);
+}
+
+TEST(Gen, RoadNetworkHasSkewedDensity) {
+  const Instance inst = roadNetwork("r", 500, 3);
+  // Town structure: nearest-neighbor distances vary wildly (big towns are
+  // dense, villages sparse) — check the spread max/median is large.
+  std::vector<double> nn;
+  for (int i = 0; i < inst.n(); ++i) {
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (int j = 0; j < inst.n(); ++j)
+      if (j != i) best = std::min(best, inst.dist(i, j));
+    nn.push_back(static_cast<double>(best));
+  }
+  std::sort(nn.begin(), nn.end());
+  const double med = nn[nn.size() / 2];
+  EXPECT_GT(nn.back(), med * 4);
+}
+
+TEST(Gen, FamiliesProduceDistinctLayouts) {
+  const Instance a = uniformSquare("x", 50, 9);
+  const Instance b = clustered("x", 50, 10, 9);
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.point(i).x == b.point(i).x) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Gen, CommentsMentionSeed) {
+  EXPECT_NE(uniformSquare("u", 10, 77).comment().find("77"),
+            std::string::npos);
+  EXPECT_NE(clustered("c", 10, 3, 88).comment().find("88"),
+            std::string::npos);
+}
+
+TEST(Gen, PerforatedGridAvoidsNothingWhenTiny) {
+  // Small n must still produce exactly n in-bounds points.
+  const Instance inst = perforatedGrid("g", 12, 2);
+  EXPECT_EQ(inst.n(), 12);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,121 @@
+#include "tsp/instance.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace distclk {
+namespace {
+
+Instance euc(std::vector<Point> pts) {
+  return Instance("t", std::move(pts), EdgeWeightType::kEuc2D);
+}
+
+TEST(Instance, RejectsTooFewCities) {
+  EXPECT_THROW(euc({{0, 0}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(Instance, Euc2dRoundsToNearest) {
+  // d((0,0),(1,1)) = 1.414... -> 1 ; d((0,0),(2,2)) = 2.828... -> 3
+  const Instance inst = euc({{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_EQ(inst.dist(0, 1), 1);
+  EXPECT_EQ(inst.dist(0, 2), 3);
+  EXPECT_EQ(inst.dist(1, 2), 1);
+}
+
+TEST(Instance, Euc2dExactInteger) {
+  const Instance inst = euc({{0, 0}, {3, 4}, {0, 10}});
+  EXPECT_EQ(inst.dist(0, 1), 5);
+  EXPECT_EQ(inst.dist(0, 2), 10);
+}
+
+TEST(Instance, Ceil2dRoundsUp) {
+  const Instance inst("t", {{0, 0}, {1, 1}, {3, 4}}, EdgeWeightType::kCeil2D);
+  EXPECT_EQ(inst.dist(0, 1), 2);   // ceil(1.414)
+  EXPECT_EQ(inst.dist(0, 2), 5);   // exact stays exact
+}
+
+TEST(Instance, AttMetric) {
+  // TSPLIB ATT: r = sqrt((dx^2+dy^2)/10), t = nint(r), d = t<r ? t+1 : t.
+  const Instance inst("t", {{0, 0}, {10, 0}, {0, 1}}, EdgeWeightType::kAtt);
+  // r = sqrt(100/10) = 3.162..., nint = 3 < r -> 4.
+  EXPECT_EQ(inst.dist(0, 1), 4);
+  // r = sqrt(0.1) = 0.316, nint = 0 < r -> 1.
+  EXPECT_EQ(inst.dist(0, 2), 1);
+}
+
+TEST(Instance, GeoDistanceUlyssesPair) {
+  // ulysses16 cities 1 and 2: (38.24, 20.42) and (39.57, 26.15).
+  // TSPLIB's GEO distance between them is 509.
+  const Instance inst("t", {{38.24, 20.42}, {39.57, 26.15}, {40.56, 25.32}},
+                      EdgeWeightType::kGeo);
+  EXPECT_EQ(inst.dist(0, 1), 509);
+}
+
+TEST(Instance, ManhattanAndChebyshev) {
+  const Instance man("t", {{0, 0}, {3, 4}, {1, 1}}, EdgeWeightType::kMan2D);
+  EXPECT_EQ(man.dist(0, 1), 7);
+  const Instance max("t", {{0, 0}, {3, 4}, {1, 1}}, EdgeWeightType::kMax2D);
+  EXPECT_EQ(max.dist(0, 1), 4);
+}
+
+TEST(Instance, DistanceIsSymmetric) {
+  const Instance inst = euc({{0.3, 7.1}, {5.5, 2.2}, {9.9, 4.4}, {1, 1}});
+  for (int i = 0; i < inst.n(); ++i)
+    for (int j = 0; j < inst.n(); ++j) EXPECT_EQ(inst.dist(i, j), inst.dist(j, i));
+}
+
+TEST(Instance, ExplicitMatrix) {
+  const std::vector<std::int64_t> m{0, 1, 2,   //
+                                    1, 0, 3,   //
+                                    2, 3, 0};
+  const Instance inst("t", 3, m);
+  EXPECT_EQ(inst.dist(0, 1), 1);
+  EXPECT_EQ(inst.dist(1, 2), 3);
+  EXPECT_EQ(inst.weightType(), EdgeWeightType::kExplicit);
+  EXPECT_FALSE(inst.hasCoords());
+}
+
+TEST(Instance, ExplicitMatrixRejectsAsymmetry) {
+  const std::vector<std::int64_t> m{0, 1, 2,   //
+                                    9, 0, 3,   //
+                                    2, 3, 0};
+  EXPECT_THROW(Instance("t", 3, m), std::invalid_argument);
+}
+
+TEST(Instance, ExplicitMatrixRejectsWrongSize) {
+  EXPECT_THROW(Instance("t", 3, std::vector<std::int64_t>(8, 0)),
+               std::invalid_argument);
+}
+
+TEST(Instance, TourLengthClosesTheCycle) {
+  const Instance inst = euc({{0, 0}, {3, 0}, {3, 4}});
+  const std::vector<int> order{0, 1, 2};
+  EXPECT_EQ(inst.tourLength(order), 3 + 4 + 5);
+}
+
+TEST(Instance, TourLengthPermutationInvariantUnderRotation) {
+  const Instance inst = euc({{0, 0}, {3, 0}, {3, 4}, {0, 4}});
+  const std::vector<int> a{0, 1, 2, 3};
+  const std::vector<int> b{2, 3, 0, 1};
+  EXPECT_EQ(inst.tourLength(a), inst.tourLength(b));
+}
+
+TEST(Instance, ToStringCoversAllTypes) {
+  EXPECT_STREQ(toString(EdgeWeightType::kEuc2D), "EUC_2D");
+  EXPECT_STREQ(toString(EdgeWeightType::kCeil2D), "CEIL_2D");
+  EXPECT_STREQ(toString(EdgeWeightType::kAtt), "ATT");
+  EXPECT_STREQ(toString(EdgeWeightType::kGeo), "GEO");
+  EXPECT_STREQ(toString(EdgeWeightType::kMan2D), "MAN_2D");
+  EXPECT_STREQ(toString(EdgeWeightType::kMax2D), "MAX_2D");
+  EXPECT_STREQ(toString(EdgeWeightType::kExplicit), "EXPLICIT");
+}
+
+TEST(Instance, CommentRoundtrip) {
+  Instance inst = euc({{0, 0}, {1, 0}, {0, 1}});
+  inst.setComment("hello");
+  EXPECT_EQ(inst.comment(), "hello");
+}
+
+}  // namespace
+}  // namespace distclk

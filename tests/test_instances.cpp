@@ -1,0 +1,78 @@
+#include "experiments/instances.h"
+
+#include <gtest/gtest.h>
+
+namespace distclk {
+namespace {
+
+TEST(Instances, TestbedHasAllTwelve) {
+  const auto& tb = paperTestbed();
+  ASSERT_EQ(tb.size(), 12u);
+  EXPECT_EQ(tb.front().paperName, "C1k.1");
+  EXPECT_EQ(tb.back().paperName, "pla85900");
+}
+
+TEST(Instances, SmallSetMatchesTable3) {
+  // Table 3 covers everything up to fnl4461.
+  int smalls = 0;
+  for (const auto& spec : paperTestbed())
+    if (spec.smallSet) {
+      ++smalls;
+      EXPECT_LE(spec.n, 4461);
+    }
+  EXPECT_EQ(smalls, 7);
+}
+
+TEST(Instances, HkBoundFlagsMatchPaper) {
+  // The paper lacked optima for fi10639, pla33810, pla85900.
+  for (const auto& spec : paperTestbed()) {
+    const bool expected = spec.paperName == "fi10639" ||
+                          spec.paperName == "pla33810" ||
+                          spec.paperName == "pla85900";
+    EXPECT_EQ(spec.paperUsedHkBound, expected) << spec.paperName;
+  }
+}
+
+TEST(Instances, FindByEitherName) {
+  EXPECT_NE(findPaperInstance("fl3795"), nullptr);
+  EXPECT_NE(findPaperInstance("fl3795s"), nullptr);
+  EXPECT_EQ(findPaperInstance("fl3795"), findPaperInstance("fl3795s"));
+  EXPECT_EQ(findPaperInstance("nope"), nullptr);
+}
+
+TEST(Instances, MakeInstanceSizesMatch) {
+  for (const auto& spec : paperTestbed()) {
+    if (spec.n > 5000) continue;  // keep the test fast
+    const Instance inst = makeInstance(spec);
+    EXPECT_EQ(inst.n(), spec.n) << spec.paperName;
+    EXPECT_EQ(inst.name(), spec.standinName);
+  }
+}
+
+TEST(Instances, GenerationIsDeterministic) {
+  const auto* spec = findPaperInstance("E1k.1");
+  ASSERT_NE(spec, nullptr);
+  const Instance a = makeInstance(*spec);
+  const Instance b = makeInstance(*spec);
+  for (int i = 0; i < a.n(); ++i) {
+    EXPECT_EQ(a.point(i).x, b.point(i).x);
+    EXPECT_EQ(a.point(i).y, b.point(i).y);
+  }
+}
+
+TEST(Instances, ScaledInstanceOverridesSize) {
+  const auto* spec = findPaperInstance("sw24978");
+  ASSERT_NE(spec, nullptr);
+  const Instance inst = makeScaledInstance(*spec, 500);
+  EXPECT_EQ(inst.n(), 500);
+}
+
+TEST(Instances, SeedsAreUnique) {
+  const auto& tb = paperTestbed();
+  for (std::size_t i = 0; i < tb.size(); ++i)
+    for (std::size_t j = i + 1; j < tb.size(); ++j)
+      EXPECT_NE(tb[i].seed, tb[j].seed);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,135 @@
+#include "lk/kicks.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tsp/gen.h"
+
+namespace distclk {
+namespace {
+
+class KickStrategies : public ::testing::TestWithParam<KickStrategy> {};
+
+TEST_P(KickStrategies, PreservesTourValidity) {
+  const Instance inst = uniformSquare("k", 100, 71);
+  const CandidateLists cand(inst, 8);
+  Rng rng(21);
+  Tour t(inst);
+  for (int i = 0; i < 50; ++i) {
+    applyKick(t, GetParam(), cand, rng);
+    ASSERT_TRUE(t.valid()) << toString(GetParam()) << " kick " << i;
+  }
+}
+
+TEST_P(KickStrategies, ReturnsDirtyCitiesCoveringCutEdges) {
+  const Instance inst = uniformSquare("k", 60, 72);
+  const CandidateLists cand(inst, 8);
+  Rng rng(22);
+  Tour t(inst);
+  const Tour before = t;
+  const auto dirty = applyKick(t, GetParam(), cand, rng);
+  EXPECT_EQ(dirty.size(), 8u);
+  // Every edge present in the new tour but not the old one must have both
+  // endpoints in the dirty list.
+  std::set<std::pair<int, int>> oldEdges;
+  for (int c = 0; c < before.n(); ++c) {
+    const int nc = before.next(c);
+    oldEdges.insert({std::min(c, nc), std::max(c, nc)});
+  }
+  const std::set<int> dirtySet(dirty.begin(), dirty.end());
+  for (int c = 0; c < t.n(); ++c) {
+    const int nc = t.next(c);
+    if (oldEdges.count({std::min(c, nc), std::max(c, nc)})) continue;
+    EXPECT_TRUE(dirtySet.count(c)) << "new edge endpoint " << c;
+    EXPECT_TRUE(dirtySet.count(nc)) << "new edge endpoint " << nc;
+  }
+}
+
+TEST_P(KickStrategies, UsuallyChangesTheTour) {
+  const Instance inst = uniformSquare("k", 100, 73);
+  const CandidateLists cand(inst, 8);
+  Rng rng(23);
+  int changed = 0;
+  for (int i = 0; i < 20; ++i) {
+    Tour t(inst);
+    const auto before = t.orderVector();
+    applyKick(t, GetParam(), cand, rng);
+    if (t.orderVector() != before) ++changed;
+  }
+  EXPECT_GE(changed, 18);
+}
+
+TEST_P(KickStrategies, DeterministicGivenRngState) {
+  const Instance inst = uniformSquare("k", 80, 74);
+  const CandidateLists cand(inst, 8);
+  Rng r1(99), r2(99);
+  Tour a(inst), b(inst);
+  applyKick(a, GetParam(), cand, r1);
+  applyKick(b, GetParam(), cand, r2);
+  EXPECT_EQ(a.orderVector(), b.orderVector());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, KickStrategies,
+    ::testing::Values(KickStrategy::kRandom, KickStrategy::kGeometric,
+                      KickStrategy::kClose, KickStrategy::kRandomWalk),
+    [](const auto& info) {
+      std::string name = toString(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(Kicks, ThrowsOnTinyTours) {
+  const Instance inst = uniformSquare("k", 6, 75);
+  const CandidateLists cand(inst, 4);
+  Rng rng(1);
+  Tour t(inst);
+  EXPECT_THROW(applyKick(t, KickStrategy::kRandom, cand, rng),
+               std::invalid_argument);
+}
+
+TEST(Kicks, GeometricSelectsNearbyCities) {
+  // With a clustered instance, the geometric kick's changed edges stay
+  // inside one neighborhood much more often than the random kick's.
+  const Instance inst = clustered("k", 300, 10, 76);
+  const CandidateLists cand(inst, 8);
+  Rng rng(31);
+  auto meanCutSpread = [&](KickStrategy s) {
+    double total = 0;
+    for (int i = 0; i < 30; ++i) {
+      Tour t(inst);
+      const auto dirty = applyKick(t, s, cand, rng);
+      // Spread = max pairwise distance among the 8 dirty cities.
+      std::int64_t spread = 0;
+      for (int a : dirty)
+        for (int b : dirty) spread = std::max(spread, inst.dist(a, b));
+      total += static_cast<double>(spread);
+    }
+    return total / 30;
+  };
+  EXPECT_LT(meanCutSpread(KickStrategy::kGeometric),
+            meanCutSpread(KickStrategy::kRandom));
+}
+
+TEST(Kicks, StrategyNamesRoundtrip) {
+  for (KickStrategy s :
+       {KickStrategy::kRandom, KickStrategy::kGeometric, KickStrategy::kClose,
+        KickStrategy::kRandomWalk})
+    EXPECT_EQ(kickStrategyFromString(toString(s)), s);
+  EXPECT_THROW(kickStrategyFromString("bogus"), std::invalid_argument);
+}
+
+TEST(Kicks, LengthBookkeepingStaysConsistent) {
+  const Instance inst = uniformSquare("k", 64, 77);
+  const CandidateLists cand(inst, 8);
+  Rng rng(41);
+  Tour t(inst);
+  for (int i = 0; i < 100; ++i) {
+    applyKick(t, KickStrategy::kRandomWalk, cand, rng);
+    ASSERT_EQ(t.length(), inst.tourLength(t.order()));
+  }
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,84 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+namespace distclk {
+namespace {
+
+TEST(Message, TourRoundtrip) {
+  Message msg;
+  msg.type = MessageType::kTour;
+  msg.from = 3;
+  msg.length = 1234567890123LL;
+  msg.order = {0, 5, 2, 4, 1, 3};
+  const auto buf = serialize(msg);
+  EXPECT_EQ(deserialize(buf), msg);
+}
+
+TEST(Message, OptimumFoundRoundtrip) {
+  Message msg;
+  msg.type = MessageType::kOptimumFound;
+  msg.from = 7;
+  msg.length = 42;
+  const auto buf = serialize(msg);
+  const Message back = deserialize(buf);
+  EXPECT_EQ(back, msg);
+  EXPECT_TRUE(back.order.empty());
+}
+
+TEST(Message, EmptyOrderSerializesCompactly) {
+  Message msg;
+  msg.type = MessageType::kOptimumFound;
+  const auto buf = serialize(msg);
+  EXPECT_EQ(buf.size(), 21u);  // magic + type + from + length + count
+}
+
+TEST(Message, SizeScalesWithOrder) {
+  Message msg;
+  msg.order.assign(100, 1);
+  EXPECT_EQ(serialize(msg).size(), 21u + 400u);
+}
+
+TEST(Message, RejectsBadMagic) {
+  Message msg;
+  auto buf = serialize(msg);
+  buf[0] ^= 0xff;
+  EXPECT_THROW(deserialize(buf), std::runtime_error);
+}
+
+TEST(Message, RejectsTruncation) {
+  Message msg;
+  msg.order = {1, 2, 3};
+  auto buf = serialize(msg);
+  buf.resize(buf.size() - 2);
+  EXPECT_THROW(deserialize(buf), std::runtime_error);
+}
+
+TEST(Message, RejectsTrailingBytes) {
+  Message msg;
+  auto buf = serialize(msg);
+  buf.push_back(0);
+  EXPECT_THROW(deserialize(buf), std::runtime_error);
+}
+
+TEST(Message, RejectsUnknownType) {
+  Message msg;
+  auto buf = serialize(msg);
+  buf[4] = 99;  // the type byte follows the 4-byte magic
+  EXPECT_THROW(deserialize(buf), std::runtime_error);
+}
+
+TEST(Message, RejectsEmptyBuffer) {
+  EXPECT_THROW(deserialize({}), std::runtime_error);
+}
+
+TEST(Message, LargeTourRoundtrip) {
+  Message msg;
+  msg.order.resize(25000);
+  for (int i = 0; i < 25000; ++i) msg.order[std::size_t(i)] = 24999 - i;
+  msg.length = 99999999;
+  EXPECT_EQ(deserialize(serialize(msg)), msg);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,95 @@
+#include "tsp/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tsp/gen.h"
+#include "util/rng.h"
+
+namespace distclk {
+namespace {
+
+std::vector<int> identity(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(Metrics, IdenticalToursShareEverything) {
+  const auto t = identity(10);
+  EXPECT_EQ(sharedEdges(t, t), 10);
+  EXPECT_DOUBLE_EQ(bondSimilarity(t, t), 1.0);
+}
+
+TEST(Metrics, RotationAndReflectionAreTheSameCycle) {
+  const auto a = identity(8);
+  std::vector<int> rotated{3, 4, 5, 6, 7, 0, 1, 2};
+  std::vector<int> reflected{0, 7, 6, 5, 4, 3, 2, 1};
+  EXPECT_EQ(sharedEdges(a, rotated), 8);
+  EXPECT_EQ(sharedEdges(a, reflected), 8);
+}
+
+TEST(Metrics, DisjointCyclesShareAlmostNothing) {
+  const auto a = identity(6);                 // 0-1-2-3-4-5
+  const std::vector<int> b{0, 2, 4, 1, 3, 5};  // mostly different edges
+  EXPECT_LT(sharedEdges(a, b), 3);
+}
+
+TEST(Metrics, SharedEdgesRejectsSizeMismatch) {
+  EXPECT_THROW(sharedEdges(identity(5), identity(6)), std::invalid_argument);
+}
+
+TEST(Metrics, UnionEdgeCountBounds) {
+  const auto a = identity(10);
+  std::vector<int> b = a;
+  std::swap(b[2], b[7]);  // a different cycle
+  const int unionCount = unionEdgeCount({a, b});
+  EXPECT_GE(unionCount, 10);
+  EXPECT_LE(unionCount, 20);
+  EXPECT_EQ(unionEdgeCount({a, a}), 10);
+}
+
+TEST(Metrics, PopulationDiversitySemantics) {
+  const auto a = identity(12);
+  EXPECT_DOUBLE_EQ(populationDiversity({a}), 1.0);
+  EXPECT_DOUBLE_EQ(populationDiversity({a, a, a}), 1.0);
+  Rng rng(4);
+  std::vector<int> shuffled = a;
+  rng.shuffle(shuffled);
+  const double div = populationDiversity({a, shuffled});
+  EXPECT_LT(div, 1.0);
+  EXPECT_GE(div, 0.0);
+}
+
+TEST(Metrics, EdgeLengthProfileOnSquare) {
+  const Instance inst("sq", {{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+                      EdgeWeightType::kEuc2D);
+  const auto profile = edgeLengthProfile(inst, std::vector<int>{0, 1, 2, 3});
+  EXPECT_EQ(profile.min, 10);
+  EXPECT_EQ(profile.max, 10);
+  EXPECT_DOUBLE_EQ(profile.mean, 10.0);
+  EXPECT_DOUBLE_EQ(profile.p50, 10.0);
+}
+
+TEST(Metrics, EdgeLengthProfileSkewed) {
+  // Three short edges, one long closing edge.
+  const Instance inst("ln", {{0, 0}, {1, 0}, {2, 0}, {100, 0}},
+                      EdgeWeightType::kEuc2D);
+  const auto profile = edgeLengthProfile(inst, std::vector<int>{0, 1, 2, 3});
+  EXPECT_EQ(profile.min, 1);
+  EXPECT_EQ(profile.max, 100);
+  EXPECT_GT(profile.p95, profile.p50);
+}
+
+TEST(Metrics, RandomToursOnSameInstanceHaveLowSimilarity) {
+  Rng rng(9);
+  auto a = identity(200);
+  auto b = identity(200);
+  rng.shuffle(a);
+  rng.shuffle(b);
+  EXPECT_LT(bondSimilarity(a, b), 0.1);
+}
+
+}  // namespace
+}  // namespace distclk

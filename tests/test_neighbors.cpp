@@ -1,0 +1,149 @@
+#include "tsp/neighbors.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tsp/gen.h"
+
+namespace distclk {
+namespace {
+
+TEST(CandidateLists, NearestMatchBruteForce) {
+  const Instance inst = uniformSquare("n", 120, 11);
+  const CandidateLists cand(inst, 6);
+  for (int c = 0; c < inst.n(); ++c) {
+    const auto got = cand.of(c);
+    ASSERT_EQ(got.size(), 6u);
+    // Brute-force 6 nearest by integral TSPLIB distance.
+    std::vector<std::pair<std::int64_t, int>> d;
+    for (int o = 0; o < inst.n(); ++o)
+      if (o != c) d.emplace_back(inst.dist(c, o), o);
+    std::sort(d.begin(), d.end());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(inst.dist(c, got[i]), d[i].first) << "city " << c;
+  }
+}
+
+TEST(CandidateLists, SortedByDistance) {
+  const Instance inst = clustered("n", 200, 5, 12);
+  const CandidateLists cand(inst, 8);
+  for (int c = 0; c < inst.n(); ++c) {
+    const auto got = cand.of(c);
+    for (std::size_t i = 1; i < got.size(); ++i)
+      EXPECT_LE(inst.dist(c, got[i - 1]), inst.dist(c, got[i]));
+  }
+}
+
+TEST(CandidateLists, NoSelfAndNoDuplicates) {
+  const Instance inst = uniformSquare("n", 80, 13);
+  const CandidateLists cand(inst, 10);
+  for (int c = 0; c < inst.n(); ++c) {
+    const auto got = cand.of(c);
+    EXPECT_EQ(std::count(got.begin(), got.end(), c), 0);
+    std::vector<int> copy(got.begin(), got.end());
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(std::adjacent_find(copy.begin(), copy.end()), copy.end());
+  }
+}
+
+TEST(CandidateLists, KClampedToNMinus1) {
+  const Instance inst = uniformSquare("n", 5, 14);
+  const CandidateLists cand(inst, 50);
+  for (int c = 0; c < 5; ++c) EXPECT_EQ(cand.of(c).size(), 4u);
+}
+
+TEST(CandidateLists, RejectsNonpositiveK) {
+  const Instance inst = uniformSquare("n", 10, 15);
+  EXPECT_THROW(CandidateLists(inst, 0), std::invalid_argument);
+}
+
+TEST(CandidateLists, ExplicitMatrixFallback) {
+  const std::vector<std::int64_t> m{0, 1, 9, 9,  //
+                                    1, 0, 2, 9,  //
+                                    9, 2, 0, 3,  //
+                                    9, 9, 3, 0};
+  const Instance inst("m", 4, m);
+  const CandidateLists cand(inst, 2);
+  EXPECT_EQ(cand.of(0)[0], 1);
+  EXPECT_EQ(cand.of(2)[0], 1);
+  EXPECT_EQ(cand.of(3)[0], 2);
+}
+
+TEST(CandidateLists, QuadrantCoversAllQuadrants) {
+  // A city at the center with neighbors in all four quadrants: the quadrant
+  // lists must include at least one from each, even if one quadrant is
+  // much farther away.
+  std::vector<Point> pts{{0, 0}};
+  // Near cluster in quadrant ++ (would fill a plain 4-NN list entirely).
+  pts.push_back({1, 1});
+  pts.push_back({2, 1});
+  pts.push_back({1, 2});
+  pts.push_back({2, 2});
+  pts.push_back({3, 3});
+  // One far point per other quadrant.
+  pts.push_back({-50, 40});
+  pts.push_back({-60, -50});
+  pts.push_back({70, -60});
+  const Instance inst("q", pts, EdgeWeightType::kEuc2D);
+  const CandidateLists cand(inst, 4, CandidateLists::Kind::kQuadrant);
+  const auto got = cand.of(0);
+  int quads[4] = {0, 0, 0, 0};
+  for (int nb : got) {
+    const Point& p = inst.point(nb);
+    quads[(p.x >= 0 ? 1 : 0) | (p.y >= 0 ? 2 : 0)]++;
+  }
+  EXPECT_GE(quads[0], 1);  // -x -y
+  EXPECT_GE(quads[1], 1);  // +x -y
+  EXPECT_GE(quads[2], 1);  // -x +y
+  EXPECT_GE(quads[3], 1);  // +x +y
+}
+
+TEST(CandidateLists, ContainsWorks) {
+  const Instance inst = uniformSquare("n", 40, 16);
+  const CandidateLists cand(inst, 5);
+  for (int c = 0; c < inst.n(); ++c)
+    for (int nb : cand.of(c)) EXPECT_TRUE(cand.contains(c, nb));
+  EXPECT_FALSE(cand.contains(0, 0));
+}
+
+TEST(CandidateLists, MakeSymmetricClosesGraph) {
+  const Instance inst = clustered("n", 150, 8, 17);
+  CandidateLists cand(inst, 5);
+  cand.makeSymmetric();
+  for (int a = 0; a < inst.n(); ++a)
+    for (int b : cand.of(a))
+      EXPECT_TRUE(cand.contains(b, a)) << a << " -> " << b;
+}
+
+TEST(CandidateLists, MakeSymmetricKeepsExistingEdges) {
+  const Instance inst = uniformSquare("n", 60, 18);
+  CandidateLists cand(inst, 4);
+  std::vector<std::vector<int>> before;
+  for (int c = 0; c < inst.n(); ++c) {
+    const auto l = cand.of(c);
+    before.emplace_back(l.begin(), l.end());
+  }
+  cand.makeSymmetric();
+  for (int c = 0; c < inst.n(); ++c)
+    for (int nb : before[std::size_t(c)]) EXPECT_TRUE(cand.contains(c, nb));
+}
+
+TEST(CandidateLists, CustomListsValidated) {
+  const Instance inst = uniformSquare("n", 10, 19);
+  EXPECT_THROW(CandidateLists(inst, std::vector<std::vector<int>>(3)),
+               std::invalid_argument);
+  CandidateLists ok(inst, std::vector<std::vector<int>>(10));
+  EXPECT_EQ(ok.of(0).size(), 0u);
+  EXPECT_EQ(ok.maxDegree(), 0);
+}
+
+TEST(CandidateLists, MaxDegreeReported) {
+  const Instance inst = uniformSquare("n", 30, 20);
+  const CandidateLists cand(inst, 7);
+  EXPECT_EQ(cand.maxDegree(), 7);
+  EXPECT_EQ(cand.n(), 30);
+}
+
+}  // namespace
+}  // namespace distclk

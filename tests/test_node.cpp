@@ -1,0 +1,206 @@
+#include "core/node.h"
+
+#include <gtest/gtest.h>
+
+#include "tsp/gen.h"
+#include "tsp/tour.h"
+
+namespace distclk {
+namespace {
+
+// Small instances + few inner kicks keep each step cheap.
+DistParams fastParams() {
+  DistParams p;
+  p.clkKicksPerCall = 5;
+  return p;
+}
+
+Message tourMessage(const Instance& inst, const std::vector<int>& order,
+                    int from) {
+  Message m;
+  m.type = MessageType::kTour;
+  m.from = from;
+  m.length = inst.tourLength(order);
+  m.order.assign(order.begin(), order.end());
+  return m;
+}
+
+TEST(DistNode, InitialStepProducesOptimizedTour) {
+  const Instance inst = uniformSquare("n", 100, 91);
+  const CandidateLists cand(inst, 8);
+  DistNode node(inst, cand, fastParams(), 0, 1);
+  const auto out = node.initialStep();
+  EXPECT_EQ(out.bestLength, node.best().length());
+  EXPECT_TRUE(node.best().valid());
+  EXPECT_GT(out.modelCost, 0);
+  EXPECT_FALSE(out.broadcast);
+}
+
+TEST(DistNode, StepBeforeInitialThrows) {
+  const Instance inst = uniformSquare("n", 50, 92);
+  const CandidateLists cand(inst, 8);
+  DistNode node(inst, cand, fastParams(), 0, 1);
+  EXPECT_THROW(node.step({}), std::logic_error);
+}
+
+TEST(DistNode, DoubleInitialThrows) {
+  const Instance inst = uniformSquare("n", 50, 92);
+  const CandidateLists cand(inst, 8);
+  DistNode node(inst, cand, fastParams(), 0, 1);
+  node.initialStep();
+  EXPECT_THROW(node.initialStep(), std::logic_error);
+}
+
+TEST(DistNode, StagnationIncrementsCounter) {
+  const Instance inst = uniformSquare("n", 60, 93);
+  const CandidateLists cand(inst, 8);
+  DistNode node(inst, cand, fastParams(), 0, 2);
+  node.initialStep();
+  // Run a handful of steps; whenever no strict improvement happened the
+  // counter must have grown, and it must never exceed the step count.
+  int lastCounter = node.noImprovements();
+  for (int i = 0; i < 5; ++i) {
+    const auto out = node.step({});
+    if (out.bestLength == node.best().length() &&
+        node.noImprovements() > lastCounter) {
+      EXPECT_EQ(node.noImprovements(), lastCounter + 1);
+    }
+    lastCounter = node.noImprovements();
+  }
+  EXPECT_LE(node.noImprovements(), 5);
+}
+
+TEST(DistNode, PerturbationLevelLadder) {
+  DistParams p = fastParams();
+  p.cv = 2;  // level grows every 2 stagnant iterations
+  const Instance inst = uniformSquare("n", 40, 94);
+  const CandidateLists cand(inst, 8);
+  DistNode node(inst, cand, p, 0, 3);
+  node.initialStep();
+  EXPECT_EQ(node.perturbationLevel(), 1);
+  // Drive the node until stagnation accumulates.
+  int maxLevel = 1;
+  for (int i = 0; i < 12; ++i) {
+    node.step({});
+    maxLevel = std::max(maxLevel, node.perturbationLevel());
+    EXPECT_EQ(node.perturbationLevel(), node.noImprovements() / p.cv + 1);
+  }
+  EXPECT_GE(maxLevel, 2);  // small instance converges fast, so levels climb
+}
+
+TEST(DistNode, RestartsAfterCr) {
+  DistParams p = fastParams();
+  p.cv = 1;
+  p.cr = 3;
+  const Instance inst = uniformSquare("n", 30, 95);
+  const CandidateLists cand(inst, 8);
+  DistNode node(inst, cand, p, 0, 4);
+  node.initialStep();
+  bool sawRestart = false;
+  for (int i = 0; i < 20 && !sawRestart; ++i)
+    sawRestart = node.step({}).restarted;
+  EXPECT_TRUE(sawRestart);
+  EXPECT_GE(node.restarts(), 1);
+  EXPECT_EQ(node.noImprovements() / p.cv + 1, node.perturbationLevel());
+}
+
+TEST(DistNode, ReceivedBetterTourIsAdopted) {
+  const Instance inst = uniformSquare("n", 80, 96);
+  const CandidateLists cand(inst, 8);
+  DistParams p = fastParams();
+  p.clkKicksPerCall = 1;
+  DistNode weak(inst, cand, p, 0, 5);
+  weak.initialStep();
+  // Produce a strong tour with a second node.
+  DistParams strong = fastParams();
+  strong.clkKicksPerCall = 300;
+  DistNode helper(inst, cand, strong, 1, 6);
+  helper.initialStep();
+  for (int i = 0; i < 3; ++i) helper.step({});
+  ASSERT_LT(helper.best().length(), weak.best().length());
+
+  const auto out = weak.step({helper.makeTourMessage()});
+  EXPECT_LE(out.bestLength, helper.best().length());
+  EXPECT_FALSE(out.broadcast);  // received tours are not re-broadcast
+  EXPECT_EQ(weak.noImprovements(), 0);  // improvement resets the counter
+}
+
+TEST(DistNode, WorseReceivedTourIsIgnored) {
+  const Instance inst = uniformSquare("n", 80, 97);
+  const CandidateLists cand(inst, 8);
+  DistNode node(inst, cand, fastParams(), 0, 7);
+  node.initialStep();
+  const auto before = node.best().length();
+  // A terrible tour: identity order.
+  std::vector<int> bad(80);
+  for (int i = 0; i < 80; ++i) bad[std::size_t(i)] = i;
+  const auto out = node.step({tourMessage(inst, bad, 1)});
+  EXPECT_LE(out.bestLength, before);
+  EXPECT_NE(out.bestLength, inst.tourLength(bad));
+}
+
+TEST(DistNode, BroadcastOnLocalImprovement) {
+  const Instance inst = uniformSquare("n", 200, 98);
+  const CandidateLists cand(inst, 8);
+  DistParams p = fastParams();
+  p.clkKicksPerCall = 50;
+  DistNode node(inst, cand, p, 0, 8);
+  node.initialStep();
+  bool sawBroadcast = false;
+  for (int i = 0; i < 10 && !sawBroadcast; ++i)
+    sawBroadcast = node.step({}).broadcast;
+  EXPECT_TRUE(sawBroadcast);  // 200-city tours improve readily early on
+}
+
+TEST(DistNode, TargetDetection) {
+  const Instance inst = uniformSquare("n", 50, 99);
+  const CandidateLists cand(inst, 8);
+  DistParams p = fastParams();
+  DistNode probe(inst, cand, p, 0, 9);
+  probe.initialStep();
+  // Set the target to the already-achieved length: next node hits it at init.
+  p.targetLength = probe.best().length();
+  DistNode node(inst, cand, p, 1, 9);
+  const auto out = node.initialStep();
+  EXPECT_TRUE(out.foundTarget);
+}
+
+TEST(DistNode, MakeTourMessageRoundtrips) {
+  const Instance inst = uniformSquare("n", 64, 100);
+  const CandidateLists cand(inst, 8);
+  DistNode node(inst, cand, fastParams(), 5, 10);
+  node.initialStep();
+  const Message msg = node.makeTourMessage();
+  EXPECT_EQ(msg.from, 5);
+  EXPECT_EQ(msg.length, node.best().length());
+  const Message back = deserialize(serialize(msg));
+  EXPECT_EQ(back, msg);
+  // The order in the message reconstructs to the same length.
+  std::vector<int> order(back.order.begin(), back.order.end());
+  EXPECT_EQ(inst.tourLength(order), node.best().length());
+}
+
+TEST(DistNode, NoPerturbationAblation) {
+  DistParams p = fastParams();
+  p.usePerturbation = false;
+  const Instance inst = uniformSquare("n", 60, 101);
+  const CandidateLists cand(inst, 8);
+  DistNode node(inst, cand, p, 0, 11);
+  node.initialStep();
+  for (int i = 0; i < 5; ++i) {
+    const auto out = node.step({});
+    EXPECT_EQ(out.perturbations, 0);
+    EXPECT_FALSE(out.restarted);
+  }
+}
+
+TEST(DistNode, RejectsBadParams) {
+  const Instance inst = uniformSquare("n", 30, 102);
+  const CandidateLists cand(inst, 8);
+  DistParams p;
+  p.cv = 0;
+  EXPECT_THROW(DistNode(inst, cand, p, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace distclk

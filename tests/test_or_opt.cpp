@@ -1,0 +1,89 @@
+#include "lk/or_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "construct/construct.h"
+#include "lk/two_opt.h"
+#include "tsp/gen.h"
+#include "util/rng.h"
+
+namespace distclk {
+namespace {
+
+TEST(OrOpt, RepairsStrandedCity) {
+  // A city sitting far along the tour from its geometric home; Or-opt must
+  // relocate it. Layout: chain 0..4 on a line plus city 5 near city 0 but
+  // placed at the tour's far end is already its natural spot — instead put
+  // city 5 (near 0-1) between 2 and 3 in the starting order.
+  const Instance inst("line",
+                      {{0, 0}, {10, 0}, {20, 0}, {30, 0}, {40, 0}, {5, 1}},
+                      EdgeWeightType::kEuc2D);
+  const CandidateLists cand(inst, 5);
+  Tour t(inst, {0, 1, 2, 5, 3, 4});
+  const auto gain = orOptOptimize(t, cand);
+  EXPECT_GT(gain, 0);
+  EXPECT_TRUE(t.valid());
+  // City 5 must now be adjacent to 0 or 1.
+  EXPECT_TRUE(t.next(5) == 0 || t.prev(5) == 0 || t.next(5) == 1 ||
+              t.prev(5) == 1);
+}
+
+class OrOptSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrOptSizes, ImprovesRandomToursAndStaysValid) {
+  const int n = GetParam();
+  const Instance inst = uniformSquare("o", n, std::uint64_t(n) + 51);
+  const CandidateLists cand(inst, 8);
+  Rng rng(5);
+  Tour t(inst, randomTour(inst, rng));
+  const auto before = t.length();
+  const auto gain = orOptOptimize(t, cand);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.length(), before - gain);
+  EXPECT_GT(gain, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OrOptSizes, ::testing::Values(12, 60, 300));
+
+TEST(OrOpt, IdempotentAtLocalOptimum) {
+  const Instance inst = uniformSquare("o", 120, 53);
+  const CandidateLists cand(inst, 8);
+  Rng rng(6);
+  Tour t(inst, randomTour(inst, rng));
+  orOptOptimize(t, cand);
+  EXPECT_EQ(orOptOptimize(t, cand), 0);
+}
+
+TEST(OrOpt, ComplementsTwoOpt) {
+  // After 2-opt, Or-opt can still find segment relocations (different
+  // neighborhood); combined result must never be worse.
+  const Instance inst = clustered("o", 250, 8, 54);
+  const CandidateLists cand(inst, 8);
+  Rng rng(7);
+  Tour t(inst, randomTour(inst, rng));
+  twoOptOptimize(t, cand);
+  const auto afterTwoOpt = t.length();
+  orOptOptimize(t, cand);
+  EXPECT_LE(t.length(), afterTwoOpt);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(OrOpt, RespectsMaxSegLen) {
+  const Instance inst = uniformSquare("o", 100, 55);
+  const CandidateLists cand(inst, 8);
+  Rng rng(8);
+  Tour a(inst, randomTour(inst, rng));
+  Tour b = a;
+  const auto gain1 = orOptOptimize(a, cand, 1);
+  const auto gain3 = orOptOptimize(b, cand, 3);
+  EXPECT_GE(gain1, 0);
+  EXPECT_GE(gain3, 0);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  // With segment length 1 no improving single-city relocation remains; the
+  // length-3 variant must therefore be at least 1-relocation-optimal too.
+  EXPECT_EQ(orOptOptimize(b, cand, 1), 0);
+}
+
+}  // namespace
+}  // namespace distclk

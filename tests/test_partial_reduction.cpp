@@ -1,0 +1,94 @@
+#include "lk/partial_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "construct/construct.h"
+#include "lk/chained_lk.h"
+#include "tsp/gen.h"
+#include "util/rng.h"
+
+namespace distclk {
+namespace {
+
+TEST(PartialReduction, MaskRequiresTwoTours) {
+  EXPECT_THROW(protectedCityMask({{0, 1, 2}}), std::invalid_argument);
+}
+
+TEST(PartialReduction, MaskRejectsSizeMismatch) {
+  EXPECT_THROW(protectedCityMask({{0, 1, 2}, {0, 1, 2, 3}}),
+               std::invalid_argument);
+}
+
+TEST(PartialReduction, IdenticalToursProtectEverything) {
+  const std::vector<int> t{0, 3, 1, 4, 2};
+  const auto mask = protectedCityMask({t, t, t});
+  for (char m : mask) EXPECT_EQ(m, 1);
+}
+
+TEST(PartialReduction, RotatedAndReflectedToursStillProtect) {
+  const std::vector<int> a{0, 1, 2, 3, 4};
+  const std::vector<int> rot{2, 3, 4, 0, 1};
+  const std::vector<int> refl{0, 4, 3, 2, 1};
+  for (char m : protectedCityMask({a, rot, refl})) EXPECT_EQ(m, 1);
+}
+
+TEST(PartialReduction, DisjointToursProtectNothing) {
+  const std::vector<int> a{0, 1, 2, 3, 4, 5};
+  const std::vector<int> b{0, 2, 4, 1, 5, 3};
+  int protectedCount = 0;
+  for (char m : protectedCityMask({a, b})) protectedCount += m;
+  EXPECT_LE(protectedCount, 1);
+}
+
+TEST(PartialReduction, PartialOverlapProtectsSharedInterior) {
+  // Tours agree everywhere except a relocated city 5.
+  const std::vector<int> a{0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<int> b{0, 1, 2, 5, 3, 4, 6, 7};
+  const auto mask = protectedCityMask({a, b});
+  EXPECT_EQ(mask[0], 1);  // edges (7,0),(0,1) shared
+  EXPECT_EQ(mask[1], 1);  // edges (0,1),(1,2) shared
+  EXPECT_EQ(mask[5], 0);  // relocated city
+  EXPECT_EQ(mask[3], 0);  // its old/new neighbors lost an edge
+}
+
+TEST(PartialReduction, ReducedLkSkipsProtectedAnchors) {
+  const Instance inst = uniformSquare("p", 400, 181);
+  const CandidateLists cand(inst, 8);
+  Rng rng(7);
+  // Two optimized tours whose common edges define the protection.
+  Tour a(inst, quickBoruvkaTour(inst, cand));
+  ClkOptions co;
+  co.maxKicks = 100;
+  chainedLinKernighan(a, cand, rng, co);
+  Tour b = a;
+  applyKick(b, KickStrategy::kRandom, cand, rng);
+  linKernighanOptimize(b, cand);
+  const auto mask = protectedCityMask({a.orderVector(), b.orderVector()});
+  int protectedCount = 0;
+  for (char m : mask) protectedCount += m;
+  // Two near-optimal tours share most of their edges.
+  EXPECT_GT(protectedCount, 200);
+
+  // Reduced LK on a fresh kicked tour does less work than full LK from the
+  // same state but loses little quality.
+  Tour fullT = a;
+  applyKick(fullT, KickStrategy::kRandom, cand, rng);
+  Tour reducedT = fullT;
+  const LkStats full = linKernighanOptimize(fullT, cand);
+  const LkStats reduced = reducedLinKernighanOptimize(reducedT, cand, mask);
+  EXPECT_TRUE(reducedT.valid());
+  EXPECT_LE(reduced.flips, full.flips);
+  EXPECT_LE(static_cast<double>(reducedT.length()),
+            static_cast<double>(fullT.length()) * 1.01);
+}
+
+TEST(PartialReduction, MaskSizeValidatedAgainstTour) {
+  const Instance inst = uniformSquare("p", 50, 182);
+  const CandidateLists cand(inst, 8);
+  Tour t(inst);
+  EXPECT_THROW(reducedLinKernighanOptimize(t, cand, std::vector<char>(10)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace distclk

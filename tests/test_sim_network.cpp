@@ -1,0 +1,110 @@
+#include "net/sim_network.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace distclk {
+namespace {
+
+Message tourMsg(int from, std::int64_t len) {
+  Message m;
+  m.type = MessageType::kTour;
+  m.from = from;
+  m.length = len;
+  return m;
+}
+
+TEST(SimNetwork, DeliversAfterLatency) {
+  SimNetwork net(buildTopology(TopologyKind::kComplete, 3), 0.5);
+  net.send(0, 1, 10.0, tourMsg(0, 100));
+  EXPECT_TRUE(net.collect(1, 10.4).empty());
+  const auto got = net.collect(1, 10.5);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].length, 100);
+  // Consumed: a second collect returns nothing.
+  EXPECT_TRUE(net.collect(1, 99.0).empty());
+}
+
+TEST(SimNetwork, CollectOrdersByArrivalThenSequence) {
+  SimNetwork net(buildTopology(TopologyKind::kComplete, 3), 1.0);
+  net.send(0, 2, 5.0, tourMsg(0, 1));   // arrives 6.0
+  net.send(1, 2, 3.0, tourMsg(1, 2));   // arrives 4.0
+  net.send(0, 2, 3.0, tourMsg(0, 3));   // arrives 4.0, later sequence
+  const auto got = net.collect(2, 10.0);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].length, 2);
+  EXPECT_EQ(got[1].length, 3);
+  EXPECT_EQ(got[2].length, 1);
+}
+
+TEST(SimNetwork, BroadcastReachesExactlyNeighbors) {
+  SimNetwork net(buildTopology(TopologyKind::kHypercube, 8), 0.0);
+  net.broadcast(0, 1.0, tourMsg(0, 7));
+  // Node 0's hypercube neighbors are 1, 2, 4.
+  EXPECT_EQ(net.collect(1, 2.0).size(), 1u);
+  EXPECT_EQ(net.collect(2, 2.0).size(), 1u);
+  EXPECT_EQ(net.collect(4, 2.0).size(), 1u);
+  EXPECT_TRUE(net.collect(3, 2.0).empty());
+  EXPECT_TRUE(net.collect(5, 2.0).empty());
+  EXPECT_TRUE(net.collect(0, 2.0).empty());
+}
+
+TEST(SimNetwork, StatsCountMessagesAndBytes) {
+  SimNetwork net(buildTopology(TopologyKind::kComplete, 4), 0.1);
+  Message m = tourMsg(0, 5);
+  m.order = {1, 2, 3};
+  net.broadcast(0, 0.0, m);
+  EXPECT_EQ(net.stats().broadcasts, 1);
+  EXPECT_EQ(net.stats().messagesSent, 3);
+  EXPECT_EQ(net.stats().bytesSent, 3 * (21 + 12));
+  EXPECT_EQ(net.stats().sentByNode[0], 3);
+}
+
+TEST(SimNetwork, DeadNodesDropTraffic) {
+  SimNetwork net(buildTopology(TopologyKind::kComplete, 3), 0.0);
+  net.killNode(1);
+  net.broadcast(0, 0.0, tourMsg(0, 1));
+  EXPECT_TRUE(net.collect(1, 10.0).empty());   // dead receiver
+  EXPECT_EQ(net.collect(2, 10.0).size(), 1u);  // alive receiver still gets it
+  net.killNode(2);
+  net.broadcast(2, 0.0, tourMsg(2, 1));        // dead sender drops
+  EXPECT_TRUE(net.collect(0, 10.0).empty());
+  EXPECT_FALSE(net.isAlive(1));
+  EXPECT_TRUE(net.isAlive(0));
+}
+
+TEST(SimNetwork, QueuedMessagesSurviveReceiverDeathBeforeCollect) {
+  // killNode blocks future deliveries; messages already queued remain
+  // collectible (the paper's dying nodes still empty their sockets).
+  SimNetwork net(buildTopology(TopologyKind::kComplete, 3), 0.0);
+  net.send(0, 1, 0.0, tourMsg(0, 1));
+  net.killNode(1);
+  EXPECT_EQ(net.collect(1, 1.0).size(), 1u);
+}
+
+TEST(SimNetwork, NextArrivalReportsEarliestPending) {
+  SimNetwork net(buildTopology(TopologyKind::kComplete, 3), 1.0);
+  EXPECT_EQ(net.nextArrival(1), std::numeric_limits<double>::infinity());
+  net.send(0, 1, 4.0, tourMsg(0, 1));
+  net.send(2, 1, 2.0, tourMsg(2, 2));
+  EXPECT_DOUBLE_EQ(net.nextArrival(1), 3.0);
+}
+
+TEST(SimNetwork, RejectsInvalidTopology) {
+  Adjacency bad(2);
+  bad[0] = {1};
+  bad[1] = {};
+  EXPECT_THROW(SimNetwork(bad, 0.1), std::invalid_argument);
+}
+
+TEST(SimNetwork, PartialCollectLeavesLaterMessages) {
+  SimNetwork net(buildTopology(TopologyKind::kComplete, 2), 1.0);
+  net.send(0, 1, 0.0, tourMsg(0, 1));  // arrives 1.0
+  net.send(0, 1, 5.0, tourMsg(0, 2));  // arrives 6.0
+  EXPECT_EQ(net.collect(1, 3.0).size(), 1u);
+  EXPECT_EQ(net.collect(1, 7.0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace distclk {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const double xs[] = {1.5, -2.0, 3.25, 7.0, 0.0, -1.0};
+  RunningStats s;
+  double sum = 0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / 6.0;
+  double ss = 0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), ss / 5.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(ss / 5.0), 1e-12);
+  EXPECT_EQ(s.min(), -2.0);
+  EXPECT_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, StableForLargeOffsets) {
+  RunningStats s;
+  // Classic catastrophic-cancellation scenario for naive sum-of-squares.
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Median, EmptyIsZero) { EXPECT_EQ(median({}), 0.0); }
+
+TEST(Quantile, Endpoints) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_NEAR(quantile(xs, 0.25), 2.5, 1e-12);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_EQ(quantile(xs, 2.0), 2.0);
+}
+
+}  // namespace
+}  // namespace distclk

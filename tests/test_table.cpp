@@ -1,0 +1,102 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace distclk {
+namespace {
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"Instance", "Len"});
+  t.addRow({"fl1577s", "12345"});
+  t.addRow({"x", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Instance"), std::string::npos);
+  EXPECT_NE(out.find("fl1577s"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // The second column starts at the same character offset in the header
+  // line and in both data lines.
+  std::istringstream lines(out);
+  std::string header, rule, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.find("Len"), row1.find("12345"));
+  EXPECT_EQ(header.find("Len"), row2.find("1", 2));
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.addRow({"1", "2"});
+  std::ostringstream os;
+  t.writeCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a"});
+  t.addRow({"va,l"});
+  t.addRow({"q\"uote"});
+  std::ostringstream os;
+  t.writeCsv(os);
+  EXPECT_EQ(os.str(), "a\n\"va,l\"\n\"q\"\"uote\"\n");
+}
+
+TEST(Table, WriteCsvFileRoundtrip) {
+  Table t({"x", "y"});
+  t.addRow({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/distclk_table_test.csv";
+  ASSERT_TRUE(t.writeCsvFile(path));
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "x,y");
+  EXPECT_EQ(line2, "1,2");
+}
+
+TEST(Table, WriteCsvFileFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.writeCsvFile("/nonexistent-dir-xyz/out.csv"));
+}
+
+TEST(Table, CountsRowsCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.addRow({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+}
+
+TEST(FmtPct, Converts) {
+  EXPECT_EQ(fmtPct(0.00123), "0.123%");
+  EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+TEST(FmtPctOrOpt, OptAtZero) {
+  EXPECT_EQ(fmtPctOrOpt(0.0), "OPT");
+  EXPECT_EQ(fmtPctOrOpt(1e-12), "OPT");
+  EXPECT_EQ(fmtPctOrOpt(0.005), "0.500%");
+}
+
+}  // namespace
+}  // namespace distclk

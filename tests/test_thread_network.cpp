@@ -1,0 +1,116 @@
+#include "net/thread_network.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/timer.h"
+
+namespace distclk {
+namespace {
+
+Message tourMsg(int from, std::int64_t len) {
+  Message m;
+  m.type = MessageType::kTour;
+  m.from = from;
+  m.length = len;
+  return m;
+}
+
+TEST(Mailbox, PushThenDrain) {
+  Mailbox box;
+  box.push(tourMsg(0, 1));
+  box.push(tourMsg(1, 2));
+  const auto got = box.drain();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].length, 1);
+  EXPECT_EQ(got[1].length, 2);
+  EXPECT_TRUE(box.drain().empty());
+}
+
+TEST(Mailbox, WaitAndDrainTimesOut) {
+  Mailbox box;
+  Timer timer;
+  const auto got = box.waitAndDrain(0.05);
+  EXPECT_TRUE(got.empty());
+  EXPECT_GE(timer.seconds(), 0.04);
+}
+
+TEST(Mailbox, WaitAndDrainWakesOnPush) {
+  Mailbox box;
+  std::jthread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.push(tourMsg(0, 42));
+  });
+  const auto got = box.waitAndDrain(5.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].length, 42);
+}
+
+TEST(Mailbox, InterruptWakesWithoutMessages) {
+  Mailbox box;
+  std::jthread poker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.interrupt();
+  });
+  Timer timer;
+  const auto got = box.waitAndDrain(5.0);
+  EXPECT_TRUE(got.empty());
+  EXPECT_LT(timer.seconds(), 4.0);
+}
+
+TEST(Mailbox, ConcurrentProducersLoseNothing) {
+  Mailbox box;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&box, p] {
+        for (int i = 0; i < kPerProducer; ++i)
+          box.push(tourMsg(p, p * kPerProducer + i));
+      });
+    }
+  }
+  std::size_t total = box.drain().size();
+  EXPECT_EQ(total, std::size_t(kProducers) * kPerProducer);
+}
+
+TEST(ThreadNetwork, BroadcastRespectsTopology) {
+  ThreadNetwork net(buildTopology(TopologyKind::kRing, 4));
+  net.broadcast(0, tourMsg(0, 9));
+  EXPECT_EQ(net.mailbox(1).drain().size(), 1u);
+  EXPECT_EQ(net.mailbox(3).drain().size(), 1u);
+  EXPECT_TRUE(net.mailbox(2).drain().empty());
+  EXPECT_TRUE(net.mailbox(0).drain().empty());
+  EXPECT_EQ(net.messagesSent(), 2);
+}
+
+TEST(ThreadNetwork, SendDelivers) {
+  ThreadNetwork net(buildTopology(TopologyKind::kComplete, 3));
+  net.send(2, tourMsg(0, 5));
+  const auto got = net.mailbox(2).drain();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].length, 5);
+}
+
+TEST(ThreadNetwork, InterruptAllWakesEveryMailbox) {
+  ThreadNetwork net(buildTopology(TopologyKind::kComplete, 3));
+  std::jthread poker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    net.interruptAll();
+  });
+  Timer timer;
+  net.mailbox(0).waitAndDrain(5.0);
+  EXPECT_LT(timer.seconds(), 4.0);
+}
+
+TEST(ThreadNetwork, RejectsInvalidTopology) {
+  Adjacency bad(2);
+  bad[0] = {0};  // self loop
+  bad[1] = {};
+  EXPECT_THROW(ThreadNetwork{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,138 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace distclk {
+namespace {
+
+class AllTopologies
+    : public ::testing::TestWithParam<std::tuple<TopologyKind, int>> {};
+
+TEST_P(AllTopologies, ValidSymmetricConnected) {
+  const auto [kind, n] = GetParam();
+  const Adjacency adj = buildTopology(kind, n);
+  EXPECT_EQ(adj.size(), std::size_t(n));
+  EXPECT_TRUE(isValidTopology(adj)) << toString(kind) << " n=" << n;
+}
+
+TEST_P(AllTopologies, HubBootstrapMatchesIdeal) {
+  const auto [kind, n] = GetParam();
+  Rng rng(std::uint64_t(n) * 7 + 1);
+  std::vector<int> joinOrder(static_cast<std::size_t>(n));
+  std::iota(joinOrder.begin(), joinOrder.end(), 0);
+  rng.shuffle(joinOrder);
+  EXPECT_EQ(buildViaHub(kind, joinOrder), buildTopology(kind, n))
+      << toString(kind) << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, AllTopologies,
+    ::testing::Combine(::testing::Values(TopologyKind::kHypercube,
+                                         TopologyKind::kRing,
+                                         TopologyKind::kGrid,
+                                         TopologyKind::kComplete,
+                                         TopologyKind::kStar),
+                       ::testing::Values(1, 2, 3, 4, 7, 8, 12, 16, 17)));
+
+TEST(Topology, HypercubeDegreesPowerOfTwo) {
+  const Adjacency adj = buildTopology(TopologyKind::kHypercube, 8);
+  for (const auto& nbrs : adj) EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST(Topology, HypercubeNeighborsDifferByOneBit) {
+  const Adjacency adj = buildTopology(TopologyKind::kHypercube, 16);
+  for (int a = 0; a < 16; ++a) {
+    for (int b : adj[std::size_t(a)]) {
+      const int x = a ^ b;
+      EXPECT_EQ(x & (x - 1), 0);  // power of two
+    }
+  }
+}
+
+TEST(Topology, PartialHypercubeStillConnected) {
+  for (int n : {3, 5, 6, 7, 9, 13}) {
+    const Adjacency adj = buildTopology(TopologyKind::kHypercube, n);
+    EXPECT_TRUE(isValidTopology(adj)) << n;
+  }
+}
+
+TEST(Topology, RingDiameter) {
+  EXPECT_EQ(diameter(buildTopology(TopologyKind::kRing, 8)), 4);
+  EXPECT_EQ(diameter(buildTopology(TopologyKind::kRing, 9)), 4);
+}
+
+TEST(Topology, CompleteDiameterIsOne) {
+  EXPECT_EQ(diameter(buildTopology(TopologyKind::kComplete, 10)), 1);
+}
+
+TEST(Topology, StarDiameterIsTwo) {
+  EXPECT_EQ(diameter(buildTopology(TopologyKind::kStar, 10)), 2);
+}
+
+TEST(Topology, HypercubeDiameterIsLogN) {
+  EXPECT_EQ(diameter(buildTopology(TopologyKind::kHypercube, 8)), 3);
+  EXPECT_EQ(diameter(buildTopology(TopologyKind::kHypercube, 16)), 4);
+}
+
+TEST(Topology, GridIsMostSquareFactorization) {
+  // 12 nodes -> 3x4 grid: corner degree 2, max degree 4.
+  const Adjacency adj = buildTopology(TopologyKind::kGrid, 12);
+  std::size_t minDeg = 99, maxDeg = 0;
+  for (const auto& nbrs : adj) {
+    minDeg = std::min(minDeg, nbrs.size());
+    maxDeg = std::max(maxDeg, nbrs.size());
+  }
+  EXPECT_EQ(minDeg, 2u);
+  EXPECT_EQ(maxDeg, 4u);
+}
+
+TEST(Topology, DiameterDetectsDisconnection) {
+  Adjacency adj(4);
+  adj[0] = {1};
+  adj[1] = {0};
+  adj[2] = {3};
+  adj[3] = {2};
+  EXPECT_EQ(diameter(adj), -1);
+  EXPECT_FALSE(isValidTopology(adj));
+}
+
+TEST(Topology, ValidityRejectsAsymmetry) {
+  Adjacency adj(3);
+  adj[0] = {1};
+  adj[1] = {0, 2};
+  adj[2] = {};  // 1 -> 2 has no back edge
+  EXPECT_FALSE(isValidTopology(adj));
+}
+
+TEST(Topology, ValidityRejectsSelfLoop) {
+  Adjacency adj(2);
+  adj[0] = {0, 1};
+  adj[1] = {0};
+  EXPECT_FALSE(isValidTopology(adj));
+}
+
+TEST(Topology, HubRejectsBadJoinOrder) {
+  EXPECT_THROW(buildViaHub(TopologyKind::kRing, {0, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(buildViaHub(TopologyKind::kRing, {0, 5, 1}),
+               std::invalid_argument);
+}
+
+TEST(Topology, NamesRoundtrip) {
+  for (TopologyKind k :
+       {TopologyKind::kHypercube, TopologyKind::kRing, TopologyKind::kGrid,
+        TopologyKind::kComplete, TopologyKind::kStar})
+    EXPECT_EQ(topologyFromString(toString(k)), k);
+  EXPECT_THROW(topologyFromString("mesh-of-trees"), std::invalid_argument);
+}
+
+TEST(Topology, RejectsNonpositiveSize) {
+  EXPECT_THROW(buildTopology(TopologyKind::kRing, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,246 @@
+#include "tsp/tour.h"
+
+#include <gtest/gtest.h>
+
+#include "tsp/gen.h"
+#include "util/rng.h"
+
+namespace distclk {
+namespace {
+
+Instance square() {
+  // Unit square, cities 0..3 counter-clockwise.
+  return Instance("sq", {{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+                  EdgeWeightType::kEuc2D);
+}
+
+TEST(Tour, IdentityConstruction) {
+  const Instance inst = square();
+  const Tour t(inst);
+  EXPECT_EQ(t.n(), 4);
+  EXPECT_EQ(t.length(), 40);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.at(2), 2);
+  EXPECT_EQ(t.pos(2), 2);
+}
+
+TEST(Tour, ExplicitOrder) {
+  const Instance inst = square();
+  const Tour t(inst, {0, 2, 1, 3});  // crossing tour
+  EXPECT_GT(t.length(), 40);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(Tour, RejectsNonPermutation) {
+  const Instance inst = square();
+  EXPECT_THROW(Tour(inst, {0, 0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(Tour(inst, {0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(Tour(inst, {0, 1, 2, 7}), std::invalid_argument);
+}
+
+TEST(Tour, NextPrevAreCyclic) {
+  const Instance inst = square();
+  const Tour t(inst);
+  EXPECT_EQ(t.next(0), 1);
+  EXPECT_EQ(t.next(3), 0);
+  EXPECT_EQ(t.prev(0), 3);
+  EXPECT_EQ(t.prev(1), 0);
+}
+
+TEST(Tour, BetweenPredicate) {
+  const Instance inst = square();
+  const Tour t(inst);  // 0 1 2 3
+  EXPECT_TRUE(t.between(0, 1, 2));
+  EXPECT_FALSE(t.between(0, 3, 2));
+  EXPECT_TRUE(t.between(3, 0, 1));   // wraps
+  EXPECT_TRUE(t.between(2, 3, 1));   // wraps
+  EXPECT_FALSE(t.between(2, 1, 3));
+}
+
+TEST(Tour, ReverseSegmentBasic) {
+  const Instance inst = square();
+  Tour t(inst);
+  t.reverseSegment(1, 2);  // 0 2 1 3
+  EXPECT_EQ(t.at(1), 2);
+  EXPECT_EQ(t.at(2), 1);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(Tour, ReverseSegmentWholeTourIsNoop) {
+  const Instance inst = square();
+  Tour t(inst);
+  t.reverseSegment(0, 3);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.length(), 40);
+}
+
+TEST(Tour, ReverseSegmentWrapsAround) {
+  const Instance inst = uniformSquare("u", 10, 5);
+  Tour t(inst);
+  t.reverseSegment(7, 2);  // wraps over the array boundary
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(Tour, ReverseSegmentIsInvolution) {
+  const Instance inst = uniformSquare("u", 30, 5);
+  Tour t(inst);
+  const auto before = t.orderVector();
+  t.reverseSegment(4, 20);
+  t.reverseSegment(4, 20);
+  // The cycle must be restored exactly (same-arc flip both times).
+  EXPECT_EQ(t.orderVector(), before);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(Tour, ReverseSegmentComplementBranchKeepsCycle) {
+  const Instance inst = uniformSquare("u", 20, 6);
+  Tour t(inst);
+  const auto lenBefore = t.length();
+  // Arc of length 15 > n/2: the complement is physically flipped.
+  const std::int64_t expectedDelta =
+      inst.dist(t.at(1), t.at(17)) + inst.dist(t.at(2), t.at(18)) -
+      inst.dist(t.at(1), t.at(2)) - inst.dist(t.at(17), t.at(18));
+  t.reverseSegment(2, 17);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.length(), lenBefore + expectedDelta);
+}
+
+TEST(Tour, TwoOptMoveUncrossesSquare) {
+  const Instance inst = square();
+  Tour t(inst, {0, 2, 1, 3});  // crossed
+  const auto before = t.length();
+  // Fix by removing (0,2) and (1,3): a=0 (next=2), b=1 (next=3).
+  const auto delta = t.twoOptMove(0, 1);
+  EXPECT_LT(delta, 0);
+  EXPECT_EQ(t.length(), before + delta);
+  EXPECT_EQ(t.length(), 40);
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(Tour, TwoOptMoveDegenerateIsNoop) {
+  const Instance inst = square();
+  Tour t(inst);
+  EXPECT_EQ(t.twoOptMove(0, 0), 0);
+  EXPECT_EQ(t.twoOptMove(0, 1), 0);  // adjacent: next(0) == 1
+  EXPECT_EQ(t.twoOptMove(1, 0), 0);  // adjacent the other way
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(Tour, OrOptMoveRelocatesSegment) {
+  const Instance inst =
+      Instance("line", {{0, 0}, {1, 0}, {10, 0}, {2, 0}, {3, 0}, {4, 0}},
+               EdgeWeightType::kEuc2D);
+  // Tour 0 1 2 3 4 5 visits the outlier 2 mid-line; moving city 2 between
+  // 5 and 0 shortens nothing (it's an outlier), but moving 3 4 5 works.
+  Tour t(inst);
+  EXPECT_TRUE(t.valid());
+  const auto delta = t.orOptMove(2, 1, 5, false);  // move city 2 after 5
+  EXPECT_EQ(t.length(), inst.tourLength(t.order()));
+  EXPECT_TRUE(t.valid());
+  (void)delta;
+}
+
+TEST(Tour, OrOptMoveReversedSegment) {
+  const Instance inst = uniformSquare("u", 12, 9);
+  Tour t(inst);
+  const auto delta = t.orOptMove(3, 3, 9, true);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.length(), inst.tourLength(t.order()));
+  (void)delta;
+}
+
+TEST(Tour, OrOptMoveValidatesArguments) {
+  const Instance inst = uniformSquare("u", 10, 9);
+  Tour t(inst);
+  EXPECT_THROW(t.orOptMove(0, 0, 5, false), std::invalid_argument);
+  EXPECT_THROW(t.orOptMove(0, 9, 5, false), std::invalid_argument);
+  // c inside the segment.
+  EXPECT_THROW(t.orOptMove(0, 3, 1, false), std::invalid_argument);
+}
+
+TEST(Tour, OrOptMoveNoopWhenReinsertingInPlace) {
+  const Instance inst = uniformSquare("u", 10, 9);
+  Tour t(inst);
+  const auto order = t.orderVector();
+  // c == prev(s): the segment would go back where it is.
+  EXPECT_EQ(t.orOptMove(3, 2, 2, false), 0);
+  EXPECT_EQ(t.orderVector(), order);
+}
+
+TEST(Tour, DoubleBridgeRecombinesSegments) {
+  const Instance inst = uniformSquare("u", 12, 4);
+  Tour t(inst);
+  const auto before = t.orderVector();
+  const auto lenBefore = t.length();
+  const auto delta = t.doubleBridge(3, 6, 9);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.length(), lenBefore + delta);
+  // A C B D layout.
+  std::vector<int> expected;
+  for (int p = 0; p < 3; ++p) expected.push_back(before[std::size_t(p)]);
+  for (int p = 6; p < 9; ++p) expected.push_back(before[std::size_t(p)]);
+  for (int p = 3; p < 6; ++p) expected.push_back(before[std::size_t(p)]);
+  for (int p = 9; p < 12; ++p) expected.push_back(before[std::size_t(p)]);
+  EXPECT_EQ(t.orderVector(), expected);
+}
+
+TEST(Tour, DoubleBridgeValidatesPositions) {
+  const Instance inst = uniformSquare("u", 12, 4);
+  Tour t(inst);
+  EXPECT_THROW(t.doubleBridge(0, 6, 9), std::invalid_argument);
+  EXPECT_THROW(t.doubleBridge(3, 3, 9), std::invalid_argument);
+  EXPECT_THROW(t.doubleBridge(3, 6, 12), std::invalid_argument);
+}
+
+TEST(Tour, SetOrderRecomputesLength) {
+  const Instance inst = square();
+  Tour t(inst);
+  t.setOrder({0, 2, 1, 3});
+  EXPECT_TRUE(t.valid());
+  EXPECT_GT(t.length(), 40);
+}
+
+// Property sweep: random mixed operations must always preserve the
+// permutation invariant and the incremental length bookkeeping.
+class TourPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TourPropertyTest, RandomOperationsKeepInvariants) {
+  const int n = GetParam();
+  const Instance inst = uniformSquare("p", n, std::uint64_t(n) * 17 + 1);
+  Rng rng(static_cast<std::uint64_t>(n));
+  Tour t(inst);
+  for (int step = 0; step < 200; ++step) {
+    switch (rng.below(3)) {
+      case 0: {
+        const int i = static_cast<int>(rng.below(std::uint64_t(n)));
+        const int j = static_cast<int>(rng.below(std::uint64_t(n)));
+        t.reverseSegment(i, j);
+        break;
+      }
+      case 1: {
+        const int a = static_cast<int>(rng.below(std::uint64_t(n)));
+        const int b = static_cast<int>(rng.below(std::uint64_t(n)));
+        t.twoOptMove(a, b);
+        break;
+      }
+      default: {
+        if (n >= 8) {
+          const int p1 = 1 + static_cast<int>(rng.below(std::uint64_t(n - 3)));
+          const int p2 = p1 + 1 + static_cast<int>(
+                                      rng.below(std::uint64_t(n - p1 - 2)));
+          const int p3 =
+              p2 + 1 + static_cast<int>(rng.below(std::uint64_t(n - p2 - 1)));
+          t.doubleBridge(p1, p2, p3);
+        }
+        break;
+      }
+    }
+    ASSERT_TRUE(t.valid()) << "step " << step << " n " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TourPropertyTest,
+                         ::testing::Values(5, 8, 13, 32, 100, 257));
+
+}  // namespace
+}  // namespace distclk

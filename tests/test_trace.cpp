@@ -1,0 +1,67 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace distclk {
+namespace {
+
+const AnytimeCurve kCurve{{1.0, 100}, {2.0, 90}, {5.0, 70}};
+
+TEST(Trace, ValueAtBeforeFirstPointIsMax) {
+  EXPECT_EQ(valueAt(kCurve, 0.5), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Trace, ValueAtStepsThroughCurve) {
+  EXPECT_EQ(valueAt(kCurve, 1.0), 100);
+  EXPECT_EQ(valueAt(kCurve, 1.9), 100);
+  EXPECT_EQ(valueAt(kCurve, 2.0), 90);
+  EXPECT_EQ(valueAt(kCurve, 4.9), 90);
+  EXPECT_EQ(valueAt(kCurve, 100.0), 70);
+}
+
+TEST(Trace, TimeToReach) {
+  EXPECT_EQ(timeToReach(kCurve, 100), 1.0);
+  EXPECT_EQ(timeToReach(kCurve, 95), 2.0);
+  EXPECT_EQ(timeToReach(kCurve, 70), 5.0);
+  EXPECT_TRUE(std::isinf(timeToReach(kCurve, 69)));
+}
+
+TEST(Trace, TimeToReachEmptyCurve) {
+  EXPECT_TRUE(std::isinf(timeToReach({}, 1)));
+}
+
+TEST(Trace, MeanCurveAverages) {
+  const AnytimeCurve a{{1.0, 100}, {3.0, 80}};
+  const AnytimeCurve b{{1.0, 200}, {3.0, 100}};
+  const AnytimeCurve mean = meanCurve({a, b}, {1.0, 2.0, 3.0});
+  ASSERT_EQ(mean.size(), 3u);
+  EXPECT_EQ(mean[0].length, 150);
+  EXPECT_EQ(mean[1].length, 150);
+  EXPECT_EQ(mean[2].length, 90);
+}
+
+TEST(Trace, MeanCurveSkipsRunsWithoutValueYet) {
+  const AnytimeCurve a{{1.0, 100}};
+  const AnytimeCurve b{{5.0, 50}};
+  const AnytimeCurve mean = meanCurve({a, b}, {2.0, 6.0});
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_EQ(mean[0].length, 100);  // only run a has a value at t=2
+  EXPECT_EQ(mean[1].length, 75);
+}
+
+TEST(Trace, MeanCurveEmptyWhenNoData) {
+  EXPECT_TRUE(meanCurve({{}, {}}, {1.0}).empty());
+}
+
+TEST(Trace, EventTypeNames) {
+  EXPECT_STREQ(toString(NodeEventType::kImprovement), "improvement");
+  EXPECT_STREQ(toString(NodeEventType::kBroadcastSent), "broadcast-sent");
+  EXPECT_STREQ(toString(NodeEventType::kRestart), "restart");
+  EXPECT_STREQ(toString(NodeEventType::kPerturbationLevel),
+               "perturbation-level");
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,217 @@
+#include "tsp/tsplib.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace distclk {
+namespace {
+
+TEST(Tsplib, ParsesNodeCoordSection) {
+  std::istringstream in(R"(NAME : tiny
+TYPE : TSP
+COMMENT : a comment
+DIMENSION : 3
+EDGE_WEIGHT_TYPE : EUC_2D
+NODE_COORD_SECTION
+1 0 0
+2 3 0
+3 3 4
+EOF
+)");
+  const Instance inst = parseTsplib(in);
+  EXPECT_EQ(inst.name(), "tiny");
+  EXPECT_EQ(inst.comment(), "a comment");
+  EXPECT_EQ(inst.n(), 3);
+  EXPECT_EQ(inst.dist(0, 1), 3);
+  EXPECT_EQ(inst.dist(1, 2), 4);
+  EXPECT_EQ(inst.dist(0, 2), 5);
+}
+
+TEST(Tsplib, ParsesOutOfOrderNodeIds) {
+  std::istringstream in(R"(NAME: x
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EUC_2D
+NODE_COORD_SECTION
+3 3 4
+1 0 0
+2 3 0
+EOF
+)");
+  const Instance inst = parseTsplib(in);
+  EXPECT_EQ(inst.dist(0, 1), 3);
+  EXPECT_EQ(inst.dist(0, 2), 5);
+}
+
+TEST(Tsplib, ParsesFullMatrix) {
+  std::istringstream in(R"(NAME: m
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: FULL_MATRIX
+EDGE_WEIGHT_SECTION
+0 1 2
+1 0 3
+2 3 0
+EOF
+)");
+  const Instance inst = parseTsplib(in);
+  EXPECT_EQ(inst.dist(0, 2), 2);
+  EXPECT_EQ(inst.dist(1, 2), 3);
+}
+
+TEST(Tsplib, ParsesUpperRow) {
+  std::istringstream in(R"(NAME: m
+TYPE: TSP
+DIMENSION: 4
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: UPPER_ROW
+EDGE_WEIGHT_SECTION
+1 2 3
+4 5
+6
+EOF
+)");
+  const Instance inst = parseTsplib(in);
+  EXPECT_EQ(inst.dist(0, 1), 1);
+  EXPECT_EQ(inst.dist(0, 3), 3);
+  EXPECT_EQ(inst.dist(1, 2), 4);
+  EXPECT_EQ(inst.dist(2, 3), 6);
+  EXPECT_EQ(inst.dist(3, 2), 6);
+}
+
+TEST(Tsplib, ParsesLowerDiagRow) {
+  std::istringstream in(R"(NAME: m
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: LOWER_DIAG_ROW
+EDGE_WEIGHT_SECTION
+0
+7 0
+8 9 0
+EOF
+)");
+  const Instance inst = parseTsplib(in);
+  EXPECT_EQ(inst.dist(0, 1), 7);
+  EXPECT_EQ(inst.dist(0, 2), 8);
+  EXPECT_EQ(inst.dist(1, 2), 9);
+}
+
+TEST(Tsplib, ParsesUpperDiagRow) {
+  std::istringstream in(R"(NAME: m
+TYPE: TSP
+DIMENSION: 3
+EDGE_WEIGHT_TYPE: EXPLICIT
+EDGE_WEIGHT_FORMAT: UPPER_DIAG_ROW
+EDGE_WEIGHT_SECTION
+0 7 8
+0 9
+0
+EOF
+)");
+  const Instance inst = parseTsplib(in);
+  EXPECT_EQ(inst.dist(0, 1), 7);
+  EXPECT_EQ(inst.dist(1, 2), 9);
+}
+
+TEST(Tsplib, RejectsUnknownKeyword) {
+  std::istringstream in("BOGUS_KEYWORD : 1\n");
+  EXPECT_THROW(parseTsplib(in), std::runtime_error);
+}
+
+TEST(Tsplib, RejectsMissingDimension) {
+  std::istringstream in("NAME: x\nEDGE_WEIGHT_TYPE: EUC_2D\nEOF\n");
+  EXPECT_THROW(parseTsplib(in), std::runtime_error);
+}
+
+TEST(Tsplib, RejectsTruncatedCoordSection) {
+  std::istringstream in(R"(DIMENSION: 3
+EDGE_WEIGHT_TYPE: EUC_2D
+NODE_COORD_SECTION
+1 0 0
+)");
+  EXPECT_THROW(parseTsplib(in), std::runtime_error);
+}
+
+TEST(Tsplib, RejectsDuplicateNodeId) {
+  std::istringstream in(R"(DIMENSION: 3
+EDGE_WEIGHT_TYPE: EUC_2D
+NODE_COORD_SECTION
+1 0 0
+1 1 1
+2 2 2
+EOF
+)");
+  EXPECT_THROW(parseTsplib(in), std::runtime_error);
+}
+
+TEST(Tsplib, RejectsAtspType) {
+  std::istringstream in("TYPE: ATSP\n");
+  EXPECT_THROW(parseTsplib(in), std::runtime_error);
+}
+
+TEST(Tsplib, GeometricRoundtrip) {
+  const Instance orig("rt", {{0.5, 1.5}, {2.25, 3.0}, {4.0, 0.0}},
+                      EdgeWeightType::kCeil2D);
+  std::stringstream s;
+  writeTsplib(s, orig);
+  const Instance back = parseTsplib(s);
+  ASSERT_EQ(back.n(), orig.n());
+  EXPECT_EQ(back.name(), "rt");
+  EXPECT_EQ(back.weightType(), EdgeWeightType::kCeil2D);
+  for (int i = 0; i < orig.n(); ++i)
+    for (int j = 0; j < orig.n(); ++j) EXPECT_EQ(back.dist(i, j), orig.dist(i, j));
+}
+
+TEST(Tsplib, ExplicitRoundtrip) {
+  const std::vector<std::int64_t> m{0, 5, 6, 5, 0, 7, 6, 7, 0};
+  const Instance orig("me", 3, m);
+  std::stringstream s;
+  writeTsplib(s, orig);
+  const Instance back = parseTsplib(s);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(back.dist(i, j), orig.dist(i, j));
+}
+
+TEST(TsplibTour, ParseBasic) {
+  std::istringstream in(R"(NAME: t.opt.tour
+TYPE: TOUR
+DIMENSION: 4
+TOUR_SECTION
+1
+3
+2
+4
+-1
+EOF
+)");
+  const auto order = parseTsplibTour(in);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1, 3}));
+}
+
+TEST(TsplibTour, ParseMultiplePerLine) {
+  std::istringstream in("TOUR_SECTION\n1 2 3 -1\n");
+  EXPECT_EQ(parseTsplibTour(in), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TsplibTour, RejectsEmpty) {
+  std::istringstream in("TOUR_SECTION\n-1\n");
+  EXPECT_THROW(parseTsplibTour(in), std::runtime_error);
+}
+
+TEST(TsplibTour, RejectsDimensionMismatch) {
+  std::istringstream in("DIMENSION: 5\nTOUR_SECTION\n1 2 3 -1\n");
+  EXPECT_THROW(parseTsplibTour(in), std::runtime_error);
+}
+
+TEST(TsplibTour, Roundtrip) {
+  const std::vector<int> order{2, 0, 1, 4, 3};
+  std::stringstream s;
+  writeTsplibTour(s, "x", order);
+  EXPECT_EQ(parseTsplibTour(s), order);
+}
+
+}  // namespace
+}  // namespace distclk

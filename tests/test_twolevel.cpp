@@ -1,0 +1,202 @@
+#include "tsp/twolevel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/rng.h"
+
+namespace distclk {
+namespace {
+
+std::vector<int> identity(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+/// Reference model: plain vector with the same reverse semantics (reverse
+/// the forward path a..b in the linearized cyclic order).
+class ReferenceTour {
+ public:
+  explicit ReferenceTour(std::vector<int> order) : order_(std::move(order)) {}
+
+  int next(int c) const {
+    const auto i = indexOf(c);
+    return order_[(i + 1) % order_.size()];
+  }
+  int prev(int c) const {
+    const auto i = indexOf(c);
+    return order_[(i + order_.size() - 1) % order_.size()];
+  }
+  void reverse(int a, int b) {
+    // Rotate so a is first, reverse prefix up to b, rotate back-compatible
+    // (cycles have no canonical start; comparisons use edges or next()).
+    auto ia = indexOf(a);
+    std::rotate(order_.begin(), order_.begin() + static_cast<long>(ia),
+                order_.end());
+    const auto ib = indexOf(b);
+    std::reverse(order_.begin(), order_.begin() + static_cast<long>(ib) + 1);
+  }
+  bool between(int a, int b, int c) const {
+    const auto ka = indexOf(a), kb = indexOf(b), kc = indexOf(c);
+    if (ka <= kc) return ka < kb && kb < kc;
+    return kb > ka || kb < kc;
+  }
+  const std::vector<int>& order() const { return order_; }
+
+ private:
+  std::size_t indexOf(int c) const {
+    return std::size_t(std::find(order_.begin(), order_.end(), c) -
+                       order_.begin());
+  }
+  std::vector<int> order_;
+};
+
+std::set<std::pair<int, int>> edgeSet(const std::vector<int>& order) {
+  std::set<std::pair<int, int>> edges;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int a = order[i];
+    const int b = order[(i + 1) % order.size()];
+    edges.insert({std::min(a, b), std::max(a, b)});
+  }
+  return edges;
+}
+
+TEST(TwoLevelList, ConstructionAndOrderRoundtrip) {
+  const auto ord = identity(50);
+  TwoLevelList t(ord);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.order(0), ord);
+  EXPECT_EQ(t.n(), 50);
+  EXPECT_GT(t.segments(), 1);
+}
+
+TEST(TwoLevelList, RejectsBadInput) {
+  EXPECT_THROW(TwoLevelList(std::vector<int>{0, 1}), std::invalid_argument);
+  EXPECT_THROW(TwoLevelList(std::vector<int>{0, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(TwoLevelList(std::vector<int>{0, 1, 5}),
+               std::invalid_argument);
+}
+
+TEST(TwoLevelList, NextPrevMatchOrder) {
+  Rng rng(3);
+  auto ord = identity(100);
+  rng.shuffle(ord);
+  TwoLevelList t(ord);
+  for (std::size_t i = 0; i < ord.size(); ++i) {
+    EXPECT_EQ(t.next(ord[i]), ord[(i + 1) % ord.size()]);
+    EXPECT_EQ(t.prev(ord[(i + 1) % ord.size()]), ord[i]);
+  }
+}
+
+TEST(TwoLevelList, SimpleReverse) {
+  TwoLevelList t(identity(20));
+  t.reverse(3, 7);  // 0 1 2 7 6 5 4 3 8 9 ...
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.next(2), 7);
+  EXPECT_EQ(t.next(7), 6);
+  EXPECT_EQ(t.next(3), 8);
+  EXPECT_EQ(t.prev(3), 4);
+}
+
+TEST(TwoLevelList, ReverseAcrossSegmentBoundaries) {
+  TwoLevelList t(identity(100));  // segments of ~10
+  t.reverse(5, 57);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.next(4), 57);
+  EXPECT_EQ(t.next(5), 58);
+}
+
+TEST(TwoLevelList, ReverseWrappingPath) {
+  TwoLevelList t(identity(30));
+  t.reverse(25, 4);  // wraps over the seam
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.next(24), 4);
+  EXPECT_EQ(t.next(25), 5);
+}
+
+TEST(TwoLevelList, WholeCycleReverseKeepsEdges) {
+  TwoLevelList t(identity(25));
+  const auto before = edgeSet(t.order());
+  t.reverse(0, 24);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(edgeSet(t.order()), before);
+  // Direction flipped: next(0) is now the old prev(0).
+  EXPECT_EQ(t.next(1), 0);
+}
+
+TEST(TwoLevelList, SingleCityReverseIsNoop) {
+  TwoLevelList t(identity(15));
+  const auto before = t.order(0);
+  t.reverse(7, 7);
+  EXPECT_EQ(t.order(0), before);
+}
+
+TEST(TwoLevelList, BetweenMatchesReference) {
+  Rng rng(5);
+  auto ord = identity(60);
+  rng.shuffle(ord);
+  TwoLevelList t(ord);
+  ReferenceTour ref(ord);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int a = static_cast<int>(rng.below(60));
+    const int b = static_cast<int>(rng.below(60));
+    const int c = static_cast<int>(rng.below(60));
+    if (a == b || b == c || a == c) continue;
+    EXPECT_EQ(t.between(a, b, c), ref.between(a, b, c))
+        << a << " " << b << " " << c;
+  }
+}
+
+class TwoLevelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoLevelProperty, RandomReversalsMatchReferenceModel) {
+  const int n = GetParam();
+  Rng rng(std::uint64_t(n) * 13 + 5);
+  auto ord = identity(n);
+  rng.shuffle(ord);
+  TwoLevelList t(ord);
+  ReferenceTour ref(ord);
+  for (int step = 0; step < 300; ++step) {
+    const int a = static_cast<int>(rng.below(std::uint64_t(n)));
+    const int b = static_cast<int>(rng.below(std::uint64_t(n)));
+    if (a == b) continue;
+    t.reverse(a, b);
+    ref.reverse(a, b);
+    ASSERT_TRUE(t.valid()) << "step " << step;
+    // Same cycle, same direction: next() agrees everywhere.
+    for (int c = 0; c < n; ++c)
+      ASSERT_EQ(t.next(c), ref.next(c)) << "step " << step << " city " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwoLevelProperty,
+                         ::testing::Values(8, 16, 64, 100, 333, 1000));
+
+TEST(TwoLevelList, SegmentCountStaysBounded) {
+  const int n = 1000;
+  Rng rng(17);
+  TwoLevelList t(identity(n));
+  for (int step = 0; step < 2000; ++step) {
+    const int a = static_cast<int>(rng.below(n));
+    const int b = static_cast<int>(rng.below(n));
+    if (a != b) t.reverse(a, b);
+  }
+  EXPECT_TRUE(t.valid());
+  // Rebalancing must keep the segment count near sqrt(n).
+  EXPECT_LE(t.segments(), 2 * (1000 / 31 + 1) + 8);
+}
+
+TEST(TwoLevelList, OrderWithStart) {
+  TwoLevelList t(identity(12));
+  const auto ord = t.order(5);
+  EXPECT_EQ(ord.front(), 5);
+  EXPECT_EQ(ord.size(), 12u);
+}
+
+}  // namespace
+}  // namespace distclk
