@@ -18,10 +18,19 @@
 //     --quadrant            use quadrant candidate lists
 //     --seed S              solver seed (default 1)
 //     --out F.tour          write the best tour
-//     --trace               print the distributed event trace
+//     --trace F.jsonl       stream a JSONL run trace (dist*, see
+//                           EXPERIMENTS.md "Capturing and reading traces";
+//                           read it back with tools/trace_report)
+//     --metrics-interval S  periodic metric snapshots in the trace
+//                           (seconds; default 0 = final snapshot only)
+//     --modeled-work R      --algo dist only: charge modeled compute cost
+//                           (R units/second) instead of measured wall time,
+//                           making the run deterministic for a fixed seed
+//     --print-events        print the distributed event trace to stdout
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "baselines/lkh_style.h"
@@ -33,6 +42,7 @@
 #include "core/thread_driver.h"
 #include "experiments/harness.h"
 #include "lk/two_opt.h"
+#include "obs/trace_sink.h"
 #include "tsp/gen.h"
 #include "tsp/tsplib.h"
 #include "util/timer.h"
@@ -79,6 +89,19 @@ int main(int argc, char** argv) {
   Timer timer;
   std::vector<int> bestOrder;
 
+  // JSONL run trace (dist algorithms only — the single-process baselines
+  // have no node/network activity to record).
+  const std::string tracePath = args.getString("trace", "");
+  const double metricsInterval = args.getDouble("metrics-interval", 0.0);
+  std::optional<obs::JsonlTraceSink> traceSink;
+  if (!tracePath.empty()) {
+    if (algo != "dist" && algo != "dist-threads") {
+      std::fprintf(stderr, "--trace requires --algo dist or dist-threads\n");
+      return 1;
+    }
+    traceSink.emplace(tracePath);
+  }
+
   if (algo == "clk") {
     Rng rng(seed);
     Tour tour(inst, quickBoruvkaTour(inst, cand));
@@ -99,6 +122,13 @@ int main(int argc, char** argv) {
     opt.node.clkKick = kick;
     opt.timeLimitPerNode = seconds;
     opt.seed = seed;
+    if (traceSink) opt.trace = &*traceSink;
+    opt.metricsIntervalSeconds = metricsInterval;
+    const double modeledWork = args.getDouble("modeled-work", 0.0);
+    if (modeledWork > 0.0) {
+      opt.costModel = CostModel::kModeled;
+      opt.modeledWorkPerSecond = modeledWork;
+    }
     const SimResult res = runSimulatedDistClk(inst, cand, opt);
     bestOrder = res.bestOrder;
     std::printf("result   : %lld (%lld steps, %lld broadcasts, %lld "
@@ -107,7 +137,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(res.totalSteps),
                 static_cast<long long>(res.net.broadcasts),
                 static_cast<long long>(res.totalRestarts));
-    if (args.has("trace")) {
+    if (args.has("print-events")) {
       for (const auto& e : res.events)
         std::printf("  t=%8.3fs node %d  %-18s %lld\n", e.time, e.node,
                     toString(e.type), static_cast<long long>(e.value));
@@ -120,12 +150,19 @@ int main(int argc, char** argv) {
     opt.node.clkKick = kick;
     opt.timeLimitPerNode = seconds;
     opt.seed = seed;
+    if (traceSink) opt.trace = &*traceSink;
+    opt.metricsIntervalSeconds = metricsInterval;
     const ThreadRunResult res = runThreadedDistClk(inst, cand, opt);
     bestOrder = res.bestOrder;
     std::printf("result   : %lld (%lld steps, %lld messages)\n",
                 static_cast<long long>(res.bestLength),
                 static_cast<long long>(res.totalSteps),
                 static_cast<long long>(res.messagesSent));
+    if (args.has("print-events")) {
+      for (const auto& e : res.events)
+        std::printf("  t=%8.3fs node %d  %-18s %lld\n", e.time, e.node,
+                    toString(e.type), static_cast<long long>(e.value));
+    }
   } else if (algo == "lk" || algo == "2opt") {
     Tour tour(inst, quickBoruvkaTour(inst, cand));
     if (algo == "lk")
@@ -177,5 +214,8 @@ int main(int argc, char** argv) {
     writeTsplibTour(stream, inst.name() + ".best", bestOrder);
     std::printf("wrote    : %s\n", out.c_str());
   }
+  if (traceSink)
+    std::printf("trace    : %s (%lld records)\n", tracePath.c_str(),
+                static_cast<long long>(traceSink->linesWritten()));
   return 0;
 }

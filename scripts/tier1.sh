@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
+# over the concurrent components (thread network, thread driver, metric
+# shards) so data races in the mailbox/metrics paths fail CI on day one.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=thread
+cmake --build build-tsan -j "$JOBS" \
+  --target test_thread_network test_thread_driver test_obs_metrics
+for t in test_thread_network test_thread_driver test_obs_metrics; do
+  echo "== TSan: $t"
+  ./build-tsan/tests/"$t"
+done
+
+echo "tier-1 OK"

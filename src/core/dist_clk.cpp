@@ -32,6 +32,32 @@ SimResult runSimulatedDistClk(const Instance& inst, const CandidateLists& cand,
   for (int i = 0; i < opt.nodes; ++i)
     nodes.emplace_back(inst, cand, opt.node, i, master());
 
+  // Observability: only materialized when a sink is attached; metrics and
+  // trace records never feed back into node decisions, and all timestamps
+  // are virtual, so traced runs reproduce un-traced results exactly.
+  obs::MetricsRegistry metricsReg;
+  if (opt.trace != nullptr) {
+    net.attachMetrics(metricsReg);
+    const NodeMetrics nodeMetrics = NodeMetrics::attach(metricsReg);
+    for (auto& node : nodes) node.setMetrics(nodeMetrics);
+    obs::RunMeta meta;
+    meta.instance = inst.name();
+    meta.n = inst.n();
+    meta.algorithm = "dist-sim";
+    meta.nodes = opt.nodes;
+    meta.topology = toString(opt.topology);
+    meta.seed = opt.seed;
+    meta.cv = opt.node.cv;
+    meta.cr = opt.node.cr;
+    meta.kick = toString(opt.node.clkKick);
+    meta.timeLimitPerNode = opt.timeLimitPerNode;
+    meta.clock = "virtual";
+    opt.trace->write(obs::runMetaRecord(meta));
+  }
+  double nextSnapshot = opt.trace != nullptr && opt.metricsIntervalSeconds > 0
+                            ? opt.metricsIntervalSeconds
+                            : std::numeric_limits<double>::infinity();
+
   SimResult res;
   res.bestLength = std::numeric_limits<std::int64_t>::max();
   res.nodeClocks.assign(std::size_t(opt.nodes), 0.0);
@@ -63,6 +89,19 @@ SimResult runSimulatedDistClk(const Instance& inst, const CandidateLists& cand,
       res.bestLength = node.best().length();
       res.bestOrder = node.best().orderVector();
       res.curve.push_back({time, res.bestLength});
+    }
+  };
+  auto logEvent = [&](double time, int nodeId, NodeEventType type,
+                      std::int64_t value) {
+    res.events.push_back({time, nodeId, type, value});
+    if (opt.trace != nullptr) opt.trace->write(obs::eventRecord({time, nodeId, type, value}));
+  };
+  // Periodic metric snapshots, stamped with the virtual time of the step
+  // that crossed each interval boundary.
+  auto maybeSnapshot = [&](double now) {
+    while (now >= nextSnapshot) {
+      opt.trace->write(obs::metricsRecord(now, metricsReg.snapshot()));
+      nextSnapshot += opt.metricsIntervalSeconds;
     }
   };
 
@@ -111,14 +150,13 @@ SimResult runSimulatedDistClk(const Instance& inst, const CandidateLists& cand,
           start + phaseCost(opt, nodeId, out.modelCost, out.measuredSeconds);
       res.nodeClocks[std::size_t(nodeId)] = end;
       ++res.totalSteps;
-      res.events.push_back(
-          {end, nodeId, NodeEventType::kInitialTour, out.bestLength});
+      logEvent(end, nodeId, NodeEventType::kInitialTour, out.bestLength);
       recordBest(nodeId, end);
+      maybeSnapshot(end);
       if (out.foundTarget) {
         res.hitTarget = true;
         res.targetTime = end;
-        res.events.push_back(
-            {end, nodeId, NodeEventType::kTargetReached, out.bestLength});
+        logEvent(end, nodeId, NodeEventType::kTargetReached, out.bestLength);
       }
       continue;
     }
@@ -135,31 +173,29 @@ SimResult runSimulatedDistClk(const Instance& inst, const CandidateLists& cand,
 
     if (restarted) {
       ++res.totalRestarts;
-      res.events.push_back({end, nodeId, NodeEventType::kRestart, 0});
+      // Event value documents how deep the stagnation ran (trace.h).
+      logEvent(end, nodeId, NodeEventType::kRestart,
+               out.noImprovementsAtRestart);
       lastPerturbLevel[std::size_t(nodeId)] = 1;
     } else if (perturbations != lastPerturbLevel[std::size_t(nodeId)]) {
       lastPerturbLevel[std::size_t(nodeId)] = perturbations;
-      res.events.push_back(
-          {end, nodeId, NodeEventType::kPerturbationLevel, perturbations});
+      logEvent(end, nodeId, NodeEventType::kPerturbationLevel, perturbations);
     }
     if (out.improvedByMessage)
-      res.events.push_back(
-          {end, nodeId, NodeEventType::kTourReceived, out.bestLength});
+      logEvent(end, nodeId, NodeEventType::kTourReceived, out.bestLength);
     if (out.broadcast) {
-      res.events.push_back(
-          {end, nodeId, NodeEventType::kBroadcastSent, out.bestLength});
+      logEvent(end, nodeId, NodeEventType::kBroadcastSent, out.bestLength);
       net.broadcast(nodeId, end, node.makeTourMessage());
     }
     if (out.bestLength < res.bestLength) {
-      res.events.push_back(
-          {end, nodeId, NodeEventType::kImprovement, out.bestLength});
+      logEvent(end, nodeId, NodeEventType::kImprovement, out.bestLength);
       recordBest(nodeId, end);
     }
+    maybeSnapshot(end);
     if (out.foundTarget) {
       res.hitTarget = true;
       res.targetTime = end;
-      res.events.push_back(
-          {end, nodeId, NodeEventType::kTargetReached, out.bestLength});
+      logEvent(end, nodeId, NodeEventType::kTargetReached, out.bestLength);
       // Termination criterion 2: the finder notifies the cluster; the
       // simulation ends here and the remaining nodes' clocks stay put.
       break;
@@ -167,6 +203,16 @@ SimResult runSimulatedDistClk(const Instance& inst, const CandidateLists& cand,
   }
 
   res.net = net.stats();
+  if (opt.trace != nullptr) {
+    double finalTime = 0.0;
+    for (const double clock : res.nodeClocks)
+      finalTime = std::max(finalTime, clock);
+    opt.trace->write(obs::metricsRecord(finalTime, metricsReg.snapshot()));
+    opt.trace->write(obs::runEndRecord(finalTime, res.bestLength,
+                                       res.hitTarget, res.totalSteps,
+                                       res.net.messagesSent));
+    opt.trace->flush();
+  }
   std::sort(res.events.begin(), res.events.end(),
             [](const NodeEvent& a, const NodeEvent& b) {
               if (a.time != b.time) return a.time < b.time;

@@ -14,6 +14,7 @@
 #include "core/trace.h"
 #include "net/sim_network.h"
 #include "net/topology.h"
+#include "obs/trace_sink.h"
 #include "tsp/instance.h"
 #include "tsp/neighbors.h"
 
@@ -46,6 +47,15 @@ struct SimOptions {
   /// e.g. {1,1,1,1,0.5,0.5,0.5,0.5} models half the machines being half
   /// as fast. Must be empty or size == nodes, entries > 0.
   std::vector<double> nodeSpeeds;
+  /// Optional JSONL trace sink (null = no tracing, zero overhead). When
+  /// set, the driver creates a MetricsRegistry, wires node + network
+  /// probes, and streams run-meta/event/metrics/run-end records stamped
+  /// with virtual time — traced simulated runs stay deterministic and
+  /// produce identical tours to un-traced ones.
+  obs::TraceSink* trace = nullptr;
+  /// Virtual seconds between periodic metric snapshots (<= 0: only the
+  /// final snapshot is written). Ignored without a sink.
+  double metricsIntervalSeconds = 0.0;
 };
 
 struct SimResult {

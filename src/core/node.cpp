@@ -8,6 +8,26 @@
 
 namespace distclk {
 
+NodeMetrics NodeMetrics::attach(obs::MetricsRegistry& registry) {
+  NodeMetrics m;
+  m.registry = &registry;
+  m.steps = registry.counter("node.steps");
+  m.perturbations = registry.counter("node.perturbations");
+  m.lkFlips = registry.counter("node.lk_flips");
+  m.lkKicks = registry.counter("node.lk_kicks");
+  m.restarts = registry.counter("node.restarts");
+  m.mergeLocalWin = registry.counter("node.merge_local_win");
+  m.mergeReceivedWin = registry.counter("node.merge_received_win");
+  m.mergeStagnant = registry.counter("node.merge_stagnant");
+  m.toursReceived = registry.counter("node.tours_received");
+  m.computeSeconds = registry.histogram(
+      "node.compute_seconds",
+      obs::MetricsRegistry::exponentialBounds(1e-4, 4.0, 10));
+  m.restartDepth = registry.histogram(
+      "node.restart_depth", obs::MetricsRegistry::linearBounds(64.0, 8));
+  return m;
+}
+
 DistNode::DistNode(const Instance& inst, const CandidateLists& cand,
                    DistParams params, int id, std::uint64_t seed)
     : inst_(inst), cand_(cand), params_(params), id_(id), rng_(seed),
@@ -56,6 +76,7 @@ DistNode::ComputePhase DistNode::compute() {
   // otherwise NumNoImprovements / c_v + 1 random double bridges.
   if (params_.usePerturbation) {
     if (numNoImprovements_ > params_.cr) {
+      phase.noImprovementsAtRestart = numNoImprovements_;
       numNoImprovements_ = 0;
       ++restarts_;
       phase.restarted = true;
@@ -78,6 +99,21 @@ DistNode::ComputePhase DistNode::compute() {
   const ClkResult clk = chainedLinKernighan(phase.s, cand_, rng_, co);
   phase.modelCost += clk.flips + clk.kicks;
   phase.measuredSeconds = timer.seconds();
+
+  if (metrics_.registry != nullptr) {
+    obs::MetricsRegistry& reg = *metrics_.registry;
+    reg.add(metrics_.steps);
+    reg.add(metrics_.lkFlips, clk.flips);
+    reg.add(metrics_.lkKicks, clk.kicks);
+    if (phase.perturbations > 0)
+      reg.add(metrics_.perturbations, phase.perturbations);
+    if (phase.restarted) {
+      reg.add(metrics_.restarts);
+      reg.observe(metrics_.restartDepth,
+                  double(phase.noImprovementsAtRestart));
+    }
+    reg.observe(metrics_.computeSeconds, phase.measuredSeconds);
+  }
   return phase;
 }
 
@@ -88,6 +124,7 @@ DistNode::StepOutcome DistNode::merge(ComputePhase phase,
   out.measuredSeconds = phase.measuredSeconds;
   out.perturbations = phase.perturbations;
   out.restarted = phase.restarted;
+  out.noImprovementsAtRestart = phase.noImprovementsAtRestart;
   Tour& s = phase.s;
 
   // SELECTBESTTOUR over {received} ∪ {s} ∪ {s_prev}.
@@ -97,6 +134,8 @@ DistNode::StepOutcome DistNode::merge(ComputePhase phase,
   bool haveReceived = false;
   for (const Message& msg : received) {
     if (msg.type != MessageType::kTour) continue;
+    if (metrics_.registry != nullptr)
+      metrics_.registry->add(metrics_.toursReceived);
     if (msg.length >= best->length()) continue;  // cheap reject before O(n)
     std::vector<int> order(msg.order.begin(), msg.order.end());
     Tour t(inst_, std::move(order));
@@ -116,6 +155,11 @@ DistNode::StepOutcome DistNode::merge(ComputePhase phase,
     numNoImprovements_ = 0;
     if (best == &s) out.broadcast = true;
     out.improvedByMessage = haveReceived && best == &receivedBest;
+  }
+  if (metrics_.registry != nullptr) {
+    metrics_.registry->add(out.improvedByMessage ? metrics_.mergeReceivedWin
+                           : out.broadcast       ? metrics_.mergeLocalWin
+                                                 : metrics_.mergeStagnant);
   }
 
   sBest_ = *best;

@@ -12,11 +12,33 @@
 
 #include "lk/chained_lk.h"
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "tsp/neighbors.h"
 #include "tsp/tour.h"
 #include "util/rng.h"
 
 namespace distclk {
+
+/// Metric handles a DistNode records into (shared by all nodes of a run;
+/// per-node detail lives in the event trace). With a null registry every
+/// probe is a single pointer test — the un-traced fast path.
+struct NodeMetrics {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::MetricId steps;            ///< EA iterations (counter)
+  obs::MetricId perturbations;    ///< double bridges applied (counter)
+  obs::MetricId lkFlips;          ///< inner-CLK 2-/3-change flips (counter)
+  obs::MetricId lkKicks;          ///< inner-CLK kicks (counter)
+  obs::MetricId restarts;         ///< c_r-triggered restarts (counter)
+  obs::MetricId mergeLocalWin;    ///< merge kept the locally optimized tour
+  obs::MetricId mergeReceivedWin; ///< merge kept a received tour
+  obs::MetricId mergeStagnant;    ///< merge found no improvement
+  obs::MetricId toursReceived;    ///< kTour messages considered (counter)
+  obs::MetricId computeSeconds;   ///< wall time of compute phases (histogram)
+  obs::MetricId restartDepth;     ///< NumNoImprovements at restart (histogram)
+
+  /// Registers all node metrics on `registry` (idempotent by name).
+  static NodeMetrics attach(obs::MetricsRegistry& registry);
+};
 
 struct DistParams {
   int cv = 64;   ///< perturbation-strength divisor (paper default)
@@ -50,6 +72,9 @@ class DistNode {
     double measuredSeconds = 0;  ///< wall time of the compute phase
     int perturbations = 0;       ///< double bridges applied this step
     bool restarted = false;
+    /// NumNoImprovements when the restart fired (0 when !restarted); the
+    /// kRestart trace event carries this value.
+    int noImprovementsAtRestart = 0;
   };
 
   /// First step: construct (Quick-Borůvka) and CLK-optimize the initial
@@ -66,6 +91,7 @@ class DistNode {
     double measuredSeconds = 0;  ///< wall time of the phase
     int perturbations = 0;
     bool restarted = false;
+    int noImprovementsAtRestart = 0;
   };
   ComputePhase compute();
 
@@ -88,6 +114,11 @@ class DistNode {
   /// Builds the broadcast message for the current best tour.
   Message makeTourMessage() const;
 
+  /// Attaches metric probes (default: none; recording is then skipped).
+  /// Metrics are pure observation — attaching them never changes the
+  /// node's RNG stream or decisions.
+  void setMetrics(const NodeMetrics& metrics) noexcept { metrics_ = metrics; }
+
  private:
   Tour initialTour();
   std::int64_t innerKicks() const noexcept;
@@ -102,6 +133,7 @@ class DistNode {
   int numNoImprovements_ = 0;
   std::int64_t restarts_ = 0;
   bool initialized_ = false;
+  NodeMetrics metrics_;
 };
 
 }  // namespace distclk

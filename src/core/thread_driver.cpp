@@ -25,12 +25,37 @@ ThreadRunResult runThreadedDistClk(const Instance& inst,
   for (int i = 0; i < opt.nodes; ++i)
     nodes.emplace_back(inst, cand, opt.node, i, master());
 
+  // Observability: wired only when a sink is attached, before any thread
+  // starts. Each node thread records into its own metric shard and writes
+  // events through the (internally serialized) sink with its local clock.
+  obs::MetricsRegistry metricsReg;
+  obs::TraceSink* const sink = opt.trace;
+  if (sink != nullptr) {
+    net.attachMetrics(metricsReg);
+    const NodeMetrics nodeMetrics = NodeMetrics::attach(metricsReg);
+    for (auto& node : nodes) node.setMetrics(nodeMetrics);
+    obs::RunMeta meta;
+    meta.instance = inst.name();
+    meta.n = inst.n();
+    meta.algorithm = "dist-threads";
+    meta.nodes = opt.nodes;
+    meta.topology = toString(opt.topology);
+    meta.seed = opt.seed;
+    meta.cv = opt.node.cv;
+    meta.cr = opt.node.cr;
+    meta.kick = toString(opt.node.clkKick);
+    meta.timeLimitPerNode = opt.timeLimitPerNode;
+    meta.clock = "wall";
+    sink->write(obs::runMetaRecord(meta));
+  }
+
   std::atomic<bool> targetFound{false};
   std::atomic<std::int64_t> totalSteps{0};
   // Per-node traces are written only by the owning thread and read after
   // the join barrier — no locking needed (CP.2: no concurrent sharing).
   std::vector<AnytimeCurve> curves(std::size_t(opt.nodes));
   std::vector<EventLog> logs(std::size_t(opt.nodes));
+  Timer runTimer;
 
   {
     std::vector<std::jthread> threads;
@@ -41,34 +66,56 @@ ThreadRunResult runThreadedDistClk(const Instance& inst,
         AnytimeCurve& curve = curves[std::size_t(i)];
         EventLog& log = logs[std::size_t(i)];
         Timer timer;
+        auto logEvent = [&](double t, NodeEventType type, std::int64_t value) {
+          log.push_back({t, i, type, value});
+          if (sink != nullptr) sink->write(obs::eventRecord(log.back()));
+        };
+        // Node 0 doubles as the metrics reporter: snapshots merge every
+        // shard, so one thread emitting suffices.
+        double nextSnapshot = sink != nullptr && opt.metricsIntervalSeconds > 0
+                                  ? opt.metricsIntervalSeconds
+                                  : std::numeric_limits<double>::infinity();
         auto out = node.initialStep();
         totalSteps.fetch_add(1, std::memory_order_relaxed);
         curve.push_back({timer.seconds(), out.bestLength});
-        log.push_back({timer.seconds(), i, NodeEventType::kInitialTour,
-                       out.bestLength});
+        logEvent(timer.seconds(), NodeEventType::kInitialTour, out.bestLength);
         if (out.foundTarget) targetFound.store(true, std::memory_order_relaxed);
+        int lastPerturbLevel = 1;
         while (!stop.stop_requested() &&
                !targetFound.load(std::memory_order_relaxed) &&
                timer.seconds() < opt.timeLimitPerNode) {
           const auto received = net.mailbox(i).drain();
           out = node.step(received);
           totalSteps.fetch_add(1, std::memory_order_relaxed);
-          if (out.restarted)
-            log.push_back({timer.seconds(), i, NodeEventType::kRestart, 0});
+          const double now = timer.seconds();
+          if (out.restarted) {
+            logEvent(now, NodeEventType::kRestart,
+                     out.noImprovementsAtRestart);
+            lastPerturbLevel = 1;
+          } else if (out.perturbations != lastPerturbLevel) {
+            lastPerturbLevel = out.perturbations;
+            logEvent(now, NodeEventType::kPerturbationLevel,
+                     out.perturbations);
+          }
           if (out.improvedByMessage)
-            log.push_back({timer.seconds(), i, NodeEventType::kTourReceived,
-                           out.bestLength});
-          if (curve.empty() || out.bestLength < curve.back().length)
-            curve.push_back({timer.seconds(), out.bestLength});
+            logEvent(now, NodeEventType::kTourReceived, out.bestLength);
+          if (curve.empty() || out.bestLength < curve.back().length) {
+            curve.push_back({now, out.bestLength});
+            if (!out.improvedByMessage)
+              logEvent(now, NodeEventType::kImprovement, out.bestLength);
+          }
           if (out.broadcast) {
-            log.push_back({timer.seconds(), i, NodeEventType::kBroadcastSent,
-                           out.bestLength});
+            logEvent(now, NodeEventType::kBroadcastSent, out.bestLength);
             net.broadcast(i, node.makeTourMessage());
+          }
+          if (i == 0 && now >= nextSnapshot) {
+            sink->write(obs::metricsRecord(now, metricsReg.snapshot()));
+            while (nextSnapshot <= now)
+              nextSnapshot += opt.metricsIntervalSeconds;
           }
           if (out.foundTarget) {
             targetFound.store(true, std::memory_order_relaxed);
-            log.push_back({timer.seconds(), i, NodeEventType::kTargetReached,
-                           out.bestLength});
+            logEvent(now, NodeEventType::kTargetReached, out.bestLength);
             // Termination criterion 2: notify the cluster.
             Message msg;
             msg.type = MessageType::kOptimumFound;
@@ -106,6 +153,13 @@ ThreadRunResult runThreadedDistClk(const Instance& inst,
               if (a.time != b.time) return a.time < b.time;
               return a.node < b.node;
             });
+  if (sink != nullptr) {
+    const double finalTime = runTimer.seconds();
+    sink->write(obs::metricsRecord(finalTime, metricsReg.snapshot()));
+    sink->write(obs::runEndRecord(finalTime, res.bestLength, res.hitTarget,
+                                  res.totalSteps, res.messagesSent));
+    sink->flush();
+  }
   return res;
 }
 

@@ -11,6 +11,7 @@
 #include "core/node.h"
 #include "core/trace.h"
 #include "net/topology.h"
+#include "obs/trace_sink.h"
 #include "tsp/instance.h"
 #include "tsp/neighbors.h"
 
@@ -22,6 +23,14 @@ struct ThreadRunOptions {
   DistParams node;
   double timeLimitPerNode = 5.0;  ///< wall seconds per node thread
   std::uint64_t seed = 1;
+  /// Optional JSONL trace sink (null = no tracing; node threads then skip
+  /// every probe). The sink is called concurrently from all node threads
+  /// — JsonlTraceSink serializes internally. Timestamps are each node's
+  /// local wall clock, matching nodeCurves/events.
+  obs::TraceSink* trace = nullptr;
+  /// Wall seconds between periodic metric snapshots, emitted by node 0's
+  /// thread (<= 0: only the final snapshot). Ignored without a sink.
+  double metricsIntervalSeconds = 0.0;
 };
 
 struct ThreadRunResult {

@@ -45,6 +45,8 @@ AnytimeCurve meanCurve(const std::vector<AnytimeCurve>& runs,
 }
 
 const char* toString(NodeEventType t) noexcept {
+  // Exhaustive switch: a new enumerator without a name here is a compile
+  // warning (-Wswitch) and a round-trip test failure, not silent garbage.
   switch (t) {
     case NodeEventType::kInitialTour: return "initial-tour";
     case NodeEventType::kImprovement: return "improvement";
@@ -55,6 +57,13 @@ const char* toString(NodeEventType t) noexcept {
     case NodeEventType::kTargetReached: return "target-reached";
   }
   return "?";
+}
+
+std::optional<NodeEventType> nodeEventTypeFromString(
+    std::string_view name) noexcept {
+  for (const NodeEventType t : kAllNodeEventTypes)
+    if (name == toString(t)) return t;
+  return std::nullopt;
 }
 
 }  // namespace distclk

@@ -4,8 +4,11 @@
 // lookups on the same curves; §4.2.1 narrates per-node event traces.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace distclk {
@@ -44,7 +47,23 @@ enum class NodeEventType {
   kTargetReached,       ///< value = target length
 };
 
+/// Every NodeEventType, for exhaustive iteration (serialization tests,
+/// report tooling). Keep in sync with the enum — the toString round-trip
+/// test walks this list.
+inline constexpr std::array<NodeEventType, 7> kAllNodeEventTypes{
+    NodeEventType::kInitialTour,       NodeEventType::kImprovement,
+    NodeEventType::kBroadcastSent,     NodeEventType::kTourReceived,
+    NodeEventType::kPerturbationLevel, NodeEventType::kRestart,
+    NodeEventType::kTargetReached,
+};
+
+/// Stable wire name of an event type (used in JSONL traces).
 const char* toString(NodeEventType t) noexcept;
+
+/// Inverse of toString; nullopt for unknown names, so callers can reject
+/// rather than silently mislabel records from newer/older traces.
+std::optional<NodeEventType> nodeEventTypeFromString(
+    std::string_view name) noexcept;
 
 struct NodeEvent {
   double time = 0.0;  ///< per-node CPU seconds

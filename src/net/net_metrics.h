@@ -1,0 +1,36 @@
+// Metric handles shared by both transports (SimNetwork, ThreadNetwork).
+// One name space for the probes keeps trace_report agnostic to which
+// runtime produced a trace: "net.sends" means the same thing in a
+// simulated and a threaded run; only the clock behind message_age differs
+// (virtual vs wall seconds).
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace distclk {
+
+/// Null registry = every probe is a skipped branch (un-traced fast path).
+struct NetMetrics {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::MetricId sends;       ///< point-to-point deliveries enqueued
+  obs::MetricId broadcasts;  ///< broadcast() invocations
+  obs::MetricId deliveries;  ///< messages handed to a receiving node
+  obs::MetricId queueDepth;  ///< pending-queue depth at delivery (histogram)
+  obs::MetricId messageAge;  ///< seconds from send to delivery (histogram)
+
+  static NetMetrics attach(obs::MetricsRegistry& registry) {
+    NetMetrics m;
+    m.registry = &registry;
+    m.sends = registry.counter("net.sends");
+    m.broadcasts = registry.counter("net.broadcasts");
+    m.deliveries = registry.counter("net.deliveries");
+    m.queueDepth = registry.histogram(
+        "net.queue_depth", obs::MetricsRegistry::linearBounds(1.0, 16));
+    m.messageAge = registry.histogram(
+        "net.message_age_seconds",
+        obs::MetricsRegistry::exponentialBounds(1e-4, 4.0, 10));
+    return m;
+  }
+};
+
+}  // namespace distclk

@@ -21,18 +21,24 @@ void SimNetwork::setAlive(int node, bool alive) {
   alive_[std::size_t(node)] = alive ? 1 : 0;
 }
 
+void SimNetwork::attachMetrics(obs::MetricsRegistry& registry) {
+  metrics_ = NetMetrics::attach(registry);
+}
+
 void SimNetwork::send(int from, int to, double sendTime, const Message& msg) {
   if (!alive_[std::size_t(from)] || !alive_[std::size_t(to)]) return;
-  inbox_[std::size_t(to)].push_back({sendTime + latency_, seq_++, msg});
+  inbox_[std::size_t(to)].push_back({sendTime + latency_, sendTime, seq_++, msg});
   ++stats_.messagesSent;
   ++stats_.sentByNode[std::size_t(from)];
   // 21-byte header + 4 bytes per city, matching net/message's codec.
   stats_.bytesSent += 21 + static_cast<std::int64_t>(msg.order.size()) * 4;
+  if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.sends);
 }
 
 void SimNetwork::broadcast(int from, double sendTime, const Message& msg) {
   if (!alive_[std::size_t(from)]) return;
   ++stats_.broadcasts;
+  if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.broadcasts);
   for (int to : adj_[std::size_t(from)]) send(from, to, sendTime, msg);
 }
 
@@ -47,6 +53,13 @@ std::vector<Message> SimNetwork::collect(int node, double upTo) {
     if (a.arrival != b.arrival) return a.arrival < b.arrival;
     return a.seq < b.seq;
   });
+  if (metrics_.registry != nullptr && !ready.empty()) {
+    obs::MetricsRegistry& reg = *metrics_.registry;
+    reg.add(metrics_.deliveries, std::int64_t(ready.size()));
+    reg.observe(metrics_.queueDepth, double(ready.size()));
+    for (const Pending& p : ready)
+      reg.observe(metrics_.messageAge, upTo - p.sendTime);
+  }
   out.reserve(ready.size());
   for (auto& p : ready) out.push_back(std::move(p.msg));
   return out;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "net/net_metrics.h"
 #include "net/topology.h"
 
 namespace distclk {
@@ -50,9 +51,16 @@ class SimNetwork {
   /// Earliest pending arrival time for `node` (infinity when none).
   double nextArrival(int node) const;
 
+  /// Attaches observation probes. Message age is measured in virtual
+  /// seconds (collect time minus send time), so it covers both link
+  /// latency and the receiver's compute-phase blocking; traces of
+  /// simulated runs stay deterministic.
+  void attachMetrics(obs::MetricsRegistry& registry);
+
  private:
   struct Pending {
     double arrival;
+    double sendTime;
     std::int64_t seq;
     Message msg;
   };
@@ -63,6 +71,7 @@ class SimNetwork {
   std::vector<char> alive_;
   std::int64_t seq_ = 0;
   NetworkStats stats_;
+  NetMetrics metrics_;
 };
 
 }  // namespace distclk

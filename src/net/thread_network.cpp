@@ -5,19 +5,44 @@
 
 namespace distclk {
 
+namespace {
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 void Mailbox::push(Message msg) {
+  Entry entry{std::move(msg), 0};
+  if (metrics_ != nullptr && metrics_->registry != nullptr)
+    entry.enqueueNs = steadyNowNs();
   {
     const std::scoped_lock lock(mu_);
-    queue_.push_back(std::move(msg));
+    queue_.push_back(std::move(entry));
   }
   cv_.notify_one();
 }
 
-std::vector<Message> Mailbox::drain() {
-  const std::scoped_lock lock(mu_);
-  std::vector<Message> out(queue_.begin(), queue_.end());
+std::vector<Message> Mailbox::drainLocked() {
+  if (metrics_ != nullptr && metrics_->registry != nullptr && !queue_.empty()) {
+    obs::MetricsRegistry& reg = *metrics_->registry;
+    reg.observe(metrics_->queueDepth, double(queue_.size()));
+    reg.add(metrics_->deliveries, std::int64_t(queue_.size()));
+    const std::int64_t now = steadyNowNs();
+    for (const Entry& e : queue_)
+      reg.observe(metrics_->messageAge, double(now - e.enqueueNs) * 1e-9);
+  }
+  std::vector<Message> out;
+  out.reserve(queue_.size());
+  for (Entry& e : queue_) out.push_back(std::move(e.msg));
   queue_.clear();
   return out;
+}
+
+std::vector<Message> Mailbox::drain() {
+  const std::scoped_lock lock(mu_);
+  return drainLocked();
 }
 
 std::vector<Message> Mailbox::waitAndDrain(double timeoutSeconds) {
@@ -25,9 +50,7 @@ std::vector<Message> Mailbox::waitAndDrain(double timeoutSeconds) {
   cv_.wait_for(lock, std::chrono::duration<double>(timeoutSeconds),
                [&] { return !queue_.empty() || interrupted_; });
   interrupted_ = false;
-  std::vector<Message> out(queue_.begin(), queue_.end());
-  queue_.clear();
-  return out;
+  return drainLocked();
 }
 
 void Mailbox::interrupt() {
@@ -44,23 +67,24 @@ ThreadNetwork::ThreadNetwork(Adjacency adj)
     throw std::invalid_argument("ThreadNetwork: invalid topology");
 }
 
+void ThreadNetwork::attachMetrics(obs::MetricsRegistry& registry) {
+  metrics_ = NetMetrics::attach(registry);
+  for (auto& box : boxes_) box.setMetrics(&metrics_);
+}
+
 void ThreadNetwork::broadcast(int from, const Message& msg) {
+  if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.broadcasts);
   for (int to : adj_[std::size_t(from)]) send(to, msg);
 }
 
 void ThreadNetwork::send(int to, const Message& msg) {
   boxes_[std::size_t(to)].push(msg);
-  const std::scoped_lock lock(statsMu_);
-  ++messagesSent_;
+  messagesSent_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.sends);
 }
 
 void ThreadNetwork::interruptAll() {
   for (auto& box : boxes_) box.interrupt();
-}
-
-std::int64_t ThreadNetwork::messagesSent() const noexcept {
-  const std::scoped_lock lock(statsMu_);
-  return messagesSent_;
 }
 
 }  // namespace distclk

@@ -4,12 +4,14 @@
 // (drivers own std::jthread instances that join on destruction).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <vector>
 
 #include "net/message.h"
+#include "net/net_metrics.h"
 #include "net/topology.h"
 
 namespace distclk {
@@ -24,11 +26,25 @@ class Mailbox {
   /// Wakes a blocked waitAndDrain() without delivering anything.
   void interrupt();
 
+  /// Observation hooks; `metrics` must outlive the mailbox. When set,
+  /// push() stamps a monotonic enqueue time so drain() can record message
+  /// age at delivery. Deliveries/age/depth are recorded by the draining
+  /// (receiver) thread, sends by the sender — each touches only its own
+  /// metric shard, so probes add no cross-thread contention.
+  void setMetrics(const NetMetrics* metrics) noexcept { metrics_ = metrics; }
+
  private:
+  struct Entry {
+    Message msg;
+    std::int64_t enqueueNs = 0;  ///< only stamped when metrics attached
+  };
+  std::vector<Message> drainLocked();
+
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::deque<Entry> queue_;
   bool interrupted_ = false;
+  const NetMetrics* metrics_ = nullptr;
 };
 
 /// Topology-aware broadcast fabric over mailboxes; thread-safe.
@@ -45,13 +61,21 @@ class ThreadNetwork {
   /// Wakes every node blocked on its mailbox (used at shutdown).
   void interruptAll();
 
-  std::int64_t messagesSent() const noexcept;
+  /// Attaches observation probes to the fabric and every mailbox. Call
+  /// before threads start; the registry must outlive the network.
+  void attachMetrics(obs::MetricsRegistry& registry);
+
+  std::int64_t messagesSent() const noexcept {
+    return messagesSent_.load(std::memory_order_relaxed);
+  }
 
  private:
   Adjacency adj_;
   std::vector<Mailbox> boxes_;
-  mutable std::mutex statsMu_;
-  std::int64_t messagesSent_ = 0;
+  // Hammered by every node thread on each send; a relaxed atomic keeps the
+  // counter exact without a lock (ordering does not matter, totals do).
+  std::atomic<std::int64_t> messagesSent_{0};
+  NetMetrics metrics_;
 };
 
 }  // namespace distclk

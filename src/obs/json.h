@@ -1,0 +1,73 @@
+// Minimal JSON support for the observability layer: an allocation-light
+// object builder for the JSONL trace sink and a small recursive-descent
+// parser for the trace-report tool. No external dependencies, by design —
+// trace records are flat and small, so a full JSON library would be
+// overkill.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace distclk::obs {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string jsonEscape(std::string_view s);
+
+/// Formats a double the way JSON expects: shortest round-trip form, no
+/// NaN/Inf (clamped to null per RFC 8259's lack of them).
+std::string jsonNumber(double v);
+
+/// Streaming builder for one JSON object: {"a":1,"b":"x",...}. Values are
+/// emitted in insertion order so trace lines are stable across runs.
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value);
+  JsonObject& field(std::string_view key, const std::string& value);
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, int value);
+  JsonObject& field(std::string_view key, bool value);
+  /// Inserts `rawJson` verbatim as the value (nested objects/arrays).
+  JsonObject& raw(std::string_view key, std::string_view rawJson);
+
+  /// The finished object, e.g. `{"a":1}`. May be called repeatedly.
+  std::string str() const;
+
+ private:
+  JsonObject& value(std::string_view key, std::string_view rendered);
+  std::string body_;
+};
+
+/// Parsed JSON value (tree form). Objects preserve key order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool isObject() const noexcept { return kind == Kind::kObject; }
+  bool isArray() const noexcept { return kind == Kind::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed member accessors with defaults (object-only helpers).
+  double num(std::string_view key, double def = 0.0) const;
+  std::int64_t integer(std::string_view key, std::int64_t def = 0) const;
+  std::string str(std::string_view key, std::string def = "") const;
+};
+
+/// Parses one complete JSON document. Throws std::runtime_error with a
+/// byte offset on malformed input or trailing garbage.
+JsonValue parseJson(std::string_view text);
+
+}  // namespace distclk::obs

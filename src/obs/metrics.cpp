@@ -1,0 +1,316 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/json.h"
+
+namespace distclk::obs {
+
+std::int64_t MetricsSnapshot::counterValue(std::string_view name) const {
+  for (const auto& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+const HistogramData* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h.data;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::toJson() const {
+  JsonObject counterObj;
+  for (const auto& c : counters) counterObj.field(c.name, c.value);
+  JsonObject gaugeObj;
+  for (const auto& g : gauges)
+    if (g.everSet) gaugeObj.field(g.name, g.value);
+  JsonObject histObj;
+  for (const auto& h : histograms) {
+    JsonObject one;
+    one.field("count", h.data.count)
+        .field("sum", h.data.sum)
+        .field("min", h.data.count > 0 ? h.data.min : 0.0)
+        .field("max", h.data.count > 0 ? h.data.max : 0.0);
+    std::string bounds = "[";
+    for (std::size_t i = 0; i < h.data.bounds.size(); ++i) {
+      if (i) bounds += ',';
+      bounds += jsonNumber(h.data.bounds[i]);
+    }
+    bounds += ']';
+    std::string buckets = "[";
+    for (std::size_t i = 0; i < h.data.counts.size(); ++i) {
+      if (i) buckets += ',';
+      buckets += std::to_string(h.data.counts[i]);
+    }
+    buckets += ']';
+    one.raw("bounds", bounds).raw("buckets", buckets);
+    histObj.raw(h.name, one.str());
+  }
+  return JsonObject()
+      .raw("counters", counterObj.str())
+      .raw("gauges", gaugeObj.str())
+      .raw("histograms", histObj.str())
+      .str();
+}
+
+namespace {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+std::uint64_t nextRegistryUid() {
+  static std::atomic<std::uint64_t> uid{0};
+  return uid.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Global gauge sequence: the highest-sequence set() wins across shards.
+std::atomic<std::uint64_t> gGaugeSeq{1};
+
+}  // namespace
+
+struct MetricsRegistry::Metric {
+  std::string name;
+  Kind kind;
+  std::vector<double> bounds;  ///< histogram only
+};
+
+struct MetricsRegistry::Shard {
+  /// Guards this shard's values. Only the owner thread records into the
+  /// shard, so the lock is uncontended except during a snapshot's brief
+  /// merge — node threads never wait on each other.
+  std::mutex mu;
+  struct Slot {
+    std::int64_t counter = 0;
+    double gauge = 0.0;
+    std::uint64_t gaugeSeq = 0;  ///< 0 = never set
+    HistogramData hist;          ///< counts sized lazily on first observe
+  };
+  std::vector<Slot> slots;
+
+  Slot& slot(int index) {
+    if (index >= static_cast<int>(slots.size()))
+      slots.resize(std::size_t(index) + 1);
+    return slots[std::size_t(index)];
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : uid_(nextRegistryUid()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::localShard() const {
+  // Keyed by registry uid (not pointer) so a recycled allocation can never
+  // resurrect another registry's stale shard pointer.
+  thread_local std::unordered_map<std::uint64_t, Shard*> tls;
+  const auto it = tls.find(uid_);
+  if (it != tls.end()) return *it->second;
+  const std::scoped_lock lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  tls.emplace(uid_, shard);
+  return *shard;
+}
+
+MetricId MetricsRegistry::counter(const std::string& name) {
+  const std::scoped_lock lock(mu_);
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name != name) continue;
+    if (metrics_[i].kind != Kind::kCounter)
+      throw std::invalid_argument("metric kind mismatch: " + name);
+    return {static_cast<int>(i)};
+  }
+  metrics_.push_back({name, Kind::kCounter, {}});
+  return {static_cast<int>(metrics_.size()) - 1};
+}
+
+MetricId MetricsRegistry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mu_);
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name != name) continue;
+    if (metrics_[i].kind != Kind::kGauge)
+      throw std::invalid_argument("metric kind mismatch: " + name);
+    return {static_cast<int>(i)};
+  }
+  metrics_.push_back({name, Kind::kGauge, {}});
+  return {static_cast<int>(metrics_.size()) - 1};
+}
+
+MetricId MetricsRegistry::histogram(const std::string& name,
+                                    std::vector<double> bounds) {
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end())
+    throw std::invalid_argument("histogram bounds must be strictly ascending: " +
+                                name);
+  const std::scoped_lock lock(mu_);
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name != name) continue;
+    if (metrics_[i].kind != Kind::kHistogram)
+      throw std::invalid_argument("metric kind mismatch: " + name);
+    return {static_cast<int>(i)};
+  }
+  metrics_.push_back({name, Kind::kHistogram, std::move(bounds)});
+  return {static_cast<int>(metrics_.size()) - 1};
+}
+
+void MetricsRegistry::add(MetricId id, std::int64_t delta) {
+  if (!id.valid()) return;
+  Shard& shard = localShard();
+  const std::scoped_lock lock(shard.mu);
+  shard.slot(id.index).counter += delta;
+}
+
+void MetricsRegistry::set(MetricId id, double value) {
+  if (!id.valid()) return;
+  Shard& shard = localShard();
+  const std::scoped_lock lock(shard.mu);
+  auto& slot = shard.slot(id.index);
+  slot.gauge = value;
+  slot.gaugeSeq = gGaugeSeq.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(MetricId id, double value) {
+  if (!id.valid()) return;
+  std::vector<double> bounds;
+  {
+    const std::scoped_lock lock(mu_);
+    bounds = metrics_[std::size_t(id.index)].bounds;
+  }
+  Shard& shard = localShard();
+  const std::scoped_lock lock(shard.mu);
+  auto& hist = shard.slot(id.index).hist;
+  if (hist.counts.empty()) {
+    hist.bounds = std::move(bounds);
+    hist.counts.assign(hist.bounds.size() + 1, 0);
+  }
+  const auto it =
+      std::lower_bound(hist.bounds.begin(), hist.bounds.end(), value);
+  ++hist.counts[std::size_t(it - hist.bounds.begin())];
+  if (hist.count == 0) {
+    hist.min = value;
+    hist.max = value;
+  } else {
+    hist.min = std::min(hist.min, value);
+    hist.max = std::max(hist.max, value);
+  }
+  ++hist.count;
+  hist.sum += value;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  MetricsSnapshot snap;
+  std::vector<std::uint64_t> gaugeSeqs;
+  for (const auto& m : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({m.name, 0});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({m.name, 0.0, false});
+        break;
+      case Kind::kHistogram: {
+        MetricsSnapshot::Histogram h;
+        h.name = m.name;
+        h.data.bounds = m.bounds;
+        h.data.counts.assign(m.bounds.size() + 1, 0);
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  gaugeSeqs.assign(snap.gauges.size(), 0);
+  for (const auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    const std::scoped_lock shardLock(shard.mu);
+    std::size_t ci = 0, gi = 0, hi = 0;
+    for (std::size_t m = 0; m < metrics_.size(); ++m) {
+      const bool have = m < shard.slots.size();
+      switch (metrics_[m].kind) {
+        case Kind::kCounter:
+          if (have) snap.counters[ci].value += shard.slots[m].counter;
+          ++ci;
+          break;
+        case Kind::kGauge:
+          if (have && shard.slots[m].gaugeSeq > gaugeSeqs[gi]) {
+            gaugeSeqs[gi] = shard.slots[m].gaugeSeq;
+            snap.gauges[gi].value = shard.slots[m].gauge;
+            snap.gauges[gi].everSet = true;
+          }
+          ++gi;
+          break;
+        case Kind::kHistogram: {
+          auto& out = snap.histograms[hi].data;
+          if (have && shard.slots[m].hist.count > 0) {
+            const auto& in = shard.slots[m].hist;
+            for (std::size_t b = 0; b < in.counts.size(); ++b)
+              out.counts[b] += in.counts[b];
+            if (out.count == 0) {
+              out.min = in.min;
+              out.max = in.max;
+            } else {
+              out.min = std::min(out.min, in.min);
+              out.max = std::max(out.max, in.max);
+            }
+            out.count += in.count;
+            out.sum += in.sum;
+          }
+          ++hi;
+          break;
+        }
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mu_);
+  for (const auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    const std::scoped_lock shardLock(shard.mu);
+    for (auto& slot : shard.slots) {
+      slot.counter = 0;
+      slot.gauge = 0.0;
+      slot.gaugeSeq = 0;
+      slot.hist = HistogramData{};
+    }
+  }
+}
+
+std::vector<double> MetricsRegistry::linearBounds(double step, int n) {
+  std::vector<double> out;
+  out.reserve(std::size_t(n));
+  for (int i = 1; i <= n; ++i) out.push_back(step * i);
+  return out;
+}
+
+std::vector<double> MetricsRegistry::exponentialBounds(double start,
+                                                       double factor, int n) {
+  std::vector<double> out;
+  out.reserve(std::size_t(n));
+  double v = start;
+  for (int i = 0; i < n; ++i, v *= factor) out.push_back(v);
+  return out;
+}
+
+namespace {
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+ScopedTimer::ScopedTimer(MetricsRegistry* registry, MetricId histogram) noexcept
+    : registry_(registry), id_(histogram) {
+  if (registry_ && id_.valid()) startNs_ = nowNs();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!registry_ || !id_.valid()) return;
+  registry_->observe(id_, double(nowNs() - startNs_) * 1e-9);
+}
+
+}  // namespace distclk::obs

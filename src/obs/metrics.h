@@ -1,0 +1,133 @@
+// Run-time metrics for the distributed solver: named counters, gauges, and
+// fixed-bucket histograms. Recording goes to a per-thread shard (created on
+// a thread's first record), so node threads never contend with each other;
+// snapshot() merges the shards. All recording paths are branch-on-null
+// cheap when no registry is attached — instrumentation is compiled in but
+// costs one pointer test per probe in un-traced runs.
+//
+// Determinism: metrics never feed back into the algorithm; they observe.
+// Timestamps are NOT taken here — drivers stamp snapshots with their own
+// clock (virtual time under the simulator), so traced simulated runs stay
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace distclk::obs {
+
+/// Opaque handle to a registered metric; cheap to copy, valid for the
+/// lifetime of the registry that issued it.
+struct MetricId {
+  int index = -1;
+  bool valid() const noexcept { return index >= 0; }
+};
+
+struct HistogramData {
+  std::vector<double> bounds;        ///< upper bucket bounds, ascending
+  std::vector<std::int64_t> counts;  ///< bounds.size() + 1 (last = overflow)
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double mean() const noexcept { return count > 0 ? sum / double(count) : 0.0; }
+};
+
+/// Merged view of all shards at one instant.
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    double value = 0.0;
+    bool everSet = false;
+  };
+  struct Histogram {
+    std::string name;
+    HistogramData data;
+  };
+
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Histogram> histograms;
+
+  /// Lookup helpers for tests/reports; 0-defaults when absent.
+  std::int64_t counterValue(std::string_view name) const;
+  const HistogramData* histogram(std::string_view name) const;
+
+  /// Nested JSON: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string toJson() const;
+};
+
+/// Thread-safe metric registry with per-thread recording shards.
+///
+/// Registration (counter/gauge/histogram) is mutex-guarded and idempotent
+/// by name; do it at setup time. Recording (add/set/observe) touches only
+/// the calling thread's shard under that shard's own mutex, which is
+/// uncontended except while a snapshot briefly merges it.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or looks up) a metric. Throws std::invalid_argument when
+  /// the name exists with a different kind, or when a histogram's bounds
+  /// are empty or not strictly ascending.
+  MetricId counter(const std::string& name);
+  MetricId gauge(const std::string& name);
+  MetricId histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Recording. Invalid ids are ignored (so callers can keep default-
+  /// constructed ids in the un-instrumented configuration).
+  void add(MetricId id, std::int64_t delta = 1);
+  void set(MetricId id, double value);
+  void observe(MetricId id, double value);
+
+  /// Merges every thread's shard into one consistent view.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes all recorded values (registrations are kept).
+  void reset();
+
+  /// Evenly spaced bucket bounds helper: {step, 2*step, ..., n*step}.
+  static std::vector<double> linearBounds(double step, int n);
+  /// Exponential bounds helper: {start, start*factor, ...} (n entries).
+  static std::vector<double> exponentialBounds(double start, double factor,
+                                               int n);
+
+ private:
+  struct Metric;  ///< registered name + kind + bucket layout
+  struct Shard;   ///< one thread's values
+
+  Shard& localShard() const;
+
+  const std::uint64_t uid_;  ///< distinguishes registries in thread-local maps
+  mutable std::mutex mu_;    ///< guards metrics_ and shards_ (structure only)
+  std::vector<Metric> metrics_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// RAII probe: observes the scope's wall-clock duration (seconds) into a
+/// histogram on destruction. With a null registry the clock is never read.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, MetricId histogram) noexcept;
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  MetricId id_;
+  std::int64_t startNs_ = 0;
+};
+
+}  // namespace distclk::obs

@@ -1,0 +1,86 @@
+#include "obs/trace_sink.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+
+#ifndef DISTCLK_GIT_DESCRIBE
+#define DISTCLK_GIT_DESCRIBE "unknown"
+#endif
+
+namespace distclk::obs {
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& os) : os_(os) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : owned_(path), os_(owned_) {
+  if (!owned_) throw std::runtime_error("JsonlTraceSink: cannot open " + path);
+}
+
+void JsonlTraceSink::write(std::string_view line) {
+  const std::scoped_lock lock(mu_);
+  os_ << line << '\n';
+  ++lines_;
+}
+
+void JsonlTraceSink::flush() {
+  const std::scoped_lock lock(mu_);
+  os_.flush();
+}
+
+std::int64_t JsonlTraceSink::linesWritten() const {
+  const std::scoped_lock lock(mu_);
+  return lines_;
+}
+
+const char* buildVersion() noexcept { return DISTCLK_GIT_DESCRIBE; }
+
+std::string runMetaRecord(const RunMeta& meta) {
+  return JsonObject()
+      .field("type", "run-meta")
+      .field("instance", meta.instance)
+      .field("n", meta.n)
+      .field("algorithm", meta.algorithm)
+      .field("nodes", meta.nodes)
+      .field("topology", meta.topology)
+      .field("seed", meta.seed)
+      .field("cv", meta.cv)
+      .field("cr", meta.cr)
+      .field("kick", meta.kick)
+      .field("time_limit_per_node", meta.timeLimitPerNode)
+      .field("clock", meta.clock)
+      .field("git", buildVersion())
+      .str();
+}
+
+std::string eventRecord(const NodeEvent& event) {
+  return JsonObject()
+      .field("type", "event")
+      .field("t", event.time)
+      .field("node", event.node)
+      .field("event", toString(event.type))
+      .field("value", event.value)
+      .str();
+}
+
+std::string metricsRecord(double time, const MetricsSnapshot& snapshot) {
+  return JsonObject()
+      .field("type", "metrics")
+      .field("t", time)
+      .raw("metrics", snapshot.toJson())
+      .str();
+}
+
+std::string runEndRecord(double time, std::int64_t bestLength, bool hitTarget,
+                         std::int64_t totalSteps, std::int64_t messagesSent) {
+  return JsonObject()
+      .field("type", "run-end")
+      .field("t", time)
+      .field("best_length", bestLength)
+      .field("hit_target", hitTarget)
+      .field("total_steps", totalSteps)
+      .field("messages_sent", messagesSent)
+      .str();
+}
+
+}  // namespace distclk::obs

@@ -1,0 +1,84 @@
+// Structured run traces: drivers stream one JSON object per line (JSONL)
+// to a TraceSink — run metadata, per-node events, periodic metric
+// snapshots, and a final result record. The format is what
+// tools/trace_report consumes and what EXPERIMENTS.md documents under
+// "Capturing and reading traces".
+//
+// Record types (the "type" field):
+//   run-meta  — once, at t=0: instance, seed, parameters, git version
+//   event     — a NodeEvent (t, node, event name, value)
+//   metrics   — a MetricsSnapshot stamped with the driver's clock
+//   run-end   — once: best length, target hit, step/message totals
+//
+// Timestamps always come from the calling driver's clock (virtual seconds
+// under the simulator, per-node wall seconds under threads) — the sink
+// never consults a clock, keeping simulated traces deterministic.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "core/trace.h"
+#include "obs/metrics.h"
+
+namespace distclk::obs {
+
+/// Abstract sink for JSONL trace lines. Implementations must be safe to
+/// call from multiple node threads concurrently.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Writes one complete JSON object (no trailing newline in `line`).
+  virtual void write(std::string_view line) = 0;
+  virtual void flush() {}
+};
+
+/// Thread-safe JSONL sink over an ostream or a file.
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Non-owning: caller keeps `os` alive for the sink's lifetime.
+  explicit JsonlTraceSink(std::ostream& os);
+  /// Owning: opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit JsonlTraceSink(const std::string& path);
+
+  void write(std::string_view line) override;
+  void flush() override;
+  std::int64_t linesWritten() const;
+
+ private:
+  std::ofstream owned_;
+  std::ostream& os_;
+  mutable std::mutex mu_;
+  std::int64_t lines_ = 0;
+};
+
+/// Run-level metadata captured at trace start.
+struct RunMeta {
+  std::string instance;
+  int n = 0;
+  std::string algorithm;  ///< "dist-sim" | "dist-threads" | ...
+  int nodes = 0;
+  std::string topology;
+  std::uint64_t seed = 0;
+  int cv = 0;
+  int cr = 0;
+  std::string kick;
+  double timeLimitPerNode = 0.0;
+  std::string clock;  ///< "virtual" | "wall"
+};
+
+/// Compile-time version stamp (git describe at configure time).
+const char* buildVersion() noexcept;
+
+/// Record builders — each returns one JSON object (no newline).
+std::string runMetaRecord(const RunMeta& meta);
+std::string eventRecord(const NodeEvent& event);
+std::string metricsRecord(double time, const MetricsSnapshot& snapshot);
+std::string runEndRecord(double time, std::int64_t bestLength, bool hitTarget,
+                         std::int64_t totalSteps, std::int64_t messagesSent);
+
+}  // namespace distclk::obs

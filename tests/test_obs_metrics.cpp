@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace distclk::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulate) {
+  MetricsRegistry reg;
+  const MetricId c = reg.counter("steps");
+  reg.add(c);
+  reg.add(c, 4);
+  EXPECT_EQ(reg.snapshot().counterValue("steps"), 5);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  const MetricId a = reg.counter("x");
+  const MetricId b = reg.counter("x");
+  EXPECT_EQ(a.index, b.index);
+  reg.add(a);
+  reg.add(b);
+  EXPECT_EQ(reg.snapshot().counterValue("x"), 2);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, InvalidIdIsIgnored) {
+  MetricsRegistry reg;
+  reg.add(MetricId{});       // default id: no-op, must not crash
+  reg.set(MetricId{}, 1.0);
+  reg.observe(MetricId{}, 1.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+}
+
+TEST(MetricsRegistry, GaugeLastSetWins) {
+  MetricsRegistry reg;
+  const MetricId g = reg.gauge("depth");
+  reg.set(g, 3.0);
+  reg.set(g, 7.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_TRUE(snap.gauges[0].everSet);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 7.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndStats) {
+  MetricsRegistry reg;
+  const MetricId h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  for (const double v : {0.5, 1.0, 5.0, 50.0, 500.0}) reg.observe(h, v);
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramData* data = snap.histogram("lat");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, 5);
+  EXPECT_DOUBLE_EQ(data->min, 0.5);
+  EXPECT_DOUBLE_EQ(data->max, 500.0);
+  EXPECT_DOUBLE_EQ(data->sum, 556.5);
+  // lower_bound semantics: a value equal to a bound lands in that bucket.
+  ASSERT_EQ(data->counts.size(), 4u);
+  EXPECT_EQ(data->counts[0], 2);  // 0.5, 1.0
+  EXPECT_EQ(data->counts[1], 1);  // 5.0
+  EXPECT_EQ(data->counts[2], 1);  // 50.0
+  EXPECT_EQ(data->counts[3], 1);  // 500.0 overflow
+}
+
+TEST(MetricsRegistry, RejectsBadHistogramBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("h", {}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", {2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, ResetClearsValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  const MetricId c = reg.counter("c");
+  const MetricId h = reg.histogram("h", {1.0});
+  reg.add(c, 9);
+  reg.observe(h, 0.5);
+  reg.reset();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counterValue("c"), 0);
+  ASSERT_NE(snap.histogram("h"), nullptr);
+  EXPECT_EQ(snap.histogram("h")->count, 0);
+  reg.add(c);
+  EXPECT_EQ(reg.snapshot().counterValue("c"), 1);
+}
+
+// The tentpole's concurrency contract: many threads hammer their own
+// shards; the merged snapshot must be exact. Run under the TSan preset via
+// scripts/tier1.sh.
+TEST(MetricsRegistry, ShardedRecordingMergesExactly) {
+  MetricsRegistry reg;
+  const MetricId c = reg.counter("hits");
+  const MetricId h = reg.histogram("vals", {10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&reg, c, h] {
+        for (int i = 0; i < kPerThread; ++i) {
+          reg.add(c);
+          reg.observe(h, double(i % 200));
+        }
+      });
+    }
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counterValue("hits"), std::int64_t(kThreads) * kPerThread);
+  ASSERT_NE(snap.histogram("vals"), nullptr);
+  EXPECT_EQ(snap.histogram("vals")->count, std::int64_t(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, SnapshotWhileRecordingIsConsistent) {
+  MetricsRegistry reg;
+  const MetricId c = reg.counter("n");
+  std::atomic<bool> stop{false};
+  std::jthread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) reg.add(c);
+  });
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_GE(snap.counterValue("n"), 0);
+  }
+  stop.store(true);
+}
+
+TEST(MetricsSnapshot, ToJsonParsesBack) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("a.b"), 3);
+  reg.set(reg.gauge("g"), 2.5);
+  reg.observe(reg.histogram("h", {1.0, 2.0}), 1.5);
+  const JsonValue v = parseJson(reg.snapshot().toJson());
+  ASSERT_TRUE(v.isObject());
+  const JsonValue* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->integer("a.b"), 3);
+  const JsonValue* gauges = v.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->num("g"), 2.5);
+  const JsonValue* hist = v.find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* h = hist->find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->integer("count"), 1);
+  ASSERT_NE(h->find("buckets"), nullptr);
+  EXPECT_EQ(h->find("buckets")->array.size(), 3u);
+}
+
+TEST(ScopedTimer, ObservesElapsedSeconds) {
+  MetricsRegistry reg;
+  const MetricId h = reg.histogram("t", {1.0, 10.0});
+  {
+    ScopedTimer timer(&reg, h);
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramData* data = snap.histogram("t");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, 1);
+  EXPECT_GE(data->min, 0.0);
+  EXPECT_LT(data->max, 1.0);  // scope was empty; far below a second
+}
+
+TEST(ScopedTimer, NullRegistryIsNoop) {
+  ScopedTimer timer(nullptr, MetricId{});  // must not touch any clock/state
+}
+
+TEST(MetricsRegistry, BoundsHelpers) {
+  EXPECT_EQ(MetricsRegistry::linearBounds(2.0, 3),
+            (std::vector<double>{2.0, 4.0, 6.0}));
+  EXPECT_EQ(MetricsRegistry::exponentialBounds(1.0, 10.0, 3),
+            (std::vector<double>{1.0, 10.0, 100.0}));
+}
+
+}  // namespace
+}  // namespace distclk::obs

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace distclk {
@@ -103,6 +105,52 @@ TEST(ThreadNetwork, InterruptAllWakesEveryMailbox) {
   Timer timer;
   net.mailbox(0).waitAndDrain(5.0);
   EXPECT_LT(timer.seconds(), 4.0);
+}
+
+// Regression for the messagesSent_ counter: it is bumped by every node
+// thread on every send, so hammer broadcast() from 8 threads and require
+// an exact total (a torn/racy counter drops increments). Also runs under
+// the TSan preset via scripts/tier1.sh.
+TEST(ThreadNetwork, ConcurrentBroadcastsCountExactly) {
+  constexpr int kNodes = 8;
+  constexpr int kPerThread = 2000;
+  ThreadNetwork net(buildTopology(TopologyKind::kComplete, kNodes));
+  {
+    std::vector<std::jthread> threads;
+    for (int from = 0; from < kNodes; ++from) {
+      threads.emplace_back([&net, from] {
+        for (int i = 0; i < kPerThread; ++i)
+          net.broadcast(from, tourMsg(from, i));
+      });
+    }
+  }
+  // Complete topology: each broadcast fans out to kNodes - 1 mailboxes.
+  const std::int64_t expected =
+      std::int64_t(kNodes) * kPerThread * (kNodes - 1);
+  EXPECT_EQ(net.messagesSent(), expected);
+  std::int64_t delivered = 0;
+  for (int node = 0; node < kNodes; ++node)
+    delivered += std::int64_t(net.mailbox(node).drain().size());
+  EXPECT_EQ(delivered, expected);
+}
+
+TEST(ThreadNetwork, AttachedMetricsCountSendsAndDeliveries) {
+  obs::MetricsRegistry reg;
+  ThreadNetwork net(buildTopology(TopologyKind::kRing, 4));
+  net.attachMetrics(reg);
+  net.broadcast(0, tourMsg(0, 7));  // ring: 2 neighbors
+  net.send(2, tourMsg(0, 8));
+  EXPECT_EQ(net.mailbox(1).drain().size(), 1u);
+  EXPECT_EQ(net.mailbox(2).drain().size(), 1u);
+  EXPECT_EQ(net.mailbox(3).drain().size(), 1u);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counterValue("net.broadcasts"), 1);
+  EXPECT_EQ(snap.counterValue("net.sends"), 3);
+  EXPECT_EQ(snap.counterValue("net.deliveries"), 3);
+  const auto* age = snap.histogram("net.message_age_seconds");
+  ASSERT_NE(age, nullptr);
+  EXPECT_EQ(age->count, 3);
+  EXPECT_GE(age->min, 0.0);
 }
 
 TEST(ThreadNetwork, RejectsInvalidTopology) {

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 namespace distclk {
 namespace {
@@ -11,6 +14,27 @@ const AnytimeCurve kCurve{{1.0, 100}, {2.0, 90}, {5.0, 70}};
 
 TEST(Trace, ValueAtBeforeFirstPointIsMax) {
   EXPECT_EQ(valueAt(kCurve, 0.5), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Trace, ValueAtEmptyCurveIsMax) {
+  EXPECT_EQ(valueAt({}, 1.0), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(valueAt({}, 0.0), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Trace, ValueAtExactBoundaryIncludesPoint) {
+  // A point at exactly t counts as "achieved by t" (checkpoint semantics).
+  EXPECT_EQ(valueAt(kCurve, 5.0), 70);
+  EXPECT_EQ(valueAt(kCurve, std::nextafter(5.0, 0.0)), 90);
+}
+
+TEST(Trace, ValueAtOrFirstClampsBeforeFirstPoint) {
+  EXPECT_EQ(valueAtOrFirst(kCurve, 0.5), 100);   // holds the starting tour
+  EXPECT_EQ(valueAtOrFirst(kCurve, 1.0), 100);   // exact first point
+  EXPECT_EQ(valueAtOrFirst(kCurve, 100.0), 70);  // defers to valueAt after
+}
+
+TEST(Trace, ValueAtOrFirstEmptyCurveIsMax) {
+  EXPECT_EQ(valueAtOrFirst({}, 1.0), std::numeric_limits<std::int64_t>::max());
 }
 
 TEST(Trace, ValueAtStepsThroughCurve) {
@@ -30,6 +54,12 @@ TEST(Trace, TimeToReach) {
 
 TEST(Trace, TimeToReachEmptyCurve) {
   EXPECT_TRUE(std::isinf(timeToReach({}, 1)));
+}
+
+TEST(Trace, TimeToReachExactTargetBoundary) {
+  // target exactly equal to a curve value is reached at that point's time.
+  EXPECT_EQ(timeToReach(kCurve, 90), 2.0);
+  EXPECT_EQ(timeToReach(kCurve, 89), 5.0);  // just below: next improvement
 }
 
 TEST(Trace, MeanCurveAverages) {
@@ -55,12 +85,51 @@ TEST(Trace, MeanCurveEmptyWhenNoData) {
   EXPECT_TRUE(meanCurve({{}, {}}, {1.0}).empty());
 }
 
+TEST(Trace, MeanCurveWithRunsOfUnequalLength) {
+  // Run a improves twice then stops; run b keeps improving much later. At
+  // t=10 run a still contributes its final value (anytime semantics).
+  const AnytimeCurve a{{1.0, 100}, {2.0, 80}};
+  const AnytimeCurve b{{1.0, 120}, {2.0, 110}, {10.0, 60}};
+  const AnytimeCurve mean = meanCurve({a, b}, {1.0, 2.0, 10.0});
+  ASSERT_EQ(mean.size(), 3u);
+  EXPECT_EQ(mean[0].length, 110);  // (100 + 120) / 2
+  EXPECT_EQ(mean[1].length, 95);   // (80 + 110) / 2
+  EXPECT_EQ(mean[2].length, 70);   // (80 + 60) / 2 — a's last value persists
+}
+
+TEST(Trace, MeanCurveNoSampleTimes) {
+  EXPECT_TRUE(meanCurve({{{1.0, 10}}}, {}).empty());
+}
+
 TEST(Trace, EventTypeNames) {
   EXPECT_STREQ(toString(NodeEventType::kImprovement), "improvement");
   EXPECT_STREQ(toString(NodeEventType::kBroadcastSent), "broadcast-sent");
   EXPECT_STREQ(toString(NodeEventType::kRestart), "restart");
   EXPECT_STREQ(toString(NodeEventType::kPerturbationLevel),
                "perturbation-level");
+}
+
+TEST(Trace, EventTypeNamesRoundTripExhaustively) {
+  // Every enumerator must serialize to a unique name and parse back; a new
+  // event type that's missing from toString/kAllNodeEventTypes fails here
+  // instead of silently writing "?" into traces.
+  std::vector<std::string> seen;
+  for (const NodeEventType t : kAllNodeEventTypes) {
+    const std::string name = toString(t);
+    EXPECT_NE(name, "?");
+    EXPECT_EQ(std::find(seen.begin(), seen.end(), name), seen.end())
+        << "duplicate name " << name;
+    seen.push_back(name);
+    const auto parsed = nodeEventTypeFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(Trace, EventTypeFromStringRejectsUnknown) {
+  EXPECT_FALSE(nodeEventTypeFromString("not-an-event").has_value());
+  EXPECT_FALSE(nodeEventTypeFromString("").has_value());
+  EXPECT_FALSE(nodeEventTypeFromString("Improvement").has_value());  // case
 }
 
 }  // namespace

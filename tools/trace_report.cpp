@@ -1,0 +1,318 @@
+// Reads a JSONL run trace (distclk_cli --trace, or any driver with a
+// JsonlTraceSink attached) and renders the per-node behavior the paper
+// narrates in §4: improvement timelines, broadcast/receive ratios, restart
+// depths, and time-to-quality lookups on the reconstructed global anytime
+// curve. The metric snapshot closest to the end of the run is summarized
+// last.
+//
+//   trace_report RUN.jsonl [--levels 0.05,0.02,0.01,0.005,0]
+//     --levels L1,L2,...   quality levels (fraction over final best) for
+//                          the time-to-quality table
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "obs/json.h"
+#include "util/table.h"
+
+using namespace distclk;
+
+namespace {
+
+struct NodeSummary {
+  int improvements = 0;          ///< locally produced improvements
+  int toursReceived = 0;         ///< improving tours adopted from neighbors
+  int broadcasts = 0;
+  int restarts = 0;
+  std::vector<std::int64_t> restartDepths;  ///< NumNoImprovements at restart
+  int maxPerturbLevel = 1;
+  double firstImprovementTime = -1.0;
+  double lastImprovementTime = -1.0;
+  std::int64_t bestLength = -1;
+  double bestTime = 0.0;
+};
+
+struct TraceData {
+  std::optional<obs::JsonValue> meta;
+  std::optional<obs::JsonValue> runEnd;
+  std::optional<obs::JsonValue> lastMetrics;
+  std::map<int, NodeSummary> nodes;
+  EventLog events;
+  int parsedLines = 0;
+  int skippedLines = 0;
+};
+
+void applyEvent(TraceData& data, const NodeEvent& ev) {
+  data.events.push_back(ev);
+  NodeSummary& node = data.nodes[ev.node];
+  switch (ev.type) {
+    case NodeEventType::kInitialTour:
+    case NodeEventType::kImprovement:
+      if (node.firstImprovementTime < 0) node.firstImprovementTime = ev.time;
+      node.lastImprovementTime = ev.time;
+      if (ev.type == NodeEventType::kImprovement) ++node.improvements;
+      break;
+    case NodeEventType::kBroadcastSent:
+      ++node.broadcasts;
+      break;
+    case NodeEventType::kTourReceived:
+      ++node.toursReceived;
+      break;
+    case NodeEventType::kPerturbationLevel:
+      node.maxPerturbLevel =
+          std::max(node.maxPerturbLevel, static_cast<int>(ev.value));
+      break;
+    case NodeEventType::kRestart:
+      ++node.restarts;
+      node.restartDepths.push_back(ev.value);
+      break;
+    case NodeEventType::kTargetReached:
+      break;
+  }
+  // Track each node's best-seen length from length-carrying events.
+  if (ev.type == NodeEventType::kInitialTour ||
+      ev.type == NodeEventType::kImprovement ||
+      ev.type == NodeEventType::kTourReceived ||
+      ev.type == NodeEventType::kBroadcastSent) {
+    if (node.bestLength < 0 || ev.value < node.bestLength) {
+      node.bestLength = ev.value;
+      node.bestTime = ev.time;
+    }
+  }
+}
+
+TraceData loadTrace(std::istream& in) {
+  TraceData data;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    obs::JsonValue rec;
+    try {
+      rec = obs::parseJson(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "line %d: %s (skipped)\n", lineNo, e.what());
+      ++data.skippedLines;
+      continue;
+    }
+    ++data.parsedLines;
+    const std::string type = rec.str("type");
+    if (type == "run-meta") {
+      data.meta = std::move(rec);
+    } else if (type == "run-end") {
+      data.runEnd = std::move(rec);
+    } else if (type == "metrics") {
+      data.lastMetrics = std::move(rec);
+    } else if (type == "event") {
+      const auto eventType = nodeEventTypeFromString(rec.str("event"));
+      if (!eventType) {
+        std::fprintf(stderr, "line %d: unknown event '%s' (skipped)\n", lineNo,
+                     rec.str("event").c_str());
+        ++data.skippedLines;
+        continue;
+      }
+      applyEvent(data, {rec.num("t"), static_cast<int>(rec.integer("node")),
+                        *eventType, rec.integer("value")});
+    } else {
+      std::fprintf(stderr, "line %d: unknown record type '%s' (skipped)\n",
+                   lineNo, type.c_str());
+      ++data.skippedLines;
+    }
+  }
+  std::sort(data.events.begin(), data.events.end(),
+            [](const NodeEvent& a, const NodeEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.node < b.node;
+            });
+  return data;
+}
+
+/// Global best-so-far over all nodes, from the length-carrying events.
+AnytimeCurve globalCurve(const EventLog& events) {
+  AnytimeCurve curve;
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (const NodeEvent& ev : events) {
+    if (ev.type != NodeEventType::kInitialTour &&
+        ev.type != NodeEventType::kImprovement &&
+        ev.type != NodeEventType::kTourReceived &&
+        ev.type != NodeEventType::kBroadcastSent)
+      continue;
+    if (ev.value < best) {
+      best = ev.value;
+      curve.push_back({ev.time, best});
+    }
+  }
+  return curve;
+}
+
+std::string fmtCount(std::int64_t v) { return std::to_string(v); }
+
+std::vector<double> parseLevels(const std::string& spec) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    out.push_back(std::stod(spec.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string levelSpec = "0.05,0.02,0.01,0.005,0";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--levels" && i + 1 < argc) {
+      levelSpec = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_report RUN.jsonl [--levels 0.05,...]\n");
+    return 1;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const TraceData data = loadTrace(in);
+  if (data.parsedLines == 0) {
+    std::fprintf(stderr, "%s: no parseable records\n", path.c_str());
+    return 1;
+  }
+
+  if (data.meta) {
+    const auto& m = *data.meta;
+    std::printf("run      : %s (n=%lld) — %s, %lld nodes, %s topology\n",
+                m.str("instance").c_str(),
+                static_cast<long long>(m.integer("n")),
+                m.str("algorithm").c_str(),
+                static_cast<long long>(m.integer("nodes")),
+                m.str("topology").c_str());
+    std::printf("params   : seed=%lld c_v=%lld c_r=%lld kick=%s "
+                "budget=%.3gs/node clock=%s git=%s\n",
+                static_cast<long long>(m.integer("seed")),
+                static_cast<long long>(m.integer("cv")),
+                static_cast<long long>(m.integer("cr")), m.str("kick").c_str(),
+                m.num("time_limit_per_node"), m.str("clock").c_str(),
+                m.str("git").c_str());
+  }
+  std::printf("records  : %d parsed, %d skipped, %zu events\n\n",
+              data.parsedLines, data.skippedLines, data.events.size());
+
+  // Per-node summary: the §4.2.1 narrative in table form.
+  Table nodeTable({"node", "improve", "recv", "bcast", "recv/bcast", "restarts",
+                   "max-perturb", "best", "best@t"});
+  for (const auto& [id, node] : data.nodes) {
+    const double ratio =
+        node.broadcasts > 0
+            ? static_cast<double>(node.toursReceived) / node.broadcasts
+            : 0.0;
+    nodeTable.addRow({std::to_string(id), fmtCount(node.improvements),
+                      fmtCount(node.toursReceived), fmtCount(node.broadcasts),
+                      fmt(ratio, 2), fmtCount(node.restarts),
+                      fmtCount(node.maxPerturbLevel),
+                      node.bestLength >= 0 ? std::to_string(node.bestLength)
+                                           : "-",
+                      fmt(node.bestTime, 3)});
+  }
+  std::printf("Per-node summary\n");
+  nodeTable.print(std::cout);
+
+  // Improvement timeline: global best vs time, one row per improvement.
+  const AnytimeCurve curve = globalCurve(data.events);
+  if (!curve.empty()) {
+    const std::int64_t finalBest = curve.back().length;
+    Table quality({"level", "target", "time-to-reach"});
+    for (const double level : parseLevels(levelSpec)) {
+      const auto target =
+          static_cast<std::int64_t>(std::ceil(double(finalBest) * (1.0 + level)));
+      const double t = timeToReach(curve, target);
+      quality.addRow({fmtPct(level, 1), std::to_string(target),
+                      std::isinf(t) ? "never" : fmt(t, 3) + "s"});
+    }
+    std::printf("\nTime to quality (vs final best %lld, %zu improvements)\n",
+                static_cast<long long>(finalBest), curve.size());
+    quality.print(std::cout);
+  }
+
+  // Restart histogram: how deep stagnation ran before each restart.
+  bool anyRestart = false;
+  Table restarts({"node", "restarts", "depth-min", "depth-mean", "depth-max"});
+  for (const auto& [id, node] : data.nodes) {
+    if (node.restartDepths.empty()) continue;
+    anyRestart = true;
+    const auto [minIt, maxIt] = std::minmax_element(
+        node.restartDepths.begin(), node.restartDepths.end());
+    double sum = 0;
+    for (const auto d : node.restartDepths) sum += double(d);
+    restarts.addRow({std::to_string(id),
+                     fmtCount(std::int64_t(node.restartDepths.size())),
+                     std::to_string(*minIt),
+                     fmt(sum / double(node.restartDepths.size()), 1),
+                     std::to_string(*maxIt)});
+  }
+  if (anyRestart) {
+    std::printf("\nRestart depths (NumNoImprovements when c_r fired)\n");
+    restarts.print(std::cout);
+  }
+
+  // Final metric snapshot: counters plus histogram means.
+  if (data.lastMetrics) {
+    const obs::JsonValue* metrics = data.lastMetrics->find("metrics");
+    if (metrics != nullptr) {
+      std::printf("\nFinal metrics (t=%.3fs)\n", data.lastMetrics->num("t"));
+      Table counters({"counter", "value"});
+      if (const obs::JsonValue* c = metrics->find("counters"))
+        for (const auto& [name, v] : c->object)
+          counters.addRow({name, std::to_string(
+                                     static_cast<std::int64_t>(v.number))});
+      counters.print(std::cout);
+      Table hists({"histogram", "count", "mean", "min", "max"});
+      bool anyHist = false;
+      if (const obs::JsonValue* h = metrics->find("histograms")) {
+        for (const auto& [name, v] : h->object) {
+          const double count = v.num("count");
+          if (count <= 0) continue;
+          anyHist = true;
+          hists.addRow({name, fmtCount(static_cast<std::int64_t>(count)),
+                        fmt(v.num("sum") / count, 6), fmt(v.num("min"), 6),
+                        fmt(v.num("max"), 6)});
+        }
+      }
+      if (anyHist) {
+        std::printf("\n");
+        hists.print(std::cout);
+      }
+    }
+  }
+
+  if (data.runEnd) {
+    const auto& e = *data.runEnd;
+    const obs::JsonValue* hit = e.find("hit_target");
+    std::printf("\nrun end  : best=%lld steps=%lld messages=%lld "
+                "hit-target=%s at t=%.3fs\n",
+                static_cast<long long>(e.integer("best_length")),
+                static_cast<long long>(e.integer("total_steps")),
+                static_cast<long long>(e.integer("messages_sent")),
+                hit != nullptr && hit->boolean ? "yes" : "no", e.num("t"));
+  }
+  return 0;
+}
