@@ -9,6 +9,7 @@
 #include "lk/lin_kernighan.h"
 #include "lk/or_opt.h"
 #include "lk/two_opt.h"
+#include "tsp/big_tour.h"
 #include "tsp/gen.h"
 #include "util/rng.h"
 
@@ -63,6 +64,76 @@ void BM_LinKernighanPass(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_LinKernighanPass)->Arg(1000)->Arg(3000);
+
+// Head-to-head of the distance hot path. ref=0 is the default fast path
+// (metric-specialized kernel + annotated candidate distances); ref=1 is the
+// seed path re-routed through the Instance::dist() switch
+// (LkOptions::referenceDistances). Both retrace the identical trajectory —
+// same flips, same final tour — so the steps_per_sec ratio is the pure
+// distance-path speedup. Steps count physical reversals (applied + rewound),
+// the unit node telemetry reports as node.lk_flips/node.lk_undone_flips.
+void BM_LkPassDistPath(benchmark::State& state) {
+  Fixture& f = fixtureOf(static_cast<int>(state.range(0)));
+  LkOptions opt;
+  opt.referenceDistances = state.range(1) != 0;
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    Tour t = f.start;
+    const LkStats stats = linKernighanOptimize(t, f.cand, opt);
+    steps += stats.flips + stats.undoneFlips;
+  }
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(double(steps), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LkPassDistPath)
+    ->ArgsProduct({{1000, 10000}, {0, 1}})
+    ->ArgNames({"n", "ref"});
+
+// The same comparison on the CLK steady state: kick an optimized tour and
+// repair the dirty cities, which is where DistCLK spends its runtime.
+void BM_KickRepairDistPath(benchmark::State& state) {
+  Fixture& f = fixtureOf(static_cast<int>(state.range(0)));
+  LkOptions opt;
+  opt.referenceDistances = state.range(1) != 0;
+  Rng rng(5);
+  Tour t = f.start;
+  linKernighanOptimize(t, f.cand, opt);
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    Tour work = t;
+    const auto dirty = applyKick(work, KickStrategy::kRandomWalk, f.cand, rng);
+    const LkStats stats = linKernighanOptimize(work, f.cand, dirty, opt);
+    steps += stats.flips + stats.undoneFlips;
+  }
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(double(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KickRepairDistPath)
+    ->ArgsProduct({{1000, 10000}, {0, 1}})
+    ->ArgNames({"n", "ref"});
+
+// Distance-path head-to-head on the segment-list BigTour, the configuration
+// for six-digit city counts: flips cost O(sqrt n) instead of O(n), so the
+// candidate-scan distance evaluations carry a larger share of the runtime
+// and the kernel + annotation win shows up at pass level.
+void BM_LkPassBigTourDistPath(benchmark::State& state) {
+  Fixture& f = fixtureOf(static_cast<int>(state.range(0)));
+  LkOptions opt;
+  opt.referenceDistances = state.range(1) != 0;
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    BigTour t(f.inst, f.start.orderVector());
+    const LkStats stats = linKernighanOptimize(t, f.cand, opt);
+    steps += stats.flips + stats.undoneFlips;
+  }
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(double(steps), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LkPassBigTourDistPath)
+    ->ArgsProduct({{10000}, {0, 1}})
+    ->ArgNames({"n", "ref"});
 
 // The inner loop of Chained LK: kick the optimized tour, repair locally.
 void BM_KickRepairCycle(benchmark::State& state) {

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "construct/construct.h"
+#include "tsp/dist_kernel.h"
 #include "tsp/gen.h"
 #include "tsp/kdtree.h"
 #include "tsp/neighbors.h"
@@ -32,6 +33,66 @@ void BM_DistEuc2D(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DistEuc2D);
+
+// Same access pattern through the metric-specialized kernel: the branch on
+// hasMatrix + the EdgeWeightType switch are resolved once at construction,
+// the loop pays only an indirect call over SoA arrays.
+void BM_DistKernelEuc2D(benchmark::State& state) {
+  const Instance& inst = instanceOf(1000);
+  const DistanceKernel dist(inst);
+  int i = 0, j = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist(i, j));
+    i = (i + 1) % 1000;
+    j = (j + 7) % 1000;
+  }
+}
+BENCHMARK(BM_DistKernelEuc2D);
+
+// Fully static variant (metric known at compile time): the inlining ceiling
+// for the dispatch-hoisted kernel.
+void BM_DistKernelEuc2DStatic(benchmark::State& state) {
+  const Instance& inst = instanceOf(1000);
+  const DistanceKernel dist(inst);
+  int i = 0, j = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.evalAs<EdgeWeightType::kEuc2D>(i, j));
+    i = (i + 1) % 1000;
+    j = (j + 7) % 1000;
+  }
+}
+BENCHMARK(BM_DistKernelEuc2DStatic);
+
+// Candidate-scan shapes as in LK's chain step: sum d(c, cand) over every
+// CSR list. Recompute pays sqrt+llround per edge; annotated reads the
+// distance the builder already computed from the parallel CSR array.
+void BM_CandScanRecompute(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Instance& inst = instanceOf(n);
+  const CandidateLists cand(inst, 10);
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (int c = 0; c < n; ++c)
+      for (const int o : cand.of(c)) sum += inst.dist(c, o);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 10);
+}
+BENCHMARK(BM_CandScanRecompute)->Arg(10000);
+
+void BM_CandScanAnnotated(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Instance& inst = instanceOf(n);
+  const CandidateLists cand(inst, 10);
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (int c = 0; c < n; ++c)
+      for (const std::int64_t d : cand.distOf(c)) sum += d;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 10);
+}
+BENCHMARK(BM_CandScanAnnotated)->Arg(10000);
 
 void BM_TourLength(benchmark::State& state) {
   const Instance& inst = instanceOf(static_cast<int>(state.range(0)));

@@ -1,0 +1,171 @@
+#!/usr/bin/env bash
+# Perf trajectory for the distance hot path: builds the Release bench
+# binaries, runs the micro suites with JSON output, re-runs the
+# kernel-vs-reference determinism check, and merges everything into
+# BENCH_lk.json at the repo root (per-benchmark ns/op, steps/sec, derived
+# speedup ratios, git describe).
+#
+# Environment knobs:
+#   BUILD_DIR  build directory (default build-bench, CMAKE_BUILD_TYPE=Release)
+#   JOBS       parallel build jobs (default: nproc)
+#   MIN_TIME   google-benchmark --benchmark_min_time (default 0.05)
+#   SEED_CLI   path to a baseline-revision distclk_cli; when set, the script
+#              also runs the cross-binary comparison (fixed-budget CLK kicks
+#              and a deterministic LK pass at n=10000) and records it under
+#              "vs_seed".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+JOBS=${JOBS:-$(nproc)}
+MIN_TIME=${MIN_TIME:-0.05}
+export MIN_TIME
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target micro_tsp micro_lk micro_tour test_dist_kernel distclk_cli
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+for b in micro_tsp micro_lk micro_tour; do
+  echo "== $b"
+  "$BUILD_DIR/bench/$b" --benchmark_format=json \
+    --benchmark_min_time="$MIN_TIME" > "$out/$b.json"
+done
+
+echo "== determinism (kernel vs reference trajectories)"
+"$BUILD_DIR/tests/test_dist_kernel" \
+  --gtest_filter='DistPathDeterminism.*' | tee "$out/determinism.txt"
+
+if [[ -n "${SEED_CLI:-}" ]]; then
+  echo "== cross-binary vs seed: $SEED_CLI"
+  NEW_CLI="$BUILD_DIR/examples/distclk_cli"
+  for tag in seed new; do
+    bin=$SEED_CLI; [[ $tag == new ]] && bin=$NEW_CLI
+    "$bin" --algo clk --gen uniform --n 10000 --gen-seed 1 --seed 1 \
+      --seconds 10 | grep -E 'result|wall' > "$out/clk_$tag.txt"
+    "$bin" --algo lk --gen uniform --n 10000 --gen-seed 1 --seed 1 \
+      | grep -E 'result|wall' > "$out/lk_$tag.txt"
+  done
+fi
+
+GIT_DESCRIBE=$(git describe --always --dirty --tags 2>/dev/null || echo unknown)
+export GIT_DESCRIBE
+
+python3 - "$out" > BENCH_lk.json <<'PY'
+import json, os, re, sys
+
+out = sys.argv[1]
+
+benchmarks = []
+by_name = {}
+for suite in ("micro_tsp", "micro_lk", "micro_tour"):
+    with open(os.path.join(out, suite + ".json")) as f:
+        data = json.load(f)
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "suite": suite,
+            "name": b["name"],
+            "time_ns": b["real_time"],
+            "cpu_ns": b["cpu_time"],
+        }
+        for counter in ("steps_per_sec", "items_per_second"):
+            if counter in b:
+                entry[counter] = b[counter]
+        benchmarks.append(entry)
+        by_name[b["name"]] = entry
+
+
+def ratio(fast, slow, key="time_ns"):
+    a, b = by_name.get(fast), by_name.get(slow)
+    if not a or not b or not a.get(key):
+        return None
+    return round(b[key] / a[key], 3)
+
+
+derived = {
+    "dist_kernel_vs_switch_euc2d":
+        ratio("BM_DistKernelEuc2D", "BM_DistEuc2D"),
+    "cand_scan_annotated_vs_recompute_n10000":
+        ratio("BM_CandScanAnnotated/10000", "BM_CandScanRecompute/10000"),
+    "lk_pass_kernel_vs_reference_n10000":
+        ratio("BM_LkPassDistPath/n:10000/ref:0",
+              "BM_LkPassDistPath/n:10000/ref:1"),
+    "kick_repair_kernel_vs_reference_n10000":
+        ratio("BM_KickRepairDistPath/n:10000/ref:0",
+              "BM_KickRepairDistPath/n:10000/ref:1"),
+}
+
+determinism = []
+pat = re.compile(
+    r"\[determinism\] inst=(\S+) n=(\d+) seed=(\d+) "
+    r"len_kernel=(\d+) len_reference=(\d+) identical=(\d)")
+with open(os.path.join(out, "determinism.txt")) as f:
+    for line in f:
+        m = pat.search(line)
+        if m:
+            determinism.append({
+                "inst": m.group(1), "n": int(m.group(2)),
+                "seed": int(m.group(3)),
+                "len_kernel": int(m.group(4)),
+                "len_reference": int(m.group(5)),
+                "identical": m.group(6) == "1",
+            })
+
+result = {
+    "schema": "distclk-bench-lk-v1",
+    "git": os.environ.get("GIT_DESCRIBE", "unknown"),
+    "benchmark_min_time": float(os.environ.get("MIN_TIME", "0.05")),
+    "benchmarks": benchmarks,
+    "derived_speedups": derived,
+    "determinism": determinism,
+}
+
+
+def parse_cli(path):
+    text = open(path).read()
+    r = {}
+    m = re.search(r"result\s*:\s*(\d+)(?:\s*\((\d+) kicks)?", text)
+    if m:
+        r["result"] = int(m.group(1))
+        if m.group(2):
+            r["kicks"] = int(m.group(2))
+    m = re.search(r"wall time:\s*([\d.]+)s", text)
+    if m:
+        r["wall_seconds"] = float(m.group(1))
+    return r
+
+
+if os.path.exists(os.path.join(out, "clk_seed.txt")):
+    clk_seed = parse_cli(os.path.join(out, "clk_seed.txt"))
+    clk_new = parse_cli(os.path.join(out, "clk_new.txt"))
+    lk_seed = parse_cli(os.path.join(out, "lk_seed.txt"))
+    lk_new = parse_cli(os.path.join(out, "lk_new.txt"))
+    result["vs_seed"] = {
+        "clk_uniform_n10000_budget10s": {
+            "seed_kicks": clk_seed.get("kicks"),
+            "new_kicks": clk_new.get("kicks"),
+            "steps_per_sec_speedup": round(
+                clk_new["kicks"] / clk_seed["kicks"], 3)
+            if clk_seed.get("kicks") else None,
+        },
+        "lk_pass_uniform_n10000": {
+            "seed_result": lk_seed.get("result"),
+            "new_result": lk_new.get("result"),
+            "identical_tour_length":
+                lk_seed.get("result") == lk_new.get("result"),
+            "seed_wall_seconds": lk_seed.get("wall_seconds"),
+            "new_wall_seconds": lk_new.get("wall_seconds"),
+            "wall_speedup": round(
+                lk_seed["wall_seconds"] / lk_new["wall_seconds"], 3)
+            if lk_new.get("wall_seconds") else None,
+        },
+    }
+
+print(json.dumps(result, indent=2))
+PY
+
+echo "wrote BENCH_lk.json (git: $GIT_DESCRIBE)"

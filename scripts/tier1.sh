@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
 # over the concurrent components (thread network, thread driver, metric
-# shards) so data races in the mailbox/metrics paths fail CI on day one.
+# shards) so data races in the mailbox/metrics paths fail CI on day one,
+# and an AddressSanitizer pass over the distance-kernel / candidate-list /
+# tour / LK paths that index raw SoA and CSR arrays.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +19,14 @@ cmake --build build-tsan -j "$JOBS" \
 for t in test_thread_network test_thread_driver test_obs_metrics; do
   echo "== TSan: $t"
   ./build-tsan/tests/"$t"
+done
+
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=address
+cmake --build build-asan -j "$JOBS" \
+  --target test_dist_kernel test_neighbors test_tour test_lk
+for t in test_dist_kernel test_neighbors test_tour test_lk; do
+  echo "== ASan: $t"
+  ./build-asan/tests/"$t"
 done
 
 echo "tier-1 OK"

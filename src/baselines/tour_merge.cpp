@@ -65,7 +65,8 @@ TourMergeResult tourMergeSolve(const Instance& inst, Rng& rng,
       return da != db ? da < db : a < b;
     });
   }
-  const CandidateLists unionCand(inst, std::move(unionAdj));
+  const CandidateLists unionCand(inst, std::move(unionAdj),
+                                 /*distanceSorted=*/true);
 
   // Phase 3: deep LK restricted to the union, starting from the best run.
   Tour merged(inst, std::move(bestOrder));

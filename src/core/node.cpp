@@ -14,6 +14,7 @@ NodeMetrics NodeMetrics::attach(obs::MetricsRegistry& registry) {
   m.steps = registry.counter("node.steps");
   m.perturbations = registry.counter("node.perturbations");
   m.lkFlips = registry.counter("node.lk_flips");
+  m.lkUndoneFlips = registry.counter("node.lk_undone_flips");
   m.lkKicks = registry.counter("node.lk_kicks");
   m.restarts = registry.counter("node.restarts");
   m.mergeLocalWin = registry.counter("node.merge_local_win");
@@ -59,7 +60,9 @@ DistNode::StepOutcome DistNode::initialStep() {
   sPrev_ = s;
   StepOutcome out;
   out.bestLength = sBest_.length();
-  out.modelCost = clk.flips + inst_.n();
+  // Total physical reversals (applied + rewound): the same deterministic
+  // work proxy as before the flips/undoneFlips telemetry split.
+  out.modelCost = clk.flips + clk.undoneFlips + inst_.n();
   out.measuredSeconds = timer.seconds();
   out.foundTarget =
       params_.targetLength >= 0 && out.bestLength <= params_.targetLength;
@@ -97,13 +100,14 @@ DistNode::ComputePhase DistNode::compute() {
   co.maxKicks = innerKicks();
   co.targetLength = params_.targetLength;
   const ClkResult clk = chainedLinKernighan(phase.s, cand_, rng_, co);
-  phase.modelCost += clk.flips + clk.kicks;
+  phase.modelCost += clk.flips + clk.undoneFlips + clk.kicks;
   phase.measuredSeconds = timer.seconds();
 
   if (metrics_.registry != nullptr) {
     obs::MetricsRegistry& reg = *metrics_.registry;
     reg.add(metrics_.steps);
     reg.add(metrics_.lkFlips, clk.flips);
+    reg.add(metrics_.lkUndoneFlips, clk.undoneFlips);
     reg.add(metrics_.lkKicks, clk.kicks);
     if (phase.perturbations > 0)
       reg.add(metrics_.perturbations, phase.perturbations);

@@ -26,7 +26,8 @@ struct NodeMetrics {
   obs::MetricsRegistry* registry = nullptr;
   obs::MetricId steps;            ///< EA iterations (counter)
   obs::MetricId perturbations;    ///< double bridges applied (counter)
-  obs::MetricId lkFlips;          ///< inner-CLK 2-/3-change flips (counter)
+  obs::MetricId lkFlips;          ///< inner-CLK applied flips (counter)
+  obs::MetricId lkUndoneFlips;    ///< inner-CLK rewound flips (counter)
   obs::MetricId lkKicks;          ///< inner-CLK kicks (counter)
   obs::MetricId restarts;         ///< c_r-triggered restarts (counter)
   obs::MetricId mergeLocalWin;    ///< merge kept the locally optimized tour

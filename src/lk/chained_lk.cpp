@@ -15,7 +15,9 @@ ClkResult chainedLkImpl(TourT& tour, const CandidateLists& cand, Rng& rng,
   Timer timer;
   ClkResult res;
 
-  res.flips += linKernighanOptimize(tour, cand, opt.lk).flips;
+  const LkStats initial = linKernighanOptimize(tour, cand, opt.lk);
+  res.flips += initial.flips;
+  res.undoneFlips += initial.undoneFlips;
   if (onImprove) onImprove(timer.seconds(), tour.length());
 
   auto hitTarget = [&] {
@@ -34,7 +36,9 @@ ClkResult chainedLkImpl(TourT& tour, const CandidateLists& cand, Rng& rng,
     work = tour;
     const std::vector<int> dirty =
         applyKick(work, opt.kick, cand, rng, opt.kickOpt);
-    res.flips += linKernighanOptimize(work, cand, dirty, opt.lk).flips;
+    const LkStats repair = linKernighanOptimize(work, cand, dirty, opt.lk);
+    res.flips += repair.flips;
+    res.undoneFlips += repair.undoneFlips;
     // ABCC-style acceptance: keep ties as well, so plateaus stay mobile.
     if (work.length() <= tour.length()) {
       const bool strict = work.length() < tour.length();

@@ -34,9 +34,13 @@ struct ClkResult {
   std::int64_t length = 0;
   std::int64_t kicks = 0;
   std::int64_t improvements = 0;
-  /// Total LK segment reversals across all optimizations; a deterministic
-  /// proxy for CPU work, used by the simulator's modeled-cost mode.
+  /// Forward LK segment reversals across all optimizations. Together with
+  /// undoneFlips this is a deterministic proxy for CPU work, used by the
+  /// simulator's modeled-cost mode.
   std::int64_t flips = 0;
+  /// Rewound reversals of failed LK chains (each also cost a physical
+  /// reversal); total reversals performed == flips + undoneFlips.
+  std::int64_t undoneFlips = 0;
   double seconds = 0.0;
   bool hitTarget = false;
 };

@@ -4,6 +4,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "tsp/dist_kernel.h"
+
 namespace distclk {
 
 const char* toString(KickStrategy s) noexcept {
@@ -54,6 +56,7 @@ std::vector<int> selectGeometric(int n, const CandidateLists& cand, Rng& rng,
 }
 
 std::vector<int> selectClose(const Instance& inst, Rng& rng, double beta) {
+  const DistanceKernel dist(inst);
   const int n = inst.n();
   const int v = static_cast<int>(rng.below(std::uint64_t(n)));
   const int subsetSize =
@@ -70,7 +73,7 @@ std::vector<int> selectClose(const Instance& inst, Rng& rng, double beta) {
   // Six subset cities nearest to v; pick three of them.
   std::partial_sort(subset.begin(), subset.begin() + 6, subset.end(),
                     [&](int a, int b) {
-                      const auto da = inst.dist(v, a), db = inst.dist(v, b);
+                      const auto da = dist(v, a), db = dist(v, b);
                       return da != db ? da < db : a < b;
                     });
   std::vector<int> cities{v};

@@ -3,20 +3,51 @@
 #include <algorithm>
 #include <utility>
 
+#include "tsp/dist_kernel.h"
+
 namespace distclk {
 
 namespace {
 
+/// Hot-path distance provider: metric-specialized kernel for ad-hoc edges,
+/// the CandidateLists annotation for candidate edges (no evaluation at all
+/// on the scan that dominates LK work).
+struct KernelDistances {
+  DistanceKernel dist;
+  const CandidateLists* cand;
+  KernelDistances(const Instance& inst, const CandidateLists& c) noexcept
+      : dist(inst), cand(&c) {}
+  std::int64_t operator()(int i, int j) const noexcept { return dist(i, j); }
+  std::int64_t candDist(int city, std::size_t idx, int) const noexcept {
+    return cand->distOf(city)[idx];
+  }
+};
+
+/// Reference provider: the Instance::dist() switch, candidate distances
+/// recomputed per visit — the pre-kernel behaviour, kept for benchmarks and
+/// bit-identity checks.
+struct ReferenceDistances {
+  const Instance* inst;
+  ReferenceDistances(const Instance& i, const CandidateLists&) noexcept
+      : inst(&i) {}
+  std::int64_t operator()(int i, int j) const noexcept {
+    return inst->dist(i, j);
+  }
+  std::int64_t candDist(int city, std::size_t, int other) const noexcept {
+    return inst->dist(city, other);
+  }
+};
+
 /// One LK search over a tour: owns the flip stack and bookkeeping for a
 /// single improveCity() chain at a time. Templated over the tour
-/// representation; TourT must provide next/prev/length/instance and the
-/// city-addressed reverseForward(a, b) whose inverse is
-/// reverseForward(b, a).
-template <typename TourT>
+/// representation and the distance provider; TourT must provide
+/// next/prev/length/instance and the city-addressed reverseForward(a, b)
+/// whose inverse is reverseForward(b, a).
+template <typename TourT, typename Dist>
 class LkSearch {
  public:
   LkSearch(TourT& tour, const CandidateLists& cand, const LkOptions& opt)
-      : tour_(tour), cand_(cand), opt_(opt), inst_(tour.instance()) {}
+      : tour_(tour), cand_(cand), opt_(opt), dist_(tour.instance(), cand) {}
 
   LkStats& stats() noexcept { return stats_; }
   const std::vector<int>& touched() const noexcept { return touched_; }
@@ -33,7 +64,7 @@ class LkSearch {
       const int t2 = dir > 0 ? tour_.next(t1) : tour_.prev(t1);
       addedEdges_.clear();
       touched_.clear();
-      if (chain(0, t2, inst_.dist(t1, t2))) {
+      if (chain(0, t2, dist_(t1, t2))) {
         touched_.push_back(t1);
         touched_.push_back(t2);
         ++stats_.chains;
@@ -67,7 +98,7 @@ class LkSearch {
 
   void undoFlip(const typename TourT::FlipToken& token) {
     tour_.unflip(token);
-    ++stats_.flips;
+    ++stats_.undoneFlips;
   }
 
   // `gain` is the LK sequential gain: total removed-edge weight minus
@@ -76,9 +107,11 @@ class LkSearch {
   bool chain(int level, int t2cur, std::int64_t gain) {
     const int breadth = breadthAt(level);
     int tried = 0;
-    for (int t3 : cand_.of(t2cur)) {
+    const auto cands = cand_.of(t2cur);
+    for (std::size_t idx = 0; idx < cands.size(); ++idx) {
+      const int t3 = cands[idx];
       if (flipBudget_ <= 0) break;  // chain search budget exhausted
-      const std::int64_t d23 = inst_.dist(t2cur, t3);
+      const std::int64_t d23 = dist_.candDist(t2cur, idx, t3);
       if (d23 >= gain) {
         if (opt_.candidatesDistanceSorted) break;
         continue;
@@ -94,7 +127,7 @@ class LkSearch {
       // The physical tour is now the chain closed at (t1, t4).
       if (tour_.length() < startLen_ ||
           (level + 1 < opt_.maxDepth &&
-           chain(level + 1, t4, gain - d23 + inst_.dist(t3, t4)))) {
+           chain(level + 1, t4, gain - d23 + dist_(t3, t4)))) {
         touched_.push_back(t2cur);
         touched_.push_back(t3);
         touched_.push_back(t4);
@@ -110,7 +143,7 @@ class LkSearch {
   TourT& tour_;
   const CandidateLists& cand_;
   const LkOptions& opt_;
-  const Instance& inst_;
+  Dist dist_;
   LkStats stats_;
   std::vector<std::pair<int, int>> addedEdges_;
   std::vector<int> touched_;
@@ -120,7 +153,7 @@ class LkSearch {
   std::int64_t flipBudget_ = 0;
 };
 
-template <typename TourT>
+template <typename Dist, typename TourT>
 LkStats runQueue(TourT& tour, const CandidateLists& cand,
                  std::span<const int> seed, const LkOptions& opt) {
   const int n = tour.n();
@@ -134,7 +167,7 @@ LkStats runQueue(TourT& tour, const CandidateLists& cand,
     }
   }
 
-  LkSearch<TourT> search(tour, cand, opt);
+  LkSearch<TourT, Dist> search(tour, cand, opt);
   std::size_t head = 0;
   while (head < queue.size()) {
     const int t1 = queue[head++];
@@ -163,11 +196,21 @@ LkStats runQueue(TourT& tour, const CandidateLists& cand,
   return search.stats();
 }
 
+// The distance-provider choice is resolved once per optimize call, outside
+// every loop; the search itself is monomorphic over the provider.
+template <typename TourT>
+LkStats dispatchQueue(TourT& tour, const CandidateLists& cand,
+                      std::span<const int> seed, const LkOptions& opt) {
+  if (opt.referenceDistances)
+    return runQueue<ReferenceDistances>(tour, cand, seed, opt);
+  return runQueue<KernelDistances>(tour, cand, seed, opt);
+}
+
 template <typename TourT>
 LkStats optimizeAll(TourT& tour, const CandidateLists& cand,
                     const LkOptions& opt) {
   const auto all = tour.orderVector();
-  return runQueue(tour, cand, all, opt);
+  return dispatchQueue(tour, cand, all, opt);
 }
 
 }  // namespace
@@ -180,7 +223,7 @@ LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
 LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
                              std::span<const int> dirty,
                              const LkOptions& opt) {
-  return runQueue(tour, cand, dirty, opt);
+  return dispatchQueue(tour, cand, dirty, opt);
 }
 
 LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
@@ -191,7 +234,7 @@ LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
 LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
                              std::span<const int> dirty,
                              const LkOptions& opt) {
-  return runQueue(tour, cand, dirty, opt);
+  return dispatchQueue(tour, cand, dirty, opt);
 }
 
 }  // namespace distclk

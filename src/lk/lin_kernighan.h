@@ -31,12 +31,22 @@ struct LkOptions {
   /// breadth > 1 at deep levels makes failed searches exponential in
   /// maxDepth; this bounds the damage for any parameter combination.
   std::int64_t maxFlipsPerChain = 20000;
+  /// Evaluate distances through the reference Instance::dist() switch and
+  /// recompute candidate distances per visit, instead of the metric-
+  /// specialized DistanceKernel + the CandidateLists annotation. Both paths
+  /// are bit-identical (same tours for the same seed); this exists so
+  /// benchmarks and equivalence tests can measure the seed path.
+  bool referenceDistances = false;
 };
 
 struct LkStats {
   std::int64_t improvement = 0;  ///< total length reduction
   std::int64_t chains = 0;       ///< committed move chains
-  std::int64_t flips = 0;        ///< physical segment reversals (incl. rewinds)
+  std::int64_t flips = 0;        ///< forward segment reversals applied
+  /// Rewinds of failed chain levels (each also cost a physical reversal);
+  /// total reversals performed == flips + undoneFlips, applied-and-kept
+  /// flips == flips - undoneFlips.
+  std::int64_t undoneFlips = 0;
 };
 
 /// Optimizes `tour` to an LK local optimum. Returns statistics.

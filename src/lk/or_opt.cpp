@@ -2,28 +2,34 @@
 
 #include <vector>
 
+#include "tsp/dist_kernel.h"
+
 namespace distclk {
 
 namespace {
 
 /// Tries relocating the segment starting at city s (lengths 1..maxSegLen)
 /// behind a candidate neighbor of either segment end. First improvement.
-std::int64_t improveSegment(Tour& tour, const CandidateLists& cand, int s,
-                            int maxSegLen, std::vector<int>& touched) {
-  const Instance& inst = tour.instance();
+/// The (anchor, c) edge reads the list annotation; every other edge goes
+/// through the metric kernel.
+std::int64_t improveSegment(Tour& tour, const CandidateLists& cand,
+                            const DistanceKernel& dist, int s, int maxSegLen,
+                            std::vector<int>& touched) {
   int segEnd = s;
   for (int len = 1; len <= maxSegLen; ++len, segEnd = tour.next(segEnd)) {
     if (len >= tour.n() - 2) break;
     const int before = tour.prev(s);
     const int after = tour.next(segEnd);
-    const std::int64_t removed = inst.dist(before, s) +
-                                 inst.dist(segEnd, after) -
-                                 inst.dist(before, after);
+    const std::int64_t removed =
+        dist(before, s) + dist(segEnd, after) - dist(before, after);
     if (removed <= 0) continue;  // closing the gap already costs more
     // Insertion after candidate c: new edges (c, head) + (tail, next(c)).
     for (int endSel = 0; endSel < 2; ++endSel) {
       const int anchor = endSel == 0 ? s : segEnd;
-      for (int c : cand.of(anchor)) {
+      const auto cands = cand.of(anchor);
+      const auto candDist = cand.distOf(anchor);
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        const int c = cands[i];
         // c must be outside the segment [s..segEnd].
         bool inside = false;
         for (int x = s;; x = tour.next(x)) {
@@ -36,12 +42,13 @@ std::int64_t improveSegment(Tour& tour, const CandidateLists& cand, int s,
         if (inside || c == before) continue;
         const int cNext = tour.next(c);
         if (cNext == s) continue;
+        const std::int64_t dCNext = dist(c, cNext);
         for (int rev = 0; rev < 2; ++rev) {
           const int head = rev ? segEnd : s;
           const int tail = rev ? s : segEnd;
-          const std::int64_t added = inst.dist(c, head) +
-                                     inst.dist(tail, cNext) -
-                                     inst.dist(c, cNext);
+          const std::int64_t dCHead =
+              head == anchor ? candDist[i] : dist(c, head);
+          const std::int64_t added = dCHead + dist(tail, cNext) - dCNext;
           if (added < removed) {
             tour.orOptMove(s, len, c, rev != 0);
             touched.assign({s, segEnd, before, after, c, cNext});
@@ -63,6 +70,7 @@ std::int64_t orOptOptimize(Tour& tour, const CandidateLists& cand,
   // it, any anchor whose candidate insertion edge it is), so a don't-look
   // queue would terminate early. Or-opt is not on the CLK hot path, and the
   // sweep converges in a handful of passes.
+  const DistanceKernel dist(tour.instance());
   const int n = tour.n();
   std::int64_t total = 0;
   std::vector<int> touched;
@@ -71,7 +79,7 @@ std::int64_t orOptOptimize(Tour& tour, const CandidateLists& cand,
     improvedInPass = false;
     for (int c = 0; c < n; ++c) {
       const std::int64_t delta =
-          improveSegment(tour, cand, c, maxSegLen, touched);
+          improveSegment(tour, cand, dist, c, maxSegLen, touched);
       if (delta < 0) {
         total -= delta;
         improvedInPass = true;

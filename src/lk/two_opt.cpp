@@ -2,26 +2,32 @@
 
 #include <vector>
 
+#include "tsp/dist_kernel.h"
+
 namespace distclk {
 
 namespace {
 
 /// Tries all candidate 2-opt moves around city a; applies the first
-/// improving one. Returns the (negative) delta or 0.
-std::int64_t improveCity(Tour& tour, const CandidateLists& cand, int a,
+/// improving one. Candidate distances dAB come from the list annotation;
+/// the remaining edges go through the metric kernel. Returns the
+/// (negative) delta or 0.
+std::int64_t improveCity(Tour& tour, const CandidateLists& cand,
+                         const DistanceKernel& dist, int a,
                          std::vector<int>& touched) {
-  const Instance& inst = tour.instance();
+  const auto cands = cand.of(a);
+  const auto candDist = cand.distOf(a);
   // Successor direction: remove (a, next(a)) and (b, next(b)).
   {
     const int na = tour.next(a);
-    const std::int64_t dA = inst.dist(a, na);
-    for (int b : cand.of(a)) {
-      const std::int64_t dAB = inst.dist(a, b);
+    const std::int64_t dA = dist(a, na);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const int b = cands[i];
+      const std::int64_t dAB = candDist[i];
       if (dAB >= dA) break;  // candidates sorted: no gain possible
       const int nb = tour.next(b);
       if (b == na || nb == a) continue;
-      const std::int64_t delta =
-          dAB + inst.dist(na, nb) - dA - inst.dist(b, nb);
+      const std::int64_t delta = dAB + dist(na, nb) - dA - dist(b, nb);
       if (delta < 0) {
         tour.twoOptMove(a, b);
         touched.assign({a, na, b, nb});
@@ -32,14 +38,14 @@ std::int64_t improveCity(Tour& tour, const CandidateLists& cand, int a,
   // Predecessor direction: remove (prev(a), a) and (prev(b), b).
   {
     const int pa = tour.prev(a);
-    const std::int64_t dA = inst.dist(pa, a);
-    for (int b : cand.of(a)) {
-      const std::int64_t dAB = inst.dist(a, b);
+    const std::int64_t dA = dist(pa, a);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const int b = cands[i];
+      const std::int64_t dAB = candDist[i];
       if (dAB >= dA) break;
       const int pb = tour.prev(b);
       if (b == pa || pb == a) continue;
-      const std::int64_t delta =
-          dAB + inst.dist(pa, pb) - dA - inst.dist(pb, b);
+      const std::int64_t delta = dAB + dist(pa, pb) - dA - dist(pb, b);
       if (delta < 0) {
         // Same move expressed on successor edges of pb and pa.
         tour.twoOptMove(pb, pa);
@@ -54,6 +60,7 @@ std::int64_t improveCity(Tour& tour, const CandidateLists& cand, int a,
 }  // namespace
 
 std::int64_t twoOptOptimize(Tour& tour, const CandidateLists& cand) {
+  const DistanceKernel dist(tour.instance());
   const int n = tour.n();
   std::vector<char> inQueue(std::size_t(n), 1);
   std::vector<int> queue;
@@ -66,7 +73,7 @@ std::int64_t twoOptOptimize(Tour& tour, const CandidateLists& cand) {
   while (head < queue.size()) {
     const int a = queue[head++];
     inQueue[std::size_t(a)] = 0;
-    const std::int64_t delta = improveCity(tour, cand, a, touched);
+    const std::int64_t delta = improveCity(tour, cand, dist, a, touched);
     if (delta < 0) {
       total -= delta;
       // Re-enqueue the endpoints of changed edges AND their candidate

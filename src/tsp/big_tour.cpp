@@ -16,7 +16,7 @@ BigTour::BigTour(const Instance& inst)
     : BigTour(inst, identityOrder(inst.n())) {}
 
 BigTour::BigTour(const Instance& inst, std::vector<int> order)
-    : inst_(&inst), list_(order) {
+    : inst_(&inst), kern_(inst), list_(order) {
   length_ = inst.tourLength(order);
 }
 
@@ -30,8 +30,8 @@ void BigTour::reverseForward(int a, int b) {
     list_.reverse(a, b);
     return;
   }
-  length_ += inst_->dist(before, b) + inst_->dist(a, after) -
-             inst_->dist(before, a) - inst_->dist(b, after);
+  length_ += kern_(before, b) + kern_(a, after) -
+             kern_(before, a) - kern_(b, after);
   list_.reverse(a, b);
 }
 

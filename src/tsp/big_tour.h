@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "tsp/dist_kernel.h"
 #include "tsp/instance.h"
 #include "tsp/twolevel.h"
 
@@ -50,6 +51,7 @@ class BigTour {
 
  private:
   const Instance* inst_;
+  DistanceKernel kern_;  // hot-path evaluator for incremental length updates
   TwoLevelList list_;
   std::int64_t length_ = 0;
 };

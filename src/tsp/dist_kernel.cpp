@@ -1,0 +1,24 @@
+#include "tsp/dist_kernel.h"
+
+namespace distclk {
+
+DistanceKernel::EvalFn DistanceKernel::evalFnFor(EdgeWeightType type) noexcept {
+  switch (type) {
+    case EdgeWeightType::kEuc2D: return &evalThunk<EdgeWeightType::kEuc2D>;
+    case EdgeWeightType::kCeil2D: return &evalThunk<EdgeWeightType::kCeil2D>;
+    case EdgeWeightType::kAtt: return &evalThunk<EdgeWeightType::kAtt>;
+    case EdgeWeightType::kGeo: return &evalThunk<EdgeWeightType::kGeo>;
+    case EdgeWeightType::kMan2D: return &evalThunk<EdgeWeightType::kMan2D>;
+    case EdgeWeightType::kMax2D: return &evalThunk<EdgeWeightType::kMax2D>;
+    case EdgeWeightType::kExplicit:
+      return &evalThunk<EdgeWeightType::kExplicit>;
+  }
+  return &evalThunk<EdgeWeightType::kEuc2D>;  // unreachable
+}
+
+DistanceKernel::DistanceKernel(const Instance& inst) noexcept
+    : xs_(inst.kernelXs().data()), ys_(inst.kernelYs().data()),
+      matrix_(inst.matrix().data()), n_(std::size_t(inst.n())),
+      fn_(evalFnFor(inst.weightType())) {}
+
+}  // namespace distclk

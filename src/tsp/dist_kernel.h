@@ -1,0 +1,91 @@
+// Metric-specialized distance kernels over SoA coordinate arrays. The
+// Instance::dist() switch stays the reference implementation; this layer is
+// the hot-path evaluator: metric dispatch is resolved once at construction
+// (a stored function pointer, or compile-time via evalAs<W>), the inner
+// loop reads two flat double arrays instead of an array-of-struct Point
+// vector, and GEO works from per-city radians precomputed by the instance.
+// Every kernel is bit-identical to Instance::dist() — the operations after
+// the hoisted per-city work are exactly the reference's, in the same order
+// — so switching paths never changes a tour trajectory.
+//
+// The kernel is a non-owning view into the Instance (O(1) to construct and
+// copy), so per-call construction in local-search entry points is free; the
+// instance must outlive it.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "tsp/instance.h"
+
+namespace distclk {
+
+class DistanceKernel {
+ public:
+  explicit DistanceKernel(const Instance& inst) noexcept;
+
+  /// Integral, symmetric distance; same contract as Instance::dist() with
+  /// the metric resolve hoisted to construction time.
+  std::int64_t operator()(int i, int j) const noexcept {
+    return fn_(*this, i, j);
+  }
+
+  /// Statically dispatched evaluation for callers that hoisted the metric
+  /// to compile time. W must be the weight type of the instance this
+  /// kernel was built from.
+  template <EdgeWeightType W>
+  std::int64_t evalAs(int i, int j) const noexcept;
+
+ private:
+  using EvalFn = std::int64_t (*)(const DistanceKernel&, int, int) noexcept;
+
+  template <EdgeWeightType W>
+  static std::int64_t evalThunk(const DistanceKernel& k, int i,
+                                int j) noexcept {
+    return k.evalAs<W>(i, j);
+  }
+  static EvalFn evalFnFor(EdgeWeightType type) noexcept;
+
+  const double* xs_ = nullptr;        // x, or latitude radians for GEO
+  const double* ys_ = nullptr;        // y, or longitude radians for GEO
+  const std::int64_t* matrix_ = nullptr;  // only for kExplicit
+  std::size_t n_ = 0;
+  EvalFn fn_ = nullptr;
+};
+
+template <EdgeWeightType W>
+inline std::int64_t DistanceKernel::evalAs(int i, int j) const noexcept {
+  if constexpr (W == EdgeWeightType::kExplicit) {
+    return matrix_[std::size_t(i) * n_ + std::size_t(j)];
+  } else if constexpr (W == EdgeWeightType::kGeo) {
+    constexpr double kRadius = 6378.388;  // TSPLIB Earth radius
+    const double latA = xs_[std::size_t(i)], lonA = ys_[std::size_t(i)];
+    const double latB = xs_[std::size_t(j)], lonB = ys_[std::size_t(j)];
+    const double q1 = std::cos(lonA - lonB);
+    const double q2 = std::cos(latA - latB);
+    const double q3 = std::cos(latA + latB);
+    return static_cast<std::int64_t>(
+        kRadius * std::acos(0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3)) + 1.0);
+  } else {
+    const double dx = xs_[std::size_t(i)] - xs_[std::size_t(j)];
+    const double dy = ys_[std::size_t(i)] - ys_[std::size_t(j)];
+    if constexpr (W == EdgeWeightType::kEuc2D) {
+      return std::llround(std::sqrt(dx * dx + dy * dy));
+    } else if constexpr (W == EdgeWeightType::kCeil2D) {
+      return static_cast<std::int64_t>(std::ceil(std::sqrt(dx * dx + dy * dy)));
+    } else if constexpr (W == EdgeWeightType::kAtt) {
+      const double r = std::sqrt((dx * dx + dy * dy) / 10.0);
+      const auto t = std::llround(r);
+      return static_cast<double>(t) < r ? t + 1 : t;
+    } else if constexpr (W == EdgeWeightType::kMan2D) {
+      return std::llround(std::abs(dx) + std::abs(dy));
+    } else {
+      static_assert(W == EdgeWeightType::kMax2D);
+      return std::max<std::int64_t>(std::llround(std::abs(dx)),
+                                    std::llround(std::abs(dy)));
+    }
+  }
+}
+
+}  // namespace distclk

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tsp/dist_kernel.h"
+
 namespace distclk {
 
 const char* toString(EdgeWeightType t) noexcept {
@@ -25,6 +27,7 @@ Instance::Instance(std::string name, std::vector<Point> pts,
   if (n_ < 3) throw std::invalid_argument("Instance: need at least 3 cities");
   if (type_ == EdgeWeightType::kExplicit)
     throw std::invalid_argument("Instance: explicit type needs a matrix");
+  buildKernelArrays();
 }
 
 Instance::Instance(std::string name, int n, std::vector<std::int64_t> matrix)
@@ -50,6 +53,19 @@ double geoRadians(double coord) noexcept {
 }
 
 }  // namespace
+
+// For GEO the per-city DDD.MM -> radians conversion is hoisted here so the
+// kernel's inner loop starts from the same doubles geomDist would compute;
+// every other metric consumes the raw coordinates.
+void Instance::buildKernelArrays() {
+  kxs_.resize(n_);
+  kys_.resize(n_);
+  const bool geo = type_ == EdgeWeightType::kGeo;
+  for (std::size_t c = 0; c < n_; ++c) {
+    kxs_[c] = geo ? geoRadians(pts_[c].x) : pts_[c].x;
+    kys_[c] = geo ? geoRadians(pts_[c].y) : pts_[c].y;
+  }
+}
 
 std::int64_t Instance::geomDist(int i, int j) const noexcept {
   const Point& a = pts_[std::size_t(i)];
@@ -90,9 +106,10 @@ std::int64_t Instance::geomDist(int i, int j) const noexcept {
 
 std::int64_t Instance::tourLength(std::span<const int> order) const noexcept {
   if (order.size() < 2) return 0;
-  std::int64_t total = dist(order.back(), order.front());
+  const DistanceKernel d(*this);  // one dispatch for the whole walk
+  std::int64_t total = d(order.back(), order.front());
   for (std::size_t i = 0; i + 1 < order.size(); ++i)
-    total += dist(order[i], order[i + 1]);
+    total += d(order[i], order[i + 1]);
   return total;
 }
 

@@ -49,6 +49,14 @@ class Instance {
   const Point& point(int i) const noexcept { return pts_[std::size_t(i)]; }
   std::span<const Point> points() const noexcept { return pts_; }
 
+  /// SoA coordinate arrays backing DistanceKernel (tsp/dist_kernel.h): the
+  /// raw x/y values for planar metrics, the precomputed TSPLIB radians for
+  /// GEO, and empty for kExplicit. Filled once at construction.
+  std::span<const double> kernelXs() const noexcept { return kxs_; }
+  std::span<const double> kernelYs() const noexcept { return kys_; }
+  /// Row-major n*n matrix for kExplicit instances (empty otherwise).
+  std::span<const std::int64_t> matrix() const noexcept { return matrix_; }
+
   /// Integral, symmetric distance between cities i and j.
   std::int64_t dist(int i, int j) const noexcept {
     if (type_ == EdgeWeightType::kExplicit)
@@ -61,6 +69,7 @@ class Instance {
 
  private:
   std::int64_t geomDist(int i, int j) const noexcept;
+  void buildKernelArrays();
 
   std::string name_;
   std::string comment_;
@@ -68,6 +77,7 @@ class Instance {
   EdgeWeightType type_;
   std::vector<Point> pts_;
   std::vector<std::int64_t> matrix_;  // only for kExplicit
+  std::vector<double> kxs_, kys_;     // SoA substrate for DistanceKernel
 };
 
 }  // namespace distclk

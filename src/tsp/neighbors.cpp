@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "tsp/dist_kernel.h"
 #include "tsp/kdtree.h"
 
 namespace distclk {
@@ -75,7 +76,8 @@ std::vector<std::vector<int>> quadrantLists(const Instance& inst, int k) {
 
 }  // namespace
 
-CandidateLists::CandidateLists(const Instance& inst, int k, Kind kind) {
+CandidateLists::CandidateLists(const Instance& inst, int k, Kind kind)
+    : inst_(&inst), distanceSorted_(true) {
   if (k < 1) throw std::invalid_argument("CandidateLists: k must be >= 1");
   k = std::min(k, inst.n() - 1);
   assign(kind == Kind::kQuadrant ? quadrantLists(inst, k)
@@ -83,7 +85,9 @@ CandidateLists::CandidateLists(const Instance& inst, int k, Kind kind) {
 }
 
 CandidateLists::CandidateLists(const Instance& inst,
-                               std::vector<std::vector<int>> lists) {
+                               std::vector<std::vector<int>> lists,
+                               bool distanceSorted)
+    : inst_(&inst), distanceSorted_(distanceSorted) {
   if (lists.size() != std::size_t(inst.n()))
     throw std::invalid_argument("CandidateLists: wrong number of lists");
   assign(std::move(lists));
@@ -99,6 +103,13 @@ void CandidateLists::assign(std::vector<std::vector<int>> lists) {
   }
   data_.reserve(total);
   for (auto& l : lists) data_.insert(data_.end(), l.begin(), l.end());
+  // Annotate every candidate edge once; scans then never re-evaluate the
+  // metric for d(c, candidate).
+  const DistanceKernel dist(*inst_);
+  dists_.resize(data_.size());
+  for (std::size_t c = 0; c + 1 < offsets_.size(); ++c)
+    for (std::size_t e = offsets_[c]; e < offsets_[c + 1]; ++e)
+      dists_[e] = dist(static_cast<int>(c), data_[e]);
 }
 
 bool CandidateLists::contains(int a, int b) const noexcept {
@@ -113,6 +124,7 @@ void CandidateLists::makeSymmetric() {
     for (int b : of(a))
       if (!contains(b, a)) extra[std::size_t(b)].push_back(a);
 
+  const DistanceKernel dist(*inst_);
   std::vector<std::vector<int>> merged(static_cast<std::size_t>(nn));
   for (int c = 0; c < nn; ++c) {
     auto& m = merged[std::size_t(c)];
@@ -120,9 +132,19 @@ void CandidateLists::makeSymmetric() {
     m.assign(cur.begin(), cur.end());
     for (int e : extra[std::size_t(c)])
       if (std::find(m.begin(), m.end(), e) == m.end()) m.push_back(e);
+    // Appending the reverse edges alone would leave the list out of order;
+    // restore the ascending-distance invariant the early-break scans rely
+    // on. Externally ordered lists (alpha-nearness) keep their own order.
+    if (distanceSorted_) {
+      std::sort(m.begin(), m.end(), [&](int a, int b) {
+        const auto da = dist(c, a), db = dist(c, b);
+        return da != db ? da < db : a < b;
+      });
+    }
   }
   offsets_.clear();
   data_.clear();
+  dists_.clear();
   maxDegree_ = 0;
   assign(std::move(merged));
 }

@@ -5,8 +5,14 @@
 // default for clustered instances), and externally supplied orders (used for
 // alpha-nearness lists from the Held-Karp module and for tour-merging's
 // union-edge restriction).
+//
+// Lists are stored in CSR layout with a parallel distance annotation: every
+// candidate edge's integral distance is computed once at construction, so
+// the LK/2-opt/Or-opt candidate scans read d(c, candidate) from memory
+// instead of re-evaluating the metric per visit (see tsp/dist_kernel.h).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -24,11 +30,18 @@ class CandidateLists {
   /// Builds lists of (up to) k candidates per city.
   CandidateLists(const Instance& inst, int k, Kind kind = Kind::kNearest);
 
-  /// Wraps externally computed lists (e.g. alpha-nearness).
-  CandidateLists(const Instance& inst, std::vector<std::vector<int>> lists);
+  /// Wraps externally computed lists (e.g. alpha-nearness). Pass
+  /// `distanceSorted = true` iff every list is ascending in tour distance
+  /// (e.g. tour-merge union lists); alpha-ordered lists must pass false.
+  CandidateLists(const Instance& inst, std::vector<std::vector<int>> lists,
+                 bool distanceSorted = false);
 
   int maxDegree() const noexcept { return maxDegree_; }
   int n() const noexcept { return static_cast<int>(offsets_.size()) - 1; }
+
+  /// True iff every per-city list is ascending in distance, making the
+  /// sorted-candidates early break of the local searches safe.
+  bool distanceSorted() const noexcept { return distanceSorted_; }
 
   /// Candidates of `city`, ordered by the construction metric (ascending).
   std::span<const int> of(int city) const noexcept {
@@ -37,19 +50,33 @@ class CandidateLists {
     return {data_.data() + b, data_.data() + e};
   }
 
+  /// Distances to the candidates of `city`, aligned with of(city):
+  /// distOf(c)[i] == inst.dist(c, of(c)[i]), precomputed at construction.
+  std::span<const std::int64_t> distOf(int city) const noexcept {
+    const auto b = offsets_[std::size_t(city)];
+    const auto e = offsets_[std::size_t(city) + 1];
+    return {dists_.data() + b, dists_.data() + e};
+  }
+
   /// True iff `b` appears in a's candidate list.
   bool contains(int a, int b) const noexcept;
 
   /// Adds the reverse of every directed candidate edge, so the candidate
-  /// graph becomes symmetric (new entries are appended after existing ones).
+  /// graph becomes symmetric. Distance-sorted lists are re-sorted by
+  /// (distance, city) afterwards, preserving the ascending invariant the
+  /// local searches' early break relies on; externally ordered lists keep
+  /// their order and get the new entries appended.
   void makeSymmetric();
 
  private:
   void assign(std::vector<std::vector<int>> lists);
 
+  const Instance* inst_;
   std::vector<std::size_t> offsets_;  // CSR layout
   std::vector<int> data_;
+  std::vector<std::int64_t> dists_;  // parallel to data_
   int maxDegree_ = 0;
+  bool distanceSorted_ = false;
 };
 
 }  // namespace distclk

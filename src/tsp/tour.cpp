@@ -6,14 +6,15 @@
 
 namespace distclk {
 
-Tour::Tour(const Instance& inst) : inst_(&inst) {
+Tour::Tour(const Instance& inst) : inst_(&inst), kern_(inst) {
   order_.resize(std::size_t(inst.n()));
   std::iota(order_.begin(), order_.end(), 0);
   rebuildPos();
   length_ = inst_->tourLength(order_);
 }
 
-Tour::Tour(const Instance& inst, std::vector<int> order) : inst_(&inst) {
+Tour::Tour(const Instance& inst, std::vector<int> order)
+    : inst_(&inst), kern_(inst) {
   if (order.size() != std::size_t(inst.n()))
     throw std::invalid_argument("Tour: order size != instance size");
   order_ = std::move(order);
@@ -46,13 +47,30 @@ bool Tour::between(int a, int b, int c) const noexcept {
 }
 
 void Tour::rawReverse(std::size_t i, std::size_t j, std::size_t count) {
+  // This loop moves the bulk of LK's bytes, so it must not pay a modulo per
+  // element: advance the two cursors linearly and re-wrap them only when a
+  // run ends (each cursor wraps at most once per reversal). The swap
+  // sequence is exactly the one the per-element-modulo form produced.
   const std::size_t n = order_.size();
-  for (std::size_t k = 0; k < count / 2; ++k) {
-    const std::size_t ii = (i + k) % n;
-    const std::size_t jj = (j + n - k) % n;
-    std::swap(order_[ii], order_[jj]);
-    pos_[std::size_t(order_[ii])] = static_cast<int>(ii);
-    pos_[std::size_t(order_[jj])] = static_cast<int>(jj);
+  int* const ord = order_.data();
+  int* const pos = pos_.data();
+  std::size_t ii = i, jj = j;
+  std::size_t left = count / 2;
+  while (left > 0) {
+    std::size_t run = std::min(left, std::min(n - ii, jj + 1));
+    left -= run;
+    for (; run > 0; --run) {
+      const int a = ord[ii];
+      const int b = ord[jj];
+      ord[ii] = b;
+      ord[jj] = a;
+      pos[std::size_t(b)] = static_cast<int>(ii);
+      pos[std::size_t(a)] = static_cast<int>(jj);
+      ++ii;
+      --jj;
+    }
+    if (ii == n) ii = 0;
+    if (jj == std::size_t(-1)) jj = n - 1;
   }
 }
 
@@ -67,8 +85,8 @@ void Tour::reverseSegment(int i, int j) {
   const int first = order_[ui];
   const int last = order_[uj];
   const int after = order_[(uj + 1) % n];
-  length_ += inst_->dist(before, last) + inst_->dist(first, after) -
-             inst_->dist(before, first) - inst_->dist(last, after);
+  length_ += kern_(before, last) + kern_(first, after) -
+             kern_(before, first) - kern_(last, after);
 
   if (len * 2 <= n) {
     rawReverse(ui, uj, len);
@@ -82,8 +100,8 @@ std::int64_t Tour::twoOptMove(int a, int b) {
   const int na = next(a);
   const int nb = next(b);
   if (a == b || na == b || nb == a) return 0;  // degenerate: no-op
-  const std::int64_t delta = inst_->dist(a, b) + inst_->dist(na, nb) -
-                             inst_->dist(a, na) - inst_->dist(b, nb);
+  const std::int64_t delta = kern_(a, b) + kern_(na, nb) -
+                             kern_(a, na) - kern_(b, nb);
   // Removing (a,na) and (b,nb), adding (a,b)+(na,nb) == reversing na..b.
   reverseSegment(pos(na), pos(b));
   return delta;
@@ -116,9 +134,9 @@ std::int64_t Tour::orOptMove(int s, int segLen, int c, bool reversed) {
   const int head = reversed ? segEnd : s;
   const int tail = reversed ? s : segEnd;
   const std::int64_t delta =
-      inst_->dist(before, after) + inst_->dist(c, head) +
-      inst_->dist(tail, cNext) - inst_->dist(before, s) -
-      inst_->dist(segEnd, after) - inst_->dist(c, cNext);
+      kern_(before, after) + kern_(c, head) +
+      kern_(tail, cNext) - kern_(before, s) -
+      kern_(segEnd, after) - kern_(c, cNext);
 
   // Rebuild the order: walk from `after` around to `before`, inserting the
   // segment after city c. O(n) but Or-opt is only used with tiny segments
@@ -153,12 +171,12 @@ std::int64_t Tour::doubleBridge(int p1, int p2, int p3) {
   // no segment is reversed, and the move cannot be undone by sequential
   // 2-opt steps.
   const std::int64_t delta =
-      inst_->dist(order_[std::size_t(p1 - 1)], order_[std::size_t(p2)]) +
-      inst_->dist(order_[std::size_t(p3 - 1)], order_[std::size_t(p1)]) +
-      inst_->dist(order_[std::size_t(p2 - 1)], order_[std::size_t(p3)]) -
-      inst_->dist(order_[std::size_t(p1 - 1)], order_[std::size_t(p1)]) -
-      inst_->dist(order_[std::size_t(p2 - 1)], order_[std::size_t(p2)]) -
-      inst_->dist(order_[std::size_t(p3 - 1)], order_[std::size_t(p3)]);
+      kern_(order_[std::size_t(p1 - 1)], order_[std::size_t(p2)]) +
+      kern_(order_[std::size_t(p3 - 1)], order_[std::size_t(p1)]) +
+      kern_(order_[std::size_t(p2 - 1)], order_[std::size_t(p3)]) -
+      kern_(order_[std::size_t(p1 - 1)], order_[std::size_t(p1)]) -
+      kern_(order_[std::size_t(p2 - 1)], order_[std::size_t(p2)]) -
+      kern_(order_[std::size_t(p3 - 1)], order_[std::size_t(p3)]);
 
   std::vector<int> rebuilt;
   rebuilt.reserve(static_cast<std::size_t>(n));

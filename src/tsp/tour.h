@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "tsp/dist_kernel.h"
 #include "tsp/instance.h"
 
 namespace distclk {
@@ -103,6 +104,7 @@ class Tour {
   void rawReverse(std::size_t i, std::size_t j, std::size_t count);
 
   const Instance* inst_;
+  DistanceKernel kern_;  // hot-path evaluator for incremental length updates
   std::vector<int> order_;
   std::vector<int> pos_;
   std::int64_t length_ = 0;

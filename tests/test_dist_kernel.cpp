@@ -1,0 +1,260 @@
+// Equivalence suite for the distance hot path: the metric-specialized
+// DistanceKernel must be bit-identical to the reference Instance::dist()
+// switch for every EdgeWeightType, the CandidateLists distance annotation
+// must equal recomputation, and the kernel/annotated LK path must produce
+// the same tours as the reference path for the same seed.
+#include "tsp/dist_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "construct/construct.h"
+#include "lk/chained_lk.h"
+#include "lk/lin_kernighan.h"
+#include "tsp/gen.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "tsp/tsplib.h"
+#include "util/rng.h"
+
+namespace distclk {
+namespace {
+
+std::vector<Point> randomPoints(int n, std::uint64_t seed, double lo,
+                                double hi) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  pts.reserve(std::size_t(n));
+  for (int i = 0; i < n; ++i)
+    pts.push_back({lo + rng.uniform() * (hi - lo),
+                   lo + rng.uniform() * (hi - lo)});
+  return pts;
+}
+
+void expectKernelMatchesReference(const Instance& inst) {
+  const DistanceKernel kernel(inst);
+  for (int i = 0; i < inst.n(); ++i)
+    for (int j = 0; j < inst.n(); ++j)
+      ASSERT_EQ(kernel(i, j), inst.dist(i, j))
+          << toString(inst.weightType()) << " (" << i << ", " << j << ")";
+}
+
+TEST(DistanceKernel, MatchesReferenceOnPlanarMetrics) {
+  for (const EdgeWeightType type :
+       {EdgeWeightType::kEuc2D, EdgeWeightType::kCeil2D, EdgeWeightType::kAtt,
+        EdgeWeightType::kMan2D, EdgeWeightType::kMax2D}) {
+    const Instance inst(toString(type), randomPoints(70, 101, 0.0, 1e4),
+                        type);
+    expectKernelMatchesReference(inst);
+  }
+}
+
+TEST(DistanceKernel, MatchesReferenceOnGeo) {
+  // TSPLIB GEO coordinates are DDD.MM degrees.minutes; latitudes in x,
+  // longitudes in y. Cover both hemispheres and the date line.
+  Rng rng(7);
+  std::vector<Point> pts;
+  for (int i = 0; i < 80; ++i)
+    pts.push_back({-89.0 + rng.uniform() * 178.0,
+                   -179.0 + rng.uniform() * 358.0});
+  const Instance inst("geo", pts, EdgeWeightType::kGeo);
+  expectKernelMatchesReference(inst);
+}
+
+TEST(DistanceKernel, AttRoundingEdgeCases) {
+  // The ATT metric rounds UP whenever llround rounded below the true value;
+  // exercise coordinates engineered to land near .5 boundaries of
+  // r = sqrt(d^2/10), plus a dense random sweep.
+  std::vector<Point> pts{{0, 0}};
+  for (int k = 1; k <= 40; ++k) {
+    const double r = double(k) - 0.5;  // target half-integer radius
+    pts.push_back({r * std::sqrt(10.0), 0.0});
+    pts.push_back({0.0, r * std::sqrt(10.0)});
+  }
+  for (const Point& p : randomPoints(40, 55, 0.0, 300.0)) pts.push_back(p);
+  const Instance inst("att-edge", pts, EdgeWeightType::kAtt);
+  expectKernelMatchesReference(inst);
+}
+
+TEST(DistanceKernel, MatchesReferenceOnExplicitMatrix) {
+  const int n = 12;
+  Rng rng(31);
+  std::vector<std::int64_t> m(std::size_t(n) * n, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const auto d = static_cast<std::int64_t>(rng.below(10000)) + 1;
+      m[std::size_t(i) * n + j] = d;
+      m[std::size_t(j) * n + i] = d;
+    }
+  const Instance inst("m", n, m);
+  expectKernelMatchesReference(inst);
+}
+
+TEST(DistanceKernel, MatchesReferenceOnTsplibFixtures) {
+  // Inline TSPLIB fixtures, one per coordinate-based keyword the parser
+  // ships: the kernel must agree with dist() on parsed instances too.
+  const char* fixtures[] = {
+      "NAME: feuc\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: EUC_2D\n"
+      "NODE_COORD_SECTION\n1 0 0\n2 3 4\n3 7 1\n4 2 9\nEOF\n",
+      "NAME: fceil\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: CEIL_2D\n"
+      "NODE_COORD_SECTION\n1 0.2 0.7\n2 3.1 4.9\n3 7.5 1.4\n4 2.8 9.3\nEOF\n",
+      "NAME: fatt\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: ATT\n"
+      "NODE_COORD_SECTION\n1 6823 4674\n2 7692 2247\n3 9135 6748\n"
+      "4 7721 3451\nEOF\n",
+      "NAME: fgeo\nTYPE: TSP\nDIMENSION: 4\nEDGE_WEIGHT_TYPE: GEO\n"
+      "NODE_COORD_SECTION\n1 36.30 7.41\n2 34.52 10.44\n3 36.50 2.50\n"
+      "4 -35.15 -149.08\nEOF\n",
+  };
+  for (const char* text : fixtures) {
+    std::istringstream in(text);
+    const Instance inst = parseTsplib(in);
+    expectKernelMatchesReference(inst);
+  }
+}
+
+TEST(DistanceKernel, StaticEvalMatchesDynamicDispatch) {
+  const Instance inst = uniformSquare("s", 50, 3);
+  const DistanceKernel kernel(inst);
+  for (int i = 0; i < inst.n(); ++i)
+    for (int j = 0; j < inst.n(); ++j)
+      ASSERT_EQ(kernel.evalAs<EdgeWeightType::kEuc2D>(i, j), kernel(i, j));
+}
+
+TEST(CandidateAnnotation, MatchesRecomputedDistances) {
+  for (const auto kind :
+       {CandidateLists::Kind::kNearest, CandidateLists::Kind::kQuadrant}) {
+    const Instance inst = clustered("c", 250, 7, 41);
+    const CandidateLists cand(inst, 9, kind);
+    for (int c = 0; c < inst.n(); ++c) {
+      const auto cities = cand.of(c);
+      const auto dists = cand.distOf(c);
+      ASSERT_EQ(cities.size(), dists.size());
+      for (std::size_t i = 0; i < cities.size(); ++i)
+        ASSERT_EQ(dists[i], inst.dist(c, cities[i])) << c;
+    }
+  }
+}
+
+TEST(CandidateAnnotation, ExternalListsAnnotatedToo) {
+  const Instance inst = uniformSquare("e", 40, 43);
+  std::vector<std::vector<int>> lists(40);
+  Rng rng(9);
+  for (int c = 0; c < 40; ++c)
+    for (int k = 0; k < 4; ++k) {
+      const int o = static_cast<int>(rng.below(40));
+      if (o != c) lists[std::size_t(c)].push_back(o);
+    }
+  const CandidateLists cand(inst, std::move(lists));
+  EXPECT_FALSE(cand.distanceSorted());
+  for (int c = 0; c < inst.n(); ++c) {
+    const auto cities = cand.of(c);
+    const auto dists = cand.distOf(c);
+    for (std::size_t i = 0; i < cities.size(); ++i)
+      ASSERT_EQ(dists[i], inst.dist(c, cities[i]));
+  }
+}
+
+// Regression for the makeSymmetric() ordering bug: reverse edges used to be
+// appended after the existing entries, silently breaking the ascending-
+// distance invariant that the LK/2-opt early break relies on.
+TEST(CandidateAnnotation, MakeSymmetricRestoresAscendingOrder) {
+  const Instance inst = clustered("sym", 300, 9, 47);
+  CandidateLists cand(inst, 6);
+  cand.makeSymmetric();
+  EXPECT_TRUE(cand.distanceSorted());
+  bool anyGrew = false;
+  for (int c = 0; c < inst.n(); ++c) {
+    const auto cities = cand.of(c);
+    const auto dists = cand.distOf(c);
+    anyGrew = anyGrew || cities.size() > 6;
+    for (std::size_t i = 1; i < dists.size(); ++i)
+      ASSERT_LE(dists[i - 1], dists[i])
+          << "city " << c << " out of order after makeSymmetric";
+    for (std::size_t i = 0; i < cities.size(); ++i)
+      ASSERT_EQ(dists[i], inst.dist(c, cities[i]));
+  }
+  // The fix only matters if symmetrization actually appended somewhere.
+  EXPECT_TRUE(anyGrew);
+}
+
+TEST(CandidateAnnotation, SymmetrizedListsSafeForEarlyBreak) {
+  // With the ascending invariant restored, the early-break scan must find
+  // the same local optimum as the exhaustive scan on symmetrized lists.
+  const Instance inst = clustered("eb", 220, 6, 53);
+  CandidateLists cand(inst, 6);
+  cand.makeSymmetric();
+  Rng rngA(11), rngB(11);
+  Tour a(inst, randomTour(inst, rngA));
+  Tour b(inst, randomTour(inst, rngB));
+  LkOptions withBreak;
+  withBreak.candidatesDistanceSorted = true;
+  LkOptions noBreak;
+  noBreak.candidatesDistanceSorted = false;
+  linKernighanOptimize(a, cand, withBreak);
+  linKernighanOptimize(b, cand, noBreak);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.length(), b.length());
+  EXPECT_EQ(a.orderVector(), b.orderVector());
+}
+
+// The determinism contract behind the perf overhaul: kernel + annotation
+// must retrace the reference path bit for bit. Run Chained LK on three
+// instance families; the [determinism] lines are scraped by
+// scripts/bench.sh into BENCH_lk.json as machine-readable evidence.
+TEST(DistPathDeterminism, KernelAndReferenceTrajectoriesIdentical) {
+  struct Case {
+    const char* name;
+    Instance inst;
+    std::uint64_t seed;
+  };
+  Case cases[] = {
+      {"uniform400", uniformSquare("u", 400, 21), 5},
+      {"clustered350", clustered("c", 350, 8, 22), 6},
+      {"drill300", drillPlate("d", 300, 23), 7},
+  };
+  for (auto& [name, inst, seed] : cases) {
+    const CandidateLists cand(inst, 8);
+    ClkOptions co;
+    co.maxKicks = 40;
+    co.lk.referenceDistances = false;
+    ClkOptions ref = co;
+    ref.lk.referenceDistances = true;
+
+    Rng rngK(seed), rngR(seed);
+    Tour k(inst, quickBoruvkaTour(inst, cand));
+    Tour r = k;
+    const ClkResult resK = chainedLinKernighan(k, cand, rngK, co);
+    const ClkResult resR = chainedLinKernighan(r, cand, rngR, ref);
+
+    EXPECT_EQ(k.orderVector(), r.orderVector()) << name;
+    EXPECT_EQ(resK.flips, resR.flips) << name;
+    EXPECT_EQ(resK.undoneFlips, resR.undoneFlips) << name;
+    ASSERT_EQ(k.length(), r.length()) << name;
+    std::printf("[determinism] inst=%s n=%d seed=%llu len_kernel=%lld "
+                "len_reference=%lld identical=%d\n",
+                name, inst.n(), static_cast<unsigned long long>(seed),
+                static_cast<long long>(k.length()),
+                static_cast<long long>(r.length()),
+                k.orderVector() == r.orderVector() ? 1 : 0);
+  }
+}
+
+TEST(LkStatsSplit, UndoneFlipsCountedSeparately) {
+  const Instance inst = uniformSquare("f", 300, 61);
+  const CandidateLists cand(inst, 8);
+  Rng rng(19);
+  Tour t(inst, randomTour(inst, rng));
+  const LkStats stats = linKernighanOptimize(t, cand);
+  // A random start always needs committed chains, and variable-depth search
+  // always rewinds some failed levels on the way.
+  EXPECT_GT(stats.flips, 0);
+  EXPECT_GT(stats.undoneFlips, 0);
+  // Every rewind undoes a previously applied flip.
+  EXPECT_GE(stats.flips, stats.undoneFlips);
+}
+
+}  // namespace
+}  // namespace distclk
