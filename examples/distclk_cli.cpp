@@ -11,8 +11,6 @@
 //     --algo A              clk | dist | dist-threads | lk | 2opt |
 //                           lkh | multilevel | tourmerge   (default dist)
 //     --seconds S           time budget (per node for dist*)  (default 2)
-//     --nodes K             node count for dist*              (default 8)
-//     --topology T          hypercube|ring|grid|complete|star (default hypercube)
 //     --kick K              Random|Geometric|Close|Random-walk
 //     --candidates K        candidate list size (default 10)
 //     --quadrant            use quadrant candidate lists
@@ -21,12 +19,24 @@
 //     --trace F.jsonl       stream a JSONL run trace (dist*, see
 //                           EXPERIMENTS.md "Capturing and reading traces";
 //                           read it back with tools/trace_report)
+//     --print-events        print the distributed event trace to stdout
+//
+//   Distributed flags (--algo dist / dist-threads), parsed by the shared
+//   runConfigFromArgs helper (experiments/harness.h):
+//     --runtime R           sim | threads — which substrate runs the EA
+//                           (--algo dist-threads == --algo dist --runtime
+//                           threads)
+//     --nodes K             node count                        (default 8)
+//     --topology T          hypercube|ring|grid|complete|star (default hypercube)
+//     --latency S           sim link latency in seconds
+//     --modeled-work R      charge modeled compute cost (R units/second)
+//                           instead of measured wall time, making simulated
+//                           runs deterministic for a fixed seed
 //     --metrics-interval S  periodic metric snapshots in the trace
 //                           (seconds; default 0 = final snapshot only)
-//     --modeled-work R      --algo dist only: charge modeled compute cost
-//                           (R units/second) instead of measured wall time,
-//                           making the run deterministic for a fixed seed
-//     --print-events        print the distributed event trace to stdout
+//     --fail N:T[,N:T...]   kill node N at per-node time T
+//     --join N:T[,N:T...]   node N joins (late) at time T
+//     --speeds S0,S1,...    relative node speeds, one per node
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -92,7 +102,6 @@ int main(int argc, char** argv) {
   // JSONL run trace (dist algorithms only — the single-process baselines
   // have no node/network activity to record).
   const std::string tracePath = args.getString("trace", "");
-  const double metricsInterval = args.getDouble("metrics-interval", 0.0);
   std::optional<obs::JsonlTraceSink> traceSink;
   if (!tracePath.empty()) {
     if (algo != "dist" && algo != "dist-threads") {
@@ -114,50 +123,21 @@ int main(int argc, char** argv) {
                 static_cast<long long>(res.length),
                 static_cast<long long>(res.kicks),
                 static_cast<long long>(res.improvements));
-  } else if (algo == "dist") {
-    SimOptions opt;
-    opt.nodes = args.getInt("nodes", 8);
-    opt.topology = topologyFromString(args.getString("topology", "hypercube"));
-    opt.node = scaledNodeParams(inst);
-    opt.node.clkKick = kick;
-    opt.timeLimitPerNode = seconds;
-    opt.seed = seed;
-    if (traceSink) opt.trace = &*traceSink;
-    opt.metricsIntervalSeconds = metricsInterval;
-    const double modeledWork = args.getDouble("modeled-work", 0.0);
-    if (modeledWork > 0.0) {
-      opt.costModel = CostModel::kModeled;
-      opt.modeledWorkPerSecond = modeledWork;
-    }
-    const SimResult res = runSimulatedDistClk(inst, cand, opt);
+  } else if (algo == "dist" || algo == "dist-threads") {
+    RunConfig cfg = runConfigFromArgs(args, inst);
+    if (algo == "dist-threads") cfg.runtime = RuntimeKind::kThreads;
+    cfg.timeLimitPerNode = seconds;
+    cfg.seed = seed;
+    if (traceSink) cfg.trace = &*traceSink;
+    const RunResult res = runDistributed(inst, cand, cfg);
     bestOrder = res.bestOrder;
-    std::printf("result   : %lld (%lld steps, %lld broadcasts, %lld "
-                "restarts)\n",
-                static_cast<long long>(res.bestLength),
+    std::printf("result   : %lld on %s runtime (%lld steps, %lld broadcasts, "
+                "%lld restarts, %lld wire bytes)\n",
+                static_cast<long long>(res.bestLength), toString(cfg.runtime),
                 static_cast<long long>(res.totalSteps),
                 static_cast<long long>(res.net.broadcasts),
-                static_cast<long long>(res.totalRestarts));
-    if (args.has("print-events")) {
-      for (const auto& e : res.events)
-        std::printf("  t=%8.3fs node %d  %-18s %lld\n", e.time, e.node,
-                    toString(e.type), static_cast<long long>(e.value));
-    }
-  } else if (algo == "dist-threads") {
-    ThreadRunOptions opt;
-    opt.nodes = args.getInt("nodes", 8);
-    opt.topology = topologyFromString(args.getString("topology", "hypercube"));
-    opt.node = scaledNodeParams(inst);
-    opt.node.clkKick = kick;
-    opt.timeLimitPerNode = seconds;
-    opt.seed = seed;
-    if (traceSink) opt.trace = &*traceSink;
-    opt.metricsIntervalSeconds = metricsInterval;
-    const ThreadRunResult res = runThreadedDistClk(inst, cand, opt);
-    bestOrder = res.bestOrder;
-    std::printf("result   : %lld (%lld steps, %lld messages)\n",
-                static_cast<long long>(res.bestLength),
-                static_cast<long long>(res.totalSteps),
-                static_cast<long long>(res.messagesSent));
+                static_cast<long long>(res.totalRestarts),
+                static_cast<long long>(res.net.bytesSent));
     if (args.has("print-events")) {
       for (const auto& e : res.events)
         std::printf("  t=%8.3fs node %d  %-18s %lld\n", e.time, e.node,

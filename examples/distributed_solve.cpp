@@ -1,35 +1,48 @@
 // Distributed solve: the paper's 8-node hypercube on a clustered instance,
-// run on the discrete-event simulator. Prints the global anytime curve, the
+// on either runtime substrate. Prints the global anytime curve, the
 // per-node event trace (improvements, broadcasts, perturbation-level
-// changes, restarts) and the message statistics of §4.
+// changes, restarts, failures, joins) and the message statistics of §4.
 //
-//   ./distributed_solve [n] [nodes] [seconds-per-node]
+//   ./distributed_solve [n] [nodes] [seconds-per-node] [flags]
+//
+// The legacy positional arguments stay; every flag of the shared
+// runConfigFromArgs helper works too (experiments/harness.h), e.g.:
+//   ./distributed_solve 800 8 1.5 --runtime threads --fail 0:0.5,1:0.5
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/dist_clk.h"
+#include "core/runtime.h"
+#include "experiments/harness.h"
 #include "tsp/gen.h"
 #include "tsp/neighbors.h"
 
 int main(int argc, char** argv) {
   using namespace distclk;
-  const int n = argc > 1 ? std::atoi(argv[1]) : 800;
-  const int nodes = argc > 2 ? std::atoi(argv[2]) : 8;
-  const double budget = argc > 3 ? std::atof(argv[3]) : 1.5;
+  // Leading non-flag tokens are the legacy positionals; flags follow.
+  int argi = 1;
+  auto positional = [&](double def) {
+    return argi < argc && argv[argi][0] != '-' ? std::atof(argv[argi++]) : def;
+  };
+  const int n = static_cast<int>(positional(800));
+  const int nodes = static_cast<int>(positional(8));
+  const double budget = positional(1.5);
+  const Args args(argc, argv);
 
   const Instance inst = clustered("dist-demo", n, 10, /*seed=*/9);
   const CandidateLists cand(inst, 10);
 
-  SimOptions opt;
-  opt.nodes = nodes;
-  opt.topology = TopologyKind::kHypercube;
-  opt.timeLimitPerNode = budget;
-  opt.node.clkKicksPerCall = std::max(20, n / 10);
-  opt.seed = 4;
+  RunConfig cfg = runConfigFromArgs(args, inst);
+  // Positional values and demo defaults, unless overridden by flags.
+  cfg.nodes = args.getInt("nodes", nodes);
+  cfg.timeLimitPerNode = args.getDouble("seconds", budget);
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 4));
+  cfg.node.clkKicksPerCall = std::max(20, n / 10);
 
-  std::printf("running %d nodes (hypercube) on %s, %.1fs virtual CPU each\n",
-              nodes, inst.name().c_str(), budget);
-  const SimResult res = runSimulatedDistClk(inst, cand, opt);
+  std::printf("running %d nodes (%s) on %s, %.1fs CPU each, %s runtime\n",
+              cfg.nodes, toString(cfg.topology), inst.name().c_str(),
+              cfg.timeLimitPerNode, toString(cfg.runtime));
+  const RunResult res = runDistributed(inst, cand, cfg);
 
   std::printf("\nanytime curve (per-node CPU seconds -> global best):\n");
   for (const auto& p : res.curve)

@@ -15,8 +15,8 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=thread
 cmake --build build-tsan -j "$JOBS" \
-  --target test_thread_network test_thread_driver test_obs_metrics
-for t in test_thread_network test_thread_driver test_obs_metrics; do
+  --target test_thread_network test_thread_driver test_runtime test_obs_metrics
+for t in test_thread_network test_thread_driver test_runtime test_obs_metrics; do
   echo "== TSan: $t"
   ./build-tsan/tests/"$t"
 done

@@ -1,224 +1,12 @@
 #include "core/dist_clk.h"
 
-#include <algorithm>
-#include <limits>
-#include <stdexcept>
-
-#include "util/rng.h"
-
 namespace distclk {
-
-namespace {
-
-double phaseCost(const SimOptions& opt, int node, std::int64_t modelCost,
-                 double measuredSeconds) {
-  double cost = opt.costModel == CostModel::kMeasured
-                    ? measuredSeconds
-                    : static_cast<double>(modelCost) / opt.modeledWorkPerSecond;
-  if (!opt.nodeSpeeds.empty()) cost /= opt.nodeSpeeds[std::size_t(node)];
-  return cost;
-}
-
-}  // namespace
 
 SimResult runSimulatedDistClk(const Instance& inst, const CandidateLists& cand,
                               const SimOptions& opt) {
-  if (opt.nodes < 1) throw std::invalid_argument("SimOptions: nodes >= 1");
-
-  SimNetwork net(buildTopology(opt.topology, opt.nodes), opt.latencySeconds);
-  Rng master(opt.seed);
-  std::vector<DistNode> nodes;
-  nodes.reserve(std::size_t(opt.nodes));
-  for (int i = 0; i < opt.nodes; ++i)
-    nodes.emplace_back(inst, cand, opt.node, i, master());
-
-  // Observability: only materialized when a sink is attached; metrics and
-  // trace records never feed back into node decisions, and all timestamps
-  // are virtual, so traced runs reproduce un-traced results exactly.
-  obs::MetricsRegistry metricsReg;
-  if (opt.trace != nullptr) {
-    net.attachMetrics(metricsReg);
-    const NodeMetrics nodeMetrics = NodeMetrics::attach(metricsReg);
-    for (auto& node : nodes) node.setMetrics(nodeMetrics);
-    obs::RunMeta meta;
-    meta.instance = inst.name();
-    meta.n = inst.n();
-    meta.algorithm = "dist-sim";
-    meta.nodes = opt.nodes;
-    meta.topology = toString(opt.topology);
-    meta.seed = opt.seed;
-    meta.cv = opt.node.cv;
-    meta.cr = opt.node.cr;
-    meta.kick = toString(opt.node.clkKick);
-    meta.timeLimitPerNode = opt.timeLimitPerNode;
-    meta.clock = "virtual";
-    opt.trace->write(obs::runMetaRecord(meta));
-  }
-  double nextSnapshot = opt.trace != nullptr && opt.metricsIntervalSeconds > 0
-                            ? opt.metricsIntervalSeconds
-                            : std::numeric_limits<double>::infinity();
-
-  SimResult res;
-  res.bestLength = std::numeric_limits<std::int64_t>::max();
-  res.nodeClocks.assign(std::size_t(opt.nodes), 0.0);
-  std::vector<char> active(std::size_t(opt.nodes), 1);
-  std::vector<char> pendingInit(std::size_t(opt.nodes), 1);
-  std::vector<int> lastPerturbLevel(std::size_t(opt.nodes), 1);
-  auto failures = opt.failures;
-
-  if (!opt.nodeSpeeds.empty()) {
-    if (static_cast<int>(opt.nodeSpeeds.size()) != opt.nodes)
-      throw std::invalid_argument("SimOptions: nodeSpeeds size != nodes");
-    for (double s : opt.nodeSpeeds)
-      if (s <= 0.0)
-        throw std::invalid_argument("SimOptions: node speeds must be > 0");
-  }
-
-  // Churn: late joiners start their clock at the join time and are dead to
-  // the network until then.
-  for (const auto& [node, when] : opt.joins) {
-    if (node < 0 || node >= opt.nodes)
-      throw std::invalid_argument("SimOptions: join node out of range");
-    res.nodeClocks[std::size_t(node)] = when;
-    net.setAlive(node, false);
-  }
-
-  auto recordBest = [&](int nodeId, double time) {
-    const DistNode& node = nodes[std::size_t(nodeId)];
-    if (node.best().length() < res.bestLength) {
-      res.bestLength = node.best().length();
-      res.bestOrder = node.best().orderVector();
-      res.curve.push_back({time, res.bestLength});
-    }
-  };
-  auto logEvent = [&](double time, int nodeId, NodeEventType type,
-                      std::int64_t value) {
-    res.events.push_back({time, nodeId, type, value});
-    if (opt.trace != nullptr) opt.trace->write(obs::eventRecord({time, nodeId, type, value}));
-  };
-  // Periodic metric snapshots, stamped with the virtual time of the step
-  // that crossed each interval boundary.
-  auto maybeSnapshot = [&](double now) {
-    while (now >= nextSnapshot) {
-      opt.trace->write(obs::metricsRecord(now, metricsReg.snapshot()));
-      nextSnapshot += opt.metricsIntervalSeconds;
-    }
-  };
-
-  while (!res.hitTarget) {
-    int nodeId = -1;
-    double start = std::numeric_limits<double>::infinity();
-    for (int i = 0; i < opt.nodes; ++i) {
-      if (!active[std::size_t(i)]) continue;
-      if (res.nodeClocks[std::size_t(i)] < start) {
-        start = res.nodeClocks[std::size_t(i)];
-        nodeId = i;
-      }
-    }
-    if (nodeId == -1) break;  // everyone done
-
-    // Inject failures due at or before this step's start.
-    bool killed = false;
-    for (auto it = failures.begin(); it != failures.end();) {
-      if (it->second <= start) {
-        active[std::size_t(it->first)] = 0;
-        net.killNode(it->first);
-        if (it->first == nodeId) killed = true;
-        it = failures.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    if (killed) continue;
-
-    if (start >= opt.timeLimitPerNode) {
-      // Paper: nodes run out of budget one by one, degenerating the
-      // topology; dead nodes stop receiving.
-      active[std::size_t(nodeId)] = 0;
-      net.killNode(nodeId);
-      continue;
-    }
-
-    DistNode& node = nodes[std::size_t(nodeId)];
-
-    if (pendingInit[std::size_t(nodeId)]) {
-      // Join (or time-0 start): construct + optimize the initial tour.
-      pendingInit[std::size_t(nodeId)] = 0;
-      net.setAlive(nodeId, true);
-      const auto out = node.initialStep();
-      const double end =
-          start + phaseCost(opt, nodeId, out.modelCost, out.measuredSeconds);
-      res.nodeClocks[std::size_t(nodeId)] = end;
-      ++res.totalSteps;
-      logEvent(end, nodeId, NodeEventType::kInitialTour, out.bestLength);
-      recordBest(nodeId, end);
-      maybeSnapshot(end);
-      if (out.foundTarget) {
-        res.hitTarget = true;
-        res.targetTime = end;
-        logEvent(end, nodeId, NodeEventType::kTargetReached, out.bestLength);
-      }
-      continue;
-    }
-
-    auto phase = node.compute();
-    const double end =
-        start + phaseCost(opt, nodeId, phase.modelCost, phase.measuredSeconds);
-    const int perturbations = phase.perturbations;
-    const bool restarted = phase.restarted;
-    const auto received = net.collect(nodeId, end);
-    const auto out = node.merge(std::move(phase), received);
-    ++res.totalSteps;
-    res.nodeClocks[std::size_t(nodeId)] = end;
-
-    if (restarted) {
-      ++res.totalRestarts;
-      // Event value documents how deep the stagnation ran (trace.h).
-      logEvent(end, nodeId, NodeEventType::kRestart,
-               out.noImprovementsAtRestart);
-      lastPerturbLevel[std::size_t(nodeId)] = 1;
-    } else if (perturbations != lastPerturbLevel[std::size_t(nodeId)]) {
-      lastPerturbLevel[std::size_t(nodeId)] = perturbations;
-      logEvent(end, nodeId, NodeEventType::kPerturbationLevel, perturbations);
-    }
-    if (out.improvedByMessage)
-      logEvent(end, nodeId, NodeEventType::kTourReceived, out.bestLength);
-    if (out.broadcast) {
-      logEvent(end, nodeId, NodeEventType::kBroadcastSent, out.bestLength);
-      net.broadcast(nodeId, end, node.makeTourMessage());
-    }
-    if (out.bestLength < res.bestLength) {
-      logEvent(end, nodeId, NodeEventType::kImprovement, out.bestLength);
-      recordBest(nodeId, end);
-    }
-    maybeSnapshot(end);
-    if (out.foundTarget) {
-      res.hitTarget = true;
-      res.targetTime = end;
-      logEvent(end, nodeId, NodeEventType::kTargetReached, out.bestLength);
-      // Termination criterion 2: the finder notifies the cluster; the
-      // simulation ends here and the remaining nodes' clocks stay put.
-      break;
-    }
-  }
-
-  res.net = net.stats();
-  if (opt.trace != nullptr) {
-    double finalTime = 0.0;
-    for (const double clock : res.nodeClocks)
-      finalTime = std::max(finalTime, clock);
-    opt.trace->write(obs::metricsRecord(finalTime, metricsReg.snapshot()));
-    opt.trace->write(obs::runEndRecord(finalTime, res.bestLength,
-                                       res.hitTarget, res.totalSteps,
-                                       res.net.messagesSent));
-    opt.trace->flush();
-  }
-  std::sort(res.events.begin(), res.events.end(),
-            [](const NodeEvent& a, const NodeEvent& b) {
-              if (a.time != b.time) return a.time < b.time;
-              return a.node < b.node;
-            });
-  return res;
+  RunConfig cfg = opt;
+  cfg.runtime = RuntimeKind::kSim;
+  return runDistributed(inst, cand, cfg);
 }
 
 }  // namespace distclk

@@ -4,76 +4,23 @@
 // node's CLK call is charged either its measured wall time (realistic mode)
 // or a deterministic model cost (reproducible test mode); broadcasts arrive
 // after a configurable link latency.
+//
+// Since the runtime-layer refactor this is a thin veneer over
+// core/runtime.h: SimOptions/SimResult are aliases of RunConfig/RunResult,
+// and runSimulatedDistClk() pins cfg.runtime to RuntimeKind::kSim. The
+// actual event loop lives in NodeRunner; the scheduler in runtime.cpp.
 #pragma once
 
-#include <cstdint>
-#include <utility>
-#include <vector>
-
-#include "core/node.h"
-#include "core/trace.h"
-#include "net/sim_network.h"
-#include "net/topology.h"
-#include "obs/trace_sink.h"
-#include "tsp/instance.h"
-#include "tsp/neighbors.h"
+#include "core/runtime.h"
 
 namespace distclk {
 
-enum class CostModel {
-  kMeasured,  ///< virtual seconds = wall time of the compute phase
-  kModeled,   ///< virtual seconds = modelCost / modeledWorkPerSecond
-};
+using SimOptions = RunConfig;
+using SimResult = RunResult;
 
-struct SimOptions {
-  int nodes = 8;                     ///< paper's default cluster size
-  TopologyKind topology = TopologyKind::kHypercube;
-  DistParams node;                   ///< EA parameters (c_v=64, c_r=256, ...)
-  double timeLimitPerNode = 10.0;    ///< virtual CPU seconds per node
-  double latencySeconds = 1e-3;      ///< link latency (Gbit LAN scale)
-  CostModel costModel = CostModel::kMeasured;
-  double modeledWorkPerSecond = 4e6; ///< flips/second in kModeled mode
-  std::uint64_t seed = 1;            ///< master seed; nodes get split streams
-  /// Failure injection: (node, virtual time) pairs; the node stops stepping
-  /// and stops receiving messages from that time on.
-  std::vector<std::pair<int, double>> failures;
-  /// Churn injection: (node, virtual time) pairs; the node joins the
-  /// network only at that time (its clock starts there, messages sent to
-  /// it earlier are lost). Nodes not listed join at time 0. Its budget
-  /// still ends at timeLimitPerNode, as a late joiner's would.
-  std::vector<std::pair<int, double>> joins;
-  /// Heterogeneous cluster: relative speed per node (virtual cost is
-  /// divided by it). Empty = homogeneous (the paper's 8 identical P4s);
-  /// e.g. {1,1,1,1,0.5,0.5,0.5,0.5} models half the machines being half
-  /// as fast. Must be empty or size == nodes, entries > 0.
-  std::vector<double> nodeSpeeds;
-  /// Optional JSONL trace sink (null = no tracing, zero overhead). When
-  /// set, the driver creates a MetricsRegistry, wires node + network
-  /// probes, and streams run-meta/event/metrics/run-end records stamped
-  /// with virtual time — traced simulated runs stay deterministic and
-  /// produce identical tours to un-traced ones.
-  obs::TraceSink* trace = nullptr;
-  /// Virtual seconds between periodic metric snapshots (<= 0: only the
-  /// final snapshot is written). Ignored without a sink.
-  double metricsIntervalSeconds = 0.0;
-};
-
-struct SimResult {
-  std::int64_t bestLength = 0;
-  std::vector<int> bestOrder;
-  bool hitTarget = false;
-  /// Per-node virtual time at which the target was first reached.
-  double targetTime = 0.0;
-  /// Global best length vs per-node virtual CPU time.
-  AnytimeCurve curve;
-  EventLog events;
-  NetworkStats net;
-  std::vector<double> nodeClocks;   ///< final virtual time per node
-  std::int64_t totalSteps = 0;      ///< EA iterations across all nodes
-  std::int64_t totalRestarts = 0;
-};
-
-/// Runs one simulated distributed CLK experiment.
+/// Runs one simulated distributed CLK experiment (deterministic under
+/// CostModel::kModeled). Equivalent to runDistributed() with
+/// opt.runtime == RuntimeKind::kSim.
 SimResult runSimulatedDistClk(const Instance& inst, const CandidateLists& cand,
                               const SimOptions& opt);
 

@@ -1,0 +1,601 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "net/sim_network.h"
+#include "net/thread_network.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace distclk {
+
+const char* toString(RuntimeKind k) noexcept {
+  switch (k) {
+    case RuntimeKind::kSim: return "sim";
+    case RuntimeKind::kThreads: return "threads";
+  }
+  return "?";
+}
+
+RuntimeKind runtimeKindFromString(const std::string& name) {
+  if (name == "sim") return RuntimeKind::kSim;
+  if (name == "threads") return RuntimeKind::kThreads;
+  throw std::invalid_argument("unknown runtime '" + name +
+                              "' (expected sim|threads)");
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+
+void SimTransport::broadcast(int from, double now, const Message& msg) {
+  net_.broadcast(from, now, msg);
+}
+void SimTransport::send(int from, int to, double now, const Message& msg) {
+  net_.send(from, to, now, msg);
+}
+std::vector<Message> SimTransport::collect(int node, double now) {
+  return net_.collect(node, now);
+}
+void SimTransport::kill(int node) { net_.killNode(node); }
+void SimTransport::setAlive(int node, bool alive) { net_.setAlive(node, alive); }
+bool SimTransport::isAlive(int node) const { return net_.isAlive(node); }
+void SimTransport::announceTarget(int, std::int64_t) {
+  // Termination criterion 2 is centralized under simulation: the scheduler
+  // halts the whole run the moment any node reports the target, so there
+  // is no cluster left to notify.
+}
+NetworkStats SimTransport::stats() const { return net_.stats(); }
+
+void ThreadTransport::broadcast(int from, double, const Message& msg) {
+  net_.broadcast(from, msg);
+}
+void ThreadTransport::send(int from, int to, double, const Message& msg) {
+  net_.send(from, to, msg);
+}
+std::vector<Message> ThreadTransport::collect(int node, double) {
+  return net_.mailbox(node).drain();
+}
+void ThreadTransport::kill(int node) { net_.killNode(node); }
+void ThreadTransport::setAlive(int node, bool alive) {
+  net_.setAlive(node, alive);
+}
+bool ThreadTransport::isAlive(int node) const { return net_.isAlive(node); }
+void ThreadTransport::announceTarget(int from, std::int64_t length) {
+  Message msg;
+  msg.type = MessageType::kOptimumFound;
+  msg.from = from;
+  msg.length = length;
+  net_.broadcast(from, msg);
+}
+NetworkStats ThreadTransport::stats() const { return net_.stats(); }
+
+// ---------------------------------------------------------------------------
+// Clocks
+
+VirtualClock::VirtualClock(int nodes, CostModel model,
+                           double modeledWorkPerSecond,
+                           std::vector<double> nodeSpeeds)
+    : model_(model),
+      workPerSecond_(modeledWorkPerSecond),
+      speeds_(std::move(nodeSpeeds)),
+      clocks_(std::size_t(nodes), 0.0) {}
+
+double VirtualClock::chargeCompute(int node, std::int64_t modelCost,
+                                   double measuredSeconds) {
+  double cost = model_ == CostModel::kMeasured
+                    ? measuredSeconds
+                    : static_cast<double>(modelCost) / workPerSecond_;
+  if (!speeds_.empty()) cost /= speeds_[std::size_t(node)];
+  clocks_[std::size_t(node)] += cost;
+  return clocks_[std::size_t(node)];
+}
+
+namespace {
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+WallClock::WallClock(int nodes, std::vector<double> nodeSpeeds)
+    : speeds_(std::move(nodeSpeeds)),
+      epochNs_(std::size_t(nodes), steadyNowNs()) {}
+
+void WallClock::startNode(int node) {
+  epochNs_[std::size_t(node)] = steadyNowNs();
+}
+
+double WallClock::now(int node) const {
+  return double(steadyNowNs() - epochNs_[std::size_t(node)]) * 1e-9;
+}
+
+double WallClock::chargeCompute(int node, std::int64_t /*modelCost*/,
+                                double measuredSeconds) {
+  // A node with speed s < 1 models a machine 1/s times slower: the same
+  // compute phase would have taken measured/s seconds there, so sleep off
+  // the difference. Speeds > 1 cannot make real hardware faster and are
+  // left as-is (the virtual clock handles both directions exactly).
+  if (!speeds_.empty()) {
+    const double s = speeds_[std::size_t(node)];
+    if (s < 1.0 && measuredSeconds > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(measuredSeconds * (1.0 / s - 1.0)));
+  }
+  return now(node);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshotter
+
+Snapshotter::Snapshotter(obs::TraceSink* sink, obs::MetricsRegistry& registry,
+                         double intervalSeconds)
+    : sink_(sink),
+      registry_(registry),
+      interval_(intervalSeconds),
+      next_(sink != nullptr && intervalSeconds > 0
+                ? intervalSeconds
+                : std::numeric_limits<double>::infinity()) {}
+
+void Snapshotter::maybe(double now) {
+  // One record per crossed boundary, stamped with the time of the step
+  // that crossed it (matching the pre-refactor simulator).
+  while (now >= next_) {
+    sink_->write(obs::metricsRecord(now, registry_.snapshot()));
+    next_ += interval_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NodeRunner
+
+NodeRunner::NodeRunner(DistNode& node, const Env& env, EventLog& log,
+                       Snapshotter* snapshotter, double joinTime)
+    : node_(node),
+      env_(env),
+      log_(log),
+      snapshotter_(snapshotter),
+      joinTime_(joinTime) {}
+
+void NodeRunner::logEvent(double t, NodeEventType type, std::int64_t value) {
+  log_.push_back({t, node_.id(), type, value});
+  if (env_.sink != nullptr) env_.sink->write(obs::eventRecord(log_.back()));
+}
+
+void NodeRunner::recordBest(double now, std::int64_t length,
+                            bool improvedByMessage, bool logImprovement) {
+  // Node-local anytime curve (strictly improving, like the merge result).
+  const bool localImprovement =
+      curve_.empty() || length < curve_.back().length;
+  if (localImprovement) curve_.push_back({now, length});
+
+  if (env_.globalBest != nullptr) {
+    // Centralized semantics (simulator): kImprovement marks a new GLOBAL
+    // best, and the global curve is maintained here. Event before curve
+    // update, exactly as the pre-refactor driver emitted them.
+    GlobalBest& g = *env_.globalBest;
+    if (length < g.bestLength) {
+      if (logImprovement)
+        logEvent(now, NodeEventType::kImprovement, length);
+      g.bestLength = length;
+      g.bestOrder = node_.best().orderVector();
+      g.curve.push_back({now, length});
+    }
+  } else if (localImprovement && !improvedByMessage && logImprovement) {
+    // Local semantics (threads): kImprovement marks a locally computed new
+    // node best; received tours are already logged as kTourReceived.
+    logEvent(now, NodeEventType::kImprovement, length);
+  }
+}
+
+bool NodeRunner::initialTick() {
+  env_.transport.setAlive(node_.id(), true);
+  if (joinTime_ > 0.0) logEvent(env_.clock.now(node_.id()),
+                                NodeEventType::kNodeJoined, 1);
+  const auto out = node_.initialStep();
+  const double end =
+      env_.clock.chargeCompute(node_.id(), out.modelCost, out.measuredSeconds);
+  ++steps_;
+  logEvent(end, NodeEventType::kInitialTour, out.bestLength);
+  recordBest(end, out.bestLength, /*improvedByMessage=*/false,
+             /*logImprovement=*/false);
+  if (snapshotter_ != nullptr) snapshotter_->maybe(end);
+  if (out.foundTarget) {
+    hitTarget_ = true;
+    targetTime_ = end;
+    logEvent(end, NodeEventType::kTargetReached, out.bestLength);
+    if (env_.stop != nullptr) env_.stop->store(true, std::memory_order_relaxed);
+    env_.transport.announceTarget(node_.id(), out.bestLength);
+    return true;
+  }
+  return false;
+}
+
+bool NodeRunner::tick() {
+  const int id = node_.id();
+  // Fig. 1: perturb + inner CLK first; the messages that arrived while the
+  // compute phase "ran" are only seen afterwards (the paper's nodes poll
+  // their receive queue once CLK returns).
+  auto phase = node_.compute();
+  const double end =
+      env_.clock.chargeCompute(id, phase.modelCost, phase.measuredSeconds);
+  const int perturbations = phase.perturbations;
+  const bool restarted = phase.restarted;
+  const auto received = env_.transport.collect(id, end);
+  const auto out = node_.merge(std::move(phase), received);
+  ++steps_;
+
+  if (restarted) {
+    ++restarts_;
+    // Event value documents how deep the stagnation ran (trace.h).
+    logEvent(end, NodeEventType::kRestart, out.noImprovementsAtRestart);
+    lastPerturbLevel_ = 1;
+  } else if (perturbations != lastPerturbLevel_) {
+    lastPerturbLevel_ = perturbations;
+    logEvent(end, NodeEventType::kPerturbationLevel, perturbations);
+  }
+  if (out.improvedByMessage)
+    logEvent(end, NodeEventType::kTourReceived, out.bestLength);
+  if (out.broadcast) {
+    logEvent(end, NodeEventType::kBroadcastSent, out.bestLength);
+    env_.transport.broadcast(id, end, node_.makeTourMessage());
+  }
+  recordBest(end, out.bestLength, out.improvedByMessage,
+             /*logImprovement=*/true);
+  if (snapshotter_ != nullptr) snapshotter_->maybe(end);
+  if (out.foundTarget) {
+    hitTarget_ = true;
+    targetTime_ = end;
+    logEvent(end, NodeEventType::kTargetReached, out.bestLength);
+    if (env_.stop != nullptr) env_.stop->store(true, std::memory_order_relaxed);
+    env_.transport.announceTarget(id, out.bestLength);
+    return true;
+  }
+  // Termination criterion 2, receiver side: a peer announced the target.
+  if (env_.stop != nullptr) {
+    for (const Message& msg : received)
+      if (msg.type == MessageType::kOptimumFound)
+        env_.stop->store(true, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+void NodeRunner::leave(double when, bool failed) {
+  env_.transport.kill(node_.id());
+  if (failed) logEvent(when, NodeEventType::kNodeFailed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Shared driver plumbing
+
+namespace {
+
+void validateConfig(const RunConfig& cfg) {
+  if (cfg.nodes < 1) throw std::invalid_argument("RunConfig: nodes >= 1");
+  if (!cfg.nodeSpeeds.empty()) {
+    if (static_cast<int>(cfg.nodeSpeeds.size()) != cfg.nodes)
+      throw std::invalid_argument("RunConfig: nodeSpeeds size != nodes");
+    for (double s : cfg.nodeSpeeds)
+      if (s <= 0.0)
+        throw std::invalid_argument("RunConfig: node speeds must be > 0");
+  }
+  for (const auto& [node, when] : cfg.joins)
+    if (node < 0 || node >= cfg.nodes)
+      throw std::invalid_argument("RunConfig: join node out of range");
+  for (const auto& [node, when] : cfg.failures)
+    if (node < 0 || node >= cfg.nodes)
+      throw std::invalid_argument("RunConfig: failure node out of range");
+}
+
+std::vector<DistNode> buildNodes(const Instance& inst,
+                                 const CandidateLists& cand,
+                                 const RunConfig& cfg) {
+  Rng master(cfg.seed);
+  std::vector<DistNode> nodes;
+  nodes.reserve(std::size_t(cfg.nodes));
+  for (int i = 0; i < cfg.nodes; ++i)
+    nodes.emplace_back(inst, cand, cfg.node, i, master());
+  return nodes;
+}
+
+// Wires network + node probes and writes the run-meta record. Observation
+// never feeds back into node decisions, so traced simulated runs reproduce
+// un-traced results exactly.
+template <typename Network>
+void attachObservation(const Instance& inst, const RunConfig& cfg,
+                       const char* algorithm, const char* clockName,
+                       Network& net, std::vector<DistNode>& nodes,
+                       obs::MetricsRegistry& registry) {
+  if (cfg.trace == nullptr) return;
+  net.attachMetrics(registry);
+  const NodeMetrics nodeMetrics = NodeMetrics::attach(registry);
+  for (auto& node : nodes) node.setMetrics(nodeMetrics);
+  obs::RunMeta meta;
+  meta.instance = inst.name();
+  meta.n = inst.n();
+  meta.algorithm = algorithm;
+  meta.nodes = cfg.nodes;
+  meta.topology = toString(cfg.topology);
+  meta.seed = cfg.seed;
+  meta.cv = cfg.node.cv;
+  meta.cr = cfg.node.cr;
+  meta.kick = toString(cfg.node.clkKick);
+  meta.timeLimitPerNode = cfg.timeLimitPerNode;
+  meta.clock = clockName;
+  meta.runtime = toString(cfg.runtime);
+  meta.wireVersion = kWireVersion;
+  cfg.trace->write(obs::runMetaRecord(meta));
+}
+
+void sortEvents(EventLog& events) {
+  std::sort(events.begin(), events.end(),
+            [](const NodeEvent& a, const NodeEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.node < b.node;
+            });
+}
+
+void writeRunEnd(const RunConfig& cfg, obs::MetricsRegistry& registry,
+                 double finalTime, const RunResult& res) {
+  if (cfg.trace == nullptr) return;
+  cfg.trace->write(obs::metricsRecord(finalTime, registry.snapshot()));
+  cfg.trace->write(obs::runEndRecord(finalTime, res.bestLength, res.hitTarget,
+                                     res.totalSteps, res.net.messagesSent));
+  cfg.trace->flush();
+}
+
+// ---------------------------------------------------------------------------
+// Simulated substrate: deterministic discrete-event scheduler over
+// SimTransport + VirtualClock. Always steps the node with the smallest
+// virtual clock (strict <, ties to the lowest id), so runs are bit-exact
+// reproductions for a fixed seed.
+
+RunResult runSim(const Instance& inst, const CandidateLists& cand,
+                 const RunConfig& cfg) {
+  SimNetwork net(buildTopology(cfg.topology, cfg.nodes), cfg.latencySeconds);
+  SimTransport transport(net);
+  VirtualClock clock(cfg.nodes, cfg.costModel, cfg.modeledWorkPerSecond,
+                     cfg.nodeSpeeds);
+  std::vector<DistNode> nodes = buildNodes(inst, cand, cfg);
+
+  obs::MetricsRegistry metricsReg;
+  attachObservation(inst, cfg, "dist-sim", clock.kindName(), net, nodes,
+                    metricsReg);
+  // One shared snapshotter: any node's step may cross an interval boundary.
+  Snapshotter snapshotter(cfg.trace, metricsReg, cfg.metricsIntervalSeconds);
+  GlobalBest global;
+  EventLog events;  // one log, in emission order (event parity depends on it)
+
+  // Churn: late joiners start their clock at the join time and are dead to
+  // the network until then.
+  std::vector<double> joinTimes(std::size_t(cfg.nodes), 0.0);
+  for (const auto& [node, when] : cfg.joins) {
+    joinTimes[std::size_t(node)] = when;
+    clock.setNow(node, when);
+    net.setAlive(node, false);
+  }
+
+  NodeRunner::Env env{transport, clock,   cfg,
+                      cfg.trace, nullptr, &global};
+  std::vector<NodeRunner> runners;
+  runners.reserve(std::size_t(cfg.nodes));
+  for (int i = 0; i < cfg.nodes; ++i)
+    runners.emplace_back(nodes[std::size_t(i)], env, events, &snapshotter,
+                         joinTimes[std::size_t(i)]);
+
+  RunResult res;
+  std::vector<char> active(std::size_t(cfg.nodes), 1);
+  std::vector<char> pendingInit(std::size_t(cfg.nodes), 1);
+  auto failures = cfg.failures;
+
+  while (true) {
+    int nodeId = -1;
+    double start = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < cfg.nodes; ++i) {
+      if (!active[std::size_t(i)]) continue;
+      if (clock.now(i) < start) {
+        start = clock.now(i);
+        nodeId = i;
+      }
+    }
+    if (nodeId == -1) break;  // everyone done
+
+    // Inject failures due at or before this step's start.
+    bool killed = false;
+    for (auto it = failures.begin(); it != failures.end();) {
+      if (it->second <= start) {
+        active[std::size_t(it->first)] = 0;
+        runners[std::size_t(it->first)].leave(it->second, /*failed=*/true);
+        if (it->first == nodeId) killed = true;
+        it = failures.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (killed) continue;
+
+    if (start >= cfg.timeLimitPerNode) {
+      // Paper: nodes run out of budget one by one, degenerating the
+      // topology; dead nodes stop receiving. Not a failure — no event.
+      active[std::size_t(nodeId)] = 0;
+      runners[std::size_t(nodeId)].leave(start, /*failed=*/false);
+      continue;
+    }
+
+    NodeRunner& runner = runners[std::size_t(nodeId)];
+    if (pendingInit[std::size_t(nodeId)]) {
+      pendingInit[std::size_t(nodeId)] = 0;
+      if (runner.initialTick()) break;
+      continue;
+    }
+    if (runner.tick()) {
+      // Termination criterion 2: the finder notifies the cluster; the
+      // simulation ends here and the remaining nodes' clocks stay put.
+      break;
+    }
+  }
+
+  res.bestLength = global.bestLength;
+  res.bestOrder = std::move(global.bestOrder);
+  res.curve = std::move(global.curve);
+  res.events = std::move(events);
+  for (int i = 0; i < cfg.nodes; ++i) {
+    const NodeRunner& runner = runners[std::size_t(i)];
+    if (runner.hitTarget()) {
+      res.hitTarget = true;
+      res.targetTime = runner.targetTime();
+    }
+    res.nodeBest.push_back(nodes[std::size_t(i)].best().length());
+    res.nodeCurves.push_back(runner.curve());
+    res.nodeClocks.push_back(clock.now(i));
+    res.totalSteps += runner.steps();
+    res.totalRestarts += runner.restarts();
+  }
+  res.net = transport.stats();
+  res.messagesSent = res.net.messagesSent;
+
+  double finalTime = 0.0;
+  for (const double t : res.nodeClocks) finalTime = std::max(finalTime, t);
+  writeRunEnd(cfg, metricsReg, finalTime, res);
+  sortEvents(res.events);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Thread substrate: the same NodeRunner on one std::jthread per node over
+// ThreadTransport + WallClock. Failure and late-join injection work exactly
+// as under simulation — the schedules just fire against wall time.
+
+RunResult runThreads(const Instance& inst, const CandidateLists& cand,
+                     const RunConfig& cfg) {
+  ThreadNetwork net(buildTopology(cfg.topology, cfg.nodes));
+  ThreadTransport transport(net);
+  WallClock clock(cfg.nodes, cfg.nodeSpeeds);
+  std::vector<DistNode> nodes = buildNodes(inst, cand, cfg);
+
+  obs::MetricsRegistry metricsReg;
+  attachObservation(inst, cfg, "dist-threads", clock.kindName(), net, nodes,
+                    metricsReg);
+  // Node 0 doubles as the metrics reporter: snapshots merge every shard, so
+  // one thread emitting suffices.
+  Snapshotter snapshotter(cfg.trace, metricsReg, cfg.metricsIntervalSeconds);
+  std::atomic<bool> stopFlag{false};
+
+  std::vector<double> joinTimes(std::size_t(cfg.nodes), 0.0);
+  std::vector<double> failTimes(std::size_t(cfg.nodes),
+                                std::numeric_limits<double>::infinity());
+  // Mark late joiners dead before any thread can broadcast to them.
+  for (const auto& [node, when] : cfg.joins) {
+    joinTimes[std::size_t(node)] = when;
+    net.setAlive(node, false);
+  }
+  for (const auto& [node, when] : cfg.failures)
+    failTimes[std::size_t(node)] =
+        std::min(failTimes[std::size_t(node)], when);
+
+  // Per-node logs/runners are touched only by the owning thread and read
+  // after the join barrier — no locking needed (CP.2: no concurrent
+  // sharing). The trace sink serializes internally.
+  std::vector<EventLog> logs(std::size_t(cfg.nodes));
+  NodeRunner::Env env{transport, clock,     cfg,
+                      cfg.trace, &stopFlag, nullptr};
+  std::vector<NodeRunner> runners;
+  runners.reserve(std::size_t(cfg.nodes));
+  for (int i = 0; i < cfg.nodes; ++i)
+    runners.emplace_back(nodes[std::size_t(i)], env, logs[std::size_t(i)],
+                         i == 0 ? &snapshotter : nullptr,
+                         joinTimes[std::size_t(i)]);
+
+  std::vector<double> nodeClocks(std::size_t(cfg.nodes), 0.0);
+  Timer runTimer;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(std::size_t(cfg.nodes));
+    for (int i = 0; i < cfg.nodes; ++i) {
+      threads.emplace_back([&, i] {
+        clock.startNode(i);
+        NodeRunner& runner = runners[std::size_t(i)];
+        const double joinAt = joinTimes[std::size_t(i)];
+        const double failAt = failTimes[std::size_t(i)];
+        if (joinAt > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(joinAt));
+        // A joiner whose join time is past the budget never runs (matching
+        // the simulated scheduler, which kills it before its first step).
+        if (clock.now(i) < cfg.timeLimitPerNode && !runner.initialTick()) {
+          while (!stopFlag.load(std::memory_order_relaxed) &&
+                 clock.now(i) < cfg.timeLimitPerNode) {
+            if (clock.now(i) >= failAt) {
+              runner.leave(failAt, /*failed=*/true);
+              break;
+            }
+            if (runner.tick()) break;
+          }
+        }
+        nodeClocks[std::size_t(i)] = clock.now(i);
+      });
+    }
+    // jthreads join here; each loop exits on its own budget, its failure
+    // schedule, or the shared target flag — no explicit stop needed.
+  }
+
+  RunResult res;
+  res.bestLength = std::numeric_limits<std::int64_t>::max();
+  res.targetTime = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < cfg.nodes; ++i) {
+    const DistNode& node = nodes[std::size_t(i)];
+    const NodeRunner& runner = runners[std::size_t(i)];
+    res.nodeBest.push_back(node.best().length());
+    if (node.best().length() < res.bestLength) {
+      res.bestLength = node.best().length();
+      res.bestOrder = node.best().orderVector();
+    }
+    if (runner.hitTarget())
+      res.targetTime = std::min(res.targetTime, runner.targetTime());
+    res.nodeCurves.push_back(runner.curve());
+    res.nodeClocks.push_back(nodeClocks[std::size_t(i)]);
+    res.totalSteps += runner.steps();
+    res.totalRestarts += runner.restarts();
+    res.events.insert(res.events.end(), logs[std::size_t(i)].begin(),
+                      logs[std::size_t(i)].end());
+  }
+  res.hitTarget = stopFlag.load();
+  if (!res.hitTarget) res.targetTime = 0.0;
+  res.net = transport.stats();
+  res.messagesSent = res.net.messagesSent;
+  sortEvents(res.events);
+
+  // Global anytime curve: per-node curves merged on the (shared-epoch-free)
+  // per-node clocks — approximate across nodes, exact within each.
+  {
+    AnytimeCurve all;
+    for (const AnytimeCurve& c : res.nodeCurves)
+      all.insert(all.end(), c.begin(), c.end());
+    std::sort(all.begin(), all.end(),
+              [](const AnytimePoint& a, const AnytimePoint& b) {
+                return a.time < b.time;
+              });
+    for (const AnytimePoint& p : all)
+      if (res.curve.empty() || p.length < res.curve.back().length)
+        res.curve.push_back(p);
+  }
+
+  writeRunEnd(cfg, metricsReg, runTimer.seconds(), res);
+  return res;
+}
+
+}  // namespace
+
+RunResult runDistributed(const Instance& inst, const CandidateLists& cand,
+                         const RunConfig& cfg) {
+  validateConfig(cfg);
+  switch (cfg.runtime) {
+    case RuntimeKind::kSim: return runSim(inst, cand, cfg);
+    case RuntimeKind::kThreads: return runThreads(inst, cand, cfg);
+  }
+  throw std::invalid_argument("RunConfig: unknown runtime");
+}
+
+}  // namespace distclk

@@ -1,166 +1,13 @@
 #include "core/thread_driver.h"
 
-#include <algorithm>
-#include <atomic>
-#include <limits>
-#include <mutex>
-#include <stdexcept>
-#include <thread>
-
-#include "net/thread_network.h"
-#include "util/rng.h"
-#include "util/timer.h"
-
 namespace distclk {
 
 ThreadRunResult runThreadedDistClk(const Instance& inst,
                                    const CandidateLists& cand,
                                    const ThreadRunOptions& opt) {
-  if (opt.nodes < 1) throw std::invalid_argument("ThreadRunOptions: nodes >= 1");
-
-  ThreadNetwork net(buildTopology(opt.topology, opt.nodes));
-  Rng master(opt.seed);
-  std::vector<DistNode> nodes;
-  nodes.reserve(std::size_t(opt.nodes));
-  for (int i = 0; i < opt.nodes; ++i)
-    nodes.emplace_back(inst, cand, opt.node, i, master());
-
-  // Observability: wired only when a sink is attached, before any thread
-  // starts. Each node thread records into its own metric shard and writes
-  // events through the (internally serialized) sink with its local clock.
-  obs::MetricsRegistry metricsReg;
-  obs::TraceSink* const sink = opt.trace;
-  if (sink != nullptr) {
-    net.attachMetrics(metricsReg);
-    const NodeMetrics nodeMetrics = NodeMetrics::attach(metricsReg);
-    for (auto& node : nodes) node.setMetrics(nodeMetrics);
-    obs::RunMeta meta;
-    meta.instance = inst.name();
-    meta.n = inst.n();
-    meta.algorithm = "dist-threads";
-    meta.nodes = opt.nodes;
-    meta.topology = toString(opt.topology);
-    meta.seed = opt.seed;
-    meta.cv = opt.node.cv;
-    meta.cr = opt.node.cr;
-    meta.kick = toString(opt.node.clkKick);
-    meta.timeLimitPerNode = opt.timeLimitPerNode;
-    meta.clock = "wall";
-    sink->write(obs::runMetaRecord(meta));
-  }
-
-  std::atomic<bool> targetFound{false};
-  std::atomic<std::int64_t> totalSteps{0};
-  // Per-node traces are written only by the owning thread and read after
-  // the join barrier — no locking needed (CP.2: no concurrent sharing).
-  std::vector<AnytimeCurve> curves(std::size_t(opt.nodes));
-  std::vector<EventLog> logs(std::size_t(opt.nodes));
-  Timer runTimer;
-
-  {
-    std::vector<std::jthread> threads;
-    threads.reserve(std::size_t(opt.nodes));
-    for (int i = 0; i < opt.nodes; ++i) {
-      threads.emplace_back([&, i](std::stop_token stop) {
-        DistNode& node = nodes[std::size_t(i)];
-        AnytimeCurve& curve = curves[std::size_t(i)];
-        EventLog& log = logs[std::size_t(i)];
-        Timer timer;
-        auto logEvent = [&](double t, NodeEventType type, std::int64_t value) {
-          log.push_back({t, i, type, value});
-          if (sink != nullptr) sink->write(obs::eventRecord(log.back()));
-        };
-        // Node 0 doubles as the metrics reporter: snapshots merge every
-        // shard, so one thread emitting suffices.
-        double nextSnapshot = sink != nullptr && opt.metricsIntervalSeconds > 0
-                                  ? opt.metricsIntervalSeconds
-                                  : std::numeric_limits<double>::infinity();
-        auto out = node.initialStep();
-        totalSteps.fetch_add(1, std::memory_order_relaxed);
-        curve.push_back({timer.seconds(), out.bestLength});
-        logEvent(timer.seconds(), NodeEventType::kInitialTour, out.bestLength);
-        if (out.foundTarget) targetFound.store(true, std::memory_order_relaxed);
-        int lastPerturbLevel = 1;
-        while (!stop.stop_requested() &&
-               !targetFound.load(std::memory_order_relaxed) &&
-               timer.seconds() < opt.timeLimitPerNode) {
-          const auto received = net.mailbox(i).drain();
-          out = node.step(received);
-          totalSteps.fetch_add(1, std::memory_order_relaxed);
-          const double now = timer.seconds();
-          if (out.restarted) {
-            logEvent(now, NodeEventType::kRestart,
-                     out.noImprovementsAtRestart);
-            lastPerturbLevel = 1;
-          } else if (out.perturbations != lastPerturbLevel) {
-            lastPerturbLevel = out.perturbations;
-            logEvent(now, NodeEventType::kPerturbationLevel,
-                     out.perturbations);
-          }
-          if (out.improvedByMessage)
-            logEvent(now, NodeEventType::kTourReceived, out.bestLength);
-          if (curve.empty() || out.bestLength < curve.back().length) {
-            curve.push_back({now, out.bestLength});
-            if (!out.improvedByMessage)
-              logEvent(now, NodeEventType::kImprovement, out.bestLength);
-          }
-          if (out.broadcast) {
-            logEvent(now, NodeEventType::kBroadcastSent, out.bestLength);
-            net.broadcast(i, node.makeTourMessage());
-          }
-          if (i == 0 && now >= nextSnapshot) {
-            sink->write(obs::metricsRecord(now, metricsReg.snapshot()));
-            while (nextSnapshot <= now)
-              nextSnapshot += opt.metricsIntervalSeconds;
-          }
-          if (out.foundTarget) {
-            targetFound.store(true, std::memory_order_relaxed);
-            logEvent(now, NodeEventType::kTargetReached, out.bestLength);
-            // Termination criterion 2: notify the cluster.
-            Message msg;
-            msg.type = MessageType::kOptimumFound;
-            msg.from = i;
-            msg.length = out.bestLength;
-            net.broadcast(i, msg);
-          }
-          for (const Message& msg : received)
-            if (msg.type == MessageType::kOptimumFound)
-              targetFound.store(true, std::memory_order_relaxed);
-        }
-      });
-    }
-    // jthreads join here; each loop exits on its own budget or the shared
-    // target flag, so no explicit stop request is needed.
-  }
-
-  ThreadRunResult res;
-  res.bestLength = std::numeric_limits<std::int64_t>::max();
-  for (const DistNode& node : nodes) {
-    res.nodeBest.push_back(node.best().length());
-    if (node.best().length() < res.bestLength) {
-      res.bestLength = node.best().length();
-      res.bestOrder = node.best().orderVector();
-    }
-  }
-  res.hitTarget = targetFound.load();
-  res.messagesSent = net.messagesSent();
-  res.totalSteps = totalSteps.load();
-  res.nodeCurves = std::move(curves);
-  for (auto& log : logs)
-    res.events.insert(res.events.end(), log.begin(), log.end());
-  std::sort(res.events.begin(), res.events.end(),
-            [](const NodeEvent& a, const NodeEvent& b) {
-              if (a.time != b.time) return a.time < b.time;
-              return a.node < b.node;
-            });
-  if (sink != nullptr) {
-    const double finalTime = runTimer.seconds();
-    sink->write(obs::metricsRecord(finalTime, metricsReg.snapshot()));
-    sink->write(obs::runEndRecord(finalTime, res.bestLength, res.hitTarget,
-                                  res.totalSteps, res.messagesSent));
-    sink->flush();
-  }
-  return res;
+  RunConfig cfg = opt;
+  cfg.runtime = RuntimeKind::kThreads;
+  return runDistributed(inst, cand, cfg);
 }
 
 }  // namespace distclk

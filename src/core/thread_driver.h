@@ -3,55 +3,25 @@
 // paper's system (minus TCP); on a single core it still exercises the
 // concurrent code path end to end. One std::jthread per node; termination
 // via std::stop_token (target found or budget exhausted).
+//
+// Since the runtime-layer refactor this is a thin veneer over
+// core/runtime.h: ThreadRunOptions/ThreadRunResult are aliases of
+// RunConfig/RunResult, and runThreadedDistClk() pins cfg.runtime to
+// RuntimeKind::kThreads. The thread runtime therefore supports the same
+// failure/churn/speed injection schedules as the simulator — they fire
+// against each node's wall clock instead of its virtual one.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "core/node.h"
-#include "core/trace.h"
-#include "net/topology.h"
-#include "obs/trace_sink.h"
-#include "tsp/instance.h"
-#include "tsp/neighbors.h"
+#include "core/runtime.h"
 
 namespace distclk {
 
-struct ThreadRunOptions {
-  int nodes = 8;
-  TopologyKind topology = TopologyKind::kHypercube;
-  DistParams node;
-  double timeLimitPerNode = 5.0;  ///< wall seconds per node thread
-  std::uint64_t seed = 1;
-  /// Optional JSONL trace sink (null = no tracing; node threads then skip
-  /// every probe). The sink is called concurrently from all node threads
-  /// — JsonlTraceSink serializes internally. Timestamps are each node's
-  /// local wall clock, matching nodeCurves/events.
-  obs::TraceSink* trace = nullptr;
-  /// Wall seconds between periodic metric snapshots, emitted by node 0's
-  /// thread (<= 0: only the final snapshot). Ignored without a sink.
-  double metricsIntervalSeconds = 0.0;
-};
-
-struct ThreadRunResult {
-  std::int64_t bestLength = 0;
-  std::vector<int> bestOrder;
-  bool hitTarget = false;
-  std::int64_t messagesSent = 0;
-  std::int64_t totalSteps = 0;
-  /// Per-node final best lengths (the paper collects results from each
-  /// node's local output, there being no global control).
-  std::vector<std::int64_t> nodeBest;
-  /// Per-node anytime curves (wall seconds since the node's thread start
-  /// vs its best length) — the concurrent counterpart of SimResult::curve.
-  std::vector<AnytimeCurve> nodeCurves;
-  /// Cross-node event log (improvements, broadcasts, restarts), timestamped
-  /// with each node's local wall clock and merged at the end.
-  EventLog events;
-};
+using ThreadRunOptions = RunConfig;
+using ThreadRunResult = RunResult;
 
 /// Runs the distributed algorithm on real threads; blocks until all node
-/// threads finish.
+/// threads finish. Equivalent to runDistributed() with
+/// opt.runtime == RuntimeKind::kThreads.
 ThreadRunResult runThreadedDistClk(const Instance& inst,
                                    const CandidateLists& cand,
                                    const ThreadRunOptions& opt);

@@ -55,6 +55,8 @@ const char* toString(NodeEventType t) noexcept {
     case NodeEventType::kPerturbationLevel: return "perturbation-level";
     case NodeEventType::kRestart: return "restart";
     case NodeEventType::kTargetReached: return "target-reached";
+    case NodeEventType::kNodeJoined: return "node-joined";
+    case NodeEventType::kNodeFailed: return "node-failed";
   }
   return "?";
 }

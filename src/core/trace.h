@@ -45,16 +45,19 @@ enum class NodeEventType {
   kPerturbationLevel,   ///< value = new NumPerturbations level
   kRestart,             ///< value = NumNoImprovements at restart
   kTargetReached,       ///< value = target length
+  kNodeJoined,          ///< churn: late joiner entered; value = join count (1)
+  kNodeFailed,          ///< injected failure fired; value = 0
 };
 
 /// Every NodeEventType, for exhaustive iteration (serialization tests,
 /// report tooling). Keep in sync with the enum — the toString round-trip
 /// test walks this list.
-inline constexpr std::array<NodeEventType, 7> kAllNodeEventTypes{
+inline constexpr std::array<NodeEventType, 9> kAllNodeEventTypes{
     NodeEventType::kInitialTour,       NodeEventType::kImprovement,
     NodeEventType::kBroadcastSent,     NodeEventType::kTourReceived,
     NodeEventType::kPerturbationLevel, NodeEventType::kRestart,
-    NodeEventType::kTargetReached,
+    NodeEventType::kTargetReached,     NodeEventType::kNodeJoined,
+    NodeEventType::kNodeFailed,
 };
 
 /// Stable wire name of an event type (used in JSONL traces).

@@ -114,6 +114,67 @@ DistParams scaledNodeParams(const Instance& inst) {
   return p;
 }
 
+std::vector<std::pair<int, double>> parseSchedule(const std::string& spec,
+                                                  const std::string& flag) {
+  std::vector<std::pair<int, double>> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == item.size())
+      throw std::invalid_argument(flag + ": expected NODE:TIME, got '" + item +
+                                  "'");
+    out.emplace_back(std::stoi(item.substr(0, colon)),
+                     std::stod(item.substr(colon + 1)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<double> parseSpeeds(const std::string& spec) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    out.push_back(std::stod(spec.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+RunConfig runConfigFromArgs(const Args& args, const Instance& inst) {
+  RunConfig cfg;
+  cfg.runtime = runtimeKindFromString(args.getString("runtime", "sim"));
+  cfg.nodes = args.getInt("nodes", cfg.nodes);
+  cfg.topology = topologyFromString(args.getString("topology", "hypercube"));
+  cfg.node = scaledNodeParams(inst);
+  cfg.node.clkKick =
+      kickStrategyFromString(args.getString("kick", "Random-walk"));
+  cfg.timeLimitPerNode = args.getDouble("seconds", 2.0);
+  cfg.latencySeconds = args.getDouble("latency", cfg.latencySeconds);
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const double modeledWork = args.getDouble("modeled-work", 0.0);
+  if (modeledWork > 0.0) {
+    cfg.costModel = CostModel::kModeled;
+    cfg.modeledWorkPerSecond = modeledWork;
+  }
+  cfg.metricsIntervalSeconds = args.getDouble("metrics-interval", 0.0);
+  const std::string fail = args.getString("fail", "");
+  if (!fail.empty()) cfg.failures = parseSchedule(fail, "--fail");
+  const std::string join = args.getString("join", "");
+  if (!join.empty()) cfg.joins = parseSchedule(join, "--join");
+  const std::string speeds = args.getString("speeds", "");
+  if (!speeds.empty()) cfg.nodeSpeeds = parseSpeeds(speeds);
+  return cfg;
+}
+
 double referenceLength(const PaperInstance& spec, const Instance& inst) {
   if (spec.presumedOptimum > 0 && inst.n() == spec.n)
     return static_cast<double>(spec.presumedOptimum);

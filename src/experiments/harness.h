@@ -75,6 +75,32 @@ SimResult runDistExperiment(const Instance& inst, const CandidateLists& cand,
 /// many EA iterations. Benches that build SimOptions directly start here.
 DistParams scaledNodeParams(const Instance& inst);
 
+/// Shared distributed-run CLI: builds a RunConfig from the flags every
+/// dist-capable binary accepts, with scaledNodeParams(inst) as the node
+/// baseline. Used by examples/distclk_cli and examples/distributed_solve so
+/// the flag set (and its parsing quirks) exists exactly once.
+///
+///   --runtime R           sim | threads (default sim)
+///   --nodes K             node count (default 8)
+///   --topology T          hypercube|ring|grid|complete|star
+///   --seconds S           time budget per node (default 2)
+///   --seed S              solver seed (default 1)
+///   --kick K              inner-CLK kick strategy (default Random-walk)
+///   --latency S           sim link latency in seconds
+///   --modeled-work R      charge modeled cost (R units/s) instead of
+///                         measured wall time (sim only; deterministic)
+///   --metrics-interval S  periodic metric snapshots in the trace
+///   --fail N:T[,N:T...]   failure schedule (node N dies at time T)
+///   --join N:T[,N:T...]   churn schedule (node N joins at time T)
+///   --speeds S0,S1,...    relative node speeds (one per node)
+///
+/// Throws std::invalid_argument on malformed values.
+RunConfig runConfigFromArgs(const Args& args, const Instance& inst);
+
+/// Parses a "--fail"/"--join" style schedule: "N:T[,N:T...]".
+std::vector<std::pair<int, double>> parseSchedule(const std::string& spec,
+                                                  const std::string& flag);
+
 /// Reference length for excess computations: the calibrated presumed
 /// optimum when available, else a Held-Karp bound computed (and cached per
 /// process) for the given instance. NOTE: on heavily clustered families the

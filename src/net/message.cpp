@@ -7,7 +7,9 @@ namespace distclk {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x444c4b31;  // "DLK1"
+constexpr std::uint8_t kMagic[3] = {'D', 'L', 'K'};
+// magic + version + type + from + length + count
+constexpr std::size_t kHeaderBytes = 3 + 1 + 1 + 4 + 8 + 4;
 
 template <typename T>
 void put(std::vector<std::uint8_t>& buf, T v) {
@@ -29,10 +31,15 @@ T take(const std::vector<std::uint8_t>& buf, std::size_t& at) {
 
 }  // namespace
 
+std::size_t serializedSize(const Message& msg) noexcept {
+  return kHeaderBytes + msg.order.size() * sizeof(std::int32_t);
+}
+
 std::vector<std::uint8_t> serialize(const Message& msg) {
   std::vector<std::uint8_t> buf;
-  buf.reserve(24 + msg.order.size() * sizeof(std::int32_t));
-  put(buf, kMagic);
+  buf.reserve(serializedSize(msg));
+  for (std::uint8_t b : kMagic) put(buf, b);
+  put(buf, kWireVersion);
   put(buf, static_cast<std::uint8_t>(msg.type));
   put(buf, msg.from);
   put(buf, msg.length);
@@ -43,8 +50,11 @@ std::vector<std::uint8_t> serialize(const Message& msg) {
 
 Message deserialize(const std::vector<std::uint8_t>& buf) {
   std::size_t at = 0;
-  if (take<std::uint32_t>(buf, at) != kMagic)
-    throw std::runtime_error("Message: bad magic");
+  for (std::uint8_t expect : kMagic)
+    if (take<std::uint8_t>(buf, at) != expect)
+      throw std::runtime_error("Message: bad magic");
+  if (take<std::uint8_t>(buf, at) != kWireVersion)
+    throw std::runtime_error("Message: unsupported wire version");
   Message msg;
   const auto type = take<std::uint8_t>(buf, at);
   if (type < static_cast<std::uint8_t>(MessageType::kTour) ||
@@ -54,10 +64,13 @@ Message deserialize(const std::vector<std::uint8_t>& buf) {
   msg.from = take<std::int32_t>(buf, at);
   msg.length = take<std::int64_t>(buf, at);
   const auto count = take<std::uint32_t>(buf, at);
+  // A count field larger than the remaining payload is corruption; reject
+  // before reserving, so a flipped length byte cannot trigger a huge alloc.
+  if (buf.size() - at != count * sizeof(std::int32_t))
+    throw std::runtime_error("Message: payload size mismatch");
   msg.order.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i)
     msg.order.push_back(take<std::int32_t>(buf, at));
-  if (at != buf.size()) throw std::runtime_error("Message: trailing bytes");
   return msg;
 }
 

@@ -1,9 +1,21 @@
 // Wire-level message model of the P2P layer. The paper's nodes exchange
 // complete tours over TCP; here messages are structured objects plus a
-// compact binary codec (used by the serialization tests and available to
-// anyone embedding the node logic behind a real transport).
+// compact, versioned binary codec. The codec is the single source of truth
+// for message sizes: both transports account NetworkStats::bytesSent via
+// serializedSize(), so a future socket transport ships exactly the bytes
+// the statistics report.
+//
+// Wire layout (little-endian), version 2:
+//   "DLK"           3 bytes   magic
+//   version         u8        kWireVersion
+//   type            u8        MessageType
+//   from            i32       sender node id
+//   length          i64       tour length (kTour/kOptimumFound)
+//   count           u32       number of payload entries
+//   payload         i32[count]
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -19,6 +31,17 @@ enum class MessageType : std::uint8_t {
   kHello = 5,         ///< joiner -> neighbor: add me to your list
 };
 
+/// Every MessageType, for exhaustive iteration (wire-format property tests).
+inline constexpr MessageType kAllMessageTypes[] = {
+    MessageType::kTour,         MessageType::kOptimumFound,
+    MessageType::kJoinRequest,  MessageType::kNeighborList,
+    MessageType::kHello,
+};
+
+/// Codec version, first payload byte after the magic. Bump on any layout
+/// change; deserialize() rejects other versions instead of misreading.
+inline constexpr std::uint8_t kWireVersion = 2;
+
 struct Message {
   MessageType type = MessageType::kTour;
   std::int32_t from = -1;          ///< sender node id
@@ -29,11 +52,15 @@ struct Message {
   bool operator==(const Message&) const = default;
 };
 
+/// Exact encoded size in bytes, without allocating: what serialize() will
+/// produce and what NetworkStats::bytesSent accounts per delivery.
+std::size_t serializedSize(const Message& msg) noexcept;
+
 /// Encodes to a self-describing little-endian byte buffer.
 std::vector<std::uint8_t> serialize(const Message& msg);
 
 /// Decodes a buffer produced by serialize(). Throws std::runtime_error on
-/// truncated or corrupt input.
+/// truncated, corrupt, or version-mismatched input.
 Message deserialize(const std::vector<std::uint8_t>& buf);
 
 }  // namespace distclk

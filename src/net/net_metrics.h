@@ -5,9 +5,23 @@
 // (virtual vs wall seconds).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "obs/metrics.h"
 
 namespace distclk {
+
+/// Cumulative traffic accounting, identical for both transports: for the
+/// same message sequence over the same topology, SimNetwork and
+/// ThreadNetwork report the same counts. bytesSent is the exact encoded
+/// size per delivery (net/message serializedSize), not an estimate.
+struct NetworkStats {
+  std::int64_t messagesSent = 0;      ///< point-to-point deliveries enqueued
+  std::int64_t broadcasts = 0;        ///< broadcast() invocations
+  std::int64_t bytesSent = 0;         ///< exact wire bytes of all deliveries
+  std::vector<std::int64_t> sentByNode;
+};
 
 /// Null registry = every probe is a skipped branch (un-traced fast path).
 struct NetMetrics {

@@ -30,8 +30,7 @@ void SimNetwork::send(int from, int to, double sendTime, const Message& msg) {
   inbox_[std::size_t(to)].push_back({sendTime + latency_, sendTime, seq_++, msg});
   ++stats_.messagesSent;
   ++stats_.sentByNode[std::size_t(from)];
-  // 21-byte header + 4 bytes per city, matching net/message's codec.
-  stats_.bytesSent += 21 + static_cast<std::int64_t>(msg.order.size()) * 4;
+  stats_.bytesSent += static_cast<std::int64_t>(serializedSize(msg));
   if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.sends);
 }
 

@@ -14,13 +14,6 @@
 
 namespace distclk {
 
-struct NetworkStats {
-  std::int64_t messagesSent = 0;      ///< point-to-point deliveries enqueued
-  std::int64_t broadcasts = 0;        ///< broadcast() invocations
-  std::int64_t bytesSent = 0;         ///< serialized-size estimate
-  std::vector<std::int64_t> sentByNode;
-};
-
 class SimNetwork {
  public:
   SimNetwork(Adjacency adj, double latencySeconds = 1e-3);

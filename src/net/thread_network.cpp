@@ -62,9 +62,16 @@ void Mailbox::interrupt() {
 }
 
 ThreadNetwork::ThreadNetwork(Adjacency adj)
-    : adj_(std::move(adj)), boxes_(adj_.size()) {
+    : adj_(std::move(adj)),
+      boxes_(adj_.size()),
+      sentByNode_(new std::atomic<std::int64_t>[adj_.size()]),
+      alive_(new std::atomic<bool>[adj_.size()]) {
   if (!isValidTopology(adj_))
     throw std::invalid_argument("ThreadNetwork: invalid topology");
+  for (std::size_t i = 0; i < adj_.size(); ++i) {
+    sentByNode_[i].store(0, std::memory_order_relaxed);
+    alive_[i].store(true, std::memory_order_relaxed);
+  }
 }
 
 void ThreadNetwork::attachMetrics(obs::MetricsRegistry& registry) {
@@ -72,19 +79,40 @@ void ThreadNetwork::attachMetrics(obs::MetricsRegistry& registry) {
   for (auto& box : boxes_) box.setMetrics(&metrics_);
 }
 
-void ThreadNetwork::broadcast(int from, const Message& msg) {
-  if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.broadcasts);
-  for (int to : adj_[std::size_t(from)]) send(to, msg);
+void ThreadNetwork::setAlive(int node, bool alive) {
+  alive_[std::size_t(node)].store(alive, std::memory_order_relaxed);
 }
 
-void ThreadNetwork::send(int to, const Message& msg) {
+void ThreadNetwork::broadcast(int from, const Message& msg) {
+  if (!isAlive(from)) return;
+  broadcasts_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.broadcasts);
+  for (int to : adj_[std::size_t(from)]) send(from, to, msg);
+}
+
+void ThreadNetwork::send(int from, int to, const Message& msg) {
+  if (!isAlive(from) || !isAlive(to)) return;
   boxes_[std::size_t(to)].push(msg);
   messagesSent_.fetch_add(1, std::memory_order_relaxed);
+  sentByNode_[std::size_t(from)].fetch_add(1, std::memory_order_relaxed);
+  bytesSent_.fetch_add(static_cast<std::int64_t>(serializedSize(msg)),
+                       std::memory_order_relaxed);
   if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.sends);
 }
 
 void ThreadNetwork::interruptAll() {
   for (auto& box : boxes_) box.interrupt();
+}
+
+NetworkStats ThreadNetwork::stats() const {
+  NetworkStats s;
+  s.messagesSent = messagesSent_.load(std::memory_order_relaxed);
+  s.broadcasts = broadcasts_.load(std::memory_order_relaxed);
+  s.bytesSent = bytesSent_.load(std::memory_order_relaxed);
+  s.sentByNode.reserve(adj_.size());
+  for (std::size_t i = 0; i < adj_.size(); ++i)
+    s.sentByNode.push_back(sentByNode_[i].load(std::memory_order_relaxed));
+  return s;
 }
 
 }  // namespace distclk

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -47,7 +48,10 @@ class Mailbox {
   const NetMetrics* metrics_ = nullptr;
 };
 
-/// Topology-aware broadcast fabric over mailboxes; thread-safe.
+/// Topology-aware broadcast fabric over mailboxes; thread-safe. Membership
+/// (killNode / setAlive) and traffic accounting mirror SimNetwork exactly:
+/// identical traffic over an identical topology yields identical
+/// NetworkStats on both transports.
 class ThreadNetwork {
  public:
   explicit ThreadNetwork(Adjacency adj);
@@ -56,8 +60,22 @@ class ThreadNetwork {
   const Adjacency& adjacency() const noexcept { return adj_; }
   Mailbox& mailbox(int node) { return boxes_[std::size_t(node)]; }
 
+  /// Marks a node dead: its future sends are dropped and messages to it no
+  /// longer enqueue (already-queued messages can still be drained).
+  void killNode(int node) { setAlive(node, false); }
+  /// Membership control for churn: a node that has not joined yet is
+  /// treated exactly like a dead one until setAlive(node, true).
+  void setAlive(int node, bool alive);
+  bool isAlive(int node) const noexcept {
+    return alive_[std::size_t(node)].load(std::memory_order_relaxed);
+  }
+
+  /// Sends `msg` to every live neighbor of `from` (dropped when `from` is
+  /// dead, as with SimNetwork).
   void broadcast(int from, const Message& msg);
-  void send(int to, const Message& msg);
+  /// Point-to-point variant; drops (and does not count) when either
+  /// endpoint is dead.
+  void send(int from, int to, const Message& msg);
   /// Wakes every node blocked on its mailbox (used at shutdown).
   void interruptAll();
 
@@ -68,13 +86,20 @@ class ThreadNetwork {
   std::int64_t messagesSent() const noexcept {
     return messagesSent_.load(std::memory_order_relaxed);
   }
+  /// Snapshot of the traffic counters. Exact once senders have quiesced
+  /// (after the join barrier); callable concurrently for monitoring.
+  NetworkStats stats() const;
 
  private:
   Adjacency adj_;
   std::vector<Mailbox> boxes_;
-  // Hammered by every node thread on each send; a relaxed atomic keeps the
-  // counter exact without a lock (ordering does not matter, totals do).
+  // Hammered by every node thread on each send; relaxed atomics keep the
+  // counters exact without a lock (ordering does not matter, totals do).
   std::atomic<std::int64_t> messagesSent_{0};
+  std::atomic<std::int64_t> broadcasts_{0};
+  std::atomic<std::int64_t> bytesSent_{0};
+  std::unique_ptr<std::atomic<std::int64_t>[]> sentByNode_;
+  std::unique_ptr<std::atomic<bool>[]> alive_;
   NetMetrics metrics_;
 };
 

@@ -49,6 +49,8 @@ std::string runMetaRecord(const RunMeta& meta) {
       .field("kick", meta.kick)
       .field("time_limit_per_node", meta.timeLimitPerNode)
       .field("clock", meta.clock)
+      .field("runtime", meta.runtime)
+      .field("wire_version", meta.wireVersion)
       .field("git", buildVersion())
       .str();
 }

@@ -68,7 +68,9 @@ struct RunMeta {
   int cr = 0;
   std::string kick;
   double timeLimitPerNode = 0.0;
-  std::string clock;  ///< "virtual" | "wall"
+  std::string clock;    ///< "virtual" | "wall"
+  std::string runtime;  ///< "sim" | "threads" (RuntimeKind of the run)
+  int wireVersion = 0;  ///< net/message wire-format version of the build
 };
 
 /// Compile-time version stamp (git describe at configure time).

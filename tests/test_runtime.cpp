@@ -1,0 +1,300 @@
+// Tests for the unified runtime layer (core/runtime.h): determinism parity
+// against a fixture recorded with the pre-refactor simulated driver,
+// transport-agnostic traffic accounting, and the injection capabilities
+// (failures, churn, speeds) the thread runtime gained from the refactor.
+#include "core/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dist_clk.h"
+#include "core/thread_driver.h"
+#include "net/sim_network.h"
+#include "net/thread_network.h"
+#include "tsp/gen.h"
+#include "tsp/tour.h"
+
+namespace distclk {
+namespace {
+
+// FNV-1a over the event log; must match the recorder that produced the
+// fixture below (time bits, node, type, value of every event, in order).
+std::uint64_t eventLogHash(const EventLog& events) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const NodeEvent& e : events) {
+    std::uint64_t timeBits;
+    static_assert(sizeof(timeBits) == sizeof(e.time));
+    __builtin_memcpy(&timeBits, &e.time, sizeof(timeBits));
+    mix(timeBits);
+    mix(static_cast<std::uint64_t>(e.node));
+    mix(static_cast<std::uint64_t>(e.type));
+    mix(static_cast<std::uint64_t>(e.value));
+  }
+  return h;
+}
+
+// -----------------------------------------------------------------------
+// Determinism parity: this fixture was recorded by running the PRE-refactor
+// runSimulatedDistClk (commit 9ae0fd9) with exactly this configuration.
+// The runtime-layer refactor must reproduce the trajectory bit for bit:
+// same tour, same curve (times AND lengths), same event log (hashed), same
+// traffic. If this test fails, the refactor changed scheduling, cost
+// accounting, RNG consumption, or event emission order — all of which are
+// observable behavior, not implementation detail.
+
+RunConfig parityConfig() {
+  RunConfig cfg;
+  cfg.nodes = 8;
+  cfg.costModel = CostModel::kModeled;
+  cfg.modeledWorkPerSecond = 1e5;
+  cfg.node.clkKicksPerCall = 5;
+  cfg.node.cr = 12;  // force restarts into the fixture trajectory
+  cfg.node.cv = 4;   // force perturbation-level changes too
+  cfg.timeLimitPerNode = 6.0;
+  cfg.seed = 2026;
+  return cfg;
+}
+
+TEST(RuntimeParity, SimMatchesPreRefactorFixture) {
+  const Instance inst = uniformSquare("parity", 120, 42);
+  const CandidateLists cand(inst, 8);
+  const RunResult res = runDistributed(inst, cand, parityConfig());
+
+  EXPECT_EQ(res.bestLength, 8126701);
+  EXPECT_EQ(res.totalSteps, 351);
+  EXPECT_EQ(res.totalRestarts, 17);
+  EXPECT_EQ(res.net.messagesSent, 24);
+  EXPECT_EQ(res.net.broadcasts, 8);
+  EXPECT_EQ(res.net.bytesSent, 12024);
+  ASSERT_EQ(res.events.size(), 113u);
+  EXPECT_EQ(eventLogHash(res.events), 15090688922916996318ULL);
+  ASSERT_EQ(res.curve.size(), 2u);
+  EXPECT_EQ(res.curve[0].time, 0.15969);
+  EXPECT_EQ(res.curve[0].length, 8132600);
+  EXPECT_EQ(res.curve[1].time, 0.57315000000000005);
+  EXPECT_EQ(res.curve[1].length, 8126701);
+  // The fixture predates per-node curves; they are additive and must agree
+  // with the global result.
+  ASSERT_EQ(res.nodeCurves.size(), 8u);
+  std::int64_t bestOfNodes = std::numeric_limits<std::int64_t>::max();
+  for (const auto& curve : res.nodeCurves) {
+    ASSERT_FALSE(curve.empty());
+    bestOfNodes = std::min(bestOfNodes, curve.back().length);
+  }
+  EXPECT_EQ(bestOfNodes, res.bestLength);
+}
+
+TEST(RuntimeParity, WrapperEqualsRunDistributed) {
+  const Instance inst = uniformSquare("parity", 120, 42);
+  const CandidateLists cand(inst, 8);
+  // The legacy entry point is a thin veneer: identical trajectory.
+  const SimResult viaWrapper =
+      runSimulatedDistClk(inst, cand, parityConfig());
+  EXPECT_EQ(viaWrapper.bestLength, 8126701);
+  EXPECT_EQ(viaWrapper.totalSteps, 351);
+  EXPECT_EQ(eventLogHash(viaWrapper.events), 15090688922916996318ULL);
+}
+
+// -----------------------------------------------------------------------
+// Byte accounting: both transports price traffic with serializedSize(), so
+// identical traffic over an identical topology yields identical stats.
+
+Message tourMsg(int from, std::vector<std::int32_t> order) {
+  Message m;
+  m.type = MessageType::kTour;
+  m.from = from;
+  m.length = 1000 + from;
+  m.order = std::move(order);
+  return m;
+}
+
+TEST(RuntimeTransports, NetworksReportIdenticalBytesForIdenticalTraffic) {
+  const Adjacency adj = buildTopology(TopologyKind::kHypercube, 8);
+  SimNetwork sim(adj);
+  ThreadNetwork threads(adj);
+  SimTransport simT(sim);
+  ThreadTransport threadT(threads);
+
+  // Same scripted traffic on both, including sends involving dead nodes
+  // (dropped — and not billed — by both).
+  for (Transport* t : {static_cast<Transport*>(&simT),
+                       static_cast<Transport*>(&threadT)}) {
+    t->broadcast(0, 0.0, tourMsg(0, {5, 2, 4, 1, 3, 0}));
+    t->send(1, 2, 0.1, tourMsg(1, {0, 1, 2}));
+    t->kill(3);
+    t->broadcast(3, 0.2, tourMsg(3, {9, 8}));    // dead sender: dropped
+    t->send(2, 3, 0.3, tourMsg(2, {1}));         // dead receiver: dropped
+    t->broadcast(7, 0.4, tourMsg(7, {}));        // empty payload still billed
+  }
+
+  const NetworkStats a = simT.stats();
+  const NetworkStats b = threadT.stats();
+  EXPECT_GT(a.messagesSent, 0);
+  EXPECT_EQ(a.messagesSent, b.messagesSent);
+  EXPECT_EQ(a.broadcasts, b.broadcasts);
+  EXPECT_EQ(a.bytesSent, b.bytesSent);
+  EXPECT_EQ(a.sentByNode, b.sentByNode);
+
+  // And the count is the exact wire size of what was actually delivered:
+  // node 0's broadcast reaches its 3 hypercube neighbors, node 7's reaches
+  // only 2 because its neighbor 3 is dead by then.
+  std::int64_t expected = 0;
+  expected += 3 * std::int64_t(serializedSize(tourMsg(0, {5, 2, 4, 1, 3, 0})));
+  expected += std::int64_t(serializedSize(tourMsg(1, {0, 1, 2})));
+  expected += 2 * std::int64_t(serializedSize(tourMsg(7, {})));
+  EXPECT_EQ(a.bytesSent, expected);
+}
+
+// -----------------------------------------------------------------------
+// Cross-driver parity: the same RunConfig produces the same deterministic
+// trajectory on the simulator no matter which entry point dispatched it,
+// and the thread runtime accepts the identical config (injection schedules
+// included) without translation.
+
+TEST(RuntimeDispatch, SameConfigSameSimTrajectory) {
+  const Instance inst = uniformSquare("dispatch", 90, 7);
+  const CandidateLists cand(inst, 8);
+  RunConfig cfg = parityConfig();
+  cfg.timeLimitPerNode = 2.0;
+  cfg.failures = {{2, 0.5}};
+  cfg.joins = {{5, 0.4}};
+  cfg.runtime = RuntimeKind::kSim;
+  const RunResult a = runDistributed(inst, cand, cfg);
+  const RunResult b = runDistributed(inst, cand, cfg);
+  EXPECT_EQ(a.bestLength, b.bestLength);
+  EXPECT_EQ(a.bestOrder, b.bestOrder);
+  EXPECT_EQ(a.totalSteps, b.totalSteps);
+  EXPECT_EQ(eventLogHash(a.events), eventLogHash(b.events));
+  // The injected failure and join show up as first-class events.
+  bool sawFailure = false, sawJoin = false;
+  for (const auto& e : a.events) {
+    if (e.type == NodeEventType::kNodeFailed && e.node == 2) sawFailure = true;
+    if (e.type == NodeEventType::kNodeJoined && e.node == 5) sawJoin = true;
+  }
+  EXPECT_TRUE(sawFailure);
+  EXPECT_TRUE(sawJoin);
+}
+
+// -----------------------------------------------------------------------
+// Thread runtime injection (new with the runtime layer): failures fire
+// against wall clocks, the run terminates cleanly, and the topology
+// degrades instead of wedging.
+
+TEST(RuntimeThreads, FailureInjectionTerminatesAndDegradesTopology) {
+  const Instance inst = uniformSquare("threads-fail", 80, 17);
+  const CandidateLists cand(inst, 8);
+  RunConfig cfg;
+  cfg.runtime = RuntimeKind::kThreads;
+  cfg.nodes = 4;
+  cfg.node.clkKicksPerCall = 3;
+  cfg.timeLimitPerNode = 0.6;
+  cfg.failures = {{0, 0.05}, {1, 0.05}};
+  const RunResult res = runDistributed(inst, cand, cfg);
+
+  // Clean termination with a valid global tour.
+  Tour best(inst, res.bestOrder);
+  EXPECT_EQ(best.length(), res.bestLength);
+  ASSERT_EQ(res.nodeBest.size(), 4u);
+  ASSERT_EQ(res.nodeClocks.size(), 4u);
+
+  // Both scheduled failures were logged, at their scheduled times.
+  std::set<int> failed;
+  for (const auto& e : res.events)
+    if (e.type == NodeEventType::kNodeFailed) {
+      failed.insert(e.node);
+      EXPECT_DOUBLE_EQ(e.time, 0.05);
+    }
+  EXPECT_EQ(failed, (std::set<int>{0, 1}));
+
+  // Degraded topology: the dead nodes stopped well before the budget, the
+  // survivors ran it out.
+  EXPECT_LT(res.nodeClocks[0], 0.5);
+  EXPECT_LT(res.nodeClocks[1], 0.5);
+  EXPECT_GE(res.nodeClocks[2], 0.5);
+  EXPECT_GE(res.nodeClocks[3], 0.5);
+}
+
+TEST(RuntimeThreads, LateJoinerParticipatesUnderThreads) {
+  const Instance inst = uniformSquare("threads-join", 70, 18);
+  const CandidateLists cand(inst, 8);
+  RunConfig cfg;
+  cfg.runtime = RuntimeKind::kThreads;
+  cfg.nodes = 3;
+  cfg.node.clkKicksPerCall = 3;
+  cfg.timeLimitPerNode = 0.4;
+  cfg.joins = {{2, 0.15}};
+  const RunResult res = runDistributed(inst, cand, cfg);
+
+  bool joined = false;
+  double joinTime = 0.0, initTime = 0.0;
+  for (const auto& e : res.events) {
+    if (e.node != 2) continue;
+    if (e.type == NodeEventType::kNodeJoined) {
+      joined = true;
+      joinTime = e.time;
+    }
+    if (e.type == NodeEventType::kInitialTour) initTime = e.time;
+  }
+  EXPECT_TRUE(joined);
+  EXPECT_GE(joinTime, 0.15);
+  EXPECT_GE(initTime, joinTime);
+  ASSERT_EQ(res.nodeCurves.size(), 3u);
+  EXPECT_FALSE(res.nodeCurves[2].empty());
+}
+
+TEST(RuntimeThreads, ThrottledNodeDoesLessWork) {
+  const Instance inst = uniformSquare("threads-speed", 70, 19);
+  const CandidateLists cand(inst, 8);
+  RunConfig cfg;
+  cfg.runtime = RuntimeKind::kThreads;
+  cfg.nodes = 2;
+  cfg.topology = TopologyKind::kComplete;
+  cfg.node.clkKicksPerCall = 3;
+  cfg.timeLimitPerNode = 0.4;
+  cfg.nodeSpeeds = {1.0, 0.25};  // node 1 is a 4x slower machine
+  const RunResult res = runDistributed(inst, cand, cfg);
+  std::int64_t activity[2] = {0, 0};
+  for (const auto& e : res.events) ++activity[e.node];
+  // Both nodes ran; the assertion is deliberately coarse (wall-clock
+  // scheduling is noisy) — the throttle's correctness is that the slow
+  // node still participates and the run terminates on time.
+  EXPECT_GT(activity[0], 0);
+  EXPECT_GT(activity[1], 0);
+}
+
+TEST(RuntimeThreads, ValidationUnifiedAcrossRuntimes) {
+  const Instance inst = uniformSquare("validate", 30, 20);
+  const CandidateLists cand(inst, 8);
+  for (const RuntimeKind kind : {RuntimeKind::kSim, RuntimeKind::kThreads}) {
+    RunConfig bad;
+    bad.runtime = kind;
+    bad.nodes = 0;
+    EXPECT_THROW(runDistributed(inst, cand, bad), std::invalid_argument);
+    RunConfig badJoin;
+    badJoin.runtime = kind;
+    badJoin.joins = {{99, 1.0}};
+    EXPECT_THROW(runDistributed(inst, cand, badJoin), std::invalid_argument);
+    RunConfig badSpeeds;
+    badSpeeds.runtime = kind;
+    badSpeeds.nodeSpeeds = {1.0};  // size != nodes
+    EXPECT_THROW(runDistributed(inst, cand, badSpeeds), std::invalid_argument);
+  }
+}
+
+TEST(RuntimeKindNames, RoundTrip) {
+  EXPECT_STREQ(toString(RuntimeKind::kSim), "sim");
+  EXPECT_STREQ(toString(RuntimeKind::kThreads), "threads");
+  EXPECT_EQ(runtimeKindFromString("sim"), RuntimeKind::kSim);
+  EXPECT_EQ(runtimeKindFromString("threads"), RuntimeKind::kThreads);
+  EXPECT_THROW(runtimeKindFromString("mpi"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -90,7 +90,7 @@ TEST(ThreadNetwork, BroadcastRespectsTopology) {
 
 TEST(ThreadNetwork, SendDelivers) {
   ThreadNetwork net(buildTopology(TopologyKind::kComplete, 3));
-  net.send(2, tourMsg(0, 5));
+  net.send(0, 2, tourMsg(0, 5));
   const auto got = net.mailbox(2).drain();
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].length, 5);
@@ -139,7 +139,7 @@ TEST(ThreadNetwork, AttachedMetricsCountSendsAndDeliveries) {
   ThreadNetwork net(buildTopology(TopologyKind::kRing, 4));
   net.attachMetrics(reg);
   net.broadcast(0, tourMsg(0, 7));  // ring: 2 neighbors
-  net.send(2, tourMsg(0, 8));
+  net.send(0, 2, tourMsg(0, 8));
   EXPECT_EQ(net.mailbox(1).drain().size(), 1u);
   EXPECT_EQ(net.mailbox(2).drain().size(), 1u);
   EXPECT_EQ(net.mailbox(3).drain().size(), 1u);

@@ -31,6 +31,8 @@ struct NodeSummary {
   int toursReceived = 0;         ///< improving tours adopted from neighbors
   int broadcasts = 0;
   int restarts = 0;
+  double joinedAt = -1.0;        ///< churn: when the node entered (<0: t=0)
+  double failedAt = -1.0;        ///< injected failure time (<0: none)
   std::vector<std::int64_t> restartDepths;  ///< NumNoImprovements at restart
   int maxPerturbLevel = 1;
   double firstImprovementTime = -1.0;
@@ -72,6 +74,12 @@ void applyEvent(TraceData& data, const NodeEvent& ev) {
     case NodeEventType::kRestart:
       ++node.restarts;
       node.restartDepths.push_back(ev.value);
+      break;
+    case NodeEventType::kNodeJoined:
+      node.joinedAt = ev.time;
+      break;
+    case NodeEventType::kNodeFailed:
+      node.failedAt = ev.time;
       break;
     case NodeEventType::kTargetReached:
       break;
@@ -213,25 +221,36 @@ int main(int argc, char** argv) {
                 static_cast<long long>(m.integer("cr")), m.str("kick").c_str(),
                 m.num("time_limit_per_node"), m.str("clock").c_str(),
                 m.str("git").c_str());
+    // Traces predating the runtime layer carry neither field; stay quiet.
+    if (m.find("runtime") != nullptr)
+      std::printf("runtime  : %s (wire v%lld)\n", m.str("runtime").c_str(),
+                  static_cast<long long>(m.integer("wire_version")));
   }
   std::printf("records  : %d parsed, %d skipped, %zu events\n\n",
               data.parsedLines, data.skippedLines, data.events.size());
 
   // Per-node summary: the §4.2.1 narrative in table form.
   Table nodeTable({"node", "improve", "recv", "bcast", "recv/bcast", "restarts",
-                   "max-perturb", "best", "best@t"});
+                   "max-perturb", "best", "best@t", "churn"});
   for (const auto& [id, node] : data.nodes) {
     const double ratio =
         node.broadcasts > 0
             ? static_cast<double>(node.toursReceived) / node.broadcasts
             : 0.0;
+    std::string churn;
+    if (node.joinedAt >= 0) churn += "join@" + fmt(node.joinedAt, 2);
+    if (node.failedAt >= 0) {
+      if (!churn.empty()) churn += " ";
+      churn += "fail@" + fmt(node.failedAt, 2);
+    }
+    if (churn.empty()) churn = "-";
     nodeTable.addRow({std::to_string(id), fmtCount(node.improvements),
                       fmtCount(node.toursReceived), fmtCount(node.broadcasts),
                       fmt(ratio, 2), fmtCount(node.restarts),
                       fmtCount(node.maxPerturbLevel),
                       node.bestLength >= 0 ? std::to_string(node.bestLength)
                                            : "-",
-                      fmt(node.bestTime, 3)});
+                      fmt(node.bestTime, 3), churn});
   }
   std::printf("Per-node summary\n");
   nodeTable.print(std::cout);
