@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Determinism/portability lint over the library sources. Zero violations
+# outside tools/lint_allowlist.txt is a tier-1 requirement (scripts/tier1.sh).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec python3 tools/lint_determinism.py --root src --allowlist tools/lint_allowlist.txt "$@"

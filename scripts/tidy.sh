@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# clang-tidy over the deterministic core and the transport layer — the two
+# directories the .clang-tidy profile keeps clean. Optional: the reference
+# toolchain for this repo is GCC, so containers without clang-tidy skip
+# this (tier-1 does not depend on it).
+#
+# Usage: scripts/tidy.sh [extra clang-tidy args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy: clang-tidy not installed; skipping (install LLVM to enable)" >&2
+  exit 0
+fi
+
+# compile_commands.json is exported by the default preset
+# (CMAKE_EXPORT_COMPILE_COMMANDS ON in the top-level CMakeLists).
+if [[ ! -f build/compile_commands.json ]]; then
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+mapfile -t files < <(ls src/core/*.cpp src/net/*.cpp)
+echo "tidy: checking ${#files[@]} files in src/core src/net" >&2
+clang-tidy -p build --quiet "$@" "${files[@]}"
+echo "tidy: clean" >&2

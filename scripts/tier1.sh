@@ -1,15 +1,29 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
-# over the concurrent components (thread network, thread driver, metric
-# shards) so data races in the mailbox/metrics paths fail CI on day one,
-# and an AddressSanitizer pass over the distance-kernel / candidate-list /
-# tour / LK paths that index raw SoA and CSR arrays.
+# Tier-1 verification: one command runs the whole correctness stack.
+#
+#   1. Main build at the -Werror warning floor (-Wconversion -Wshadow
+#      -Wextra-semi on the library target) + full ctest suite.
+#   2. ThreadSanitizer over the concurrent components (thread network,
+#      thread driver, metric shards) so data races in the mailbox/metrics
+#      paths fail CI on day one.
+#   3. AddressSanitizer over the distance-kernel / candidate-list / tour /
+#      LK paths that index raw SoA and CSR arrays.
+#   4. UndefinedBehaviorSanitizer (signed overflow, shifts, bounds,
+#      float-cast-overflow; abort on first report) over the kernel, tour
+#      structures, LK, codec, parser, and metrics tests — the code where
+#      the int64 distance arithmetic and double->int rounding live.
+#   5. Invariant audit build (-DDISTCLK_AUDIT=ON under ASan): structural
+#      self-checks compiled into Tour/BigTour/TwoLevelList/CandidateLists/
+#      NodeRunner mutation paths, exercised by test_audit.
+#   6. Determinism/portability lint over src/ (scripts/lint.sh).
+#
+# See DESIGN.md §7 for what each layer is expected to catch.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
 
-cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
@@ -28,5 +42,22 @@ for t in test_dist_kernel test_neighbors test_tour test_lk; do
   echo "== ASan: $t"
   ./build-asan/tests/"$t"
 done
+
+UBSAN_TESTS=(test_dist_kernel test_tour test_twolevel test_big_tour test_lk
+             test_chained_lk test_message test_tsplib test_metrics)
+cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=undefined
+cmake --build build-ubsan -j "$JOBS" --target "${UBSAN_TESTS[@]}"
+for t in "${UBSAN_TESTS[@]}"; do
+  echo "== UBSan: $t"
+  ./build-ubsan/tests/"$t"
+done
+
+cmake -B build-audit -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDISTCLK_SAN=address -DDISTCLK_AUDIT=ON
+cmake --build build-audit -j "$JOBS" --target test_audit
+echo "== Audit (ASan): test_audit"
+./build-audit/tests/test_audit
+
+scripts/lint.sh
 
 echo "tier-1 OK"

@@ -7,10 +7,37 @@
 
 #include "net/sim_network.h"
 #include "net/thread_network.h"
+#include "util/audit.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
 namespace distclk {
+
+namespace {
+
+[[maybe_unused]] void auditCurve(const AnytimeCurve& curve, const char* name,
+                                 const char* where) {
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].length >= curve[i - 1].length)
+      audit::fail(name, where, "anytime curve not strictly improving");
+    if (curve[i].time < curve[i - 1].time)
+      audit::fail(name, where, "anytime curve time not monotone");
+  }
+}
+
+/// Broadcast audit: the message must encode at exactly serializedSize()
+/// bytes, carry the current wire version, and survive a codec round trip.
+[[maybe_unused]] void auditWireMessage(const Message& msg, const char* where) {
+  const auto buf = serialize(msg);
+  if (buf.size() != serializedSize(msg))
+    audit::fail("NodeRunner", where, "serialize() size != serializedSize()");
+  if (buf.size() < 4 || buf[3] != kWireVersion)
+    audit::fail("NodeRunner", where, "wire version mismatch in encoded message");
+  if (deserialize(buf) != msg)
+    audit::fail("NodeRunner", where, "message codec round trip not identical");
+}
+
+}  // namespace
 
 const char* toString(RuntimeKind k) noexcept {
   switch (k) {
@@ -189,6 +216,17 @@ void NodeRunner::recordBest(double now, std::int64_t length,
     // node best; received tours are already logged as kTourReceived.
     logEvent(now, NodeEventType::kImprovement, length);
   }
+  DISTCLK_AUDIT_HOOK(auditCheck("NodeRunner::recordBest"));
+}
+
+void NodeRunner::auditCheck(const char* where) const {
+  auditCurve(curve_, "NodeRunner", where);
+  if (env_.globalBest != nullptr) {
+    auditCurve(env_.globalBest->curve, "NodeRunner(global)", where);
+    if (!env_.globalBest->curve.empty() &&
+        env_.globalBest->curve.back().length != env_.globalBest->bestLength)
+      audit::fail("NodeRunner", where, "global best != global curve tail");
+  }
 }
 
 bool NodeRunner::initialTick() {
@@ -241,7 +279,9 @@ bool NodeRunner::tick() {
     logEvent(end, NodeEventType::kTourReceived, out.bestLength);
   if (out.broadcast) {
     logEvent(end, NodeEventType::kBroadcastSent, out.bestLength);
-    env_.transport.broadcast(id, end, node_.makeTourMessage());
+    const Message msg = node_.makeTourMessage();
+    DISTCLK_AUDIT_HOOK(auditWireMessage(msg, "NodeRunner::tick"));
+    env_.transport.broadcast(id, end, msg);
   }
   recordBest(end, out.bestLength, out.improvedByMessage,
              /*logImprovement=*/true);

@@ -297,6 +297,14 @@ class NodeRunner {
   void leave(double when, bool failed);
 
   const AnytimeCurve& curve() const noexcept { return curve_; }
+
+  /// Audit-mode invariant check: the node-local anytime curve must be
+  /// strictly improving in length and non-decreasing in time, and when the
+  /// runner maintains the centralized global best, the global curve must be
+  /// too. Hooked after every recordBest() in -DDISTCLK_AUDIT=ON builds;
+  /// broadcasts additionally round-trip through the versioned wire codec.
+  void auditCheck(const char* where) const;
+
   std::int64_t steps() const noexcept { return steps_; }
   std::int64_t restarts() const noexcept { return restarts_; }
   bool hitTarget() const noexcept { return hitTarget_; }

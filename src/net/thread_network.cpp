@@ -64,8 +64,8 @@ void Mailbox::interrupt() {
 ThreadNetwork::ThreadNetwork(Adjacency adj)
     : adj_(std::move(adj)),
       boxes_(adj_.size()),
-      sentByNode_(new std::atomic<std::int64_t>[adj_.size()]),
-      alive_(new std::atomic<bool>[adj_.size()]) {
+      sentByNode_(adj_.size()),
+      alive_(adj_.size()) {
   if (!isValidTopology(adj_))
     throw std::invalid_argument("ThreadNetwork: invalid topology");
   for (std::size_t i = 0; i < adj_.size(); ++i) {

@@ -98,8 +98,10 @@ class ThreadNetwork {
   std::atomic<std::int64_t> messagesSent_{0};
   std::atomic<std::int64_t> broadcasts_{0};
   std::atomic<std::int64_t> bytesSent_{0};
-  std::unique_ptr<std::atomic<std::int64_t>[]> sentByNode_;
-  std::unique_ptr<std::atomic<bool>[]> alive_;
+  // Fixed-size after construction; vector keeps the allocation visible to
+  // the sanitizer presets (determinism lint: raw-new-array).
+  std::vector<std::atomic<std::int64_t>> sentByNode_;
+  std::vector<std::atomic<bool>> alive_;
   NetMetrics metrics_;
 };
 

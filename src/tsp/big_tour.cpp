@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "util/audit.h"
+
 namespace distclk {
 
 namespace {
@@ -28,16 +30,24 @@ void BigTour::reverseForward(int a, int b) {
     // Whole-cycle reversal: the edge set (and hence the length) is
     // unchanged; only the traversal direction flips.
     list_.reverse(a, b);
+    DISTCLK_AUDIT_HOOK(auditCheck("BigTour::reverseForward(whole-cycle)"));
     return;
   }
   length_ += kern_(before, b) + kern_(a, after) -
              kern_(before, a) - kern_(b, after);
   list_.reverse(a, b);
+  DISTCLK_AUDIT_HOOK(auditCheck("BigTour::reverseForward"));
 }
 
 bool BigTour::valid() const {
   if (!list_.valid()) return false;
   return length_ == inst_->tourLength(list_.order(0));
+}
+
+void BigTour::auditCheck(const char* where) const {
+  list_.auditCheck(where);
+  if (length_ != inst_->tourLength(list_.order(0)))
+    audit::fail("BigTour", where, "cached length != recomputed tour length");
 }
 
 }  // namespace distclk

@@ -49,6 +49,11 @@ class BigTour {
   /// O(n) invariant check (structure valid, cached length exact).
   bool valid() const;
 
+  /// Audit-mode invariant check: delegates to the segment list's audit,
+  /// then verifies the cached length. Hooked after every reverseForward()
+  /// in -DDISTCLK_AUDIT=ON builds (util/audit.h).
+  void auditCheck(const char* where) const;
+
  private:
   const Instance* inst_;
   DistanceKernel kern_;  // hot-path evaluator for incremental length updates

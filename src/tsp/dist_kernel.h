@@ -21,6 +21,18 @@
 
 namespace distclk {
 
+/// TSPLIB GEO arc-cosine argument, clamped into acos's domain. Floating
+/// rounding can push the cosine combination an ulp past ±1 for
+/// (near-)coincident cities; acos would then return NaN, and converting NaN
+/// to an integer is undefined behavior (UBSan float-cast-overflow). The
+/// clamp only alters inputs that previously produced NaN, so every defined
+/// distance is bit-identical to the unclamped formula. Shared by the kernel
+/// and the Instance::dist() reference so the two paths cannot diverge.
+inline double geoAcosArg(double q1, double q2, double q3) noexcept {
+  const double v = 0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3);
+  return v < -1.0 ? -1.0 : (v > 1.0 ? 1.0 : v);
+}
+
 class DistanceKernel {
  public:
   explicit DistanceKernel(const Instance& inst) noexcept;
@@ -66,7 +78,7 @@ inline std::int64_t DistanceKernel::evalAs(int i, int j) const noexcept {
     const double q2 = std::cos(latA - latB);
     const double q3 = std::cos(latA + latB);
     return static_cast<std::int64_t>(
-        kRadius * std::acos(0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3)) + 1.0);
+        kRadius * std::acos(geoAcosArg(q1, q2, q3)) + 1.0);
   } else {
     const double dx = xs_[std::size_t(i)] - xs_[std::size_t(j)];
     const double dy = ys_[std::size_t(i)] - ys_[std::size_t(j)];

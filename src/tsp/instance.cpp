@@ -90,8 +90,7 @@ std::int64_t Instance::geomDist(int i, int j) const noexcept {
       const double q2 = std::cos(latA - latB);
       const double q3 = std::cos(latA + latB);
       return static_cast<std::int64_t>(
-          kRadius * std::acos(0.5 * ((1.0 + q1) * q2 - (1.0 - q1) * q3)) +
-          1.0);
+          kRadius * std::acos(geoAcosArg(q1, q2, q3)) + 1.0);
     }
     case EdgeWeightType::kMan2D:
       return std::llround(std::abs(dx) + std::abs(dy));

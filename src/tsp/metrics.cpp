@@ -1,6 +1,7 @@
 #include "tsp/metrics.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <stdexcept>
 
@@ -62,14 +63,21 @@ EdgeLengthProfile edgeLengthProfile(const Instance& inst,
   std::vector<double> lengths;
   lengths.reserve(order.size());
   RunningStats stats;
+  // min/max stay in integer space end to end: routing them through the
+  // double accumulator and casting back is exactly the float->int pattern
+  // the UBSan preset polices in distance code.
+  std::int64_t mn = std::numeric_limits<std::int64_t>::max();
+  std::int64_t mx = std::numeric_limits<std::int64_t>::min();
   for (std::size_t i = 0; i < order.size(); ++i) {
     const auto d =
         inst.dist(order[i], order[(i + 1) % order.size()]);
+    mn = std::min(mn, d);
+    mx = std::max(mx, d);
     lengths.push_back(static_cast<double>(d));
     stats.add(static_cast<double>(d));
   }
-  profile.min = static_cast<std::int64_t>(stats.min());
-  profile.max = static_cast<std::int64_t>(stats.max());
+  profile.min = mn;
+  profile.max = mx;
   profile.mean = stats.mean();
   profile.p50 = median(lengths);
   profile.p95 = quantile(lengths, 0.95);

@@ -6,6 +6,7 @@
 
 #include "tsp/dist_kernel.h"
 #include "tsp/kdtree.h"
+#include "util/audit.h"
 
 namespace distclk {
 
@@ -110,6 +111,7 @@ void CandidateLists::assign(std::vector<std::vector<int>> lists) {
   for (std::size_t c = 0; c + 1 < offsets_.size(); ++c)
     for (std::size_t e = offsets_[c]; e < offsets_[c + 1]; ++e)
       dists_[e] = dist(static_cast<int>(c), data_[e]);
+  DISTCLK_AUDIT_HOOK(auditCheck("CandidateLists::assign"));
 }
 
 bool CandidateLists::contains(int a, int b) const noexcept {
@@ -147,6 +149,33 @@ void CandidateLists::makeSymmetric() {
   dists_.clear();
   maxDegree_ = 0;
   assign(std::move(merged));
+  DISTCLK_AUDIT_HOOK(auditCheck("CandidateLists::makeSymmetric"));
+}
+
+void CandidateLists::auditCheck(const char* where) const {
+  const int nn = n();
+  if (offsets_.empty() || offsets_.front() != 0 ||
+      offsets_.back() != data_.size() || dists_.size() != data_.size())
+    audit::fail("CandidateLists", where, "CSR layout incoherent");
+  const DistanceKernel dist(*inst_);
+  for (int c = 0; c < nn; ++c) {
+    if (offsets_[std::size_t(c)] > offsets_[std::size_t(c) + 1])
+      audit::fail("CandidateLists", where, "CSR offsets not monotone");
+    const auto cand = of(c);
+    const auto cd = distOf(c);
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      const int b = cand[i];
+      if (b < 0 || b >= nn || b == c)
+        audit::fail("CandidateLists", where,
+                    "candidate out of range or self-loop");
+      if (cd[i] != dist(c, b))
+        audit::fail("CandidateLists", where,
+                    "distance annotation != metric evaluation");
+      if (distanceSorted_ && i > 0 && cd[i] < cd[i - 1])
+        audit::fail("CandidateLists", where,
+                    "list not ascending in distance despite distanceSorted");
+    }
+  }
 }
 
 }  // namespace distclk

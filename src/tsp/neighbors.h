@@ -68,6 +68,13 @@ class CandidateLists {
   /// their order and get the new entries appended.
   void makeSymmetric();
 
+  /// Audit-mode invariant check: CSR layout coherent (offsets monotone and
+  /// covering), every candidate in range and non-self, the distance
+  /// annotation exact, and — when distanceSorted() — every list ascending
+  /// in distance. Aborts with a diagnostic on violation; hooked after
+  /// construction and makeSymmetric() in -DDISTCLK_AUDIT=ON builds.
+  void auditCheck(const char* where) const;
+
  private:
   void assign(std::vector<std::vector<int>> lists);
 

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/audit.h"
+
 namespace distclk {
 
 Tour::Tour(const Instance& inst) : inst_(&inst), kern_(inst) {
@@ -38,6 +40,7 @@ void Tour::setOrder(std::vector<int> order) {
   order_ = std::move(order);
   rebuildPos();
   length_ = inst_->tourLength(order_);
+  DISTCLK_AUDIT_HOOK(auditCheck("Tour::setOrder"));
 }
 
 bool Tour::between(int a, int b, int c) const noexcept {
@@ -94,6 +97,7 @@ void Tour::reverseSegment(int i, int j) {
     // Flip the complementary arc [j+1, i-1]; same resulting cycle.
     rawReverse((uj + 1) % n, (ui + n - 1) % n, n - len);
   }
+  DISTCLK_AUDIT_HOOK(auditCheck("Tour::reverseSegment"));
 }
 
 std::int64_t Tour::twoOptMove(int a, int b) {
@@ -159,6 +163,7 @@ std::int64_t Tour::orOptMove(int s, int segLen, int c, bool reversed) {
   for (std::size_t p = 0; p < order_.size(); ++p)
     pos_[std::size_t(order_[p])] = static_cast<int>(p);
   length_ += delta;
+  DISTCLK_AUDIT_HOOK(auditCheck("Tour::orOptMove"));
   return delta;
 }
 
@@ -191,6 +196,7 @@ std::int64_t Tour::doubleBridge(int p1, int p2, int p3) {
   for (std::size_t p = 0; p < order_.size(); ++p)
     pos_[std::size_t(order_[p])] = static_cast<int>(p);
   length_ += delta;
+  DISTCLK_AUDIT_HOOK(auditCheck("Tour::doubleBridge"));
   return delta;
 }
 
@@ -205,6 +211,25 @@ bool Tour::valid() const {
     if (pos_[std::size_t(c)] != static_cast<int>(p)) return false;
   }
   return length_ == inst_->tourLength(order_);
+}
+
+void Tour::auditCheck(const char* where) const {
+  const std::size_t n = order_.size();
+  if (pos_.size() != n)
+    audit::fail("Tour", where, "pos array size != order size");
+  std::vector<bool> seen(n, false);
+  for (std::size_t p = 0; p < n; ++p) {
+    const int c = order_[p];
+    if (c < 0 || std::size_t(c) >= n)
+      audit::fail("Tour", where, "city out of range in order");
+    if (seen[std::size_t(c)])
+      audit::fail("Tour", where, "order is not a permutation (duplicate)");
+    seen[std::size_t(c)] = true;
+    if (pos_[std::size_t(c)] != static_cast<int>(p))
+      audit::fail("Tour", where, "position index incoherent with order");
+  }
+  if (length_ != inst_->tourLength(order_))
+    audit::fail("Tour", where, "cached length != recomputed tour length");
 }
 
 }  // namespace distclk

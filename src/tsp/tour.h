@@ -93,6 +93,11 @@ class Tour {
   /// length equals recomputation). Intended for tests; O(n).
   bool valid() const;
 
+  /// Audit-mode invariant check: like valid(), but aborts with a diagnostic
+  /// naming `where` and the violated invariant. Called automatically after
+  /// every mutating operation in -DDISTCLK_AUDIT=ON builds (util/audit.h).
+  void auditCheck(const char* where) const;
+
  private:
   std::size_t nextPos(std::size_t p) const noexcept {
     return p + 1 == order_.size() ? 0 : p + 1;

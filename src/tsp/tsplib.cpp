@@ -29,6 +29,31 @@ std::string upper(std::string s) {
   return s;
 }
 
+// Hostile-input ceilings: parsing is for TSPLIB-scale files (pla85900 and
+// the national instances); anything past these is a corrupt or adversarial
+// header, rejected before it can size an allocation. Larger synthetic
+// instances are generated in memory (tsp/gen.h), not parsed.
+constexpr int kMaxDimension = 10'000'000;
+constexpr std::size_t kMaxExplicitEntries = 100'000'000;  // 800 MB of i64
+
+// std::stoi throws std::invalid_argument/out_of_range, which would escape
+// as a non-parse error (throw-through); convert header integers with the
+// line-numbered failure instead.
+int parseHeaderInt(const std::string& value, int line, const char* what) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(value, &used);
+    if (used != value.size() || v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max())
+      fail(line, std::string(what) + " is not a valid integer: '" + value +
+                     "'");
+    return static_cast<int>(v);
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  }
+  fail(line, std::string(what) + " is not a valid integer: '" + value + "'");
+}
+
 enum class MatrixFormat {
   kFullMatrix,
   kUpperRow,
@@ -112,8 +137,12 @@ Instance parseTsplib(std::istream& in) {
       const std::string t = upper(value);
       if (t != "TSP") fail(line, "unsupported TYPE '" + value + "'");
     } else if (key == "DIMENSION") {
-      dimension = std::stoi(value);
+      dimension = parseHeaderInt(value, line, "DIMENSION");
       if (dimension < 3) fail(line, "DIMENSION must be >= 3");
+      if (dimension > kMaxDimension)
+        fail(line, "DIMENSION " + std::to_string(dimension) +
+                       " exceeds parser limit " +
+                       std::to_string(kMaxDimension));
     } else if (key == "EDGE_WEIGHT_TYPE") {
       type = parseWeightType(upper(value));
       if (!type) fail(line, "unsupported EDGE_WEIGHT_TYPE '" + value + "'");
@@ -147,6 +176,10 @@ Instance parseTsplib(std::istream& in) {
         case MatrixFormat::kUpperDiagRow:
         case MatrixFormat::kLowerDiagRow: count = n * (n + 1) / 2; break;
       }
+      if (count > kMaxExplicitEntries)
+        fail(line, "EXPLICIT matrix needs " + std::to_string(count) +
+                       " entries, above the parser limit " +
+                       std::to_string(kMaxExplicitEntries));
       weights = readNumbers<std::int64_t>(in, count, line);
     } else if (key == "DISPLAY_DATA_SECTION") {
       if (dimension < 0) fail(line, "DISPLAY_DATA_SECTION before DIMENSION");
@@ -260,7 +293,7 @@ std::vector<int> parseTsplibTour(std::istream& in) {
         value = trim(s.substr(colon + 1));
       }
       key = upper(key);
-      if (key == "DIMENSION") dimension = std::stoi(value);
+      if (key == "DIMENSION") dimension = parseHeaderInt(value, line, "DIMENSION");
       else if (key == "TOUR_SECTION") inSection = true;
       else if (key == "EOF") break;
       // NAME/TYPE/COMMENT ignored

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/audit.h"
+
 namespace distclk {
 
 TwoLevelList::TwoLevelList(std::span<const int> order) {
@@ -143,6 +145,7 @@ void TwoLevelList::reverse(int a, int b) {
     for (auto& s : segs_) s.reversed = !s.reversed;
     refreshSegPositions(0);
     maybeRebalance();
+    DISTCLK_AUDIT_HOOK(auditCheck("TwoLevelList::reverse(whole-cycle)"));
     return;
   }
   splitBefore(after);  // b becomes the tail of its segment
@@ -164,6 +167,7 @@ void TwoLevelList::reverse(int a, int b) {
         !segs_[std::size_t(segOrder_[r])].reversed;
   refreshSegPositions(ra);
   maybeRebalance();
+  DISTCLK_AUDIT_HOOK(auditCheck("TwoLevelList::reverse"));
 }
 
 void TwoLevelList::maybeRebalance() {
@@ -215,6 +219,42 @@ bool TwoLevelList::valid() const {
     if (next(c) != nc || prev(nc) != c) return false;
   }
   return true;
+}
+
+void TwoLevelList::auditCheck(const char* where) const {
+  if (segOrder_.empty())
+    audit::fail("TwoLevelList", where, "no segments");
+  std::vector<int> seen(cityOf_.size(), 0);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < segOrder_.size(); ++r) {
+    const int segId = segOrder_[r];
+    if (segRank_[std::size_t(segId)] != static_cast<int>(r))
+      audit::fail("TwoLevelList", where,
+                  "segment ordering incoherent (segRank != segOrder index)");
+    const Segment& s = segs_[std::size_t(segId)];
+    if (s.cities.empty())
+      audit::fail("TwoLevelList", where, "empty segment in tour order");
+    total += s.cities.size();
+    for (std::size_t off = 0; off < s.cities.size(); ++off) {
+      const int c = s.cities[off];
+      if (c < 0 || std::size_t(c) >= cityOf_.size() || seen[std::size_t(c)]++)
+        audit::fail("TwoLevelList", where,
+                    "cities are not a permutation (duplicate or range)");
+      const CityRef ref = cityOf_[std::size_t(c)];
+      if (ref.seg != segId || ref.off != static_cast<int>(off))
+        audit::fail("TwoLevelList", where,
+                    "city parent pointer incoherent (wrong segment/offset)");
+    }
+  }
+  if (total != cityOf_.size())
+    audit::fail("TwoLevelList", where, "segments do not cover all cities");
+  const auto ord = order();
+  for (std::size_t i = 0; i < ord.size(); ++i) {
+    const int c = ord[i];
+    const int nc = ord[(i + 1) % ord.size()];
+    if (next(c) != nc || prev(nc) != c)
+      audit::fail("TwoLevelList", where, "next/prev not mutually inverse");
+  }
 }
 
 }  // namespace distclk

@@ -37,6 +37,12 @@ class TwoLevelList {
   /// Structural invariants: segment sizes, position indexes, linkage.
   bool valid() const;
 
+  /// Audit-mode invariant check: like valid(), but aborts with a diagnostic
+  /// naming `where` and the violated invariant (segment ordering, city
+  /// parent pointers, coverage, next/prev coherence). Hooked after every
+  /// reverse() in -DDISTCLK_AUDIT=ON builds (util/audit.h).
+  void auditCheck(const char* where) const;
+
   /// Number of segments (exposed for tests and benchmarks).
   int segments() const noexcept { return static_cast<int>(segOrder_.size()); }
 

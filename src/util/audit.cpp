@@ -1,0 +1,15 @@
+#include "util/audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace distclk::audit {
+
+void fail(const char* structure, const char* where, const char* what) noexcept {
+  std::fprintf(stderr, "distclk audit: %s audit failed in %s: %s\n", structure,
+               where, what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace distclk::audit

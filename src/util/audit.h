@@ -1,0 +1,35 @@
+// Invariant audit mode. Data-structure-owning classes expose an
+// auditCheck(where) method that re-verifies their structural invariants and
+// aborts with a diagnostic on the first violation — unlike the bool valid()
+// helpers, the failure names the structure, the operation, and the broken
+// invariant, so a trajectory divergence pins to its first corrupt state.
+//
+// auditCheck() is always compiled (tests call it explicitly in every build
+// flavor). What -DDISTCLK_AUDIT=ON adds is the automatic hooks: every
+// mutating operation (tour flips, segment reversals, candidate re-sorts,
+// event-loop bookkeeping) re-audits itself via DISTCLK_AUDIT_HOOK. With the
+// option OFF the hooks expand to nothing — zero code, zero cost.
+#pragma once
+
+namespace distclk::audit {
+
+/// Prints "<structure> audit failed in <where>: <what>" to stderr and
+/// aborts. Aborting (not throwing) keeps the failure at the corrupt state
+/// under sanitizers and inside noexcept call chains.
+[[noreturn]] void fail(const char* structure, const char* where,
+                       const char* what) noexcept;
+
+/// True in -DDISTCLK_AUDIT=ON builds; lets tests assert the mode.
+#ifdef DISTCLK_AUDIT_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+}  // namespace distclk::audit
+
+#ifdef DISTCLK_AUDIT_ENABLED
+#define DISTCLK_AUDIT_HOOK(stmt) stmt
+#else
+#define DISTCLK_AUDIT_HOOK(stmt) ((void)0)
+#endif

@@ -152,6 +152,90 @@ TEST(Tsplib, RejectsAtspType) {
   EXPECT_THROW(parseTsplib(in), std::runtime_error);
 }
 
+// Malformed-input hardening: every rejection below must surface as the
+// parser's own line-numbered runtime_error, never as an exception leaking
+// out of std::stoi (std::invalid_argument / std::out_of_range) or as an
+// attempted giant allocation.
+void expectParseError(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    parseTsplib(in);
+    FAIL() << "expected a parse error for:\n" << text;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("TSPLIB parse error"),
+              std::string::npos)
+        << "unexpected error text: " << e.what();
+  }
+}
+
+TEST(TsplibHardening, RejectsNonNumericDimension) {
+  expectParseError("DIMENSION: banana\nEOF\n");
+}
+
+TEST(TsplibHardening, RejectsTrailingGarbageDimension) {
+  expectParseError("DIMENSION: 12abc\nEOF\n");
+}
+
+TEST(TsplibHardening, RejectsNegativeDimension) {
+  expectParseError("DIMENSION: -4\nEDGE_WEIGHT_TYPE: EUC_2D\nEOF\n");
+}
+
+TEST(TsplibHardening, RejectsOverflowingDimension) {
+  expectParseError("DIMENSION: 99999999999999999999\nEOF\n");
+}
+
+TEST(TsplibHardening, RejectsDimensionAboveParserLimit) {
+  expectParseError("DIMENSION: 2000000000\nEDGE_WEIGHT_TYPE: EUC_2D\nEOF\n");
+}
+
+TEST(TsplibHardening, RejectsUnknownEdgeWeightType) {
+  expectParseError("DIMENSION: 3\nEDGE_WEIGHT_TYPE: WARP_5D\nEOF\n");
+}
+
+TEST(TsplibHardening, RejectsUnknownEdgeWeightFormat) {
+  expectParseError(
+      "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT: DIAGONAL_STRIPE\nEOF\n");
+}
+
+TEST(TsplibHardening, RejectsOversizedExplicitMatrix) {
+  // 40000^2 = 1.6e9 entries, over the 1e8 parser ceiling: must fail from
+  // the header sizes alone, before any numeric data is read or allocated.
+  expectParseError(
+      "DIMENSION: 40000\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT: FULL_MATRIX\nEDGE_WEIGHT_SECTION\n0\n");
+}
+
+TEST(TsplibHardening, RejectsTruncatedExplicitSection) {
+  expectParseError(
+      "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT: FULL_MATRIX\nEDGE_WEIGHT_SECTION\n0 1 2\n1 0\n");
+}
+
+TEST(TsplibHardening, RejectsGarbageInExplicitSection) {
+  expectParseError(
+      "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EXPLICIT\n"
+      "EDGE_WEIGHT_FORMAT: FULL_MATRIX\nEDGE_WEIGHT_SECTION\n"
+      "0 1 2 1 zero 3 2 3 0\nEOF\n");
+}
+
+TEST(TsplibHardening, RejectsNodeIdOutOfRange) {
+  expectParseError(
+      "DIMENSION: 3\nEDGE_WEIGHT_TYPE: EUC_2D\nNODE_COORD_SECTION\n"
+      "1 0 0\n2 1 1\n7 2 2\nEOF\n");
+}
+
+TEST(TsplibHardening, TourRejectsNonNumericDimension) {
+  std::istringstream in("DIMENSION: lots\nTOUR_SECTION\n1 2 3 -1\n");
+  try {
+    parseTsplibTour(in);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("TSPLIB parse error"),
+              std::string::npos);
+  }
+}
+
 TEST(Tsplib, GeometricRoundtrip) {
   const Instance orig("rt", {{0.5, 1.5}, {2.25, 3.0}, {4.0, 0.0}},
                       EdgeWeightType::kCeil2D);
