@@ -21,10 +21,14 @@ struct Fixture {
   explicit Fixture(int n)
       : inst(uniformSquare("bm", n, std::uint64_t(n) + 1)),
         cand(inst, 10),
-        start(inst, quickBoruvkaTour(inst, cand)) {}
+        start(inst, quickBoruvkaTour(inst, cand)),
+        opt(start) {
+    linKernighanOptimize(opt, cand);
+  }
   Instance inst;
   CandidateLists cand;
   Tour start;
+  Tour opt;  // LK-optimized start: the CLK steady-state launch point
 };
 
 Fixture& fixtureOf(int n) {
@@ -54,6 +58,19 @@ void BM_OrOptPass(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OrOptPass)->Arg(1000)->Arg(3000);
+
+// The pre-workspace Or-opt loop (repeated full sweeps, O(len) inside-segment
+// walk). Reaches the same sweep-local optimum as the don't-look pass above,
+// so the time ratio is the pure queueing win.
+void BM_OrOptPassSweep(benchmark::State& state) {
+  Fixture& f = fixtureOf(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Tour t = f.start;
+    benchmark::DoNotOptimize(
+        orOptOptimize(t, f.cand, 3, OrOptStyle::kFullSweep));
+  }
+}
+BENCHMARK(BM_OrOptPassSweep)->Arg(1000)->Arg(3000);
 
 void BM_LinKernighanPass(benchmark::State& state) {
   Fixture& f = fixtureOf(static_cast<int>(state.range(0)));
@@ -163,16 +180,30 @@ BENCHMARK(BM_KickApply)
     ->Arg(static_cast<int>(KickStrategy::kClose))
     ->Arg(static_cast<int>(KickStrategy::kRandomWalk));
 
+// 100 CLK kicks from the optimized tour — the steady state a DistNode lives
+// in. ref=0 runs the workspace fast path (in-place kick, undo-log champion);
+// ref=1 runs the pre-workspace reference loop (per-kick tour copy). Both
+// trace the identical trajectory, so kicks_per_sec ratio is the pure
+// kick-path overhead win. Starting from f.opt (not f.start) keeps the first
+// full LK pass out of the measurement that used to dominate this benchmark.
 void BM_Clk100Kicks(benchmark::State& state) {
-  Fixture& f = fixtureOf(1000);
+  Fixture& f = fixtureOf(static_cast<int>(state.range(0)));
+  ClkOptions opt;
+  opt.maxKicks = 100;
+  opt.referenceKickPath = state.range(1) != 0;
   Rng rng(7);
+  std::int64_t kicks = 0;
   for (auto _ : state) {
-    Tour t = f.start;
-    ClkOptions opt;
-    opt.maxKicks = 100;
-    benchmark::DoNotOptimize(chainedLinKernighan(t, f.cand, rng, opt));
+    Tour t = f.opt;
+    const ClkResult res = chainedLinKernighan(t, f.cand, rng, opt);
+    kicks += res.kicks;
   }
+  state.counters["kicks_per_sec"] =
+      benchmark::Counter(double(kicks), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Clk100Kicks)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Clk100Kicks)
+    ->ArgsProduct({{1000, 10000}, {0, 1}})
+    ->ArgNames({"n", "ref"})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -11,8 +11,13 @@
 #   MIN_TIME   google-benchmark --benchmark_min_time (default 0.05)
 #   SEED_CLI   path to a baseline-revision distclk_cli; when set, the script
 #              also runs the cross-binary comparison (fixed-budget CLK kicks
-#              and a deterministic LK pass at n=10000) and records it under
+#              and a deterministic LK pass at n=10000) and adds it under
 #              "vs_seed".
+#
+# "vs_seed" always carries the in-binary head-to-heads against the retained
+# bit-identical reference paths (OrOptStyle::kFullSweep, the seed Or-opt
+# loop; ClkOptions::referenceKickPath, the seed per-kick tour-copy loop) —
+# no second binary needed for those.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,6 +63,11 @@ import json, os, re, sys
 
 out = sys.argv[1]
 
+# google-benchmark reports real_time/cpu_time in the benchmark's time_unit
+# (ns unless ->Unit() overrides it); normalize to ns so a ms-unit benchmark
+# does not land in time_ns with a 1e6-off value.
+TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
 benchmarks = []
 by_name = {}
 for suite in ("micro_tsp", "micro_lk", "micro_tour"):
@@ -66,13 +76,14 @@ for suite in ("micro_tsp", "micro_lk", "micro_tour"):
     for b in data.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
+        scale = TO_NS[b.get("time_unit", "ns")]
         entry = {
             "suite": suite,
             "name": b["name"],
-            "time_ns": b["real_time"],
-            "cpu_ns": b["cpu_time"],
+            "time_ns": b["real_time"] * scale,
+            "cpu_ns": b["cpu_time"] * scale,
         }
-        for counter in ("steps_per_sec", "items_per_second"):
+        for counter in ("steps_per_sec", "kicks_per_sec", "items_per_second"):
             if counter in b:
                 entry[counter] = b[counter]
         benchmarks.append(entry)
@@ -86,6 +97,14 @@ def ratio(fast, slow, key="time_ns"):
     return round(b[key] / a[key], 3)
 
 
+def rate_ratio(fast, slow, key):
+    # For kIsRate counters higher is better, so the speedup is fast/slow.
+    a, b = by_name.get(fast), by_name.get(slow)
+    if not a or not b or not b.get(key):
+        return None
+    return round(a[key] / b[key], 3)
+
+
 derived = {
     "dist_kernel_vs_switch_euc2d":
         ratio("BM_DistKernelEuc2D", "BM_DistEuc2D"),
@@ -97,6 +116,16 @@ derived = {
     "kick_repair_kernel_vs_reference_n10000":
         ratio("BM_KickRepairDistPath/n:10000/ref:0",
               "BM_KickRepairDistPath/n:10000/ref:1"),
+    "clk_kicks_ws_vs_ref_n1000":
+        rate_ratio("BM_Clk100Kicks/n:1000/ref:0",
+                   "BM_Clk100Kicks/n:1000/ref:1", "kicks_per_sec"),
+    "clk_kicks_ws_vs_ref_n10000":
+        rate_ratio("BM_Clk100Kicks/n:10000/ref:0",
+                   "BM_Clk100Kicks/n:10000/ref:1", "kicks_per_sec"),
+    "or_opt_dlb_vs_sweep_n1000":
+        ratio("BM_OrOptPass/1000", "BM_OrOptPassSweep/1000"),
+    "or_opt_dlb_vs_sweep_n3000":
+        ratio("BM_OrOptPass/3000", "BM_OrOptPassSweep/3000"),
 }
 
 determinism = []
@@ -115,13 +144,41 @@ with open(os.path.join(out, "determinism.txt")) as f:
                 "identical": m.group(6) == "1",
             })
 
+# In-binary head-to-heads against retained reference paths that reproduce
+# the seed behavior bit-identically (OrOptStyle::kFullSweep is the seed
+# Or-opt loop; ClkOptions::referenceKickPath is the seed per-kick tour-copy
+# loop). Always emitted, no second binary required.
+def ns_per_kick(name):
+    e = by_name.get(name)
+    if not e or not e.get("kicks_per_sec"):
+        return None
+    return round(1e9 / e["kicks_per_sec"], 1)
+
+
+vs_seed = {
+    "or_opt_pass_n3000": {
+        "new_time_ns": by_name.get("BM_OrOptPass/3000", {}).get("time_ns"),
+        "seed_time_ns":
+            by_name.get("BM_OrOptPassSweep/3000", {}).get("time_ns"),
+        "speedup": ratio("BM_OrOptPass/3000", "BM_OrOptPassSweep/3000"),
+    },
+    "clk_per_kick_overhead_n10000": {
+        "new_ns_per_kick": ns_per_kick("BM_Clk100Kicks/n:10000/ref:0"),
+        "seed_ns_per_kick": ns_per_kick("BM_Clk100Kicks/n:10000/ref:1"),
+        "speedup": rate_ratio("BM_Clk100Kicks/n:10000/ref:0",
+                              "BM_Clk100Kicks/n:10000/ref:1",
+                              "kicks_per_sec"),
+    },
+}
+
 result = {
-    "schema": "distclk-bench-lk-v1",
+    "schema": "distclk-bench-lk-v2",
     "git": os.environ.get("GIT_DESCRIBE", "unknown"),
     "benchmark_min_time": float(os.environ.get("MIN_TIME", "0.05")),
     "benchmarks": benchmarks,
     "derived_speedups": derived,
     "determinism": determinism,
+    "vs_seed": vs_seed,
 }
 
 
@@ -144,7 +201,7 @@ if os.path.exists(os.path.join(out, "clk_seed.txt")):
     clk_new = parse_cli(os.path.join(out, "clk_new.txt"))
     lk_seed = parse_cli(os.path.join(out, "lk_seed.txt"))
     lk_new = parse_cli(os.path.join(out, "lk_new.txt"))
-    result["vs_seed"] = {
+    vs_seed.update({
         "clk_uniform_n10000_budget10s": {
             "seed_kicks": clk_seed.get("kicks"),
             "new_kicks": clk_new.get("kicks"),
@@ -163,7 +220,7 @@ if os.path.exists(os.path.join(out, "clk_seed.txt")):
                 lk_seed["wall_seconds"] / lk_new["wall_seconds"], 3)
             if lk_new.get("wall_seconds") else None,
         },
-    }
+    })
 
 print(json.dumps(result, indent=2))
 PY

@@ -29,22 +29,25 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=thread
 cmake --build build-tsan -j "$JOBS" \
-  --target test_thread_network test_thread_driver test_runtime test_obs_metrics
-for t in test_thread_network test_thread_driver test_runtime test_obs_metrics; do
+  --target test_thread_network test_thread_driver test_runtime \
+           test_obs_metrics test_lk_workspace
+for t in test_thread_network test_thread_driver test_runtime \
+         test_obs_metrics test_lk_workspace; do
   echo "== TSan: $t"
   ./build-tsan/tests/"$t"
 done
 
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=address
 cmake --build build-asan -j "$JOBS" \
-  --target test_dist_kernel test_neighbors test_tour test_lk
-for t in test_dist_kernel test_neighbors test_tour test_lk; do
+  --target test_dist_kernel test_neighbors test_tour test_lk test_lk_workspace
+for t in test_dist_kernel test_neighbors test_tour test_lk test_lk_workspace; do
   echo "== ASan: $t"
   ./build-asan/tests/"$t"
 done
 
 UBSAN_TESTS=(test_dist_kernel test_tour test_twolevel test_big_tour test_lk
-             test_chained_lk test_message test_tsplib test_metrics)
+             test_lk_workspace test_chained_lk test_message test_tsplib
+             test_metrics)
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=undefined
 cmake --build build-ubsan -j "$JOBS" --target "${UBSAN_TESTS[@]}"
 for t in "${UBSAN_TESTS[@]}"; do

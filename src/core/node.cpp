@@ -16,6 +16,7 @@ NodeMetrics NodeMetrics::attach(obs::MetricsRegistry& registry) {
   m.lkFlips = registry.counter("node.lk_flips");
   m.lkUndoneFlips = registry.counter("node.lk_undone_flips");
   m.lkKicks = registry.counter("node.lk_kicks");
+  m.clkRollbacks = registry.counter("node.clk_rollbacks");
   m.restarts = registry.counter("node.restarts");
   m.mergeLocalWin = registry.counter("node.merge_local_win");
   m.mergeReceivedWin = registry.counter("node.merge_received_win");
@@ -55,7 +56,7 @@ DistNode::StepOutcome DistNode::initialStep() {
   co.maxKicks = innerKicks();
   co.targetLength = params_.targetLength;
   Tour s = sPrev_;
-  const ClkResult clk = chainedLinKernighan(s, cand_, rng_, co);
+  const ClkResult clk = chainedLinKernighan(s, cand_, rng_, ws_, co);
   sBest_ = s;
   sPrev_ = s;
   StepOutcome out;
@@ -88,7 +89,8 @@ DistNode::ComputePhase DistNode::compute() {
     } else {
       phase.perturbations = numNoImprovements_ / params_.cv + 1;
       for (int i = 0; i < phase.perturbations; ++i)
-        applyKick(phase.s, KickStrategy::kRandom, cand_, rng_);
+        applyKick(phase.s, KickStrategy::kRandom, cand_, rng_, KickOptions{},
+                  ws_);
     }
   }
 
@@ -99,7 +101,7 @@ DistNode::ComputePhase DistNode::compute() {
   co.lk = params_.lk;
   co.maxKicks = innerKicks();
   co.targetLength = params_.targetLength;
-  const ClkResult clk = chainedLinKernighan(phase.s, cand_, rng_, co);
+  const ClkResult clk = chainedLinKernighan(phase.s, cand_, rng_, ws_, co);
   phase.modelCost += clk.flips + clk.undoneFlips + clk.kicks;
   phase.measuredSeconds = timer.seconds();
 
@@ -109,6 +111,7 @@ DistNode::ComputePhase DistNode::compute() {
     reg.add(metrics_.lkFlips, clk.flips);
     reg.add(metrics_.lkUndoneFlips, clk.undoneFlips);
     reg.add(metrics_.lkKicks, clk.kicks);
+    reg.add(metrics_.clkRollbacks, clk.rollbacks);
     if (phase.perturbations > 0)
       reg.add(metrics_.perturbations, phase.perturbations);
     if (phase.restarted) {

@@ -29,6 +29,7 @@ struct NodeMetrics {
   obs::MetricId lkFlips;          ///< inner-CLK applied flips (counter)
   obs::MetricId lkUndoneFlips;    ///< inner-CLK rewound flips (counter)
   obs::MetricId lkKicks;          ///< inner-CLK kicks (counter)
+  obs::MetricId clkRollbacks;     ///< inner-CLK losing kicks rolled back
   obs::MetricId restarts;         ///< c_r-triggered restarts (counter)
   obs::MetricId mergeLocalWin;    ///< merge kept the locally optimized tour
   obs::MetricId mergeReceivedWin; ///< merge kept a received tour
@@ -135,6 +136,9 @@ class DistNode {
   std::int64_t restarts_ = 0;
   bool initialized_ = false;
   NodeMetrics metrics_;
+  /// Reusable kick/repair buffers for the inner CLK: one workspace per node
+  /// keeps the steady-state compute phase free of heap allocations.
+  LkWorkspace ws_;
 };
 
 }  // namespace distclk

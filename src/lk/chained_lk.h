@@ -28,6 +28,11 @@ struct ClkOptions {
   std::int64_t targetLength = -1;
   /// Stop after this many seconds of wall time (<= 0: unlimited).
   double timeLimitSeconds = -1.0;
+  /// Run the pre-workspace kick loop (copy the champion into a challenger,
+  /// repair the copy, copy back on a win) instead of the in-place undo-log
+  /// loop. Trajectories are bit-identical either way; this exists so parity
+  /// tests and benchmarks can measure the copy-based path head-to-head.
+  bool referenceKickPath = false;
 };
 
 struct ClkResult {
@@ -41,6 +46,11 @@ struct ClkResult {
   /// Rewound reversals of failed LK chains (each also cost a physical
   /// reversal); total reversals performed == flips + undoneFlips.
   std::int64_t undoneFlips = 0;
+  /// Losing kicks rolled back in place (fast path; the reference path
+  /// discards its challenger copy instead, so it reports 0). Rollback
+  /// reversals are not counted in flips/undoneFlips — the modeled-cost
+  /// proxy stays identical across both paths.
+  std::int64_t rollbacks = 0;
   double seconds = 0.0;
   bool hitTarget = false;
 };
@@ -59,6 +69,19 @@ ClkResult chainedLinKernighan(Tour& tour, const CandidateLists& cand,
 /// the configuration for six-digit city counts (the paper's pla85900).
 ClkResult chainedLinKernighan(BigTour& tour, const CandidateLists& cand,
                               Rng& rng, const ClkOptions& opt = {},
+                              const AnytimeCallback& onImprove = {});
+
+/// Workspace variants: same trajectories (the overloads above delegate
+/// through a temporary workspace), but a caller-owned LkWorkspace carries
+/// the queue, scratch, and undo buffers across calls, making the steady-
+/// state kick loop allocation-free. The distributed node owns one per node.
+ClkResult chainedLinKernighan(Tour& tour, const CandidateLists& cand,
+                              Rng& rng, LkWorkspace& ws,
+                              const ClkOptions& opt = {},
+                              const AnytimeCallback& onImprove = {});
+ClkResult chainedLinKernighan(BigTour& tour, const CandidateLists& cand,
+                              Rng& rng, LkWorkspace& ws,
+                              const ClkOptions& opt = {},
                               const AnytimeCallback& onImprove = {});
 
 }  // namespace distclk

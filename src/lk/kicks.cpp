@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tsp/dist_kernel.h"
+#include "util/audit.h"
 
 namespace distclk {
 
@@ -29,39 +30,46 @@ KickStrategy kickStrategyFromString(const std::string& s) {
 
 namespace {
 
+// The selectors fill a caller-provided buffer instead of returning a fresh
+// vector, so the CLK kick loop selects without allocating; each consumes
+// the RNG stream exactly as its by-value predecessor did (fallbacks clear
+// the buffer and restart uniform selection).
+
 bool pushUnique(std::vector<int>& v, int c) {
   if (std::find(v.begin(), v.end(), c) != v.end()) return false;
   v.push_back(c);
   return true;
 }
 
-std::vector<int> selectRandom(int n, Rng& rng) {
-  std::vector<int> cities;
-  while (cities.size() < 4)
-    pushUnique(cities, static_cast<int>(rng.below(std::uint64_t(n))));
-  return cities;
+void selectRandomInto(int n, Rng& rng, std::vector<int>& out) {
+  out.clear();
+  while (out.size() < 4)
+    pushUnique(out, static_cast<int>(rng.below(std::uint64_t(n))));
 }
 
-std::vector<int> selectGeometric(int n, const CandidateLists& cand, Rng& rng,
-                                 int k) {
+void selectGeometricInto(int n, const CandidateLists& cand, Rng& rng, int k,
+                         std::vector<int>& out) {
   const int v = static_cast<int>(rng.below(std::uint64_t(n)));
   const auto nbrs = cand.of(v);
   const int avail = std::min<int>(k, static_cast<int>(nbrs.size()));
-  if (avail < 3) return selectRandom(n, rng);
-  std::vector<int> cities{v};
-  for (int attempts = 0; cities.size() < 4 && attempts < 64; ++attempts)
-    pushUnique(cities, nbrs[rng.below(std::uint64_t(avail))]);
-  if (cities.size() < 4) return selectRandom(n, rng);
-  return cities;
+  if (avail < 3) {
+    selectRandomInto(n, rng, out);
+    return;
+  }
+  out.assign(1, v);
+  for (int attempts = 0; out.size() < 4 && attempts < 64; ++attempts)
+    pushUnique(out, nbrs[rng.below(std::uint64_t(avail))]);
+  if (out.size() < 4) selectRandomInto(n, rng, out);
 }
 
-std::vector<int> selectClose(const Instance& inst, Rng& rng, double beta) {
+void selectCloseInto(const Instance& inst, Rng& rng, double beta,
+                     std::vector<int>& out, std::vector<int>& subset) {
   const DistanceKernel dist(inst);
   const int n = inst.n();
   const int v = static_cast<int>(rng.below(std::uint64_t(n)));
   const int subsetSize =
       std::clamp(static_cast<int>(beta * n), 8, std::max(8, n - 1));
-  std::vector<int> subset;
+  subset.clear();
   subset.reserve(static_cast<std::size_t>(subsetSize));
   for (int attempts = 0;
        static_cast<int>(subset.size()) < subsetSize && attempts < 4 * subsetSize;
@@ -69,24 +77,26 @@ std::vector<int> selectClose(const Instance& inst, Rng& rng, double beta) {
     const int c = static_cast<int>(rng.below(std::uint64_t(n)));
     if (c != v) pushUnique(subset, c);
   }
-  if (subset.size() < 6) return selectRandom(n, rng);
+  if (subset.size() < 6) {
+    selectRandomInto(n, rng, out);
+    return;
+  }
   // Six subset cities nearest to v; pick three of them.
   std::partial_sort(subset.begin(), subset.begin() + 6, subset.end(),
                     [&](int a, int b) {
                       const auto da = dist(v, a), db = dist(v, b);
                       return da != db ? da < db : a < b;
                     });
-  std::vector<int> cities{v};
-  for (int attempts = 0; cities.size() < 4 && attempts < 64; ++attempts)
-    pushUnique(cities, subset[rng.below(6)]);
-  if (cities.size() < 4) return selectRandom(n, rng);
-  return cities;
+  out.assign(1, v);
+  for (int attempts = 0; out.size() < 4 && attempts < 64; ++attempts)
+    pushUnique(out, subset[rng.below(6)]);
+  if (out.size() < 4) selectRandomInto(n, rng, out);
 }
 
-std::vector<int> selectRandomWalk(int n, const CandidateLists& cand, Rng& rng,
-                                  int walkLength) {
+void selectRandomWalkInto(int n, const CandidateLists& cand, Rng& rng,
+                          int walkLength, std::vector<int>& out) {
   const int v = static_cast<int>(rng.below(std::uint64_t(n)));
-  std::vector<int> cities{v};
+  out.assign(1, v);
   for (int walk = 0; walk < 3; ++walk) {
     bool placed = false;
     for (int retry = 0; retry < 10 && !placed; ++retry) {
@@ -96,27 +106,139 @@ std::vector<int> selectRandomWalk(int n, const CandidateLists& cand, Rng& rng,
         if (nbrs.empty()) break;
         cur = nbrs[rng.below(nbrs.size())];
       }
-      placed = cur != v && pushUnique(cities, cur);
+      placed = cur != v && pushUnique(out, cur);
     }
-    if (!placed) return selectRandom(n, rng);
+    if (!placed) {
+      selectRandomInto(n, rng, out);
+      return;
+    }
   }
-  return cities;
+}
+
+/// Shared prologue of every kick: select the four cut cities into
+/// ws.kickCities and collect the dirty cities (each cut edge's endpoints)
+/// before anything mutates.
+template <typename TourT>
+void prepareKick(TourT& tour, KickStrategy strategy,
+                 const CandidateLists& cand, Rng& rng, const KickOptions& opt,
+                 LkWorkspace& ws) {
+  if (tour.n() < 8)
+    throw std::invalid_argument("applyKick: tour too small for a 4-exchange");
+  selectKickCitiesInto(tour.instance(), strategy, cand, rng, opt,
+                       ws.kickCities, ws.kickScratch);
+  ws.dirty.clear();
+  for (int c : ws.kickCities) {
+    ws.dirty.push_back(c);
+    ws.dirty.push_back(tour.next(c));
+  }
+}
+
+template <typename TourT>
+void rollbackFlips(TourT& tour, LkWorkspace& ws) {
+  for (auto it = ws.undoLog.rbegin(); it != ws.undoLog.rend(); ++it)
+    tour.unflip({it->a, it->b});
+  ws.undoLog.clear();
 }
 
 }  // namespace
 
+void selectKickCitiesInto(const Instance& inst, KickStrategy strategy,
+                          const CandidateLists& cand, Rng& rng,
+                          const KickOptions& opt, std::vector<int>& out,
+                          std::vector<int>& scratch) {
+  switch (strategy) {
+    case KickStrategy::kRandom: selectRandomInto(inst.n(), rng, out); return;
+    case KickStrategy::kGeometric:
+      selectGeometricInto(inst.n(), cand, rng, opt.geometricK, out);
+      return;
+    case KickStrategy::kClose:
+      selectCloseInto(inst, rng, opt.closeBeta, out, scratch);
+      return;
+    case KickStrategy::kRandomWalk:
+      selectRandomWalkInto(inst.n(), cand, rng, opt.walkLength, out);
+      return;
+  }
+  selectRandomInto(inst.n(), rng, out);
+}
+
 std::vector<int> selectKickCities(const Instance& inst, KickStrategy strategy,
                                   const CandidateLists& cand, Rng& rng,
                                   const KickOptions& opt) {
-  switch (strategy) {
-    case KickStrategy::kRandom: return selectRandom(inst.n(), rng);
-    case KickStrategy::kGeometric:
-      return selectGeometric(inst.n(), cand, rng, opt.geometricK);
-    case KickStrategy::kClose: return selectClose(inst, rng, opt.closeBeta);
-    case KickStrategy::kRandomWalk:
-      return selectRandomWalk(inst.n(), cand, rng, opt.walkLength);
+  std::vector<int> out;
+  std::vector<int> scratch;
+  selectKickCitiesInto(inst, strategy, cand, rng, opt, out, scratch);
+  return out;
+}
+
+void applyKick(Tour& tour, KickStrategy strategy, const CandidateLists& cand,
+               Rng& rng, const KickOptions& opt, LkWorkspace& ws) {
+  prepareKick(tour, strategy, cand, rng, opt, ws);
+  ws.ensure(tour.n());
+
+  std::array<int, 4> q{};
+  for (std::size_t i = 0; i < 4; ++i) q[i] = tour.pos(ws.kickCities[i]);
+  std::sort(q.begin(), q.end());
+
+  // Same anchoring as the allocating path: rotate so the cut after q[3]
+  // becomes the array boundary, the other three cuts become the interior
+  // double-bridge positions — realized as one in-place pass.
+  const int n = tour.n();
+  const int s = (q[3] + 1) % n;
+  const int p1 = (q[0] - s + n) % n + 1;
+  const int p2 = (q[1] - s + n) % n + 1;
+  const int p3 = (q[2] - s + n) % n + 1;
+  const std::int64_t delta = tour.kickDoubleBridge(s, p1, p2, p3,
+                                                   ws.tourScratch);
+  ws.kick = {s, p1, p2, p3, delta, true};
+  DISTCLK_AUDIT_HOOK(ws.auditCheck("applyKick(Tour)"));
+}
+
+void applyKick(BigTour& tour, KickStrategy strategy,
+               const CandidateLists& cand, Rng& rng, const KickOptions& opt,
+               LkWorkspace& ws) {
+  prepareKick(tour, strategy, cand, rng, opt, ws);
+
+  // Sort the four cut cities in cyclic tour order (anchor = kickCities[0]).
+  std::array<int, 4> q{ws.kickCities[0], ws.kickCities[1], ws.kickCities[2],
+                       ws.kickCities[3]};
+  std::sort(q.begin() + 1, q.end(),
+            [&](int x, int y) { return tour.between(q[0], x, y); });
+
+  // The same three path reversals as the allocating path, recorded as flip
+  // tokens so rollbackKick can rewind them LIFO with the repair flips.
+  const int b1 = tour.next(q[0]);
+  const int b2 = q[1];
+  const int c1 = tour.next(q[1]);
+  const int c2 = q[2];
+  auto record = [&](BigTour::FlipToken token) {
+    ws.undoLog.push_back({token.first, token.second});
+  };
+  record(tour.flipForward(b1, c2));
+  if (c1 != c2) record(tour.flipForward(c2, c1));
+  if (b1 != b2) record(tour.flipForward(b2, b1));
+  ws.kick.active = false;  // BigTour kicks live entirely in the flip log
+  DISTCLK_AUDIT_HOOK(ws.auditCheck("applyKick(BigTour)"));
+}
+
+void commitKick(LkWorkspace& ws) {
+  ws.resetUndo();
+  DISTCLK_AUDIT_HOOK(ws.auditUndoEmpty("commitKick"));
+}
+
+void rollbackKick(Tour& tour, LkWorkspace& ws) {
+  rollbackFlips(tour, ws);
+  if (ws.kick.active) {
+    tour.undoKickDoubleBridge(ws.kick.s, ws.kick.p1, ws.kick.p2, ws.kick.p3,
+                              ws.kick.delta, ws.tourScratch);
+    ws.kick.active = false;
   }
-  return selectRandom(inst.n(), rng);
+  DISTCLK_AUDIT_HOOK(ws.auditUndoEmpty("rollbackKick(Tour)"));
+}
+
+void rollbackKick(BigTour& tour, LkWorkspace& ws) {
+  rollbackFlips(tour, ws);
+  ws.kick.active = false;
+  DISTCLK_AUDIT_HOOK(ws.auditUndoEmpty("rollbackKick(BigTour)"));
 }
 
 std::vector<int> applyKick(Tour& tour, KickStrategy strategy,

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "lk/lk_workspace.h"
 #include "tsp/big_tour.h"
 #include "tsp/neighbors.h"
 #include "tsp/tour.h"
@@ -49,5 +50,34 @@ std::vector<int> applyKick(Tour& tour, KickStrategy strategy,
 std::vector<int> applyKick(BigTour& tour, KickStrategy strategy,
                            const CandidateLists& cand, Rng& rng,
                            const KickOptions& opt = {});
+
+/// Allocation-free selection: fills `out` with the four relevant cities,
+/// consuming the RNG stream exactly as selectKickCities does. `scratch` is
+/// strategy-local working memory (the Close subset).
+void selectKickCitiesInto(const Instance& inst, KickStrategy strategy,
+                          const CandidateLists& cand, Rng& rng,
+                          const KickOptions& opt, std::vector<int>& out,
+                          std::vector<int>& scratch);
+
+/// Workspace kicks: identical tour mutation and RNG consumption as the
+/// vector-returning overloads, but the dirty cities land in ws.dirty and
+/// the undo information (an ArrayKick record for Tour, flip tokens in
+/// ws.undoLog for BigTour) is retained so the CLK driver can mutate the
+/// champion in place and roll a losing kick back in O(changed). Callers
+/// start a kick cycle with ws.resetUndo() and end it with commitKick() or
+/// rollbackKick().
+void applyKick(Tour& tour, KickStrategy strategy, const CandidateLists& cand,
+               Rng& rng, const KickOptions& opt, LkWorkspace& ws);
+void applyKick(BigTour& tour, KickStrategy strategy,
+               const CandidateLists& cand, Rng& rng, const KickOptions& opt,
+               LkWorkspace& ws);
+
+/// Accepts the kicked-and-repaired tour: O(1), just drops the undo state.
+void commitKick(LkWorkspace& ws);
+
+/// Restores the exact pre-kick tour: rewinds the logged repair flips LIFO,
+/// then inverts the kick itself. Cost proportional to the changed region.
+void rollbackKick(Tour& tour, LkWorkspace& ws);
+void rollbackKick(BigTour& tour, LkWorkspace& ws);
 
 }  // namespace distclk

@@ -1,9 +1,11 @@
 #include "lk/lin_kernighan.h"
 
 #include <algorithm>
+#include <type_traits>
 #include <utility>
 
 #include "tsp/dist_kernel.h"
+#include "util/audit.h"
 
 namespace distclk {
 
@@ -38,19 +40,22 @@ struct ReferenceDistances {
   }
 };
 
-/// One LK search over a tour: owns the flip stack and bookkeeping for a
-/// single improveCity() chain at a time. Templated over the tour
-/// representation and the distance provider; TourT must provide
-/// next/prev/length/instance and the city-addressed reverseForward(a, b)
-/// whose inverse is reverseForward(b, a).
+/// One LK search over a tour: drives a single improveCity() chain at a
+/// time. Templated over the tour representation and the distance provider;
+/// TourT must provide next/prev/length/instance and the city-addressed
+/// reverseForward(a, b) whose inverse is reverseForward(b, a). All scratch
+/// (added-edge list, touched list, optional undo log) lives in the caller's
+/// LkWorkspace so repeated searches never re-allocate.
 template <typename TourT, typename Dist>
 class LkSearch {
  public:
-  LkSearch(TourT& tour, const CandidateLists& cand, const LkOptions& opt)
-      : tour_(tour), cand_(cand), opt_(opt), dist_(tour.instance(), cand) {}
+  LkSearch(TourT& tour, const CandidateLists& cand, const LkOptions& opt,
+           LkWorkspace& ws)
+      : tour_(tour), cand_(cand), opt_(opt), dist_(tour.instance(), cand),
+        ws_(ws) {}
 
   LkStats& stats() noexcept { return stats_; }
-  const std::vector<int>& touched() const noexcept { return touched_; }
+  const std::vector<int>& touched() const noexcept { return ws_.touched; }
 
   /// Attempts an improving move chain anchored at t1 (both directions).
   /// On success the tour is already updated and touched() lists the cities
@@ -62,11 +67,11 @@ class LkSearch {
       startLen_ = tour_.length();
       flipBudget_ = opt_.maxFlipsPerChain;
       const int t2 = dir > 0 ? tour_.next(t1) : tour_.prev(t1);
-      addedEdges_.clear();
-      touched_.clear();
+      ws_.addedEdges.clear();
+      ws_.touched.clear();
       if (chain(0, t2, dist_(t1, t2))) {
-        touched_.push_back(t1);
-        touched_.push_back(t2);
+        ws_.touched.push_back(t1);
+        ws_.touched.push_back(t2);
         ++stats_.chains;
         stats_.improvement += startLen_ - tour_.length();
         return true;
@@ -83,22 +88,30 @@ class LkSearch {
   }
 
   bool edgeWasAdded(int a, int b) const noexcept {
-    for (const auto& [x, y] : addedEdges_)
+    for (const auto& [x, y] : ws_.addedEdges)
       if ((x == a && y == b) || (x == b && y == a)) return true;
     return false;
   }
 
   /// Applies the level flip: removes (t1, t2cur) and (t4, t3), adds
-  /// (t1, t4) and (t2cur, t3). Returns the representation's undo token.
+  /// (t1, t4) and (t2cur, t3). Returns the representation's undo token; a
+  /// recording workspace also logs it for the CLK driver's kick rollback.
   typename TourT::FlipToken applyFlip(int t2cur, int t4) {
     ++stats_.flips;
-    return dir_ > 0 ? tour_.flipForward(t2cur, t4)
-                    : tour_.flipForward(t4, t2cur);
+    const typename TourT::FlipToken token = dir_ > 0
+                                                ? tour_.flipForward(t2cur, t4)
+                                                : tour_.flipForward(t4, t2cur);
+    if (ws_.recording)
+      ws_.undoLog.push_back({token.first, token.second});
+    return token;
   }
 
   void undoFlip(const typename TourT::FlipToken& token) {
     tour_.unflip(token);
     ++stats_.undoneFlips;
+    // Chain rewinding is strictly LIFO, so the rewound flip is always the
+    // most recently logged one.
+    if (ws_.recording) ws_.undoLog.pop_back();
   }
 
   // `gain` is the LK sequential gain: total removed-edge weight minus
@@ -123,17 +136,17 @@ class LkSearch {
 
       const auto undoToken = applyFlip(t2cur, t4);
       --flipBudget_;
-      addedEdges_.emplace_back(t2cur, t3);
+      ws_.addedEdges.emplace_back(t2cur, t3);
       // The physical tour is now the chain closed at (t1, t4).
       if (tour_.length() < startLen_ ||
           (level + 1 < opt_.maxDepth &&
            chain(level + 1, t4, gain - d23 + dist_(t3, t4)))) {
-        touched_.push_back(t2cur);
-        touched_.push_back(t3);
-        touched_.push_back(t4);
+        ws_.touched.push_back(t2cur);
+        ws_.touched.push_back(t3);
+        ws_.touched.push_back(t4);
         return true;
       }
-      addedEdges_.pop_back();
+      ws_.addedEdges.pop_back();
       undoFlip(undoToken);
       if (++tried >= breadth) break;
     }
@@ -145,8 +158,7 @@ class LkSearch {
   const LkOptions& opt_;
   Dist dist_;
   LkStats stats_;
-  std::vector<std::pair<int, int>> addedEdges_;
-  std::vector<int> touched_;
+  LkWorkspace& ws_;
   int t1_ = -1;
   int dir_ = +1;
   std::int64_t startLen_ = 0;
@@ -155,42 +167,27 @@ class LkSearch {
 
 template <typename Dist, typename TourT>
 LkStats runQueue(TourT& tour, const CandidateLists& cand,
-                 std::span<const int> seed, const LkOptions& opt) {
-  const int n = tour.n();
-  std::vector<char> inQueue(std::size_t(n), 0);
-  std::vector<int> queue;
-  queue.reserve(std::size_t(n));
-  for (int c : seed) {
-    if (!inQueue[std::size_t(c)]) {
-      inQueue[std::size_t(c)] = 1;
-      queue.push_back(c);
-    }
-  }
+                 std::span<const int> seed, const LkOptions& opt,
+                 LkWorkspace& ws) {
+  // The seed span is fully consumed into the epoch-stamped queue before the
+  // first mutation, so callers may pass views into tour state or into the
+  // workspace's own dirty buffer.
+  ws.dlb.reset(tour.n());
+  for (int c : seed) ws.dlb.push(c);
 
-  LkSearch<TourT, Dist> search(tour, cand, opt);
-  std::size_t head = 0;
-  while (head < queue.size()) {
-    const int t1 = queue[head++];
-    inQueue[std::size_t(t1)] = 0;
+  LkSearch<TourT, Dist> search(tour, cand, opt, ws);
+  while (!ws.dlb.empty()) {
+    const int t1 = ws.dlb.pop();
     if (search.improveCity(t1)) {
-      auto enqueue = [&](int c) {
-        if (!inQueue[std::size_t(c)]) {
-          inQueue[std::size_t(c)] = 1;
-          queue.push_back(c);
-        }
-      };
       // Changed-edge endpoints plus their candidate neighbors (a changed
       // partner edge can enable moves for cities whose own edges did not
       // change), plus t1 itself for further chains.
       for (int c : search.touched()) {
-        enqueue(c);
-        for (int nb : cand.of(c)) enqueue(nb);
+        ws.dlb.push(c);
+        for (int nb : cand.of(c)) ws.dlb.push(nb);
       }
-      enqueue(t1);
-    }
-    if (head > queue.size() / 2 && head > 4096) {
-      queue.erase(queue.begin(), queue.begin() + static_cast<long>(head));
-      head = 0;
+      ws.dlb.push(t1);
+      DISTCLK_AUDIT_HOOK(ws.auditCheck("lk::runQueue"));
     }
   }
   return search.stats();
@@ -200,41 +197,74 @@ LkStats runQueue(TourT& tour, const CandidateLists& cand,
 // every loop; the search itself is monomorphic over the provider.
 template <typename TourT>
 LkStats dispatchQueue(TourT& tour, const CandidateLists& cand,
-                      std::span<const int> seed, const LkOptions& opt) {
+                      std::span<const int> seed, const LkOptions& opt,
+                      LkWorkspace& ws) {
   if (opt.referenceDistances)
-    return runQueue<ReferenceDistances>(tour, cand, seed, opt);
-  return runQueue<KernelDistances>(tour, cand, seed, opt);
+    return runQueue<ReferenceDistances>(tour, cand, seed, opt, ws);
+  return runQueue<KernelDistances>(tour, cand, seed, opt, ws);
 }
 
 template <typename TourT>
 LkStats optimizeAll(TourT& tour, const CandidateLists& cand,
-                    const LkOptions& opt) {
-  const auto all = tour.orderVector();
-  return dispatchQueue(tour, cand, all, opt);
+                    const LkOptions& opt, LkWorkspace& ws) {
+  if constexpr (std::is_same_v<TourT, Tour>) {
+    // The order() span stays valid through the run (mutations never resize
+    // the array) and is consumed before the first of them; no copy needed.
+    return dispatchQueue(tour, cand, tour.order(), opt, ws);
+  } else {
+    const auto all = tour.orderVector();
+    return dispatchQueue(tour, cand, all, opt, ws);
+  }
 }
 
 }  // namespace
 
 LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
                              const LkOptions& opt) {
-  return optimizeAll(tour, cand, opt);
+  LkWorkspace ws;
+  return optimizeAll(tour, cand, opt, ws);
 }
 
 LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
                              std::span<const int> dirty,
                              const LkOptions& opt) {
-  return dispatchQueue(tour, cand, dirty, opt);
+  LkWorkspace ws;
+  return dispatchQueue(tour, cand, dirty, opt, ws);
 }
 
 LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
                              const LkOptions& opt) {
-  return optimizeAll(tour, cand, opt);
+  LkWorkspace ws;
+  return optimizeAll(tour, cand, opt, ws);
 }
 
 LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
                              std::span<const int> dirty,
                              const LkOptions& opt) {
-  return dispatchQueue(tour, cand, dirty, opt);
+  LkWorkspace ws;
+  return dispatchQueue(tour, cand, dirty, opt, ws);
+}
+
+LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
+                             const LkOptions& opt, LkWorkspace& ws) {
+  return optimizeAll(tour, cand, opt, ws);
+}
+
+LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
+                             std::span<const int> dirty, const LkOptions& opt,
+                             LkWorkspace& ws) {
+  return dispatchQueue(tour, cand, dirty, opt, ws);
+}
+
+LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
+                             const LkOptions& opt, LkWorkspace& ws) {
+  return optimizeAll(tour, cand, opt, ws);
+}
+
+LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
+                             std::span<const int> dirty, const LkOptions& opt,
+                             LkWorkspace& ws) {
+  return dispatchQueue(tour, cand, dirty, opt, ws);
 }
 
 }  // namespace distclk

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "lk/lk_workspace.h"
 #include "tsp/big_tour.h"
 #include "tsp/neighbors.h"
 #include "tsp/tour.h"
@@ -67,5 +68,21 @@ LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
 LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
                              std::span<const int> dirty,
                              const LkOptions& opt);
+
+/// Workspace-threaded variants: identical trajectories (the overloads above
+/// delegate to these through a temporary workspace), but a caller-owned
+/// LkWorkspace is reused across calls, which makes the steady-state CLK
+/// kick–repair loop allocation-free. When ws.recording is set, every
+/// committed flip is appended to ws.undoLog for the driver's kick rollback.
+LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
+                             const LkOptions& opt, LkWorkspace& ws);
+LkStats linKernighanOptimize(Tour& tour, const CandidateLists& cand,
+                             std::span<const int> dirty, const LkOptions& opt,
+                             LkWorkspace& ws);
+LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
+                             const LkOptions& opt, LkWorkspace& ws);
+LkStats linKernighanOptimize(BigTour& tour, const CandidateLists& cand,
+                             std::span<const int> dirty, const LkOptions& opt,
+                             LkWorkspace& ws);
 
 }  // namespace distclk

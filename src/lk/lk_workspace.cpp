@@ -1,0 +1,54 @@
+#include "lk/lk_workspace.h"
+
+#include "util/audit.h"
+
+namespace distclk {
+
+void DontLookQueue::auditCheck(const char* where) const {
+  if (head_ > queue_.size())
+    audit::fail("DontLookQueue", where, "head beyond queue end");
+  std::size_t pendingCount = 0;
+  for (std::size_t i = head_; i < queue_.size(); ++i) {
+    const int c = queue_[i];
+    if (c < 0 || static_cast<std::size_t>(c) >= mark_.size())
+      audit::fail("DontLookQueue", where, "pending city out of range");
+    if (mark_[static_cast<std::size_t>(c)] != epoch_)
+      audit::fail("DontLookQueue", where,
+                  "pending entry not stamped with the current epoch");
+    ++pendingCount;
+  }
+  // A never-reset queue (epoch 0) has no current-epoch stamps by
+  // construction; the zero-initialized marks belong to no generation.
+  std::size_t marked = 0;
+  if (epoch_ != 0) {
+    for (const std::uint32_t m : mark_)
+      if (m == epoch_) ++marked;
+  }
+  // Equal counts + every pending entry stamped implies the pending entries
+  // are exactly the stamped cities, each queued once (a duplicate would
+  // make pendingCount exceed marked).
+  if (marked != pendingCount)
+    audit::fail("DontLookQueue", where,
+                "epoch-stamped city count != pending queue entries");
+}
+
+void LkWorkspace::auditCheck(const char* where) const {
+  dlb.auditCheck(where);
+  if (kick.active) {
+    const int n = static_cast<int>(tourScratch.size());
+    if (!(0 <= kick.s && kick.s < n && 0 < kick.p1 && kick.p1 < kick.p2 &&
+          kick.p2 < kick.p3 && kick.p3 < n))
+      audit::fail("LkWorkspace", where, "kick record positions out of range");
+  }
+}
+
+void LkWorkspace::auditUndoEmpty(const char* where) const {
+  if (!undoLog.empty())
+    audit::fail("LkWorkspace", where,
+                "undo log not empty after commit/rollback");
+  if (kick.active)
+    audit::fail("LkWorkspace", where,
+                "kick record still active after commit/rollback");
+}
+
+}  // namespace distclk

@@ -1,0 +1,154 @@
+// Reusable scratch state for the kick–repair loop. The steady-state cost of
+// Chained LK is dominated by per-kick bookkeeping — a fresh don't-look
+// bitmap and queue per repair call, a champion-tour copy per kick, heap
+// allocations for dirty/candidate buffers — all O(n) overhead on a loop
+// whose useful work is proportional to the kicked region. LkWorkspace owns
+// every buffer the loop needs, stamped with generation counters so "clear"
+// is a counter bump instead of an O(n) memset, plus the undo log that lets
+// a losing kick roll the champion back in O(changed) instead of restoring a
+// copy. One workspace is owned by the CLK driver (or DistNode) and threaded
+// through applyKick / linKernighanOptimize; reuse across kicks makes the
+// loop allocation-free after warm-up.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace distclk {
+
+/// Don't-look queue with epoch-stamped membership: reset() starts a new
+/// generation in O(1) (the membership array is only zeroed on epoch-counter
+/// wraparound, once every 2^32 - 1 resets). Pop order, dedup behavior, and
+/// the occasional front-compaction are exactly the semantics of the
+/// vector<char> + queue idiom the LK/2-opt engines used before, so queue
+/// trajectories are unchanged.
+class DontLookQueue {
+ public:
+  /// Starts a new empty queue over cities 0..n-1. Keeps capacity.
+  void reset(int n) {
+    if (mark_.size() != static_cast<std::size_t>(n)) {
+      mark_.assign(static_cast<std::size_t>(n), 0);
+      epoch_ = 0;
+    }
+    if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+      // Wraparound: re-zero the stamps so stale marks from 2^32 resets ago
+      // cannot alias the new epoch.
+      std::fill(mark_.begin(), mark_.end(), 0);
+      epoch_ = 0;
+    }
+    ++epoch_;
+    queue_.clear();
+    head_ = 0;
+  }
+
+  /// Enqueues c unless it is already a member. Returns true if enqueued.
+  bool push(int c) {
+    if (mark_[static_cast<std::size_t>(c)] == epoch_) return false;
+    mark_[static_cast<std::size_t>(c)] = epoch_;
+    queue_.push_back(c);
+    return true;
+  }
+
+  bool empty() const noexcept { return head_ >= queue_.size(); }
+
+  /// Pops the front city and clears its membership. Compacts the consumed
+  /// prefix occasionally so the backing vector cannot grow unboundedly.
+  int pop() {
+    const int c = queue_[head_++];
+    mark_[static_cast<std::size_t>(c)] = epoch_ - 1;
+    if (head_ > queue_.size() / 2 && head_ > 4096) {
+      queue_.erase(queue_.begin(), queue_.begin() + static_cast<long>(head_));
+      head_ = 0;
+    }
+    return c;
+  }
+
+  std::uint32_t epoch() const noexcept { return epoch_; }
+  std::size_t pending() const noexcept { return queue_.size() - head_; }
+
+  /// Test hook: fast-forwards the epoch counter to just below wraparound.
+  void testSetEpochNearWrap() {
+    epoch_ = std::numeric_limits<std::uint32_t>::max() - 1;
+  }
+  /// Test hook: corrupts a membership stamp (for audit death tests).
+  void testCorruptMark(int c, std::uint32_t value) {
+    mark_[static_cast<std::size_t>(c)] = value;
+  }
+
+  /// Aborts with a diagnostic if the epoch stamps are incoherent with the
+  /// live queue span (every pending entry stamped with the current epoch,
+  /// every currently-stamped city pending exactly once).
+  void auditCheck(const char* where) const;
+
+ private:
+  std::vector<std::uint32_t> mark_;
+  std::vector<int> queue_;
+  std::size_t head_ = 0;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Scratch + undo state for one kick–repair driver. All buffers are
+/// reused; none are cleared with O(n) work in the steady state.
+struct LkWorkspace {
+  LkWorkspace() = default;
+  explicit LkWorkspace(int n) { ensure(n); }
+
+  /// Pre-sizes the n-dependent buffers (idempotent, cheap when sized). The
+  /// queue sizes itself in reset(); only the kick rebuild buffer needs n.
+  void ensure(int n) {
+    if (tourScratch.size() != static_cast<std::size_t>(n))
+      tourScratch.resize(static_cast<std::size_t>(n));
+  }
+
+  // --- repair scratch (LkSearch / runQueue) ------------------------------
+  DontLookQueue dlb;                           ///< don't-look repair queue
+  std::vector<std::pair<int, int>> addedEdges; ///< LK rule: x_i not in {y_j}
+  std::vector<int> touched;                    ///< endpoints of changed edges
+
+  // --- kick scratch ------------------------------------------------------
+  std::vector<int> dirty;       ///< cities incident to kicked edges
+  std::vector<int> kickCities;  ///< the four selected cut cities
+  std::vector<int> kickScratch; ///< strategy-local scratch (Close subset)
+  std::vector<int> tourScratch; ///< array-tour in-place kick rebuild buffer
+
+  // --- undo log ----------------------------------------------------------
+  /// Flip tokens in application order: positional reverseSegment replays
+  /// for the array Tour, city pairs for BigTour. Rolled back LIFO.
+  struct Flip {
+    int a, b;
+  };
+  std::vector<Flip> undoLog;
+
+  /// True while the CLK driver is repairing a kicked tour: LK then appends
+  /// every committed flip token to undoLog (rewound chain levels pop their
+  /// token again, so the log holds exactly the net flips). False outside the
+  /// kick cycle so full optimizations don't grow the log.
+  bool recording = false;
+
+  /// The array Tour's kick is one in-place rotate+block-swap permutation
+  /// (Tour::kickDoubleBridge); its inverse needs the parameters, not a
+  /// token stream. BigTour kicks are three flips and live in undoLog.
+  struct ArrayKick {
+    int s = 0, p1 = 0, p2 = 0, p3 = 0;
+    std::int64_t delta = 0;
+    bool active = false;
+  };
+  ArrayKick kick;
+
+  /// Drops any recorded undo state (start of a kick cycle, or commit).
+  void resetUndo() noexcept {
+    undoLog.clear();
+    kick.active = false;
+  }
+
+  /// Full workspace audit: queue coherence plus range checks on the kick
+  /// record. Wired into the mutation paths via DISTCLK_AUDIT_HOOK.
+  void auditCheck(const char* where) const;
+  /// Aborts unless the undo log is empty (after commit/rollback).
+  void auditUndoEmpty(const char* where) const;
+};
+
+}  // namespace distclk

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "lk/lk_workspace.h"
 #include "tsp/dist_kernel.h"
 
 namespace distclk {
@@ -11,47 +12,56 @@ namespace {
 /// Tries relocating the segment starting at city s (lengths 1..maxSegLen)
 /// behind a candidate neighbor of either segment end. First improvement.
 /// The (anchor, c) edge reads the list annotation; every other edge goes
-/// through the metric kernel.
+/// through the metric kernel. Membership of a candidate in the segment is
+/// a position comparison (the segment occupies positions pos(s)..pos(s)+
+/// len-1 cyclically), not a walk along it.
 std::int64_t improveSegment(Tour& tour, const CandidateLists& cand,
                             const DistanceKernel& dist, int s, int maxSegLen,
                             std::vector<int>& touched) {
+  const int n = tour.n();
+  const int pS = tour.pos(s);
   int segEnd = s;
   for (int len = 1; len <= maxSegLen; ++len, segEnd = tour.next(segEnd)) {
-    if (len >= tour.n() - 2) break;
+    if (len >= n - 2) break;
     const int before = tour.prev(s);
     const int after = tour.next(segEnd);
     const std::int64_t removed =
         dist(before, s) + dist(segEnd, after) - dist(before, after);
     if (removed <= 0) continue;  // closing the gap already costs more
     // Insertion after candidate c: new edges (c, head) + (tail, next(c)).
-    for (int endSel = 0; endSel < 2; ++endSel) {
+    // A one-city segment has s == segEnd, so the second anchor and the
+    // reversed orientation would re-probe the exact same insertions — skip
+    // the duplicates (same first-improvement, half the scan).
+    const int endSelMax = len == 1 ? 1 : 2;
+    const int revMax = len == 1 ? 1 : 2;
+    for (int endSel = 0; endSel < endSelMax; ++endSel) {
       const int anchor = endSel == 0 ? s : segEnd;
       const auto cands = cand.of(anchor);
       const auto candDist = cand.distOf(anchor);
       for (std::size_t i = 0; i < cands.size(); ++i) {
         const int c = cands[i];
         // c must be outside the segment [s..segEnd].
-        bool inside = false;
-        for (int x = s;; x = tour.next(x)) {
-          if (x == c) {
-            inside = true;
-            break;
-          }
-          if (x == segEnd) break;
-        }
-        if (inside || c == before) continue;
+        int offset = tour.pos(c) - pS;
+        if (offset < 0) offset += n;
+        if (offset < len || c == before) continue;
         const int cNext = tour.next(c);
         if (cNext == s) continue;
         const std::int64_t dCNext = dist(c, cNext);
-        for (int rev = 0; rev < 2; ++rev) {
+        for (int rev = 0; rev < revMax; ++rev) {
           const int head = rev ? segEnd : s;
           const int tail = rev ? s : segEnd;
           const std::int64_t dCHead =
               head == anchor ? candDist[i] : dist(c, head);
           const std::int64_t added = dCHead + dist(tail, cNext) - dCNext;
           if (added < removed) {
+            // Touched = every city whose successor edge the move can change:
+            // the whole segment (a reversed move flips its interior edges),
+            // both splice points, and the closed gap.
+            touched.clear();
+            for (int cur = s; cur != after; cur = tour.next(cur))
+              touched.push_back(cur);
+            touched.insert(touched.end(), {before, after, c, cNext});
             tour.orOptMove(s, len, c, rev != 0);
-            touched.assign({s, segEnd, before, after, c, cNext});
             return added - removed;  // negative delta
           }
         }
@@ -64,16 +74,64 @@ std::int64_t improveSegment(Tour& tour, const CandidateLists& cand,
 }  // namespace
 
 std::int64_t orOptOptimize(Tour& tour, const CandidateLists& cand,
-                           int maxSegLen) {
-  // Full sweeps until a whole pass finds nothing: a changed edge can enable
-  // relocations anchored far from its endpoints (any segment overlapping
-  // it, any anchor whose candidate insertion edge it is), so a don't-look
-  // queue would terminate early. Or-opt is not on the CLK hot path, and the
-  // sweep converges in a handful of passes.
+                           int maxSegLen, OrOptStyle style) {
   const DistanceKernel dist(tour.instance());
   const int n = tour.n();
   std::int64_t total = 0;
   std::vector<int> touched;
+
+  if (style == OrOptStyle::kDontLook) {
+    // Reverse candidate adjacency (CSR): rcand(t) = anchors a with
+    // t ∈ cand(a). An anchor's probe reads the successor edge of each of
+    // its candidates, so when t's successor edge changes the anchors to
+    // requeue are exactly rcand(t) — the lists are asymmetric, so this is
+    // not cand(t).
+    std::vector<int> rstart(std::size_t(n) + 1, 0);
+    for (int a = 0; a < n; ++a)
+      for (int t : cand.of(a)) ++rstart[std::size_t(t) + 1];
+    for (int i = 0; i < n; ++i)
+      rstart[std::size_t(i) + 1] += rstart[std::size_t(i)];
+    std::vector<int> rdata(static_cast<std::size_t>(rstart[std::size_t(n)]));
+    std::vector<int> fill(rstart.begin(), rstart.end() - 1);
+    for (int a = 0; a < n; ++a)
+      for (int t : cand.of(a))
+        rdata[std::size_t(fill[std::size_t(t)]++)] = a;
+
+    // Don't-look phase, seeded in the sweep's city-id order. A changed
+    // successor edge of t re-enables the anchors probing it (rcand(t)) and
+    // any segment whose window overlaps t — segments are anchored at their
+    // first city, so that is t plus up to maxSegLen-1 tour predecessors.
+    DontLookQueue dlb;
+    dlb.reset(n);
+    for (int c = 0; c < n; ++c) dlb.push(c);
+    while (!dlb.empty()) {
+      const int s = dlb.pop();
+      const std::int64_t delta =
+          improveSegment(tour, cand, dist, s, maxSegLen, touched);
+      if (delta < 0) {
+        total -= delta;
+        for (int c : touched) {
+          dlb.push(c);
+          int p = c;
+          for (int k = 1; k < maxSegLen; ++k) {
+            p = tour.prev(p);
+            dlb.push(p);
+          }
+          for (int i = rstart[std::size_t(c)]; i < rstart[std::size_t(c) + 1];
+               ++i)
+            dlb.push(rdata[std::size_t(i)]);
+        }
+        dlb.push(s);
+      }
+    }
+  }
+
+  // Confirming sweeps (the whole algorithm in kFullSweep style): with
+  // asymmetric candidate lists the queue cannot see every enabled anchor
+  // (c ∈ cand(anchor) does not imply anchor ∈ cand(c)), so full passes
+  // until one finds nothing certify the same sweep-local optimum the
+  // pre-queue implementation guaranteed. After a drained queue this is
+  // usually a single O(n) scan of non-improving probes.
   bool improvedInPass = true;
   while (improvedInPass) {
     improvedInPass = false;

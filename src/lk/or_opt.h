@@ -10,9 +10,21 @@
 
 namespace distclk {
 
+enum class OrOptStyle {
+  /// Don't-look queue first (touched cities, their segment-overlapping
+  /// predecessors, and candidate neighbors re-enqueue), then confirming
+  /// full sweeps until one is clean. Same local-optimum guarantee as
+  /// kFullSweep, typically an order of magnitude fewer probes.
+  kDontLook,
+  /// Pre-workspace behaviour: full sweeps until a pass finds nothing.
+  /// Kept for head-to-head benchmarks.
+  kFullSweep,
+};
+
 /// Runs Or-opt (segment lengths 1..maxSegLen) to a local optimum w.r.t. the
 /// candidate lists. Returns the total improvement (>= 0).
 std::int64_t orOptOptimize(Tour& tour, const CandidateLists& cand,
-                           int maxSegLen = 3);
+                           int maxSegLen = 3,
+                           OrOptStyle style = OrOptStyle::kDontLook);
 
 }  // namespace distclk

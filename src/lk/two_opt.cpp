@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "lk/lk_workspace.h"
 #include "tsp/dist_kernel.h"
 
 namespace distclk {
@@ -62,17 +63,14 @@ std::int64_t improveCity(Tour& tour, const CandidateLists& cand,
 std::int64_t twoOptOptimize(Tour& tour, const CandidateLists& cand) {
   const DistanceKernel dist(tour.instance());
   const int n = tour.n();
-  std::vector<char> inQueue(std::size_t(n), 1);
-  std::vector<int> queue;
-  queue.reserve(static_cast<std::size_t>(n));
-  for (int p = 0; p < n; ++p) queue.push_back(tour.at(p));
+  DontLookQueue dlb;
+  dlb.reset(n);
+  for (int p = 0; p < n; ++p) dlb.push(tour.at(p));
 
   std::int64_t total = 0;
   std::vector<int> touched;
-  std::size_t head = 0;
-  while (head < queue.size()) {
-    const int a = queue[head++];
-    inQueue[std::size_t(a)] = 0;
+  while (!dlb.empty()) {
+    const int a = dlb.pop();
     const std::int64_t delta = improveCity(tour, cand, dist, a, touched);
     if (delta < 0) {
       total -= delta;
@@ -81,21 +79,10 @@ std::int64_t twoOptOptimize(Tour& tour, const CandidateLists& cand) {
       // move improving for a city whose own edges did not change. With
       // symmetric candidate lists this closes the classical DLB coverage
       // hole.
-      auto enqueue = [&](int c) {
-        if (!inQueue[std::size_t(c)]) {
-          inQueue[std::size_t(c)] = 1;
-          queue.push_back(c);
-        }
-      };
       for (int c : touched) {
-        enqueue(c);
-        for (int nb : cand.of(c)) enqueue(nb);
+        dlb.push(c);
+        for (int nb : cand.of(c)) dlb.push(nb);
       }
-    }
-    // Compact the queue occasionally so it cannot grow unboundedly.
-    if (head > queue.size() / 2 && head > 4096) {
-      queue.erase(queue.begin(), queue.begin() + static_cast<long>(head));
-      head = 0;
     }
   }
   return total;

@@ -1,6 +1,7 @@
 #include "tsp/tour.h"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 #include <stdexcept>
 
@@ -113,27 +114,26 @@ std::int64_t Tour::twoOptMove(int a, int b) {
 
 std::int64_t Tour::orOptMove(int s, int segLen, int c, bool reversed) {
   if (segLen < 1) throw std::invalid_argument("orOptMove: segLen must be >=1");
-  const auto n = static_cast<std::size_t>(order_.size());
-  if (static_cast<std::size_t>(segLen) + 2 > n)
+  const int n = this->n();
+  if (segLen + 2 > n)
     throw std::invalid_argument("orOptMove: segment too long");
 
-  std::vector<int> seg(static_cast<std::size_t>(segLen));
-  {
-    int cur = s;
-    for (int k = 0; k < segLen; ++k) {
-      seg[std::size_t(k)] = cur;
-      cur = next(cur);
-    }
-  }
-  const int segEnd = seg.back();
+  const int pS = pos(s);
+  int pEnd = pS + segLen - 1;
+  if (pEnd >= n) pEnd -= n;
+  const int segEnd = order_[std::size_t(pEnd)];
   const int before = prev(s);
   const int after = next(segEnd);
   const int cNext = next(c);
   // c (and its successor edge) must lie outside the segment and not be the
   // edge we are already on.
   if (c == before || cNext == s) return 0;
-  for (int city : seg)
-    if (c == city) throw std::invalid_argument("orOptMove: c inside segment");
+  {
+    int offset = pos(c) - pS;
+    if (offset < 0) offset += n;
+    if (offset < segLen)
+      throw std::invalid_argument("orOptMove: c inside segment");
+  }
 
   const int head = reversed ? segEnd : s;
   const int tail = reversed ? s : segEnd;
@@ -142,26 +142,58 @@ std::int64_t Tour::orOptMove(int s, int segLen, int c, bool reversed) {
       kern_(tail, cNext) - kern_(before, s) -
       kern_(segEnd, after) - kern_(c, cNext);
 
-  // Rebuild the order: walk from `after` around to `before`, inserting the
-  // segment after city c. O(n) but Or-opt is only used with tiny segments
-  // inside candidate-limited scans, where the rebuild cost is acceptable.
-  std::vector<int> rebuilt;
-  rebuilt.reserve(n);
-  int cur = after;
-  while (true) {
-    rebuilt.push_back(cur);
-    if (cur == c) {
-      if (reversed)
-        rebuilt.insert(rebuilt.end(), seg.rbegin(), seg.rend());
-      else
-        rebuilt.insert(rebuilt.end(), seg.begin(), seg.end());
-    }
-    if (cur == before) break;
-    cur = next(cur);
+  // Stash the segment, then close its gap by shifting the shorter of the
+  // two arcs between segment and insertion point: O(min arc) instead of the
+  // full-rebuild O(n) this used to cost, and allocation-free for the tiny
+  // segments Or-opt actually moves.
+  std::array<int, 8> small;
+  std::vector<int> big;
+  int* seg = small.data();
+  if (segLen > static_cast<int>(small.size())) {
+    big.resize(std::size_t(segLen));
+    seg = big.data();
   }
-  order_ = std::move(rebuilt);
-  for (std::size_t p = 0; p < order_.size(); ++p)
-    pos_[std::size_t(order_[p])] = static_cast<int>(p);
+  for (int k = 0; k < segLen; ++k) {
+    int p = pS + k;
+    if (p >= n) p -= n;
+    seg[k] = order_[std::size_t(p)];
+  }
+
+  int gapFwd = pos(c) - pEnd;  // cities after..c, walked when shifting left
+  if (gapFwd < 0) gapFwd += n;
+  const int gapBack = n - segLen - gapFwd;  // cities cNext..before
+  const auto place = [&](int p, int city) {
+    order_[std::size_t(p)] = city;
+    pos_[std::size_t(city)] = p;
+  };
+  if (gapFwd <= gapBack) {
+    // Shift after..c left by segLen, segment lands just behind c.
+    int to = pS;
+    int from = pEnd + 1 >= n ? 0 : pEnd + 1;
+    for (int k = 0; k < gapFwd; ++k) {
+      place(to, order_[std::size_t(from)]);
+      if (++to >= n) to = 0;
+      if (++from >= n) from = 0;
+    }
+    for (int k = 0; k < segLen; ++k) {
+      place(to, reversed ? seg[segLen - 1 - k] : seg[k]);
+      if (++to >= n) to = 0;
+    }
+  } else {
+    // Shift cNext..before right by segLen, segment lands just after c.
+    int to = pEnd;
+    int from = pS - 1 < 0 ? n - 1 : pS - 1;
+    for (int k = 0; k < gapBack; ++k) {
+      place(to, order_[std::size_t(from)]);
+      if (--to < 0) to = n - 1;
+      if (--from < 0) from = n - 1;
+    }
+    // Filling downward from the tail end of the freed block.
+    for (int k = 0; k < segLen; ++k) {
+      place(to, reversed ? seg[k] : seg[segLen - 1 - k]);
+      if (--to < 0) to = n - 1;
+    }
+  }
   length_ += delta;
   DISTCLK_AUDIT_HOOK(auditCheck("Tour::orOptMove"));
   return delta;
@@ -198,6 +230,72 @@ std::int64_t Tour::doubleBridge(int p1, int p2, int p3) {
   length_ += delta;
   DISTCLK_AUDIT_HOOK(auditCheck("Tour::doubleBridge"));
   return delta;
+}
+
+std::int64_t Tour::kickDoubleBridge(int s, int p1, int p2, int p3,
+                                    std::vector<int>& scratch) {
+  const int n = this->n();
+  if (!(0 <= s && s < n && 0 < p1 && p1 < p2 && p2 < p3 && p3 < n))
+    throw std::invalid_argument(
+        "kickDoubleBridge: need 0 <= s < n and 0 < p1 < p2 < p3 < n");
+  if (scratch.size() != std::size_t(n)) scratch.resize(std::size_t(n));
+
+  // rot(j): the city at rotated position j, i.e. order_[(s + j) mod n].
+  // s + j < 2n, so one conditional subtraction replaces the modulo.
+  auto rot = [&](int j) noexcept {
+    int p = s + j;
+    if (p >= n) p -= n;
+    return order_[std::size_t(p)];
+  };
+  const std::int64_t delta =
+      kern_(rot(p1 - 1), rot(p2)) + kern_(rot(p3 - 1), rot(p1)) +
+      kern_(rot(p2 - 1), rot(p3)) - kern_(rot(p1 - 1), rot(p1)) -
+      kern_(rot(p2 - 1), rot(p2)) - kern_(rot(p3 - 1), rot(p3));
+
+  // Rotated segments A=[0,p1) B=[p1,p2) C=[p2,p3) D=[p3,n), recombined
+  // A C B D straight into scratch, then swapped in.
+  int idx = 0;
+  auto append = [&](int lo, int hi) {
+    for (int j = lo; j < hi; ++j) scratch[std::size_t(idx++)] = rot(j);
+  };
+  append(0, p1);
+  append(p2, p3);
+  append(p1, p2);
+  append(p3, n);
+  order_.swap(scratch);
+  for (std::size_t p = 0; p < order_.size(); ++p)
+    pos_[std::size_t(order_[p])] = static_cast<int>(p);
+  length_ += delta;
+  DISTCLK_AUDIT_HOOK(auditCheck("Tour::kickDoubleBridge"));
+  return delta;
+}
+
+void Tour::undoKickDoubleBridge(int s, int p1, int p2, int p3,
+                                std::int64_t delta, std::vector<int>& scratch) {
+  const int n = this->n();
+  if (!(0 <= s && s < n && 0 < p1 && p1 < p2 && p2 < p3 && p3 < n))
+    throw std::invalid_argument(
+        "undoKickDoubleBridge: need 0 <= s < n and 0 < p1 < p2 < p3 < n");
+  if (scratch.size() != std::size_t(n)) scratch.resize(std::size_t(n));
+
+  // Forward map: result position j holds rotated source position src(j)
+  // (src = identity on A and D, C's block shifted to p1, B's to p1+|C|).
+  // Invert by writing each result city back to raw position (s + src) mod n.
+  auto put = [&](int srcJ, int j) {
+    int p = s + srcJ;
+    if (p >= n) p -= n;
+    scratch[std::size_t(p)] = order_[std::size_t(j)];
+  };
+  const int lenC = p3 - p2;
+  for (int j = 0; j < p1; ++j) put(j, j);
+  for (int t = 0; t < lenC; ++t) put(p2 + t, p1 + t);
+  for (int t = 0; t < p2 - p1; ++t) put(p1 + t, p1 + lenC + t);
+  for (int j = p3; j < n; ++j) put(j, j);
+  order_.swap(scratch);
+  for (std::size_t p = 0; p < order_.size(); ++p)
+    pos_[std::size_t(order_[p])] = static_cast<int>(p);
+  length_ -= delta;
+  DISTCLK_AUDIT_HOOK(auditCheck("Tour::undoKickDoubleBridge"));
 }
 
 bool Tour::valid() const {

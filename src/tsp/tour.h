@@ -66,6 +66,22 @@ class Tour {
   /// 0 < p1 < p2 < p3 < n. Returns the change in tour length.
   std::int64_t doubleBridge(int p1, int p2, int p3);
 
+  /// Double bridge on the rotated view anchored at raw position s: one
+  /// in-place pass equivalent to rotating the array so position s becomes
+  /// the origin (setOrder of the rotation) followed by doubleBridge(p1, p2,
+  /// p3) — bit-identical resulting array, position table, and cached length
+  /// — without setOrder's O(n) distance recomputation or either step's heap
+  /// allocation. `scratch` is swapped with the order array (resized to n if
+  /// needed). Returns the change in tour length.
+  std::int64_t kickDoubleBridge(int s, int p1, int p2, int p3,
+                                std::vector<int>& scratch);
+
+  /// Exact inverse of kickDoubleBridge called with the same parameters and
+  /// its returned delta. The array must be in the state kickDoubleBridge
+  /// left it (unflip any LK repair flips first).
+  void undoKickDoubleBridge(int s, int p1, int p2, int p3, std::int64_t delta,
+                            std::vector<int>& scratch);
+
   /// Reverses cities at cyclic positions i..j inclusive (forward from i),
   /// flipping whichever arc is shorter. Maintains length incrementally.
   void reverseSegment(int i, int j);

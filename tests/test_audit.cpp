@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/runtime.h"
+#include "lk/chained_lk.h"
+#include "lk/lk_workspace.h"
 #include "tsp/big_tour.h"
 #include "tsp/gen.h"
 #include "tsp/neighbors.h"
@@ -112,6 +114,44 @@ TEST(Audit, NodeRunnerCurvesMonotoneUnderSim) {
     for (std::size_t i = 1; i < c.size(); ++i)
       EXPECT_LT(c[i].length, c[i - 1].length);
   EXPECT_EQ(res.bestLength, Tour(inst, res.bestOrder).length());
+}
+
+TEST(Audit, LkWorkspaceSurvivesKickLoop) {
+  const Instance inst = uniformSquare("audit-ws", 200, 19);
+  CandidateLists cand(inst, 8);
+  Tour tour(inst);
+  Rng rng(31);
+  LkWorkspace ws;
+  ClkOptions opt;
+  opt.maxKicks = 40;
+  chainedLinKernighan(tour, cand, rng, ws, opt);
+  // Every kick ended in commitKick or rollbackKick, so the undo state must
+  // be fully drained and the queue coherent with its epoch stamps.
+  ws.auditCheck("test:post-clk");
+  ws.auditUndoEmpty("test:post-clk");
+}
+
+TEST(Audit, DontLookQueueAuditCatchesCorruptStamp) {
+  auto corruptAndAudit = [] {
+    DontLookQueue q;
+    q.reset(8);
+    q.push(2);
+    q.push(5);
+    // A pending entry whose stamp belongs to a dead epoch: membership and
+    // queue disagree, which is exactly the corruption the audit pins.
+    q.testCorruptMark(5, 0);
+    q.auditCheck("test:corrupt-stamp");
+  };
+  EXPECT_DEATH(corruptAndAudit(), "DontLookQueue audit failed");
+}
+
+TEST(Audit, LkWorkspaceAuditCatchesLeftoverUndoLog) {
+  auto leftoverAndAudit = [] {
+    LkWorkspace ws;
+    ws.undoLog.push_back({3, 7});  // a flip nobody committed or rolled back
+    ws.auditUndoEmpty("test:leftover-undo");
+  };
+  EXPECT_DEATH(leftoverAndAudit(), "LkWorkspace audit failed");
 }
 
 TEST(Audit, ModeFlagMatchesBuild) {

@@ -1,0 +1,320 @@
+// Tests for the allocation-free kick–repair fast path: trajectory parity of
+// the in-place undo-log CLK loop against the retained champion-copy
+// reference path, epoch-counter wraparound of the don't-look queue, the
+// zero-allocation guarantee of the steady-state kick cycle, and the
+// don't-look Or-opt's local-optimum guarantee.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "construct/construct.h"
+#include "lk/chained_lk.h"
+#include "lk/kicks.h"
+#include "lk/lin_kernighan.h"
+#include "lk/lk_workspace.h"
+#include "lk/or_opt.h"
+#include "tsp/big_tour.h"
+#include "tsp/gen.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+// Global allocation counter for the zero-allocation test. Tests are exempt
+// from the determinism lint, and counting in the test binary (instead of
+// instrumenting the library) keeps the production build untouched.
+static std::atomic<long> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace distclk {
+namespace {
+
+struct ParityCase {
+  Instance inst;
+  std::uint64_t rngSeed;
+};
+
+std::vector<ParityCase> parityCases() {
+  std::vector<ParityCase> cases;
+  cases.push_back({uniformSquare("ws-uniform", 240, 11), 101});
+  cases.push_back({clustered("ws-clustered", 220, 8, 12), 202});
+  cases.push_back({drillPlate("ws-drill", 260, 13), 303});
+  return cases;
+}
+
+// The fast path must retrace the reference path exactly: same kicks (same
+// RNG stream), same repairs, same accept/reject decisions, same final
+// array. Checked per instance family on both tour representations.
+TEST(LkWorkspaceParity, ArrayTourMatchesReferencePath) {
+  for (const ParityCase& pc : parityCases()) {
+    CandidateLists cand(pc.inst, 8);
+    const std::vector<int> start = quickBoruvkaTour(pc.inst, cand);
+
+    ClkOptions fast;
+    fast.maxKicks = 60;
+    ClkOptions ref = fast;
+    ref.referenceKickPath = true;
+
+    Tour a(pc.inst, start);
+    Tour b(pc.inst, start);
+    Rng rngA(pc.rngSeed);
+    Rng rngB(pc.rngSeed);
+    LkWorkspace ws;
+    const ClkResult resA = chainedLinKernighan(a, cand, rngA, ws, fast);
+    const ClkResult resB = chainedLinKernighan(b, cand, rngB, ref);
+
+    EXPECT_EQ(a.orderVector(), b.orderVector()) << pc.inst.name();
+    EXPECT_EQ(resA.length, resB.length) << pc.inst.name();
+    EXPECT_EQ(resA.kicks, resB.kicks) << pc.inst.name();
+    EXPECT_EQ(resA.improvements, resB.improvements) << pc.inst.name();
+    EXPECT_EQ(resA.flips, resB.flips) << pc.inst.name();
+    EXPECT_EQ(resA.undoneFlips, resB.undoneFlips) << pc.inst.name();
+    EXPECT_TRUE(a.valid()) << pc.inst.name();
+    // The fast path reports its rollbacks; every kick either committed or
+    // rolled back, and losing kicks are exactly kicks - tie/win kicks.
+    EXPECT_GE(resA.rollbacks, 0) << pc.inst.name();
+    EXPECT_LE(resA.rollbacks, resA.kicks) << pc.inst.name();
+    EXPECT_EQ(resB.rollbacks, 0) << pc.inst.name();
+  }
+}
+
+TEST(LkWorkspaceParity, BigTourMatchesReferencePath) {
+  for (const ParityCase& pc : parityCases()) {
+    CandidateLists cand(pc.inst, 8);
+    const std::vector<int> start = quickBoruvkaTour(pc.inst, cand);
+
+    ClkOptions fast;
+    fast.maxKicks = 60;
+    ClkOptions ref = fast;
+    ref.referenceKickPath = true;
+
+    BigTour a(pc.inst, start);
+    BigTour b(pc.inst, start);
+    Rng rngA(pc.rngSeed);
+    Rng rngB(pc.rngSeed);
+    LkWorkspace ws;
+    const ClkResult resA = chainedLinKernighan(a, cand, rngA, ws, fast);
+    const ClkResult resB = chainedLinKernighan(b, cand, rngB, ref);
+
+    EXPECT_EQ(a.orderVector(), b.orderVector()) << pc.inst.name();
+    EXPECT_EQ(resA.length, resB.length) << pc.inst.name();
+    EXPECT_EQ(resA.kicks, resB.kicks) << pc.inst.name();
+    EXPECT_EQ(resA.flips, resB.flips) << pc.inst.name();
+    EXPECT_EQ(resA.undoneFlips, resB.undoneFlips) << pc.inst.name();
+    EXPECT_TRUE(a.valid()) << pc.inst.name();
+  }
+}
+
+// A workspace reused across calls (the DistNode configuration) must behave
+// exactly like a fresh workspace per call.
+TEST(LkWorkspaceParity, ReusedWorkspaceMatchesFreshWorkspaces) {
+  const Instance inst = uniformSquare("ws-reuse", 200, 21);
+  CandidateLists cand(inst, 8);
+  const std::vector<int> start = quickBoruvkaTour(inst, cand);
+  ClkOptions opt;
+  opt.maxKicks = 25;
+
+  Tour a(inst, start);
+  Tour b(inst, start);
+  Rng rngA(7);
+  Rng rngB(7);
+  LkWorkspace reused;
+  for (int round = 0; round < 3; ++round) {
+    chainedLinKernighan(a, cand, rngA, reused, opt);
+    chainedLinKernighan(b, cand, rngB, opt);  // fresh workspace inside
+  }
+  EXPECT_EQ(a.orderVector(), b.orderVector());
+}
+
+TEST(DontLookQueue, BasicMembershipAndOrder) {
+  DontLookQueue q;
+  q.reset(8);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.push(3));
+  EXPECT_FALSE(q.push(3));  // already a member
+  EXPECT_TRUE(q.push(5));
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_TRUE(q.push(3));  // re-admissible after pop
+  EXPECT_EQ(q.pop(), 5);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_TRUE(q.empty());
+  q.auditCheck("test:basic");
+}
+
+TEST(DontLookQueue, ResetIsANewGenerationWithoutClearing) {
+  DontLookQueue q;
+  q.reset(16);
+  for (int c = 0; c < 16; ++c) q.push(c);
+  q.reset(16);  // stale marks must not block the new generation
+  EXPECT_TRUE(q.empty());
+  for (int c = 0; c < 16; ++c) EXPECT_TRUE(q.push(c)) << c;
+  q.auditCheck("test:regen");
+}
+
+TEST(DontLookQueue, EpochWraparoundResetsMarks) {
+  DontLookQueue q;
+  q.reset(8);
+  q.push(1);
+  (void)q.pop();  // mark[1] stamped epoch-1
+  q.testSetEpochNearWrap();
+  // Two resets cross the wraparound boundary; membership must stay exact
+  // on both sides even though every stored stamp is from a dead epoch.
+  for (int round = 0; round < 2; ++round) {
+    q.reset(8);
+    EXPECT_TRUE(q.empty());
+    for (int c = 0; c < 8; ++c) EXPECT_TRUE(q.push(c));
+    for (int c = 0; c < 8; ++c) EXPECT_FALSE(q.push(c));
+    for (int c = 0; c < 8; ++c) EXPECT_EQ(q.pop(), c);
+    q.auditCheck("test:wrap");
+  }
+  EXPECT_LT(q.epoch(), 2u);  // counter wrapped back to the low range
+}
+
+TEST(DontLookQueue, ResizeStartsClean) {
+  DontLookQueue q;
+  q.reset(4);
+  q.push(2);
+  q.reset(32);  // size change reallocates the stamp array
+  EXPECT_TRUE(q.empty());
+  for (int c = 0; c < 32; ++c) EXPECT_TRUE(q.push(c));
+  q.auditCheck("test:resize");
+}
+
+// The acceptance criterion of the fast path: once warm, a kick–repair
+// cycle — select, kick, dirty repair, commit or rollback — performs zero
+// heap allocations.
+TEST(LkWorkspace, SteadyStateKickCycleDoesNotAllocate) {
+  const Instance inst = uniformSquare("ws-alloc", 1000, 31);
+  CandidateLists cand(inst, 8);
+  Tour t(inst, quickBoruvkaTour(inst, cand));
+  Rng rng(17);
+  LkWorkspace ws;
+
+  // Warm up: full LK plus enough kicks to reach every buffer's steady-state
+  // capacity (the initial full-tour queue dominates all later kick queues).
+  ClkOptions warm;
+  warm.maxKicks = 200;
+  chainedLinKernighan(t, cand, rng, ws, warm);
+
+  auto kickCycle = [&] {
+    const std::int64_t championLen = t.length();
+    ws.resetUndo();
+    applyKick(t, KickStrategy::kRandomWalk, cand, rng, KickOptions{}, ws);
+    ws.recording = true;
+    linKernighanOptimize(t, cand, ws.dirty, LkOptions{}, ws);
+    ws.recording = false;
+    if (t.length() <= championLen)
+      commitKick(ws);
+    else
+      rollbackKick(t, ws);
+  };
+  for (int i = 0; i < 50; ++i) kickCycle();  // settle remaining capacity
+
+  const long before = g_allocations.load();
+  for (int i = 0; i < 100; ++i) kickCycle();
+  const long after = g_allocations.load();
+  EXPECT_EQ(after - before, 0) << "steady-state kick cycles allocated";
+  EXPECT_TRUE(t.valid());
+}
+
+// Rolling back a losing kick must restore the exact pre-kick array, not
+// just an equivalent cycle: future kicks read positions from the array.
+TEST(LkWorkspace, RollbackRestoresExactArray) {
+  const Instance inst = uniformSquare("ws-rollback", 300, 41);
+  CandidateLists cand(inst, 8);
+  Tour t(inst, quickBoruvkaTour(inst, cand));
+  linKernighanOptimize(t, cand);
+  Rng rng(23);
+  LkWorkspace ws;
+
+  for (int i = 0; i < 25; ++i) {
+    const std::vector<int> snapshot = t.orderVector();
+    const std::int64_t lenBefore = t.length();
+    ws.resetUndo();
+    applyKick(t, KickStrategy::kRandomWalk, cand, rng, KickOptions{}, ws);
+    ws.recording = true;
+    linKernighanOptimize(t, cand, ws.dirty, LkOptions{}, ws);
+    ws.recording = false;
+    rollbackKick(t, ws);  // reject unconditionally
+    EXPECT_EQ(t.orderVector(), snapshot) << "kick " << i;
+    EXPECT_EQ(t.length(), lenBefore) << "kick " << i;
+  }
+  EXPECT_TRUE(t.valid());
+}
+
+TEST(LkWorkspace, BigTourRollbackRestoresCycle) {
+  const Instance inst = uniformSquare("ws-big-rollback", 300, 43);
+  CandidateLists cand(inst, 8);
+  BigTour t(inst, quickBoruvkaTour(inst, cand));
+  linKernighanOptimize(t, cand);
+  Rng rng(29);
+  LkWorkspace ws;
+
+  for (int i = 0; i < 25; ++i) {
+    const std::vector<int> snapshot = t.orderVector();
+    const std::int64_t lenBefore = t.length();
+    ws.resetUndo();
+    applyKick(t, KickStrategy::kRandomWalk, cand, rng, KickOptions{}, ws);
+    ws.recording = true;
+    linKernighanOptimize(t, cand, ws.dirty, LkOptions{}, ws);
+    ws.recording = false;
+    rollbackKick(t, ws);
+    EXPECT_EQ(t.orderVector(), snapshot) << "kick " << i;
+    EXPECT_EQ(t.length(), lenBefore) << "kick " << i;
+  }
+  EXPECT_TRUE(t.valid());
+}
+
+// The workspace selection must consume the RNG stream exactly like the
+// vector-returning selection, for every strategy (including fallbacks).
+TEST(LkWorkspace, SelectionMatchesAllocatingSelection) {
+  const Instance inst = clustered("ws-select", 150, 5, 51);
+  CandidateLists cand(inst, 8);
+  for (KickStrategy strategy :
+       {KickStrategy::kRandom, KickStrategy::kGeometric, KickStrategy::kClose,
+        KickStrategy::kRandomWalk}) {
+    Rng rngA(99);
+    Rng rngB(99);
+    std::vector<int> out;
+    std::vector<int> scratch;
+    for (int i = 0; i < 20; ++i) {
+      const std::vector<int> ref =
+          selectKickCities(inst, strategy, cand, rngA);
+      selectKickCitiesInto(inst, strategy, cand, rngB, KickOptions{}, out,
+                           scratch);
+      EXPECT_EQ(out, ref) << toString(strategy) << " draw " << i;
+    }
+  }
+}
+
+// The don't-look Or-opt must land on a sweep-local optimum: a subsequent
+// full-sweep pass (the pre-workspace algorithm) finds nothing.
+TEST(OrOptDontLook, ReachesSweepLocalOptimum) {
+  const Instance inst = uniformSquare("ws-oropt", 600, 61);
+  CandidateLists cand(inst, 8);
+  Tour t(inst, quickBoruvkaTour(inst, cand));
+  const std::int64_t gain = orOptOptimize(t, cand);
+  EXPECT_GT(gain, 0);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(orOptOptimize(t, cand, 3, OrOptStyle::kFullSweep), 0);
+}
+
+}  // namespace
+}  // namespace distclk
