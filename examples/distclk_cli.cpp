@@ -19,6 +19,10 @@
 //     --trace F.jsonl       stream a JSONL run trace (dist*, see
 //                           EXPERIMENTS.md "Capturing and reading traces";
 //                           read it back with tools/trace_report)
+//     --trace-flush-interval S
+//                           flush the trace file at least every S wall
+//                           seconds (default 0 = only at run end; crashes
+//                           additionally trigger a best-effort flush)
 //     --print-events        print the distributed event trace to stdout
 //
 //   Distributed flags (--algo dist / dist-threads), parsed by the shared
@@ -33,7 +37,14 @@
 //                           instead of measured wall time, making simulated
 //                           runs deterministic for a fixed seed
 //     --metrics-interval S  periodic metric snapshots in the trace
-//                           (seconds; default 0 = final snapshot only)
+//                           (seconds; default 0 = final snapshot only);
+//                           also paces the node-best series and the
+//                           --metrics-out exposition
+//     --metrics-out FILE    write a Prometheus-style text snapshot of the
+//                           live metrics to FILE (atomic rename) every
+//                           metrics interval and at run end
+//     --stall S             log a stall event when no improvement lands
+//                           for S per-node seconds (default 0 = off)
 //     --fail N:T[,N:T...]   kill node N at per-node time T
 //     --join N:T[,N:T...]   node N joins (late) at time T
 //     --speeds S0,S1,...    relative node speeds, one per node
@@ -109,6 +120,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     traceSink.emplace(tracePath);
+    // Durability: bound how much trace a hard kill can lose (the crash
+    // handlers flush best-effort; this flushes on a wall-clock cadence).
+    const double flushEvery = args.getDouble("trace-flush-interval", 0.0);
+    if (flushEvery > 0.0) traceSink->setFlushIntervalSeconds(flushEvery);
   }
 
   if (algo == "clk") {

@@ -8,12 +8,16 @@
 // The legacy positional arguments stay; every flag of the shared
 // runConfigFromArgs helper works too (experiments/harness.h), e.g.:
 //   ./distributed_solve 800 8 1.5 --runtime threads --fail 0:0.5,1:0.5
+// Add --trace F.jsonl to capture a causal JSONL trace of the run (same
+// format as distclk_cli; analyze with tools/trace_report).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "core/runtime.h"
 #include "experiments/harness.h"
+#include "obs/trace_sink.h"
 #include "tsp/gen.h"
 #include "tsp/neighbors.h"
 
@@ -38,6 +42,13 @@ int main(int argc, char** argv) {
   cfg.timeLimitPerNode = args.getDouble("seconds", budget);
   cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 4));
   cfg.node.clkKicksPerCall = std::max(20, n / 10);
+
+  std::optional<obs::JsonlTraceSink> traceSink;
+  const std::string tracePath = args.getString("trace", "");
+  if (!tracePath.empty()) {
+    traceSink.emplace(tracePath);
+    cfg.trace = &*traceSink;
+  }
 
   std::printf("running %d nodes (%s) on %s, %.1fs CPU each, %s runtime\n",
               cfg.nodes, toString(cfg.topology), inst.name().c_str(),

@@ -43,6 +43,30 @@ echo "== determinism (kernel vs reference trajectories)"
 "$BUILD_DIR/tests/test_dist_kernel" \
   --gtest_filter='DistPathDeterminism.*' | tee "$out/determinism.txt"
 
+# Tracing is designed to be pay-for-what-you-use: stamps and trace records
+# only exist when --trace is on, and even then they ride the existing
+# broadcast/collect paths. Measure the cost on the *simulated* runtime,
+# where the trajectory is deterministic: traced and untraced runs execute
+# the bit-identical kick/repair instruction stream, so the wall-time delta
+# is purely tracer work. Interleave the modes and take per-mode minima
+# (min-of-N is the standard noisy-machine estimator; small negative
+# overhead readings are noise around zero).
+echo "== telemetry overhead (deterministic dist workload, traced vs untraced)"
+DIST_ARGS=(--algo dist --gen uniform --n 1000 --gen-seed 1 --seed 1
+           --nodes 8 --seconds 1 --modeled-work 3e6 --metrics-interval 0.1)
+OVH_REPS=${OVH_REPS:-8}
+: > "$out/dist_untraced.txt"
+: > "$out/dist_traced.txt"
+for ((i = 0; i < OVH_REPS; ++i)); do
+  "$BUILD_DIR/examples/distclk_cli" "${DIST_ARGS[@]}" \
+    | grep wall >> "$out/dist_untraced.txt"
+  "$BUILD_DIR/examples/distclk_cli" "${DIST_ARGS[@]}" \
+    --trace "$out/dist_traced.jsonl" \
+    | grep wall >> "$out/dist_traced.txt"
+done
+paste <(echo untraced; cat "$out/dist_untraced.txt") \
+      <(echo traced;   cat "$out/dist_traced.txt") || true
+
 if [[ -n "${SEED_CLI:-}" ]]; then
   echo "== cross-binary vs seed: $SEED_CLI"
   NEW_CLI="$BUILD_DIR/examples/distclk_cli"
@@ -171,6 +195,27 @@ vs_seed = {
     },
 }
 
+# Telemetry overhead: wall time of the bit-identical deterministic dist
+# workload with and without a trace sink, min over interleaved reps.
+# Positive overhead_pct = wall time added by tracing; small negative
+# values are run-to-run noise around zero.
+def min_wall(path):
+    times = [float(m) for m in
+             re.findall(r"wall time:\s*([\d.]+)s", open(path).read())]
+    return min(times) if times else None
+
+
+telemetry = None
+if os.path.exists(os.path.join(out, "dist_untraced.txt")):
+    untraced = min_wall(os.path.join(out, "dist_untraced.txt"))
+    traced = min_wall(os.path.join(out, "dist_traced.txt"))
+    telemetry = {
+        "dist_wall_seconds_untraced": untraced,
+        "dist_wall_seconds_traced": traced,
+        "overhead_pct": round((traced / untraced - 1.0) * 100.0, 2)
+        if untraced and traced else None,
+    }
+
 result = {
     "schema": "distclk-bench-lk-v2",
     "git": os.environ.get("GIT_DESCRIBE", "unknown"),
@@ -178,6 +223,7 @@ result = {
     "benchmarks": benchmarks,
     "derived_speedups": derived,
     "determinism": determinism,
+    "telemetry_overhead": telemetry,
     "vs_seed": vs_seed,
 }
 

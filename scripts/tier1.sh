@@ -16,6 +16,10 @@
 #      self-checks compiled into Tour/BigTour/TwoLevelList/CandidateLists/
 #      NodeRunner mutation paths, exercised by test_audit.
 #   6. Determinism/portability lint over src/ (scripts/lint.sh).
+#   7. Instrumented smoke run: the pinned churn fixture with causal tracing
+#      and live metrics on, then trace_report --validate over the captured
+#      trace (schema + causal invariants) and a non-empty Prometheus
+#      snapshot check. Catches tracer/schema drift the unit tests miss.
 #
 # See DESIGN.md §7 for what each layer is expected to catch.
 set -euo pipefail
@@ -26,6 +30,17 @@ JOBS=${JOBS:-$(nproc)}
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_WERROR=ON
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== instrumented smoke run (trace + metrics) and trace validation"
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+./build/examples/distclk_cli --algo dist --gen uniform --n 120 --gen-seed 42 \
+  --nodes 8 --seconds 6 --modeled-work 1e5 --seed 2026 --join 5:0.4 \
+  --fail 2:0.5 --metrics-interval 1 --trace "$SMOKE/run.jsonl" \
+  --metrics-out "$SMOKE/metrics.prom"
+./build/tools/trace_report "$SMOKE/run.jsonl" --validate
+test -s "$SMOKE/metrics.prom"
+grep -q '^distclk_snapshot_time_seconds' "$SMOKE/metrics.prom"
 
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=thread
 cmake --build build-tsan -j "$JOBS" \

@@ -139,6 +139,7 @@ DistNode::StepOutcome DistNode::merge(ComputePhase phase,
   if (sPrev_.length() < best->length()) best = &sPrev_;
   Tour receivedBest(sPrev_);  // storage for the best received tour, if any
   bool haveReceived = false;
+  int receivedFrom = -1;
   for (const Message& msg : received) {
     if (msg.type != MessageType::kTour) continue;
     if (metrics_.registry != nullptr)
@@ -149,6 +150,7 @@ DistNode::StepOutcome DistNode::merge(ComputePhase phase,
     if (t.length() < best->length()) {
       receivedBest = std::move(t);
       haveReceived = true;
+      receivedFrom = msg.from;
       best = &receivedBest;
     }
   }
@@ -162,6 +164,7 @@ DistNode::StepOutcome DistNode::merge(ComputePhase phase,
     numNoImprovements_ = 0;
     if (best == &s) out.broadcast = true;
     out.improvedByMessage = haveReceived && best == &receivedBest;
+    if (out.improvedByMessage) out.improvedFromNode = receivedFrom;
   }
   if (metrics_.registry != nullptr) {
     metrics_.registry->add(out.improvedByMessage ? metrics_.mergeReceivedWin

@@ -77,6 +77,9 @@ class DistNode {
     /// NumNoImprovements when the restart fired (0 when !restarted); the
     /// kRestart trace event carries this value.
     int noImprovementsAtRestart = 0;
+    /// Sender of the adopted tour when improvedByMessage, else -1. Feeds
+    /// the causal-trace "adopt" record (provenance analysis).
+    int improvedFromNode = -1;
   };
 
   /// First step: construct (Quick-Borůvka) and CLK-optimize the initial

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 
 #include "net/sim_network.h"
 #include "net/thread_network.h"
+#include "obs/prom.h"
 #include "util/audit.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -26,12 +28,15 @@ namespace {
 }
 
 /// Broadcast audit: the message must encode at exactly serializedSize()
-/// bytes, carry the current wire version, and survive a codec round trip.
+/// bytes, carry the wire version matching its stamp state (v3 with a trace
+/// trailer, v2 without), and survive a codec round trip.
 [[maybe_unused]] void auditWireMessage(const Message& msg, const char* where) {
   const auto buf = serialize(msg);
   if (buf.size() != serializedSize(msg))
     audit::fail("NodeRunner", where, "serialize() size != serializedSize()");
-  if (buf.size() < 4 || buf[3] != kWireVersion)
+  const std::uint8_t expected =
+      msg.trace.has_value() ? kWireVersion : kWireVersionPlain;
+  if (buf.size() < 4 || buf[3] != expected)
     audit::fail("NodeRunner", where, "wire version mismatch in encoded message");
   if (deserialize(buf) != msg)
     audit::fail("NodeRunner", where, "message codec round trip not identical");
@@ -159,19 +164,23 @@ double WallClock::chargeCompute(int node, std::int64_t /*modelCost*/,
 // Snapshotter
 
 Snapshotter::Snapshotter(obs::TraceSink* sink, obs::MetricsRegistry& registry,
-                         double intervalSeconds)
+                         double intervalSeconds, std::string promPath)
     : sink_(sink),
       registry_(registry),
       interval_(intervalSeconds),
-      next_(sink != nullptr && intervalSeconds > 0
+      next_((sink != nullptr || !promPath.empty()) && intervalSeconds > 0
                 ? intervalSeconds
-                : std::numeric_limits<double>::infinity()) {}
+                : std::numeric_limits<double>::infinity()),
+      promPath_(std::move(promPath)) {}
 
 void Snapshotter::maybe(double now) {
   // One record per crossed boundary, stamped with the time of the step
   // that crossed it (matching the pre-refactor simulator).
   while (now >= next_) {
-    sink_->write(obs::metricsRecord(now, registry_.snapshot()));
+    const obs::MetricsSnapshot snap = registry_.snapshot();
+    if (sink_ != nullptr) sink_->write(obs::metricsRecord(now, snap));
+    if (!promPath_.empty())
+      obs::writePrometheusSnapshot(promPath_, snap, now);
     next_ += interval_;
   }
 }
@@ -185,7 +194,45 @@ NodeRunner::NodeRunner(DistNode& node, const Env& env, EventLog& log,
       env_(env),
       log_(log),
       snapshotter_(snapshotter),
-      joinTime_(joinTime) {}
+      joinTime_(joinTime),
+      seriesNext_(env.sink != nullptr && env.cfg.metricsIntervalSeconds > 0
+                      ? env.cfg.metricsIntervalSeconds
+                      : std::numeric_limits<double>::infinity()) {}
+
+void NodeRunner::maybeEmitNodeBest(double now) {
+  if (now < seriesNext_) return;
+  env_.sink->write(obs::nodeBestRecord(now, node_.id(),
+                                       node_.best().length(),
+                                       node_.noImprovements()));
+  // Jump to the next boundary after `now` instead of incrementing, so a
+  // late joiner does not flood the trace catching up on missed intervals.
+  const double interval = env_.cfg.metricsIntervalSeconds;
+  seriesNext_ = (std::floor(now / interval) + 1.0) * interval;
+}
+
+void NodeRunner::checkStall(double now) {
+  if (env_.cfg.stallSeconds <= 0.0) return;
+  // Last improvement: the global curve tail under the simulator's
+  // centralized view, the node-local tail under threads; before any
+  // improvement, progress is counted from the node's join.
+  double last = joinTime_;
+  if (env_.globalBest != nullptr) {
+    if (!env_.globalBest->curve.empty())
+      last = env_.globalBest->curve.back().time;
+  } else if (!curve_.empty()) {
+    last = curve_.back().time;
+  }
+  const double stalledFor = now - last;
+  if (stalledFor >= env_.cfg.stallSeconds) {
+    if (!stalled_) {
+      stalled_ = true;
+      logEvent(now, NodeEventType::kStall,
+               std::llround(stalledFor * 1000.0));
+    }
+  } else {
+    stalled_ = false;  // progress resumed: re-arm the detector
+  }
+}
 
 void NodeRunner::logEvent(double t, NodeEventType type, std::int64_t value) {
   log_.push_back({t, node_.id(), type, value});
@@ -263,6 +310,17 @@ bool NodeRunner::tick() {
   const int perturbations = phase.perturbations;
   const bool restarted = phase.restarted;
   const auto received = env_.transport.collect(id, end);
+  // Causal trace, receive side: apply the Lamport receive rule per stamped
+  // message and pair it with the sender's msg-sent record via (from, seq).
+  if (env_.sink != nullptr) {
+    for (const Message& m : received) {
+      if (!m.trace.has_value()) continue;
+      lamport_ = std::max(lamport_, m.trace->lamport) + 1;
+      env_.sink->write(obs::msgRecvRecord(end, id, m.from, m.trace->seq,
+                                          m.trace->lamport, lamport_,
+                                          m.length));
+    }
+  }
   const auto out = node_.merge(std::move(phase), received);
   ++steps_;
 
@@ -275,16 +333,32 @@ bool NodeRunner::tick() {
     lastPerturbLevel_ = perturbations;
     logEvent(end, NodeEventType::kPerturbationLevel, perturbations);
   }
-  if (out.improvedByMessage)
+  if (out.improvedByMessage) {
     logEvent(end, NodeEventType::kTourReceived, out.bestLength);
+    // Provenance edge: merge kept `from`'s tour over everything local.
+    if (env_.sink != nullptr && out.improvedFromNode >= 0)
+      env_.sink->write(
+          obs::adoptRecord(end, id, out.improvedFromNode, out.bestLength));
+  }
   if (out.broadcast) {
     logEvent(end, NodeEventType::kBroadcastSent, out.bestLength);
-    const Message msg = node_.makeTourMessage();
+    Message msg = node_.makeTourMessage();
+    // Causal trace, send side: stamp with this sender's next sequence
+    // number and Lamport send time. Unstamped messages (tracing off) still
+    // encode as wire v2, keeping byte accounting identical to seed runs.
+    if (env_.sink != nullptr) {
+      msg.trace = TraceStamp{++sendSeq_, ++lamport_};
+      env_.sink->write(obs::msgSentRecord(
+          end, id, sendSeq_, lamport_, msg.length,
+          static_cast<std::int64_t>(serializedSize(msg))));
+    }
     DISTCLK_AUDIT_HOOK(auditWireMessage(msg, "NodeRunner::tick"));
     env_.transport.broadcast(id, end, msg);
   }
   recordBest(end, out.bestLength, out.improvedByMessage,
              /*logImprovement=*/true);
+  checkStall(end);
+  if (env_.sink != nullptr) maybeEmitNodeBest(end);
   if (snapshotter_ != nullptr) snapshotter_->maybe(end);
   if (out.foundTarget) {
     hitTarget_ = true;
@@ -343,16 +417,19 @@ std::vector<DistNode> buildNodes(const Instance& inst,
 
 // Wires network + node probes and writes the run-meta record. Observation
 // never feeds back into node decisions, so traced simulated runs reproduce
-// un-traced results exactly.
+// un-traced results exactly. Metrics probes attach for either consumer
+// (trace sink or --metrics-out exposition); the run-meta record needs a
+// sink.
 template <typename Network>
 void attachObservation(const Instance& inst, const RunConfig& cfg,
                        const char* algorithm, const char* clockName,
                        Network& net, std::vector<DistNode>& nodes,
                        obs::MetricsRegistry& registry) {
-  if (cfg.trace == nullptr) return;
+  if (cfg.trace == nullptr && cfg.metricsOutPath.empty()) return;
   net.attachMetrics(registry);
   const NodeMetrics nodeMetrics = NodeMetrics::attach(registry);
   for (auto& node : nodes) node.setMetrics(nodeMetrics);
+  if (cfg.trace == nullptr) return;
   obs::RunMeta meta;
   meta.instance = inst.name();
   meta.n = inst.n();
@@ -380,11 +457,18 @@ void sortEvents(EventLog& events) {
 
 void writeRunEnd(const RunConfig& cfg, obs::MetricsRegistry& registry,
                  double finalTime, const RunResult& res) {
-  if (cfg.trace == nullptr) return;
-  cfg.trace->write(obs::metricsRecord(finalTime, registry.snapshot()));
-  cfg.trace->write(obs::runEndRecord(finalTime, res.bestLength, res.hitTarget,
-                                     res.totalSteps, res.net.messagesSent));
-  cfg.trace->flush();
+  if (cfg.trace == nullptr && cfg.metricsOutPath.empty()) return;
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  if (cfg.trace != nullptr) {
+    cfg.trace->write(obs::metricsRecord(finalTime, snap));
+    cfg.trace->write(obs::runEndRecord(finalTime, res.bestLength,
+                                       res.hitTarget, res.totalSteps,
+                                       res.net.messagesSent));
+    cfg.trace->flush();
+  }
+  // Final exposition snapshot, so post-run scrapes see the run's totals.
+  if (!cfg.metricsOutPath.empty())
+    obs::writePrometheusSnapshot(cfg.metricsOutPath, snap, finalTime);
 }
 
 // ---------------------------------------------------------------------------
@@ -405,7 +489,8 @@ RunResult runSim(const Instance& inst, const CandidateLists& cand,
   attachObservation(inst, cfg, "dist-sim", clock.kindName(), net, nodes,
                     metricsReg);
   // One shared snapshotter: any node's step may cross an interval boundary.
-  Snapshotter snapshotter(cfg.trace, metricsReg, cfg.metricsIntervalSeconds);
+  Snapshotter snapshotter(cfg.trace, metricsReg, cfg.metricsIntervalSeconds,
+                          cfg.metricsOutPath);
   GlobalBest global;
   EventLog events;  // one log, in emission order (event parity depends on it)
 
@@ -521,7 +606,8 @@ RunResult runThreads(const Instance& inst, const CandidateLists& cand,
                     metricsReg);
   // Node 0 doubles as the metrics reporter: snapshots merge every shard, so
   // one thread emitting suffices.
-  Snapshotter snapshotter(cfg.trace, metricsReg, cfg.metricsIntervalSeconds);
+  Snapshotter snapshotter(cfg.trace, metricsReg, cfg.metricsIntervalSeconds,
+                          cfg.metricsOutPath);
   std::atomic<bool> stopFlag{false};
 
   std::vector<double> joinTimes(std::size_t(cfg.nodes), 0.0);

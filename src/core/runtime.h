@@ -83,8 +83,19 @@ struct RunConfig {
   /// deterministic and produce identical tours to un-traced ones.
   obs::TraceSink* trace = nullptr;
   /// Seconds between periodic metric snapshots (<= 0: only the final
-  /// snapshot is written). Ignored without a sink.
+  /// snapshot is written). Also paces the per-node node-best trace series
+  /// and --metrics-out exposition. Ignored without a sink or metricsOutPath.
   double metricsIntervalSeconds = 0.0;
+  /// Stall detector budget in per-node seconds (<= 0: disabled). When a
+  /// node sees no improvement (global under sim's centralized view, local
+  /// under threads) for this long, it logs one kStall event and re-arms on
+  /// the next improvement. Observation-only: trajectories are unchanged.
+  double stallSeconds = 0.0;
+  /// Live exposition: when non-empty, a Prometheus-style text snapshot of
+  /// the metrics registry is atomically renamed into this path every
+  /// metricsIntervalSeconds and once at run end. Works with or without a
+  /// trace sink.
+  std::string metricsOutPath;
 };
 
 /// One result struct for every substrate. Per-substrate notes: under sim,
@@ -243,11 +254,13 @@ struct GlobalBest {
 
 /// Periodic metric snapshots over one clock. The simulator shares one
 /// instance across all nodes (any step may cross a boundary); the thread
-/// runtime hands it to node 0's runner only.
+/// runtime hands it to node 0's runner only. Each crossed boundary emits a
+/// metrics trace record (when a sink is attached) and refreshes the
+/// Prometheus snapshot file (when promPath is non-empty).
 class Snapshotter {
  public:
   Snapshotter(obs::TraceSink* sink, obs::MetricsRegistry& registry,
-              double intervalSeconds);
+              double intervalSeconds, std::string promPath = {});
   void maybe(double now);
 
  private:
@@ -255,6 +268,7 @@ class Snapshotter {
   obs::MetricsRegistry& registry_;
   double interval_;
   double next_;
+  std::string promPath_;
 };
 
 /// The Fig.-1 per-node iteration, shared by every substrate: compute
@@ -315,6 +329,8 @@ class NodeRunner {
   void logEvent(double t, NodeEventType type, std::int64_t value);
   void recordBest(double now, std::int64_t length, bool improvedByMessage,
                   bool logImprovement);
+  void maybeEmitNodeBest(double now);
+  void checkStall(double now);
 
   DistNode& node_;
   Env env_;
@@ -327,6 +343,14 @@ class NodeRunner {
   std::int64_t restarts_ = 0;
   bool hitTarget_ = false;
   double targetTime_ = 0.0;
+  // Causal-trace state (only touched when a sink is attached). The Lamport
+  // clock follows the textbook rules — send: ++L, stamp; receive:
+  // L = max(L, stamp) + 1 — and is observation-only: no node decision ever
+  // reads it, so traced runs reproduce un-traced trajectories exactly.
+  std::uint64_t lamport_ = 0;
+  std::uint64_t sendSeq_ = 0;   ///< per-sender broadcast counter (1-based)
+  double seriesNext_ = 0.0;     ///< next node-best series boundary
+  bool stalled_ = false;        ///< stall episode already reported
 };
 
 /// Runs the distributed algorithm on the substrate selected by

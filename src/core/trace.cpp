@@ -57,6 +57,7 @@ const char* toString(NodeEventType t) noexcept {
     case NodeEventType::kTargetReached: return "target-reached";
     case NodeEventType::kNodeJoined: return "node-joined";
     case NodeEventType::kNodeFailed: return "node-failed";
+    case NodeEventType::kStall: return "stall";
   }
   return "?";
 }

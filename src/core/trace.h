@@ -47,17 +47,21 @@ enum class NodeEventType {
   kTargetReached,       ///< value = target length
   kNodeJoined,          ///< churn: late joiner entered; value = join count (1)
   kNodeFailed,          ///< injected failure fired; value = 0
+  /// Stall detector (RunConfig::stallSeconds): the node saw no improvement
+  /// for the configured budget; value = milliseconds since the last one.
+  /// Emitted once per stall episode (re-arms when progress resumes).
+  kStall,
 };
 
 /// Every NodeEventType, for exhaustive iteration (serialization tests,
 /// report tooling). Keep in sync with the enum — the toString round-trip
 /// test walks this list.
-inline constexpr std::array<NodeEventType, 9> kAllNodeEventTypes{
+inline constexpr std::array<NodeEventType, 10> kAllNodeEventTypes{
     NodeEventType::kInitialTour,       NodeEventType::kImprovement,
     NodeEventType::kBroadcastSent,     NodeEventType::kTourReceived,
     NodeEventType::kPerturbationLevel, NodeEventType::kRestart,
     NodeEventType::kTargetReached,     NodeEventType::kNodeJoined,
-    NodeEventType::kNodeFailed,
+    NodeEventType::kNodeFailed,        NodeEventType::kStall,
 };
 
 /// Stable wire name of an event type (used in JSONL traces).

@@ -166,6 +166,8 @@ RunConfig runConfigFromArgs(const Args& args, const Instance& inst) {
     cfg.modeledWorkPerSecond = modeledWork;
   }
   cfg.metricsIntervalSeconds = args.getDouble("metrics-interval", 0.0);
+  cfg.stallSeconds = args.getDouble("stall", 0.0);
+  cfg.metricsOutPath = args.getString("metrics-out", "");
   const std::string fail = args.getString("fail", "");
   if (!fail.empty()) cfg.failures = parseSchedule(fail, "--fail");
   const std::string join = args.getString("join", "");

@@ -89,7 +89,12 @@ DistParams scaledNodeParams(const Instance& inst);
 ///   --latency S           sim link latency in seconds
 ///   --modeled-work R      charge modeled cost (R units/s) instead of
 ///                         measured wall time (sim only; deterministic)
-///   --metrics-interval S  periodic metric snapshots in the trace
+///   --metrics-interval S  periodic metric snapshots in the trace (also
+///                         paces node-best series and --metrics-out)
+///   --metrics-out FILE    live Prometheus-style snapshot, atomically
+///                         renamed into FILE every metrics interval
+///   --stall S             stall detector: log a stall event after S
+///                         seconds without improvement (0 = off)
 ///   --fail N:T[,N:T...]   failure schedule (node N dies at time T)
 ///   --join N:T[,N:T...]   churn schedule (node N joins at time T)
 ///   --speeds S0,S1,...    relative node speeds (one per node)

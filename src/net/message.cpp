@@ -32,19 +32,26 @@ T take(const std::vector<std::uint8_t>& buf, std::size_t& at) {
 }  // namespace
 
 std::size_t serializedSize(const Message& msg) noexcept {
-  return kHeaderBytes + msg.order.size() * sizeof(std::int32_t);
+  return kHeaderBytes + msg.order.size() * sizeof(std::int32_t) +
+         (msg.trace.has_value() ? kTraceTrailerBytes : 0);
 }
 
 std::vector<std::uint8_t> serialize(const Message& msg) {
   std::vector<std::uint8_t> buf;
   buf.reserve(serializedSize(msg));
   for (std::uint8_t b : kMagic) put(buf, b);
-  put(buf, kWireVersion);
+  // Stamp-free messages keep the v2 frame byte for byte, so un-traced runs
+  // (and their byte accounting) are unchanged by the v3 codec.
+  put(buf, msg.trace.has_value() ? kWireVersion : kWireVersionPlain);
   put(buf, static_cast<std::uint8_t>(msg.type));
   put(buf, msg.from);
   put(buf, msg.length);
   put(buf, static_cast<std::uint32_t>(msg.order.size()));
   for (std::int32_t c : msg.order) put(buf, c);
+  if (msg.trace.has_value()) {
+    put(buf, msg.trace->seq);
+    put(buf, msg.trace->lamport);
+  }
   return buf;
 }
 
@@ -53,7 +60,8 @@ Message deserialize(const std::vector<std::uint8_t>& buf) {
   for (std::uint8_t expect : kMagic)
     if (take<std::uint8_t>(buf, at) != expect)
       throw std::runtime_error("Message: bad magic");
-  if (take<std::uint8_t>(buf, at) != kWireVersion)
+  const auto version = take<std::uint8_t>(buf, at);
+  if (version != kWireVersionPlain && version != kWireVersion)
     throw std::runtime_error("Message: unsupported wire version");
   Message msg;
   const auto type = take<std::uint8_t>(buf, at);
@@ -66,11 +74,20 @@ Message deserialize(const std::vector<std::uint8_t>& buf) {
   const auto count = take<std::uint32_t>(buf, at);
   // A count field larger than the remaining payload is corruption; reject
   // before reserving, so a flipped length byte cannot trigger a huge alloc.
-  if (buf.size() - at != count * sizeof(std::int32_t))
+  // The v3 trailer is mandatory, so the expected size is exact for both
+  // versions and a flipped version byte cannot decode as the other layout.
+  const std::size_t trailer = version == kWireVersion ? kTraceTrailerBytes : 0;
+  if (buf.size() - at != count * sizeof(std::int32_t) + trailer)
     throw std::runtime_error("Message: payload size mismatch");
   msg.order.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i)
     msg.order.push_back(take<std::int32_t>(buf, at));
+  if (version == kWireVersion) {
+    TraceStamp stamp;
+    stamp.seq = take<std::uint64_t>(buf, at);
+    stamp.lamport = take<std::uint64_t>(buf, at);
+    msg.trace = stamp;
+  }
   return msg;
 }
 

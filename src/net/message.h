@@ -7,16 +7,24 @@
 //
 // Wire layout (little-endian), version 2:
 //   "DLK"           3 bytes   magic
-//   version         u8        kWireVersion
+//   version         u8        2 or 3
 //   type            u8        MessageType
 //   from            i32       sender node id
 //   length          i64       tour length (kTour/kOptimumFound)
 //   count           u32       number of payload entries
 //   payload         i32[count]
+//
+// Version 3 appends a mandatory 16-byte causal-trace trailer after the
+// payload (seq u64, lamport u64). Messages without a stamp are still
+// emitted as version-2 frames, byte for byte as before, so byte accounting
+// with tracing off is unchanged and v2 peers/recordings keep decoding. The
+// trailer being mandatory in v3 means a flipped version byte in either
+// direction fails the exact-size payload check instead of misreading.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace distclk {
@@ -40,7 +48,23 @@ inline constexpr MessageType kAllMessageTypes[] = {
 
 /// Codec version, first payload byte after the magic. Bump on any layout
 /// change; deserialize() rejects other versions instead of misreading.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v3 == v2 plus the causal-trace trailer; stamp-free messages keep the v2
+/// frame (kWireVersionPlain), so the version byte is stamp-dependent.
+inline constexpr std::uint8_t kWireVersion = 3;
+inline constexpr std::uint8_t kWireVersionPlain = 2;
+/// Size of the v3 trailer: seq u64 + lamport u64.
+inline constexpr std::size_t kTraceTrailerBytes = 16;
+
+/// Causal-trace stamp carried in the v3 trailer: the sender's per-message
+/// sequence id and its Lamport time at send. Attached by NodeRunner only
+/// when tracing is enabled and never read by the algorithm, so stamped and
+/// unstamped runs follow identical trajectories.
+struct TraceStamp {
+  std::uint64_t seq = 0;      ///< 1-based per-sender broadcast counter
+  std::uint64_t lamport = 0;  ///< sender's Lamport clock at send
+
+  bool operator==(const TraceStamp&) const = default;
+};
 
 struct Message {
   MessageType type = MessageType::kTour;
@@ -48,6 +72,8 @@ struct Message {
   std::int64_t length = 0;         ///< tour length (kTour/kOptimumFound)
   /// kTour: city order; kNeighborList: neighbor node ids; else empty.
   std::vector<std::int32_t> order;
+  /// Present iff the frame is (or should be encoded as) wire v3.
+  std::optional<TraceStamp> trace;
 
   bool operator==(const Message&) const = default;
 };

@@ -1,0 +1,89 @@
+#include "obs/prom.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace distclk::obs {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our registry names
+/// use dots ("net.sends"); map anything outside the charset to '_' and
+/// prefix the exporter namespace.
+std::string promName(std::string_view name) {
+  std::string out = "distclk_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void appendSample(std::string& out, const std::string& name, double value) {
+  out += name;
+  out += ' ';
+  out += jsonNumber(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheusText(const MetricsSnapshot& snapshot,
+                           double timeSeconds) {
+  std::string out;
+  out += "# TYPE distclk_snapshot_time_seconds gauge\n";
+  appendSample(out, "distclk_snapshot_time_seconds", timeSeconds);
+
+  for (const auto& counter : snapshot.counters) {
+    const std::string name = promName(counter.name);
+    out += "# TYPE " + name + " counter\n";
+    appendSample(out, name, double(counter.value));
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    if (!gauge.everSet) continue;
+    const std::string name = promName(gauge.name);
+    out += "# TYPE " + name + " gauge\n";
+    appendSample(out, name, gauge.value);
+  }
+  for (const auto& hist : snapshot.histograms) {
+    const std::string name = promName(hist.name);
+    out += "# TYPE " + name + " histogram\n";
+    // Buckets are cumulative in the exposition format; registry counts are
+    // per-bucket, so accumulate while emitting.
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.data.bounds.size(); ++i) {
+      cumulative += i < hist.data.counts.size() ? hist.data.counts[i] : 0;
+      out += name + "_bucket{le=\"" + jsonNumber(hist.data.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(hist.data.count) +
+           "\n";
+    appendSample(out, name + "_sum", hist.data.sum);
+    out += name + "_count " + std::to_string(hist.data.count) + "\n";
+  }
+  return out;
+}
+
+bool writeFileAtomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(content.data(),
+             static_cast<std::streamsize>(content.size()));
+    os.flush();
+    if (!os) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool writePrometheusSnapshot(const std::string& path,
+                             const MetricsSnapshot& snapshot,
+                             double timeSeconds) {
+  return writeFileAtomic(path, prometheusText(snapshot, timeSeconds));
+}
+
+}  // namespace distclk::obs

@@ -1,0 +1,35 @@
+// Prometheus-style text exposition of a MetricsSnapshot, plus an
+// atomic-rename file writer. The drivers use this for --metrics-out: every
+// metrics interval (and once at run end) the current snapshot is rendered
+// and renamed into place, so a scrape/watcher never observes a torn file
+// and long runs can be monitored mid-flight (ROADMAP: solver-as-a-service
+// needs live SLO views on top of the trace layer).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace distclk::obs {
+
+/// Renders `snapshot` in the Prometheus text exposition format (v0.0.4):
+/// counters/gauges as single samples, histograms as cumulative _bucket
+/// series plus _sum/_count. Metric names are prefixed with "distclk_" and
+/// sanitized (dots to underscores). `timeSeconds` is exported as the gauge
+/// distclk_snapshot_time_seconds (the driver's clock, not wall time).
+std::string prometheusText(const MetricsSnapshot& snapshot,
+                           double timeSeconds);
+
+/// Writes `content` to `path` atomically: writes "<path>.tmp" then renames
+/// over `path`, so readers see either the old or the new snapshot, never a
+/// partial one. Returns false on I/O failure (best-effort exposition — the
+/// run itself must not die because a metrics file is unwritable).
+bool writeFileAtomic(const std::string& path, std::string_view content);
+
+/// prometheusText + writeFileAtomic in one call.
+bool writePrometheusSnapshot(const std::string& path,
+                             const MetricsSnapshot& snapshot,
+                             double timeSeconds);
+
+}  // namespace distclk::obs

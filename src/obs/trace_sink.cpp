@@ -1,6 +1,11 @@
 #include "obs/trace_sink.h"
 
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/json.h"
 
@@ -10,22 +15,110 @@
 
 namespace distclk::obs {
 
+namespace {
+
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Registry of live file-backed sinks, for the abnormal-termination flush.
+// Function-local statics so the registry outlives any static sink.
+std::mutex& sinkRegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<JsonlTraceSink*>& sinkRegistry() {
+  static std::vector<JsonlTraceSink*> sinks;
+  return sinks;
+}
+
+extern "C" void distclkTraceSignalHandler(int sig) {
+  flushAllTraceSinks();
+  // Re-raise with the default action so exit status / core behavior is the
+  // same as without the handler — we only borrow the first delivery.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void installTerminationFlush() {
+  static bool installed = [] {
+    std::signal(SIGINT, distclkTraceSignalHandler);
+    std::signal(SIGTERM, distclkTraceSignalHandler);
+    std::signal(SIGABRT, distclkTraceSignalHandler);
+    std::atexit([] { flushAllTraceSinks(); });
+    return true;
+  }();
+  (void)installed;
+}
+
+void registerSink(JsonlTraceSink* sink) {
+  const std::scoped_lock lock(sinkRegistryMutex());
+  sinkRegistry().push_back(sink);
+}
+
+void unregisterSink(JsonlTraceSink* sink) {
+  const std::scoped_lock lock(sinkRegistryMutex());
+  auto& sinks = sinkRegistry();
+  sinks.erase(std::remove(sinks.begin(), sinks.end(), sink), sinks.end());
+}
+
+}  // namespace
+
+void flushAllTraceSinks() noexcept {
+  // Try-locks only: a thread that died holding a lock must not wedge the
+  // termination path — its sink is skipped (best effort, by design).
+  std::mutex& mu = sinkRegistryMutex();
+  if (!mu.try_lock()) return;
+  for (JsonlTraceSink* sink : sinkRegistry()) sink->tryFlush();
+  mu.unlock();
+}
+
 JsonlTraceSink::JsonlTraceSink(std::ostream& os) : os_(os) {}
 
 JsonlTraceSink::JsonlTraceSink(const std::string& path)
     : owned_(path), os_(owned_) {
   if (!owned_) throw std::runtime_error("JsonlTraceSink: cannot open " + path);
+  installTerminationFlush();
+  registerSink(this);
+  registered_ = true;
+}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (registered_) unregisterSink(this);
 }
 
 void JsonlTraceSink::write(std::string_view line) {
   const std::scoped_lock lock(mu_);
   os_ << line << '\n';
   ++lines_;
+  if (flushIntervalSeconds_ > 0.0) {
+    const std::int64_t now = steadyNowNs();
+    if (double(now - lastFlushNs_) * 1e-9 >= flushIntervalSeconds_) {
+      os_.flush();
+      lastFlushNs_ = now;
+    }
+  }
 }
 
 void JsonlTraceSink::flush() {
   const std::scoped_lock lock(mu_);
   os_.flush();
+  lastFlushNs_ = steadyNowNs();
+}
+
+void JsonlTraceSink::tryFlush() noexcept {
+  if (!mu_.try_lock()) return;
+  os_.flush();
+  mu_.unlock();
+}
+
+void JsonlTraceSink::setFlushIntervalSeconds(double seconds) {
+  const std::scoped_lock lock(mu_);
+  flushIntervalSeconds_ = seconds;
+  lastFlushNs_ = steadyNowNs();
 }
 
 std::int64_t JsonlTraceSink::linesWritten() const {
@@ -82,6 +175,56 @@ std::string runEndRecord(double time, std::int64_t bestLength, bool hitTarget,
       .field("hit_target", hitTarget)
       .field("total_steps", totalSteps)
       .field("messages_sent", messagesSent)
+      .str();
+}
+
+std::string msgSentRecord(double time, int node, std::uint64_t seq,
+                          std::uint64_t lamport, std::int64_t length,
+                          std::int64_t bytes) {
+  return JsonObject()
+      .field("type", "msg-sent")
+      .field("t", time)
+      .field("node", node)
+      .field("seq", seq)
+      .field("lamport", lamport)
+      .field("len", length)
+      .field("bytes", bytes)
+      .str();
+}
+
+std::string msgRecvRecord(double time, int node, int from, std::uint64_t seq,
+                          std::uint64_t lamport, std::uint64_t recvLamport,
+                          std::int64_t length) {
+  return JsonObject()
+      .field("type", "msg-recv")
+      .field("t", time)
+      .field("node", node)
+      .field("from", from)
+      .field("seq", seq)
+      .field("lamport", lamport)
+      .field("recv_lamport", recvLamport)
+      .field("len", length)
+      .str();
+}
+
+std::string adoptRecord(double time, int node, int from, std::int64_t length) {
+  return JsonObject()
+      .field("type", "adopt")
+      .field("t", time)
+      .field("node", node)
+      .field("from", from)
+      .field("len", length)
+      .str();
+}
+
+std::string nodeBestRecord(double time, int node, std::int64_t best,
+                           int noImprovements) {
+  return JsonObject()
+      .field("type", "node-best")
+      .field("t", time)
+      .field("node", node)
+      .field("len", best)
+      .field("no_improve", noImprovements)
       .str();
 }
 

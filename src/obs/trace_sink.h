@@ -9,10 +9,17 @@
 //   event     — a NodeEvent (t, node, event name, value)
 //   metrics   — a MetricsSnapshot stamped with the driver's clock
 //   run-end   — once: best length, target hit, step/message totals
+//   msg-sent  — causal trace: a stamped broadcast left a node (seq, lamport)
+//   msg-recv  — causal trace: a stamped message was collected (sender stamp
+//               plus the receiver's Lamport time after the receive rule)
+//   adopt     — merge kept a received tour; from = the winning sender
+//   node-best — periodic per-node best-length series (gap-to-best input)
 //
 // Timestamps always come from the calling driver's clock (virtual seconds
 // under the simulator, per-node wall seconds under threads) — the sink
-// never consults a clock, keeping simulated traces deterministic.
+// never consults a clock for record content, keeping simulated traces
+// deterministic. (The optional flush interval reads a steady clock, but
+// only to decide when to fflush — never what to write.)
 #pragma once
 
 #include <cstdint>
@@ -37,24 +44,47 @@ class TraceSink {
   virtual void flush() {}
 };
 
-/// Thread-safe JSONL sink over an ostream or a file.
+/// Thread-safe JSONL sink over an ostream or a file. File-backed sinks
+/// register themselves for the best-effort flush-on-abnormal-termination
+/// handlers (flushAllTraceSinks), so a crashed run keeps its trace tail.
 class JsonlTraceSink : public TraceSink {
  public:
   /// Non-owning: caller keeps `os` alive for the sink's lifetime.
   explicit JsonlTraceSink(std::ostream& os);
   /// Owning: opens (truncates) `path`; throws std::runtime_error on failure.
   explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
 
   void write(std::string_view line) override;
   void flush() override;
+  /// Non-blocking flush used by the termination handlers: skips the sink
+  /// (rather than deadlocking) when another thread holds the write lock.
+  void tryFlush() noexcept;
   std::int64_t linesWritten() const;
+
+  /// Flush the underlying stream whenever at least `seconds` of wall time
+  /// elapsed since the last flush (checked on each write; <= 0 restores the
+  /// default of flushing only on flush()/destruction). Bounds how much
+  /// trace a hard kill can lose without paying a flush per line.
+  void setFlushIntervalSeconds(double seconds);
 
  private:
   std::ofstream owned_;
   std::ostream& os_;
   mutable std::mutex mu_;
   std::int64_t lines_ = 0;
+  double flushIntervalSeconds_ = 0.0;
+  std::int64_t lastFlushNs_ = 0;
+  bool registered_ = false;
 };
+
+/// Best-effort flush of every live file-backed JsonlTraceSink. Installed on
+/// SIGINT/SIGTERM/SIGABRT (then re-raised with the default action) and via
+/// atexit by the first file-backed sink; safe to call directly. Uses
+/// try-locks throughout, so a thread crashed mid-write is skipped instead
+/// of deadlocking. Not async-signal-safe in the strict POSIX sense —
+/// acceptable for a crash path whose alternative is losing the tail.
+void flushAllTraceSinks() noexcept;
 
 /// Run-level metadata captured at trace start.
 struct RunMeta {
@@ -82,5 +112,15 @@ std::string eventRecord(const NodeEvent& event);
 std::string metricsRecord(double time, const MetricsSnapshot& snapshot);
 std::string runEndRecord(double time, std::int64_t bestLength, bool hitTarget,
                          std::int64_t totalSteps, std::int64_t messagesSent);
+/// Causal-trace records (wire v3 stamps at the NodeRunner boundaries).
+std::string msgSentRecord(double time, int node, std::uint64_t seq,
+                          std::uint64_t lamport, std::int64_t length,
+                          std::int64_t bytes);
+std::string msgRecvRecord(double time, int node, int from, std::uint64_t seq,
+                          std::uint64_t lamport, std::uint64_t recvLamport,
+                          std::int64_t length);
+std::string adoptRecord(double time, int node, int from, std::int64_t length);
+std::string nodeBestRecord(double time, int node, std::int64_t best,
+                           int noImprovements);
 
 }  // namespace distclk::obs

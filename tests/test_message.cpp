@@ -74,10 +74,52 @@ TEST(Message, RejectsWrongVersion) {
   Message msg;
   msg.order = {1, 2, 3};
   auto buf = serialize(msg);
-  EXPECT_EQ(buf[3], kWireVersion);  // the version byte follows the magic
+  // The version byte follows the magic; unstamped messages stay on the
+  // plain (v2) format so tracing-off byte accounting never changes.
+  EXPECT_EQ(buf[3], kWireVersionPlain);
   buf[3] = kWireVersion + 1;
   EXPECT_THROW(deserialize(buf), std::runtime_error);
   buf[3] = 0;
+  EXPECT_THROW(deserialize(buf), std::runtime_error);
+  // Flipping a plain frame to v3 must fail too: the decoder then demands a
+  // trace trailer the payload does not have.
+  buf[3] = kWireVersion;
+  EXPECT_THROW(deserialize(buf), std::runtime_error);
+}
+
+TEST(Message, StampedRoundtripCarriesTrailer) {
+  Message msg;
+  msg.type = MessageType::kTour;
+  msg.from = 2;
+  msg.length = 8126701;
+  msg.order = {0, 3, 1, 2};
+  msg.trace = TraceStamp{17, 0xfeedbeefcafeULL};
+  const auto buf = serialize(msg);
+  EXPECT_EQ(buf[3], kWireVersion);
+  EXPECT_EQ(buf.size(), serializedSize(msg));
+  const Message back = deserialize(buf);
+  EXPECT_EQ(back, msg);
+  ASSERT_TRUE(back.trace.has_value());
+  EXPECT_EQ(back.trace->seq, 17u);
+  EXPECT_EQ(back.trace->lamport, 0xfeedbeefcafeULL);
+}
+
+TEST(Message, StampCostsExactlyTheTrailer) {
+  Message msg;
+  msg.order = {1, 2, 3};
+  const std::size_t plain = serializedSize(msg);
+  msg.trace = TraceStamp{1, 1};
+  EXPECT_EQ(serializedSize(msg), plain + kTraceTrailerBytes);
+  EXPECT_EQ(serialize(msg).size(), plain + kTraceTrailerBytes);
+}
+
+TEST(Message, RejectsStampedFrameFlippedToPlain) {
+  Message msg;
+  msg.order = {1, 2, 3};
+  msg.trace = TraceStamp{5, 9};
+  auto buf = serialize(msg);
+  // A v3 frame relabeled v2 carries 16 unexplained bytes — must reject.
+  buf[3] = kWireVersionPlain;
   EXPECT_THROW(deserialize(buf), std::runtime_error);
 }
 
@@ -95,6 +137,11 @@ TEST(Message, RandomizedRoundTripAllTypes) {
       msg.order.resize(n);
       for (auto& city : msg.order)
         city = static_cast<std::int32_t>(rng.range(0, 1 << 24));
+      // Half the trials carry a causal stamp: both wire versions must
+      // round-trip under the same codec.
+      if (rng.below(2) == 0)
+        msg.trace = TraceStamp{std::uint64_t(rng.range(0, 1 << 30)),
+                               std::uint64_t(rng.range(0, 1 << 30))};
       const auto buf = serialize(msg);
       EXPECT_EQ(buf.size(), serializedSize(msg));
       EXPECT_EQ(deserialize(buf), msg);
@@ -107,33 +154,46 @@ TEST(Message, RandomizedRoundTripAllTypes) {
 // (i.e. the codec never invents data it cannot represent).
 TEST(Message, CorruptedBuffersRejectedOrSelfConsistent) {
   Rng rng(42);
-  Message msg;
-  msg.type = MessageType::kTour;
-  msg.from = 6;
-  msg.length = 987654321;
-  msg.order = {4, 0, 3, 1, 2, 5, 7, 6};
-  const auto clean = serialize(msg);
-  for (std::size_t at = 0; at < clean.size(); ++at) {
-    auto buf = clean;
-    buf[at] ^= std::uint8_t(1 + rng.below(255));
-    try {
-      const Message back = deserialize(buf);
-      EXPECT_EQ(serialize(back), buf) << "byte " << at;
-    } catch (const std::runtime_error&) {
-      // rejection is the expected outcome for header corruption
+  Message stamped;
+  stamped.type = MessageType::kTour;
+  stamped.from = 6;
+  stamped.length = 987654321;
+  stamped.order = {4, 0, 3, 1, 2, 5, 7, 6};
+  stamped.trace = TraceStamp{3, 12};
+  Message plain = stamped;
+  plain.trace.reset();
+  // Both wire versions: in particular a flipped version byte must be
+  // rejected in either direction (the mandatory v3 trailer makes the
+  // exact-payload-size check fail both ways).
+  for (const Message& msg : {plain, stamped}) {
+    const auto clean = serialize(msg);
+    for (std::size_t at = 0; at < clean.size(); ++at) {
+      auto buf = clean;
+      buf[at] ^= std::uint8_t(1 + rng.below(255));
+      try {
+        const Message back = deserialize(buf);
+        EXPECT_EQ(serialize(back), buf) << "byte " << at;
+      } catch (const std::runtime_error&) {
+        // rejection is the expected outcome for header corruption
+      }
     }
   }
 }
 
 // Property test: random truncations of a valid buffer never decode.
 TEST(Message, RandomTruncationsAlwaysRejected) {
-  Message msg;
-  msg.order = {10, 11, 12, 13, 14};
-  const auto clean = serialize(msg);
-  for (std::size_t keep = 0; keep < clean.size(); ++keep) {
-    auto buf = clean;
-    buf.resize(keep);
-    EXPECT_THROW(deserialize(buf), std::runtime_error) << "keep " << keep;
+  Message stamped;
+  stamped.order = {10, 11, 12, 13, 14};
+  stamped.trace = TraceStamp{1, 2};
+  Message plain = stamped;
+  plain.trace.reset();
+  for (const Message& msg : {plain, stamped}) {
+    const auto clean = serialize(msg);
+    for (std::size_t keep = 0; keep < clean.size(); ++keep) {
+      auto buf = clean;
+      buf.resize(keep);
+      EXPECT_THROW(deserialize(buf), std::runtime_error) << "keep " << keep;
+    }
   }
 }
 

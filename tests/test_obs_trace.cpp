@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "core/dist_clk.h"
@@ -105,6 +107,55 @@ TEST(TraceSink, RunMetaCarriesVersionAndParams) {
   EXPECT_FALSE(v.str("git").empty());
 }
 
+TEST(TraceSink, CausalRecordBuildersRoundTrip) {
+  const JsonValue sent = parseJson(obs::msgSentRecord(1.5, 3, 7, 42, 999, 61));
+  EXPECT_EQ(sent.str("type"), "msg-sent");
+  EXPECT_EQ(sent.integer("node"), 3);
+  EXPECT_EQ(sent.integer("seq"), 7);
+  EXPECT_EQ(sent.integer("lamport"), 42);
+  EXPECT_EQ(sent.integer("len"), 999);
+  EXPECT_EQ(sent.integer("bytes"), 61);
+
+  const JsonValue recv =
+      parseJson(obs::msgRecvRecord(1.6, 1, 3, 7, 42, 43, 999));
+  EXPECT_EQ(recv.str("type"), "msg-recv");
+  EXPECT_EQ(recv.integer("from"), 3);
+  EXPECT_EQ(recv.integer("seq"), 7);
+  EXPECT_EQ(recv.integer("lamport"), 42);
+  EXPECT_EQ(recv.integer("recv_lamport"), 43);
+
+  const JsonValue adopt = parseJson(obs::adoptRecord(1.6, 1, 3, 999));
+  EXPECT_EQ(adopt.str("type"), "adopt");
+  EXPECT_EQ(adopt.integer("node"), 1);
+  EXPECT_EQ(adopt.integer("from"), 3);
+
+  const JsonValue best = parseJson(obs::nodeBestRecord(2.0, 1, 990, 4));
+  EXPECT_EQ(best.str("type"), "node-best");
+  EXPECT_EQ(best.integer("len"), 990);
+  EXPECT_EQ(best.integer("no_improve"), 4);
+}
+
+TEST(TraceSink, FlushIntervalAndTerminationFlushKeepFileCurrent) {
+  const std::string path = ::testing::TempDir() + "/flush_test.jsonl";
+  const auto fileContents = [&path] {
+    std::ifstream is(path);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+  };
+  obs::JsonlTraceSink sink(path);
+  // With a (tiny) flush interval, every write lands on disk immediately —
+  // no explicit flush() needed.
+  sink.setFlushIntervalSeconds(1e-9);
+  sink.write(R"({"type":"event"})");
+  EXPECT_NE(fileContents().find("\"type\":\"event\""), std::string::npos);
+  // The abnormal-termination path flushes registered file sinks.
+  sink.setFlushIntervalSeconds(0.0);
+  sink.write(R"({"type":"run-end"})");
+  obs::flushAllTraceSinks();
+  EXPECT_NE(fileContents().find("\"type\":\"run-end\""), std::string::npos);
+  EXPECT_EQ(sink.linesWritten(), 2);
+}
+
 class TracedRuns : public ::testing::Test {
  protected:
   TracedRuns()
@@ -137,6 +188,7 @@ TEST_F(TracedRuns, SimulatedTraceIsCompleteAndParseable) {
   std::istringstream in(out.str());
   std::string line;
   int meta = 0, events = 0, metrics = 0, runEnd = 0;
+  int msgSent = 0, msgRecv = 0, adopts = 0, nodeBest = 0;
   while (std::getline(in, line)) {
     const JsonValue v = parseJson(line);  // throws on malformed output
     const std::string type = v.str("type");
@@ -144,12 +196,23 @@ TEST_F(TracedRuns, SimulatedTraceIsCompleteAndParseable) {
     else if (type == "event") ++events;
     else if (type == "metrics") ++metrics;
     else if (type == "run-end") ++runEnd;
+    else if (type == "msg-sent") ++msgSent;
+    else if (type == "msg-recv") ++msgRecv;
+    else if (type == "adopt") ++adopts;
+    else if (type == "node-best") ++nodeBest;
     else FAIL() << "unknown record type " << type;
   }
   EXPECT_EQ(meta, 1);
   EXPECT_EQ(runEnd, 1);
   EXPECT_GE(metrics, 2);  // periodic + final
   EXPECT_EQ(events, static_cast<int>(res.events.size()));
+  // Causal layer: one msg-sent per broadcast, one msg-recv per delivery,
+  // adopts only where a received tour won a merge, and a periodic per-node
+  // best series paced by the metrics interval.
+  EXPECT_EQ(msgSent, static_cast<int>(res.net.broadcasts));
+  EXPECT_EQ(msgRecv, static_cast<int>(res.net.messagesSent));
+  EXPECT_LE(adopts, msgRecv);
+  EXPECT_GT(nodeBest, 0);
 }
 
 TEST_F(TracedRuns, TracingDoesNotChangeSimulatedResults) {

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 #include "core/dist_clk.h"
+#include "obs/report.h"
 #include "core/thread_driver.h"
 #include "net/sim_network.h"
 #include "net/thread_network.h"
@@ -89,6 +91,68 @@ TEST(RuntimeParity, SimMatchesPreRefactorFixture) {
     bestOfNodes = std::min(bestOfNodes, curve.back().length);
   }
   EXPECT_EQ(bestOfNodes, res.bestLength);
+}
+
+// Tracing must be a pure observer: with a sink attached (and stamps on the
+// wire), the fixture trajectory — tour, steps, curve, event-log hash — is
+// bit-identical. Only bytesSent moves, by exactly one 16-byte trace trailer
+// per delivered message.
+TEST(RuntimeParity, TracingOnPreservesFixtureTrajectory) {
+  const Instance inst = uniformSquare("parity", 120, 42);
+  const CandidateLists cand(inst, 8);
+  std::ostringstream jsonl;
+  obs::JsonlTraceSink sink(jsonl);
+  RunConfig cfg = parityConfig();
+  cfg.trace = &sink;
+  cfg.metricsIntervalSeconds = 1.0;
+  const RunResult res = runDistributed(inst, cand, cfg);
+
+  EXPECT_EQ(res.bestLength, 8126701);
+  EXPECT_EQ(res.totalSteps, 351);
+  EXPECT_EQ(res.totalRestarts, 17);
+  EXPECT_EQ(res.net.messagesSent, 24);
+  EXPECT_EQ(res.net.broadcasts, 8);
+  EXPECT_EQ(res.net.bytesSent,
+            12024 + 24 * std::int64_t(kTraceTrailerBytes));
+  ASSERT_EQ(res.events.size(), 113u);
+  EXPECT_EQ(eventLogHash(res.events), 15090688922916996318ULL);
+  ASSERT_EQ(res.curve.size(), 2u);
+  EXPECT_EQ(res.curve[0].time, 0.15969);
+  EXPECT_EQ(res.curve[0].length, 8132600);
+  EXPECT_EQ(res.curve[1].time, 0.57315000000000005);
+  EXPECT_EQ(res.curve[1].length, 8126701);
+
+  // The captured trace carries the causal layer and passes validation.
+  std::istringstream in(jsonl.str());
+  const obs::ValidationResult validation = obs::validateTrace(in);
+  EXPECT_TRUE(validation.ok()) << (validation.problems.empty()
+                                       ? "bad lines"
+                                       : validation.problems.front());
+  std::istringstream in2(jsonl.str());
+  const obs::LoadedTrace trace = obs::loadTrace(in2);
+  EXPECT_EQ(trace.sent.size(), 8u);   // one msg-sent per broadcast call
+  EXPECT_EQ(trace.recv.size(), 24u);  // one msg-recv per delivery
+}
+
+// The stall detector adds kStall events to the log but never feeds back
+// into the search: the fixture's tour, step count, and traffic are intact.
+TEST(RuntimeParity, StallDetectorIsObservationOnly) {
+  const Instance inst = uniformSquare("parity", 120, 42);
+  const CandidateLists cand(inst, 8);
+  RunConfig cfg = parityConfig();
+  cfg.stallSeconds = 1.5;  // last fixture improvement lands at t=0.573
+  const RunResult res = runDistributed(inst, cand, cfg);
+  EXPECT_EQ(res.bestLength, 8126701);
+  EXPECT_EQ(res.totalSteps, 351);
+  EXPECT_EQ(res.net.messagesSent, 24);
+  int stalls = 0;
+  for (const auto& e : res.events)
+    if (e.type == NodeEventType::kStall) {
+      ++stalls;
+      // Value documents the drought length in milliseconds.
+      EXPECT_GE(e.value, 1500);
+    }
+  EXPECT_GT(stalls, 0);
 }
 
 TEST(RuntimeParity, WrapperEqualsRunDistributed) {

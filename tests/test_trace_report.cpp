@@ -1,0 +1,241 @@
+// Tests for the trace analytics library (obs/report.h): loading with
+// skip-and-count, causal propagation/provenance reconstruction, convergence
+// lookups, and trace validation — run in-process against freshly captured
+// churn fixtures on BOTH runtime substrates, exactly as tools/trace_report
+// would consume them from disk.
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/runtime.h"
+#include "obs/trace_sink.h"
+#include "tsp/gen.h"
+#include "tsp/neighbors.h"
+
+namespace distclk {
+namespace {
+
+/// One traced churn run (late join + injected failure) on the requested
+/// substrate; returns the captured JSONL.
+std::string capturedChurnTrace(RuntimeKind kind) {
+  const Instance inst = uniformSquare("report-test", 120, 42);
+  const CandidateLists cand(inst, 8);
+  RunConfig cfg;
+  cfg.runtime = kind;
+  cfg.nodes = 8;
+  cfg.node.clkKicksPerCall = 5;
+  cfg.node.cr = 12;
+  cfg.node.cv = 4;
+  cfg.seed = 2026;
+  if (kind == RuntimeKind::kSim) {
+    cfg.costModel = CostModel::kModeled;
+    cfg.modeledWorkPerSecond = 1e5;
+    cfg.timeLimitPerNode = 6.0;
+    cfg.joins = {{5, 0.4}};
+    cfg.failures = {{2, 0.5}};
+    cfg.metricsIntervalSeconds = 1.0;
+  } else {
+    cfg.timeLimitPerNode = 0.4;  // wall seconds: keep the suite fast
+    cfg.joins = {{5, 0.05}};
+    cfg.failures = {{2, 0.1}};
+    cfg.metricsIntervalSeconds = 0.1;
+  }
+  std::ostringstream out;
+  obs::JsonlTraceSink sink(out);
+  cfg.trace = &sink;
+  runDistributed(inst, cand, cfg);
+  return out.str();
+}
+
+obs::LoadedTrace load(const std::string& jsonl) {
+  std::istringstream in(jsonl);
+  return obs::loadTrace(in);
+}
+
+class ChurnTraces : public ::testing::TestWithParam<RuntimeKind> {};
+
+INSTANTIATE_TEST_SUITE_P(BothRuntimes, ChurnTraces,
+                         ::testing::Values(RuntimeKind::kSim,
+                                           RuntimeKind::kThreads),
+                         [](const auto& info) {
+                           return std::string(toString(info.param));
+                         });
+
+TEST_P(ChurnTraces, ValidatesCleanUnderChurn) {
+  const std::string jsonl = capturedChurnTrace(GetParam());
+  std::istringstream in(jsonl);
+  const obs::ValidationResult result = obs::validateTrace(in);
+  EXPECT_TRUE(result.ok()) << (result.problems.empty()
+                                   ? "bad lines or no records"
+                                   : result.problems.front());
+  EXPECT_EQ(result.badLines, 0);
+  EXPECT_GT(result.records, 0);
+}
+
+TEST_P(ChurnTraces, PropagationReconstructsBroadcastTree) {
+  const obs::LoadedTrace trace = load(capturedChurnTrace(GetParam()));
+  EXPECT_EQ(trace.nodeCount(), 8);
+  EXPECT_FALSE(trace.sent.empty());
+  EXPECT_FALSE(trace.recv.empty());
+
+  const std::vector<obs::PropagationSummary> summaries =
+      obs::propagationSummaries(trace);
+  ASSERT_FALSE(summaries.empty());
+  const AnytimeCurve global = obs::globalBestCurve(trace);
+  ASSERT_EQ(summaries.size(), global.size());
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const obs::PropagationSummary& s = summaries[i];
+    EXPECT_EQ(s.len, global[i].length);
+    EXPECT_GE(s.origin, 0);
+    EXPECT_LT(s.origin, 8);
+    EXPECT_EQ(s.total, 8);
+    EXPECT_GE(s.reached, 1);  // at least the origin itself
+    EXPECT_LE(s.reached, s.total);
+    EXPECT_GE(s.maxHops, 0);
+    EXPECT_LT(s.maxHops, 8);
+    // Coverage percentiles are ordered where defined.
+    if (s.t50 >= 0 && s.t90 >= 0) {
+      EXPECT_LE(s.t50, s.t90);
+    }
+    if (s.t90 >= 0 && s.tFull >= 0) {
+      EXPECT_LE(s.t90, s.tFull);
+    }
+    // Full coverage implies the percentiles exist.
+    if (s.tFull >= 0) {
+      EXPECT_EQ(s.reached, s.total);
+      EXPECT_GE(s.t50, 0.0);
+      EXPECT_GE(s.t90, 0.0);
+    }
+  }
+  // The run's early improvements must actually spread past their origin —
+  // that is the point of the broadcast layer (the last one may land too
+  // close to the budget to travel).
+  EXPECT_GT(summaries.front().reached, 1);
+}
+
+TEST_P(ChurnTraces, ProvenanceRowsAreConsistent) {
+  const obs::LoadedTrace trace = load(capturedChurnTrace(GetParam()));
+  const std::vector<obs::ProvenanceRow> rows = obs::provenanceRows(trace);
+  ASSERT_FALSE(rows.empty());
+  for (const obs::ProvenanceRow& row : rows) {
+    EXPECT_GE(row.node, 0);
+    EXPECT_LT(row.node, 8);
+    EXPECT_GE(row.origin, 0);
+    EXPECT_LT(row.origin, 8);
+    EXPECT_GT(row.finalLen, 0);
+    if (row.chainLen == 0) {
+      // Self-made tour: the lineage is just the node itself.
+      EXPECT_EQ(row.origin, row.node);
+      EXPECT_EQ(row.chain, std::to_string(row.node));
+    } else {
+      // The chain string ends at the origin.
+      const std::string tail = std::to_string(row.origin);
+      ASSERT_GE(row.chain.size(), tail.size());
+      EXPECT_EQ(row.chain.substr(row.chain.size() - tail.size()), tail);
+    }
+  }
+}
+
+TEST_P(ChurnTraces, ConvergenceTimesTightenMonotonically) {
+  const obs::LoadedTrace trace = load(capturedChurnTrace(GetParam()));
+  const std::vector<double> levels{0.05, 0.01, 0.0};
+  const obs::ConvergenceReport report =
+      obs::convergenceReport(trace, levels);
+  ASSERT_TRUE(trace.runEnd.has_value());
+  EXPECT_EQ(report.finalBest, trace.runEnd->integer("best_length"));
+  ASSERT_EQ(report.globalTimes.size(), levels.size());
+  // Tighter levels can only be reached later (times non-decreasing).
+  for (std::size_t i = 1; i < levels.size(); ++i)
+    EXPECT_LE(report.globalTimes[i - 1], report.globalTimes[i]);
+  // The global curve reaches its own final best at a finite time.
+  EXPECT_FALSE(std::isinf(report.globalTimes.back()));
+  for (const auto& [node, times] : report.nodeTimes) {
+    ASSERT_EQ(times.size(), levels.size());
+    for (std::size_t i = 1; i < times.size(); ++i)
+      EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+TEST(TraceReport, GarbledLinesAreCountedAndFailValidation) {
+  std::string jsonl = capturedChurnTrace(RuntimeKind::kSim);
+  jsonl += "this is not json\n";
+  jsonl += "{\"type\":\"mystery-record\"}\n";
+  jsonl += "{\"type\":\"event\",\"event\":\"not-an-event\"}\n";
+  const obs::LoadedTrace trace = load(jsonl);
+  EXPECT_EQ(trace.badLines, 3);
+  EXPECT_EQ(static_cast<int>(trace.problems.size()), 3);
+  std::istringstream in(jsonl);
+  const obs::ValidationResult result = obs::validateTrace(in);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.badLines, 3);
+}
+
+TEST(TraceReport, TruncatedTraceStillLoadsWhatItCan) {
+  const std::string jsonl = capturedChurnTrace(RuntimeKind::kSim);
+  // Cut mid-line, as a killed process would: the partial tail line is
+  // counted bad, everything before it loads.
+  const std::string cut = jsonl.substr(0, jsonl.size() * 2 / 3);
+  const obs::LoadedTrace full = load(jsonl);
+  const obs::LoadedTrace part = load(cut);
+  EXPECT_EQ(part.badLines, 1);
+  EXPECT_GT(part.parsedLines, 0);
+  EXPECT_LT(part.parsedLines, full.parsedLines);
+  // A truncated trace is missing run-end: validation must fail.
+  std::istringstream in(cut);
+  EXPECT_FALSE(obs::validateTrace(in).ok());
+}
+
+TEST(TraceReport, ValidateCatchesCausalViolations) {
+  const auto validate = [](const std::string& jsonl) {
+    std::istringstream in(jsonl);
+    return obs::validateTrace(in);
+  };
+  const std::string meta =
+      "{\"type\":\"run-meta\",\"nodes\":2}\n"
+      "{\"type\":\"run-end\",\"best_length\":1}\n";
+
+  // Receive without a matching send (sender, seq).
+  const obs::ValidationResult orphan = validate(
+      meta +
+      "{\"type\":\"msg-recv\",\"t\":1,\"node\":0,\"from\":1,\"seq\":3,"
+      "\"lamport\":5,\"recv_lamport\":6,\"len\":10}\n");
+  EXPECT_FALSE(orphan.ok());
+
+  // Lamport receive rule violated: recv stamp not past the send stamp.
+  const obs::ValidationResult lamport = validate(
+      meta +
+      "{\"type\":\"msg-sent\",\"t\":1,\"node\":1,\"seq\":3,\"lamport\":5,"
+      "\"len\":10,\"bytes\":37}\n"
+      "{\"type\":\"msg-recv\",\"t\":2,\"node\":0,\"from\":1,\"seq\":3,"
+      "\"lamport\":5,\"recv_lamport\":5,\"len\":10}\n");
+  EXPECT_FALSE(lamport.ok());
+
+  // Node id out of the run-meta range.
+  const obs::ValidationResult range = validate(
+      meta + "{\"type\":\"node-best\",\"t\":1,\"node\":7,\"len\":10,"
+             "\"no_improve\":0}\n");
+  EXPECT_FALSE(range.ok());
+
+  // The same shape, consistent: passes.
+  const obs::ValidationResult ok = validate(
+      meta +
+      "{\"type\":\"msg-sent\",\"t\":1,\"node\":1,\"seq\":3,\"lamport\":5,"
+      "\"len\":10,\"bytes\":37}\n"
+      "{\"type\":\"msg-recv\",\"t\":2,\"node\":0,\"from\":1,\"seq\":3,"
+      "\"lamport\":5,\"recv_lamport\":6,\"len\":10}\n");
+  EXPECT_TRUE(ok.ok()) << (ok.problems.empty() ? "?" : ok.problems.front());
+}
+
+TEST(TraceReport, ParseLevelsSplitsFractions) {
+  const std::vector<double> levels = obs::parseLevels("0.05,0.01,0");
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_DOUBLE_EQ(levels[0], 0.05);
+  EXPECT_DOUBLE_EQ(levels[1], 0.01);
+  EXPECT_DOUBLE_EQ(levels[2], 0.0);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Golden-file test for tools/trace_report.
+#
+# Runs the pinned churn fixture (the same deterministic sim-runtime run the
+# unit tests pin) with tracing on, then checks that the --propagation and
+# --convergence views reproduce the checked-in golden tables byte-for-byte
+# and that --validate accepts the trace. Any drift in the trace schema, the
+# causal reconstruction, or the report formatting fails this test.
+#
+#   trace_report_golden.sh <distclk_cli> <trace_report> <golden-dir>
+#
+# Regenerate the golden files after an intentional format change with:
+#   trace_report_golden.sh ... --regen
+set -euo pipefail
+
+CLI=$1
+REPORT=$2
+GOLDEN=$3
+REGEN=${4:-}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" --algo dist --gen uniform --n 120 --gen-seed 42 --nodes 8 \
+  --seconds 6 --modeled-work 1e5 --seed 2026 --join 5:0.4 --fail 2:0.5 \
+  --metrics-interval 1 --trace "$WORK/run.jsonl" > "$WORK/cli.out"
+
+grep -q "8126701 on sim runtime" "$WORK/cli.out" || {
+  echo "FAIL: fixture trajectory drifted under tracing:" >&2
+  cat "$WORK/cli.out" >&2
+  exit 1
+}
+
+"$REPORT" "$WORK/run.jsonl" --propagation > "$WORK/propagation.txt"
+"$REPORT" "$WORK/run.jsonl" --convergence --levels 0.01,0.002,0 \
+  > "$WORK/convergence.txt"
+
+if [ "$REGEN" = "--regen" ]; then
+  cp "$WORK/propagation.txt" "$GOLDEN/propagation.txt"
+  cp "$WORK/convergence.txt" "$GOLDEN/convergence.txt"
+  echo "golden files regenerated in $GOLDEN"
+  exit 0
+fi
+
+for view in propagation convergence; do
+  if ! diff -u "$GOLDEN/$view.txt" "$WORK/$view.txt"; then
+    echo "FAIL: --$view output drifted from golden file" >&2
+    exit 1
+  fi
+done
+
+# The captured trace must pass its own validator...
+"$REPORT" "$WORK/run.jsonl" --validate
+
+# ...and a garbled trace must be rejected with a non-zero exit.
+cp "$WORK/run.jsonl" "$WORK/bad.jsonl"
+echo 'garbage{{{' >> "$WORK/bad.jsonl"
+if "$REPORT" "$WORK/bad.jsonl" --validate > /dev/null 2>&1; then
+  echo "FAIL: --validate accepted a garbled trace" >&2
+  exit 1
+fi
+
+echo "trace_report golden test passed"

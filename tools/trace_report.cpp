@@ -2,24 +2,40 @@
 // JsonlTraceSink attached) and renders the per-node behavior the paper
 // narrates in §4: improvement timelines, broadcast/receive ratios, restart
 // depths, and time-to-quality lookups on the reconstructed global anytime
-// curve. The metric snapshot closest to the end of the run is summarized
-// last.
+// curve. The causal views reconstruct the message graph from the wire-v3
+// stamps (msg-sent/msg-recv/adopt records); all analysis lives in
+// src/obs/report.* so tests exercise it in-process.
 //
-//   trace_report RUN.jsonl [--levels 0.05,0.02,0.01,0.005,0]
+//   trace_report RUN.jsonl [view] [--levels 0.05,0.02,0.01,0.005,0]
+//     (no view)            per-node summary + time-to-quality + metrics
+//     --propagation        per-improvement broadcast tree: origin, hop
+//                          depth, latency to 50%/90%/full coverage
+//     --provenance         which node each node's final tour descends from
+//     --convergence        time-to-within-x% per node and global, plus any
+//                          stall-detector events
+//     --validate           schema + causal-consistency check; exit status
+//                          reports the verdict
 //     --levels L1,L2,...   quality levels (fraction over final best) for
-//                          the time-to-quality table
+//                          the time-to-quality / convergence tables
+//   trace_report --compare A.jsonl B.jsonl [--levels ...]
+//                          side-by-side time-to-quality of two runs
+//
+// Exits non-zero when the trace contains unparseable or unknown lines
+// (they are skipped and counted, and the count is reported) — a truncated
+// trace should fail loudly in CI, not silently under-report.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/trace.h"
 #include "obs/json.h"
+#include "obs/report.h"
 #include "util/table.h"
 
 using namespace distclk;
@@ -31,183 +47,79 @@ struct NodeSummary {
   int toursReceived = 0;         ///< improving tours adopted from neighbors
   int broadcasts = 0;
   int restarts = 0;
+  int stalls = 0;                ///< stall-detector episodes
   double joinedAt = -1.0;        ///< churn: when the node entered (<0: t=0)
   double failedAt = -1.0;        ///< injected failure time (<0: none)
   std::vector<std::int64_t> restartDepths;  ///< NumNoImprovements at restart
   int maxPerturbLevel = 1;
-  double firstImprovementTime = -1.0;
-  double lastImprovementTime = -1.0;
   std::int64_t bestLength = -1;
   double bestTime = 0.0;
 };
 
-struct TraceData {
-  std::optional<obs::JsonValue> meta;
-  std::optional<obs::JsonValue> runEnd;
-  std::optional<obs::JsonValue> lastMetrics;
+std::map<int, NodeSummary> summarizeNodes(const obs::LoadedTrace& trace) {
   std::map<int, NodeSummary> nodes;
-  EventLog events;
-  int parsedLines = 0;
-  int skippedLines = 0;
-};
-
-void applyEvent(TraceData& data, const NodeEvent& ev) {
-  data.events.push_back(ev);
-  NodeSummary& node = data.nodes[ev.node];
-  switch (ev.type) {
-    case NodeEventType::kInitialTour:
-    case NodeEventType::kImprovement:
-      if (node.firstImprovementTime < 0) node.firstImprovementTime = ev.time;
-      node.lastImprovementTime = ev.time;
-      if (ev.type == NodeEventType::kImprovement) ++node.improvements;
-      break;
-    case NodeEventType::kBroadcastSent:
-      ++node.broadcasts;
-      break;
-    case NodeEventType::kTourReceived:
-      ++node.toursReceived;
-      break;
-    case NodeEventType::kPerturbationLevel:
-      node.maxPerturbLevel =
-          std::max(node.maxPerturbLevel, static_cast<int>(ev.value));
-      break;
-    case NodeEventType::kRestart:
-      ++node.restarts;
-      node.restartDepths.push_back(ev.value);
-      break;
-    case NodeEventType::kNodeJoined:
-      node.joinedAt = ev.time;
-      break;
-    case NodeEventType::kNodeFailed:
-      node.failedAt = ev.time;
-      break;
-    case NodeEventType::kTargetReached:
-      break;
-  }
-  // Track each node's best-seen length from length-carrying events.
-  if (ev.type == NodeEventType::kInitialTour ||
-      ev.type == NodeEventType::kImprovement ||
-      ev.type == NodeEventType::kTourReceived ||
-      ev.type == NodeEventType::kBroadcastSent) {
-    if (node.bestLength < 0 || ev.value < node.bestLength) {
-      node.bestLength = ev.value;
-      node.bestTime = ev.time;
+  for (const NodeEvent& ev : trace.events) {
+    NodeSummary& node = nodes[ev.node];
+    switch (ev.type) {
+      case NodeEventType::kInitialTour:
+        break;
+      case NodeEventType::kImprovement:
+        ++node.improvements;
+        break;
+      case NodeEventType::kBroadcastSent:
+        ++node.broadcasts;
+        break;
+      case NodeEventType::kTourReceived:
+        ++node.toursReceived;
+        break;
+      case NodeEventType::kPerturbationLevel:
+        node.maxPerturbLevel =
+            std::max(node.maxPerturbLevel, static_cast<int>(ev.value));
+        break;
+      case NodeEventType::kRestart:
+        ++node.restarts;
+        node.restartDepths.push_back(ev.value);
+        break;
+      case NodeEventType::kNodeJoined:
+        node.joinedAt = ev.time;
+        break;
+      case NodeEventType::kNodeFailed:
+        node.failedAt = ev.time;
+        break;
+      case NodeEventType::kStall:
+        ++node.stalls;
+        break;
+      case NodeEventType::kTargetReached:
+        break;
     }
-  }
-}
-
-TraceData loadTrace(std::istream& in) {
-  TraceData data;
-  std::string line;
-  int lineNo = 0;
-  while (std::getline(in, line)) {
-    ++lineNo;
-    if (line.empty()) continue;
-    obs::JsonValue rec;
-    try {
-      rec = obs::parseJson(line);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "line %d: %s (skipped)\n", lineNo, e.what());
-      ++data.skippedLines;
-      continue;
-    }
-    ++data.parsedLines;
-    const std::string type = rec.str("type");
-    if (type == "run-meta") {
-      data.meta = std::move(rec);
-    } else if (type == "run-end") {
-      data.runEnd = std::move(rec);
-    } else if (type == "metrics") {
-      data.lastMetrics = std::move(rec);
-    } else if (type == "event") {
-      const auto eventType = nodeEventTypeFromString(rec.str("event"));
-      if (!eventType) {
-        std::fprintf(stderr, "line %d: unknown event '%s' (skipped)\n", lineNo,
-                     rec.str("event").c_str());
-        ++data.skippedLines;
-        continue;
+    // Track each node's best-seen length from length-carrying events.
+    if (ev.type == NodeEventType::kInitialTour ||
+        ev.type == NodeEventType::kImprovement ||
+        ev.type == NodeEventType::kTourReceived ||
+        ev.type == NodeEventType::kBroadcastSent) {
+      if (node.bestLength < 0 || ev.value < node.bestLength) {
+        node.bestLength = ev.value;
+        node.bestTime = ev.time;
       }
-      applyEvent(data, {rec.num("t"), static_cast<int>(rec.integer("node")),
-                        *eventType, rec.integer("value")});
-    } else {
-      std::fprintf(stderr, "line %d: unknown record type '%s' (skipped)\n",
-                   lineNo, type.c_str());
-      ++data.skippedLines;
     }
   }
-  std::sort(data.events.begin(), data.events.end(),
-            [](const NodeEvent& a, const NodeEvent& b) {
-              if (a.time != b.time) return a.time < b.time;
-              return a.node < b.node;
-            });
-  return data;
-}
-
-/// Global best-so-far over all nodes, from the length-carrying events.
-AnytimeCurve globalCurve(const EventLog& events) {
-  AnytimeCurve curve;
-  std::int64_t best = std::numeric_limits<std::int64_t>::max();
-  for (const NodeEvent& ev : events) {
-    if (ev.type != NodeEventType::kInitialTour &&
-        ev.type != NodeEventType::kImprovement &&
-        ev.type != NodeEventType::kTourReceived &&
-        ev.type != NodeEventType::kBroadcastSent)
-      continue;
-    if (ev.value < best) {
-      best = ev.value;
-      curve.push_back({ev.time, best});
-    }
-  }
-  return curve;
+  return nodes;
 }
 
 std::string fmtCount(std::int64_t v) { return std::to_string(v); }
 
-std::vector<double> parseLevels(const std::string& spec) {
-  std::vector<double> out;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    out.push_back(std::stod(spec.substr(pos, comma - pos)));
-    pos = comma + 1;
-  }
-  return out;
+std::string fmtLatency(double seconds) {
+  return seconds < 0 ? "-" : fmt(seconds, 3) + "s";
 }
 
-}  // namespace
+std::string fmtReach(double seconds) {
+  return std::isinf(seconds) ? "never" : fmt(seconds, 3) + "s";
+}
 
-int main(int argc, char** argv) {
-  std::string path;
-  std::string levelSpec = "0.05,0.02,0.01,0.005,0";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--levels" && i + 1 < argc) {
-      levelSpec = argv[++i];
-    } else if (!arg.empty() && arg[0] != '-') {
-      path = arg;
-    } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
-      return 1;
-    }
-  }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: trace_report RUN.jsonl [--levels 0.05,...]\n");
-    return 1;
-  }
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
-  }
-  const TraceData data = loadTrace(in);
-  if (data.parsedLines == 0) {
-    std::fprintf(stderr, "%s: no parseable records\n", path.c_str());
-    return 1;
-  }
-
-  if (data.meta) {
-    const auto& m = *data.meta;
+void printSummary(const obs::LoadedTrace& trace,
+                  const std::vector<double>& levels) {
+  if (trace.meta) {
+    const auto& m = *trace.meta;
     std::printf("run      : %s (n=%lld) — %s, %lld nodes, %s topology\n",
                 m.str("instance").c_str(),
                 static_cast<long long>(m.integer("n")),
@@ -226,13 +138,16 @@ int main(int argc, char** argv) {
       std::printf("runtime  : %s (wire v%lld)\n", m.str("runtime").c_str(),
                   static_cast<long long>(m.integer("wire_version")));
   }
-  std::printf("records  : %d parsed, %d skipped, %zu events\n\n",
-              data.parsedLines, data.skippedLines, data.events.size());
+  std::printf("records  : %d parsed, %d skipped, %zu events, %zu stamped "
+              "sends, %zu receives\n\n",
+              trace.parsedLines, trace.badLines, trace.events.size(),
+              trace.sent.size(), trace.recv.size());
 
   // Per-node summary: the §4.2.1 narrative in table form.
-  Table nodeTable({"node", "improve", "recv", "bcast", "recv/bcast", "restarts",
-                   "max-perturb", "best", "best@t", "churn"});
-  for (const auto& [id, node] : data.nodes) {
+  const std::map<int, NodeSummary> nodes = summarizeNodes(trace);
+  Table nodeTable({"node", "improve", "recv", "bcast", "recv/bcast",
+                   "restarts", "max-perturb", "best", "best@t", "churn"});
+  for (const auto& [id, node] : nodes) {
     const double ratio =
         node.broadcasts > 0
             ? static_cast<double>(node.toursReceived) / node.broadcasts
@@ -242,6 +157,10 @@ int main(int argc, char** argv) {
     if (node.failedAt >= 0) {
       if (!churn.empty()) churn += " ";
       churn += "fail@" + fmt(node.failedAt, 2);
+    }
+    if (node.stalls > 0) {
+      if (!churn.empty()) churn += " ";
+      churn += "stallx" + std::to_string(node.stalls);
     }
     if (churn.empty()) churn = "-";
     nodeTable.addRow({std::to_string(id), fmtCount(node.improvements),
@@ -255,17 +174,16 @@ int main(int argc, char** argv) {
   std::printf("Per-node summary\n");
   nodeTable.print(std::cout);
 
-  // Improvement timeline: global best vs time, one row per improvement.
-  const AnytimeCurve curve = globalCurve(data.events);
+  // Improvement timeline: global best vs time, one row per level.
+  const AnytimeCurve curve = obs::globalBestCurve(trace);
   if (!curve.empty()) {
     const std::int64_t finalBest = curve.back().length;
     Table quality({"level", "target", "time-to-reach"});
-    for (const double level : parseLevels(levelSpec)) {
-      const auto target =
-          static_cast<std::int64_t>(std::ceil(double(finalBest) * (1.0 + level)));
-      const double t = timeToReach(curve, target);
+    for (const double level : levels) {
+      const auto target = static_cast<std::int64_t>(
+          std::ceil(double(finalBest) * (1.0 + level)));
       quality.addRow({fmtPct(level, 1), std::to_string(target),
-                      std::isinf(t) ? "never" : fmt(t, 3) + "s"});
+                      fmtReach(timeToReach(curve, target))});
     }
     std::printf("\nTime to quality (vs final best %lld, %zu improvements)\n",
                 static_cast<long long>(finalBest), curve.size());
@@ -275,7 +193,7 @@ int main(int argc, char** argv) {
   // Restart histogram: how deep stagnation ran before each restart.
   bool anyRestart = false;
   Table restarts({"node", "restarts", "depth-min", "depth-mean", "depth-max"});
-  for (const auto& [id, node] : data.nodes) {
+  for (const auto& [id, node] : nodes) {
     if (node.restartDepths.empty()) continue;
     anyRestart = true;
     const auto [minIt, maxIt] = std::minmax_element(
@@ -294,10 +212,10 @@ int main(int argc, char** argv) {
   }
 
   // Final metric snapshot: counters plus histogram means.
-  if (data.lastMetrics) {
-    const obs::JsonValue* metrics = data.lastMetrics->find("metrics");
+  if (trace.lastMetrics) {
+    const obs::JsonValue* metrics = trace.lastMetrics->find("metrics");
     if (metrics != nullptr) {
-      std::printf("\nFinal metrics (t=%.3fs)\n", data.lastMetrics->num("t"));
+      std::printf("\nFinal metrics (t=%.3fs)\n", trace.lastMetrics->num("t"));
       Table counters({"counter", "value"});
       if (const obs::JsonValue* c = metrics->find("counters"))
         for (const auto& [name, v] : c->object)
@@ -332,8 +250,8 @@ int main(int argc, char** argv) {
           if (const obs::JsonValue* h = metrics->find("histograms"))
             if (const obs::JsonValue* cs = h->find("node.compute_seconds"))
               computeSum = cs->num("sum");
-          std::printf("\nLK work  : %.0f applied + %.0f rewound flips", applied,
-                      rewound);
+          std::printf("\nLK work  : %.0f applied + %.0f rewound flips",
+                      applied, rewound);
           if (steps > 0)
             std::printf(" (%.1f%% applied)", 100.0 * applied / steps);
           if (computeSum > 0)
@@ -345,8 +263,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (data.runEnd) {
-    const auto& e = *data.runEnd;
+  if (trace.runEnd) {
+    const auto& e = *trace.runEnd;
     const obs::JsonValue* hit = e.find("hit_target");
     std::printf("\nrun end  : best=%lld steps=%lld messages=%lld "
                 "hit-target=%s at t=%.3fs\n",
@@ -355,5 +273,205 @@ int main(int argc, char** argv) {
                 static_cast<long long>(e.integer("messages_sent")),
                 hit != nullptr && hit->boolean ? "yes" : "no", e.num("t"));
   }
-  return 0;
+}
+
+// Deterministic tables only (no run-meta/git header): this view is pinned
+// by the golden-file ctest.
+void printPropagation(const obs::LoadedTrace& trace) {
+  const std::vector<obs::PropagationSummary> summaries =
+      obs::propagationSummaries(trace);
+  std::printf("Propagation (%zu improvements, %d nodes)\n", summaries.size(),
+              trace.nodeCount());
+  Table table({"improvement", "origin", "t0", "reached", "max-hops", "t50",
+               "t90", "t-full"});
+  for (const obs::PropagationSummary& s : summaries) {
+    table.addRow({std::to_string(s.len), std::to_string(s.origin),
+                  fmt(s.t0, 3),
+                  std::to_string(s.reached) + "/" + std::to_string(s.total),
+                  std::to_string(s.maxHops), fmtLatency(s.t50),
+                  fmtLatency(s.t90), fmtLatency(s.tFull)});
+  }
+  table.print(std::cout);
+}
+
+void printProvenance(const obs::LoadedTrace& trace) {
+  const std::vector<obs::ProvenanceRow> rows = obs::provenanceRows(trace);
+  std::printf("Provenance of final tours (%d nodes)\n", trace.nodeCount());
+  Table table({"node", "final", "origin", "adoptions", "lineage"});
+  for (const obs::ProvenanceRow& row : rows) {
+    table.addRow({std::to_string(row.node), std::to_string(row.finalLen),
+                  std::to_string(row.origin), std::to_string(row.chainLen),
+                  row.chain});
+  }
+  table.print(std::cout);
+}
+
+// Deterministic tables only — also golden-pinned.
+void printConvergence(const obs::LoadedTrace& trace,
+                      const std::vector<double>& levels) {
+  const obs::ConvergenceReport report =
+      obs::convergenceReport(trace, levels);
+  std::printf("Convergence to within levels of final best %lld\n",
+              static_cast<long long>(report.finalBest));
+  std::vector<std::string> header{"node"};
+  for (const double level : levels) header.push_back(fmtPct(level, 1));
+  Table table(header);
+  {
+    std::vector<std::string> row{"global"};
+    for (const double t : report.globalTimes) row.push_back(fmtReach(t));
+    table.addRow(row);
+  }
+  for (const auto& [node, times] : report.nodeTimes) {
+    std::vector<std::string> row{std::to_string(node)};
+    for (const double t : times) row.push_back(fmtReach(t));
+    table.addRow(row);
+  }
+  table.print(std::cout);
+
+  if (!report.stalls.empty()) {
+    std::printf("\nStall events (no improvement for the configured budget)\n");
+    Table stalls({"t", "node", "stalled-for"});
+    for (const auto& s : report.stalls)
+      stalls.addRow({fmt(s.t, 3), std::to_string(s.node),
+                     fmt(s.stalledSeconds, 3) + "s"});
+    stalls.print(std::cout);
+  }
+}
+
+void printCompare(const std::string& pathA, const obs::LoadedTrace& a,
+                  const std::string& pathB, const obs::LoadedTrace& b,
+                  const std::vector<double>& levels) {
+  const AnytimeCurve curveA = obs::globalBestCurve(a);
+  const AnytimeCurve curveB = obs::globalBestCurve(b);
+  const std::int64_t bestA = curveA.empty() ? 0 : curveA.back().length;
+  const std::int64_t bestB = curveB.empty() ? 0 : curveB.back().length;
+  std::printf("A: %s (final best %lld, %zu improvements)\n", pathA.c_str(),
+              static_cast<long long>(bestA), curveA.size());
+  std::printf("B: %s (final best %lld, %zu improvements)\n\n", pathB.c_str(),
+              static_cast<long long>(bestB), curveB.size());
+
+  // Shared targets from the better final tour, so both runs chase the same
+  // absolute quality (comparing times at run-relative targets would flatter
+  // the weaker run).
+  const std::int64_t reference = std::min(bestA, bestB);
+  Table table({"level", "target", "time-A", "time-B"});
+  for (const double level : levels) {
+    const auto target = static_cast<std::int64_t>(
+        std::ceil(double(reference) * (1.0 + level)));
+    table.addRow({fmtPct(level, 1), std::to_string(target),
+                  fmtReach(timeToReach(curveA, target)),
+                  fmtReach(timeToReach(curveB, target))});
+  }
+  table.print(std::cout);
+}
+
+/// Reports skipped lines (to stderr) and converts them into a failing exit
+/// status: a truncated or garbled trace must not pass silently.
+int finishWithBadLineCheck(const std::string& path,
+                           const obs::LoadedTrace& trace) {
+  if (trace.badLines == 0) return 0;
+  for (const std::string& p : trace.problems)
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), p.c_str());
+  std::fprintf(stderr, "%s: %d bad line%s skipped (trace truncated or "
+               "garbled)\n",
+               path.c_str(), trace.badLines, trace.badLines == 1 ? "" : "s");
+  return 1;
+}
+
+obs::LoadedTrace loadOrDie(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return obs::loadTrace(in);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class View {
+    kSummary,
+    kPropagation,
+    kProvenance,
+    kConvergence,
+    kCompare,
+    kValidate,
+  };
+  View view = View::kSummary;
+  std::vector<std::string> paths;
+  std::string levelSpec = "0.05,0.02,0.01,0.005,0";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--levels" && i + 1 < argc) {
+      levelSpec = argv[++i];
+    } else if (arg == "--propagation") {
+      view = View::kPropagation;
+    } else if (arg == "--provenance") {
+      view = View::kProvenance;
+    } else if (arg == "--convergence") {
+      view = View::kConvergence;
+    } else if (arg == "--compare") {
+      view = View::kCompare;
+    } else if (arg == "--validate") {
+      view = View::kValidate;
+    } else if (!arg.empty() && arg[0] != '-') {
+      paths.push_back(arg);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+  const std::size_t wantPaths = view == View::kCompare ? 2u : 1u;
+  if (paths.size() != wantPaths) {
+    std::fprintf(stderr,
+                 "usage: trace_report RUN.jsonl [--propagation | --provenance"
+                 " | --convergence | --validate] [--levels 0.05,...]\n"
+                 "       trace_report --compare A.jsonl B.jsonl\n");
+    return 1;
+  }
+  const std::vector<double> levels = obs::parseLevels(levelSpec);
+
+  if (view == View::kValidate) {
+    std::ifstream in(paths[0]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", paths[0].c_str());
+      return 1;
+    }
+    const obs::ValidationResult result = obs::validateTrace(in);
+    if (result.ok()) {
+      std::printf("%s: OK (%d records, schema and causal invariants hold)\n",
+                  paths[0].c_str(), result.records);
+      return 0;
+    }
+    for (const std::string& p : result.problems)
+      std::fprintf(stderr, "%s: %s\n", paths[0].c_str(), p.c_str());
+    std::fprintf(stderr, "%s: INVALID (%d records, %d bad lines, %zu "
+                 "problems)\n",
+                 paths[0].c_str(), result.records, result.badLines,
+                 result.problems.size());
+    return 1;
+  }
+
+  if (view == View::kCompare) {
+    const obs::LoadedTrace a = loadOrDie(paths[0]);
+    const obs::LoadedTrace b = loadOrDie(paths[1]);
+    printCompare(paths[0], a, paths[1], b, levels);
+    const int rcA = finishWithBadLineCheck(paths[0], a);
+    const int rcB = finishWithBadLineCheck(paths[1], b);
+    return rcA != 0 ? rcA : rcB;
+  }
+
+  const obs::LoadedTrace trace = loadOrDie(paths[0]);
+  if (trace.parsedLines == 0) {
+    std::fprintf(stderr, "%s: no parseable records\n", paths[0].c_str());
+    return 1;
+  }
+  switch (view) {
+    case View::kPropagation: printPropagation(trace); break;
+    case View::kProvenance: printProvenance(trace); break;
+    case View::kConvergence: printConvergence(trace, levels); break;
+    default: printSummary(trace, levels); break;
+  }
+  return finishWithBadLineCheck(paths[0], trace);
 }
