@@ -3,7 +3,7 @@
 # binaries, runs the micro suites with JSON output, re-runs the
 # kernel-vs-reference determinism check, and merges everything into
 # BENCH_lk.json at the repo root (per-benchmark ns/op, steps/sec, derived
-# speedup ratios, git describe).
+# speedup ratios, speculative-engine scaling, git describe).
 #
 # Environment knobs:
 #   BUILD_DIR  build directory (default build-bench, CMAKE_BUILD_TYPE=Release)
@@ -107,7 +107,8 @@ for suite in ("micro_tsp", "micro_lk", "micro_tour"):
             "time_ns": b["real_time"] * scale,
             "cpu_ns": b["cpu_time"] * scale,
         }
-        for counter in ("steps_per_sec", "kicks_per_sec", "items_per_second"):
+        for counter in ("steps_per_sec", "kicks_per_sec", "items_per_second",
+                        "spec_evals", "spec_conflicts"):
             if counter in b:
                 entry[counter] = b[counter]
         benchmarks.append(entry)
@@ -216,14 +217,71 @@ if os.path.exists(os.path.join(out, "dist_untraced.txt")):
         if untraced and traced else None,
     }
 
+# Speculative kick engine scaling (BM_ClkSpecKicks): measured kicks/sec of
+# each worker count against the sequential fast path (the w:0 arm), plus
+# the conflict rate (aborted evaluations / total evaluations). Wall-clock
+# scaling needs >= w free cores; "cpus" records what this host offered so
+# a flat measured curve on a starved host is self-explaining. The
+# modeled_full_parallel_speedup is a projection from measured quantities —
+# w * (1 - conflict_rate) * rate(w:1) / rate(seq), i.e. per-evaluation
+# engine cost and commit fraction as measured, perfect worker overlap
+# assumed — and is labeled as a model, never reported as a measurement.
+def spec_arm(n, w):
+    # BM_ClkSpecKicks uses UseRealTime() (its rate must be wall-clock, not
+    # coordinator CPU time), which suffixes the benchmark name.
+    seq = by_name.get(f"BM_ClkSpecKicks/n:{n}/w:0/real_time")
+    arm = by_name.get(f"BM_ClkSpecKicks/n:{n}/w:{w}/real_time")
+    if not seq or not arm or not seq.get("kicks_per_sec"):
+        return None
+    evals = arm.get("spec_evals") or 0.0
+    conflicts = arm.get("spec_conflicts") or 0.0
+    conflict_rate = round(conflicts / evals, 4) if evals else None
+    one = by_name.get(f"BM_ClkSpecKicks/n:{n}/w:1/real_time")
+    modeled = None
+    if one and one.get("kicks_per_sec") and conflict_rate is not None:
+        modeled = round(w * (1.0 - conflict_rate)
+                        * one["kicks_per_sec"] / seq["kicks_per_sec"], 3)
+    return {
+        "workers": w,
+        "kicks_per_sec": arm.get("kicks_per_sec"),
+        "measured_speedup_vs_seq":
+            round(arm["kicks_per_sec"] / seq["kicks_per_sec"], 3)
+            if arm.get("kicks_per_sec") else None,
+        "conflict_rate": conflict_rate,
+        "modeled_full_parallel_speedup": modeled,
+    }
+
+
+spec_kicks = {}
+for n in (10000, 100000):
+    seq = by_name.get(f"BM_ClkSpecKicks/n:{n}/w:0/real_time")
+    arms = [a for a in (spec_arm(n, w) for w in (1, 2, 4, 8)) if a]
+    if seq and arms:
+        spec_kicks[f"n{n}"] = {
+            "seq_kicks_per_sec": seq.get("kicks_per_sec"),
+            "arms": arms,
+        }
+
+spec_section = None
+if spec_kicks:
+    spec_section = {
+        "cpus": os.cpu_count(),
+        "note": ("measured ratios are wall-clock on this host; "
+                 "modeled_full_parallel_speedup = w * (1 - conflict_rate) * "
+                 "rate(w:1)/rate(seq), a projection for >= w free cores "
+                 "from measured per-evaluation cost and commit fraction"),
+        **spec_kicks,
+    }
+
 result = {
-    "schema": "distclk-bench-lk-v2",
+    "schema": "distclk-bench-lk-v3",
     "git": os.environ.get("GIT_DESCRIBE", "unknown"),
     "benchmark_min_time": float(os.environ.get("MIN_TIME", "0.05")),
     "benchmarks": benchmarks,
     "derived_speedups": derived,
     "determinism": determinism,
     "telemetry_overhead": telemetry,
+    "spec_kicks_vs_seq": spec_section,
     "vs_seed": vs_seed,
 }
 

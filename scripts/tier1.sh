@@ -4,8 +4,8 @@
 #   1. Main build at the -Werror warning floor (-Wconversion -Wshadow
 #      -Wextra-semi on the library target) + full ctest suite.
 #   2. ThreadSanitizer over the concurrent components (thread network,
-#      thread driver, metric shards) so data races in the mailbox/metrics
-#      paths fail CI on day one.
+#      thread driver, metric shards, speculative kick engine) so data races
+#      in the mailbox/metrics/worker-pool paths fail CI on day one.
 #   3. AddressSanitizer over the distance-kernel / candidate-list / tour /
 #      LK paths that index raw SoA and CSR arrays.
 #   4. UndefinedBehaviorSanitizer (signed overflow, shifts, bounds,
@@ -45,24 +45,26 @@ grep -q '^distclk_snapshot_time_seconds' "$SMOKE/metrics.prom"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=thread
 cmake --build build-tsan -j "$JOBS" \
   --target test_thread_network test_thread_driver test_runtime \
-           test_obs_metrics test_lk_workspace
+           test_obs_metrics test_lk_workspace test_spec_kicks
 for t in test_thread_network test_thread_driver test_runtime \
-         test_obs_metrics test_lk_workspace; do
+         test_obs_metrics test_lk_workspace test_spec_kicks; do
   echo "== TSan: $t"
   ./build-tsan/tests/"$t"
 done
 
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=address
 cmake --build build-asan -j "$JOBS" \
-  --target test_dist_kernel test_neighbors test_tour test_lk test_lk_workspace
-for t in test_dist_kernel test_neighbors test_tour test_lk test_lk_workspace; do
+  --target test_dist_kernel test_neighbors test_tour test_lk \
+           test_lk_workspace test_spec_kicks
+for t in test_dist_kernel test_neighbors test_tour test_lk \
+         test_lk_workspace test_spec_kicks; do
   echo "== ASan: $t"
   ./build-asan/tests/"$t"
 done
 
 UBSAN_TESTS=(test_dist_kernel test_tour test_twolevel test_big_tour test_lk
-             test_lk_workspace test_chained_lk test_message test_tsplib
-             test_metrics)
+             test_lk_workspace test_chained_lk test_spec_kicks test_message
+             test_tsplib test_metrics)
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=undefined
 cmake --build build-ubsan -j "$JOBS" --target "${UBSAN_TESTS[@]}"
 for t in "${UBSAN_TESTS[@]}"; do

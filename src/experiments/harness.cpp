@@ -157,6 +157,7 @@ RunConfig runConfigFromArgs(const Args& args, const Instance& inst) {
   cfg.node = scaledNodeParams(inst);
   cfg.node.clkKick =
       kickStrategyFromString(args.getString("kick", "Random-walk"));
+  cfg.node.speculativeWorkers = args.getInt("spec-workers", 0);
   cfg.timeLimitPerNode = args.getDouble("seconds", 2.0);
   cfg.latencySeconds = args.getDouble("latency", cfg.latencySeconds);
   cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));

@@ -133,6 +133,40 @@ void prepareKick(TourT& tour, KickStrategy strategy,
   }
 }
 
+/// Flip-token double bridge shared by applyKickCities(Tour/BigTour): sort
+/// the cut cities in cyclic tour order (anchor = cities[0]) and recombine
+/// the segments A C B D via three recorded path reversals. Identical tour
+/// mutation to the BigTour workspace kick.
+template <typename TourT>
+void applyKickCitiesImpl(TourT& tour, const std::array<int, 4>& cities,
+                         LkWorkspace& ws) {
+  if (tour.n() < 8)
+    throw std::invalid_argument(
+        "applyKickCities: tour too small for a 4-exchange");
+  ws.dirty.clear();
+  for (int c : cities) {
+    ws.dirty.push_back(c);
+    ws.dirty.push_back(tour.next(c));
+  }
+
+  std::array<int, 4> q = cities;
+  std::sort(q.begin() + 1, q.end(),
+            [&](int x, int y) { return tour.between(q[0], x, y); });
+
+  const int b1 = tour.next(q[0]);
+  const int b2 = q[1];
+  const int c1 = tour.next(q[1]);
+  const int c2 = q[2];
+  auto record = [&](typename TourT::FlipToken token) {
+    ws.undoLog.push_back({token.first, token.second});
+  };
+  record(tour.flipForward(b1, c2));
+  if (c1 != c2) record(tour.flipForward(c2, c1));
+  if (b1 != b2) record(tour.flipForward(b2, b1));
+  ws.kick.active = false;  // the kick lives entirely in the flip log
+  DISTCLK_AUDIT_HOOK(ws.auditCheck("applyKickCities"));
+}
+
 template <typename TourT>
 void rollbackFlips(TourT& tour, LkWorkspace& ws) {
   for (auto it = ws.undoLog.rbegin(); it != ws.undoLog.rend(); ++it)
@@ -196,28 +230,27 @@ void applyKick(Tour& tour, KickStrategy strategy, const CandidateLists& cand,
 void applyKick(BigTour& tour, KickStrategy strategy,
                const CandidateLists& cand, Rng& rng, const KickOptions& opt,
                LkWorkspace& ws) {
-  prepareKick(tour, strategy, cand, rng, opt, ws);
+  // Selection first (same throw-before-RNG order as prepareKick), then the
+  // shared flip-token double bridge; rollbackKick rewinds the recorded
+  // tokens LIFO with the repair flips.
+  if (tour.n() < 8)
+    throw std::invalid_argument("applyKick: tour too small for a 4-exchange");
+  selectKickCitiesInto(tour.instance(), strategy, cand, rng, opt,
+                       ws.kickCities, ws.kickScratch);
+  applyKickCitiesImpl(
+      tour,
+      {ws.kickCities[0], ws.kickCities[1], ws.kickCities[2], ws.kickCities[3]},
+      ws);
+}
 
-  // Sort the four cut cities in cyclic tour order (anchor = kickCities[0]).
-  std::array<int, 4> q{ws.kickCities[0], ws.kickCities[1], ws.kickCities[2],
-                       ws.kickCities[3]};
-  std::sort(q.begin() + 1, q.end(),
-            [&](int x, int y) { return tour.between(q[0], x, y); });
+void applyKickCities(Tour& tour, const std::array<int, 4>& cities,
+                     LkWorkspace& ws) {
+  applyKickCitiesImpl(tour, cities, ws);
+}
 
-  // The same three path reversals as the allocating path, recorded as flip
-  // tokens so rollbackKick can rewind them LIFO with the repair flips.
-  const int b1 = tour.next(q[0]);
-  const int b2 = q[1];
-  const int c1 = tour.next(q[1]);
-  const int c2 = q[2];
-  auto record = [&](BigTour::FlipToken token) {
-    ws.undoLog.push_back({token.first, token.second});
-  };
-  record(tour.flipForward(b1, c2));
-  if (c1 != c2) record(tour.flipForward(c2, c1));
-  if (b1 != b2) record(tour.flipForward(b2, b1));
-  ws.kick.active = false;  // BigTour kicks live entirely in the flip log
-  DISTCLK_AUDIT_HOOK(ws.auditCheck("applyKick(BigTour)"));
+void applyKickCities(BigTour& tour, const std::array<int, 4>& cities,
+                     LkWorkspace& ws) {
+  applyKickCitiesImpl(tour, cities, ws);
 }
 
 void commitKick(LkWorkspace& ws) {

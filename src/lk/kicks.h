@@ -3,6 +3,7 @@
 // the four "relevant cities" whose successor edges get cut are selected.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,22 @@ void applyKick(Tour& tour, KickStrategy strategy, const CandidateLists& cand,
 void applyKick(BigTour& tour, KickStrategy strategy,
                const CandidateLists& cand, Rng& rng, const KickOptions& opt,
                LkWorkspace& ws);
+
+/// Kick with caller-supplied cut cities, realized rotation-free as (up to)
+/// three recorded path reversals — the construction the BigTour workspace
+/// kick uses — on either tour representation. Because the whole kick lives
+/// in ws.undoLog as flip tokens, a committed kick+repair can be replayed on
+/// another tour in the same state from its token stream alone; this is the
+/// primitive of the speculative engine (the coordinator pre-draws the
+/// selections, workers apply them). Consumes no RNG; fills ws.dirty with
+/// the cut-edge endpoints. The BigTour applyKick above is selection +
+/// applyKickCities; the array Tour's applyKick keeps its rotation-based
+/// construction (a different — equally legitimate — double bridge on the
+/// same cities; see tests/test_big_tour.cpp).
+void applyKickCities(Tour& tour, const std::array<int, 4>& cities,
+                     LkWorkspace& ws);
+void applyKickCities(BigTour& tour, const std::array<int, 4>& cities,
+                     LkWorkspace& ws);
 
 /// Accepts the kicked-and-repaired tour: O(1), just drops the undo state.
 void commitKick(LkWorkspace& ws);

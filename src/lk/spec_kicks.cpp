@@ -1,0 +1,364 @@
+#include "lk/spec_kicks.h"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "lk/kicks.h"
+#include "lk/lin_kernighan.h"
+#include "util/audit.h"
+#include "util/timer.h"
+
+namespace distclk {
+
+bool flipSlotFootprint(int a, int b, int n, SlotInterval& out) {
+  const int len = (b - a + n) % n + 1;
+  if (len >= n) return false;  // reverseSegment no-ops on the whole tour
+  // The same shorter-arc choice reverseSegment makes: a function of
+  // (a, b, n) only, so the footprint can be derived from the token alone.
+  int lo, hi, phys;
+  if (2 * len <= n) {
+    lo = a;
+    hi = b;
+    phys = len;
+  } else {
+    lo = (b + 1) % n;
+    hi = (a - 1 + n) % n;
+    phys = n - len;
+  }
+  if (phys + 2 >= n) {  // padding wraps: the whole array is touched
+    out = {0, n - 1};
+    return true;
+  }
+  out = {(lo - 1 + n) % n, (hi + 1) % n};
+  return true;
+}
+
+bool ConflictLedger::conflicts(
+    std::span<const SlotInterval> intervals) const noexcept {
+  for (const SlotInterval& iv : intervals)
+    for (const Entry& e : entries_)
+      if (overlap(iv, e.interval)) return true;
+  return false;
+}
+
+void ConflictLedger::commit(std::span<const SlotInterval> intervals) {
+  const int group = groups_++;
+  for (const SlotInterval& iv : intervals) entries_.push_back({iv, group});
+}
+
+void ConflictLedger::auditCheck(const char* where) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.interval.lo < 0 || e.interval.lo >= n_ || e.interval.hi < 0 ||
+        e.interval.hi >= n_)
+      audit::fail("ConflictLedger", where, "interval slot out of range");
+    for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+      if (entries_[j].group == e.group) continue;  // same result may overlap
+      if (overlap(e.interval, entries_[j].interval))
+        audit::fail("ConflictLedger", where,
+                    "committed intervals overlap across groups");
+    }
+  }
+}
+
+namespace {
+
+/// Forward replay of a recorded flip token on another tour in the same
+/// state: the array token is positional (reverseSegment is an involution,
+/// so replay == unflip); the BigTour token stores {b, a} for a forward
+/// reversal of a..b.
+inline void replayFlip(Tour& tour, const LkWorkspace::Flip& f) {
+  tour.reverseSegment(f.a, f.b);
+}
+inline void replayFlip(BigTour& tour, const LkWorkspace::Flip& f) {
+  tour.reverseForward(f.b, f.a);
+}
+
+// Referenced only from DISTCLK_AUDIT_HOOK sites, which compile away in
+// non-audit builds.
+[[maybe_unused]] void auditReplayedLength(std::int64_t expected,
+                                          std::int64_t actual) {
+  if (expected != actual)
+    audit::fail("SpecEngine", "commit",
+                "replayed token stream did not reproduce the worker's delta");
+}
+
+/// Round-synchronous speculative kick engine. The coordinator (the calling
+/// thread) owns the master tour, the RNG, and every accept/commit decision;
+/// the pool only ever evaluates. Each round:
+///
+///   1. dispatch: re-dispatched conflict losers first, then fresh kick
+///      selections drawn from the caller's Rng in task order (selection is
+///      tour-independent, so the stream matches the sequential path),
+///   2. evaluate: every worker replays last round's committed token
+///      streams onto its private tour (bringing it to the master state),
+///      then applies its kick (rotation-free, recorded as flip tokens) and
+///      the LK repair with recording on, measures the length delta, and
+///      rolls its private tour back to the snapshot,
+///   3. commit: in task order, a result conflicts when its padded flip
+///      footprint overlaps an earlier commit's (ConflictLedger) — it is
+///      re-dispatched; otherwise it resolves: delta <= 0 replays its token
+///      stream onto the master and records its footprint, delta > 0 is a
+///      rejected kick (the sequential loop's rollback case).
+///
+/// The first result processed each round can never conflict, so every
+/// round resolves at least one task and the loop terminates.
+template <typename TourT>
+class SpecEngine {
+ public:
+  SpecEngine(TourT& master, const CandidateLists& cand, const ClkOptions& opt)
+      : master_(master), cand_(cand), opt_(opt) {}
+
+  ~SpecEngine() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cvRound_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  SpecEngine(const SpecEngine&) = delete;
+  SpecEngine& operator=(const SpecEngine&) = delete;
+
+  ClkResult run(Rng& rng, LkWorkspace& ws, const AnytimeCallback& onImprove) {
+    Timer timer;
+    ClkResult res;
+
+    const LkStats initial = linKernighanOptimize(master_, cand_, opt_.lk, ws);
+    res.flips += initial.flips;
+    res.undoneFlips += initial.undoneFlips;
+    if (onImprove) onImprove(timer.seconds(), master_.length());
+
+    auto hitTarget = [&] {
+      return opt_.targetLength >= 0 && master_.length() <= opt_.targetLength;
+    };
+    auto timeUp = [&] {
+      return opt_.timeLimitSeconds > 0 &&
+             timer.seconds() >= opt_.timeLimitSeconds;
+    };
+
+    // Workers copy the optimized master; spawn only now so every private
+    // tour starts in the committed state the token streams build on.
+    const int k = opt_.speculativeWorkers;
+    workers_.reserve(static_cast<std::size_t>(k));
+    for (int w = 0; w < k; ++w)
+      workers_.push_back(std::make_unique<Worker>(master_));
+    threads_.reserve(static_cast<std::size_t>(k));
+    for (int w = 0; w < k; ++w)
+      threads_.emplace_back([this, w] { workerLoop(w); });
+
+    std::int64_t drawn = 0;
+    while (!hitTarget() && !timeUp()) {
+      // Dispatch: conflict losers keep their selections (and their place in
+      // the deterministic task order), fresh tasks consume the RNG stream.
+      int tasks = 0;
+      for (auto& w : workers_) {
+        w->hasTask = false;
+        if (!redispatch_.empty()) {
+          w->cities = redispatch_.front();
+          redispatch_.pop_front();
+          w->hasTask = true;
+          ++tasks;
+        } else if (drawn < opt_.maxKicks) {
+          selectKickCitiesInto(master_.instance(), opt_.kick, cand_, rng,
+                               opt_.kickOpt, ws.kickCities, ws.kickScratch);
+          w->cities = {ws.kickCities[0], ws.kickCities[1], ws.kickCities[2],
+                       ws.kickCities[3]};
+          ++drawn;
+          w->hasTask = true;
+          ++tasks;
+        }
+      }
+      if (tasks == 0) break;  // budget drawn and no conflict losers left
+
+      baseLen_ = master_.length();
+      runRound();
+
+      // Commit phase: coordinator-only, task order == worker index order.
+      commits_.clear();
+      ledger_.reset(master_.n());
+      std::int64_t expectedLen = baseLen_;
+      for (auto& w : workers_) {
+        if (!w->hasTask) continue;
+        ++res.speculated;
+        res.flips += w->repair.flips;
+        res.undoneFlips += w->repair.undoneFlips;
+        if (ledger_.conflicts(w->intervals)) {
+          ++res.specConflicts;
+          redispatch_.push_back(w->cities);
+        } else if (w->delta <= 0) {
+          // ABCC-style acceptance (ties kept): replay the winner's token
+          // stream onto the master and claim its footprint for the round.
+          for (const LkWorkspace::Flip& f : w->stream) replayFlip(master_, f);
+          expectedLen += w->delta;
+          DISTCLK_AUDIT_HOOK(
+              auditReplayedLength(expectedLen, master_.length()));
+          ledger_.commit(w->intervals);
+          DISTCLK_AUDIT_HOOK(ledger_.auditCheck("SpecEngine::commit"));
+          commits_.push_back(std::move(w->stream));
+          ++res.kicks;
+          ++res.specCommitted;
+          if (w->delta < 0) {
+            ++res.improvements;
+            if (onImprove) onImprove(timer.seconds(), master_.length());
+          }
+          if (hitTarget()) break;  // remaining results are moot
+        } else {
+          ++res.kicks;
+          ++res.rollbacks;
+        }
+      }
+    }
+
+    res.length = master_.length();
+    res.seconds = timer.seconds();
+    res.hitTarget = hitTarget();
+    return res;
+  }
+
+ private:
+  struct Worker {
+    explicit Worker(const TourT& snapshot) : tour(snapshot) {}
+    TourT tour;        ///< private copy, kept in the master state between rounds
+    LkWorkspace ws;    ///< private scratch + undo log
+    bool hasTask = false;
+    std::array<int, 4> cities{};
+    // Results (written by the worker during the round, read by the
+    // coordinator after the round barrier):
+    std::int64_t delta = 0;  ///< length change of kick + repair vs. snapshot
+    LkStats repair;
+    std::vector<LkWorkspace::Flip> stream;  ///< kick + net repair tokens
+    std::vector<SlotInterval> intervals;    ///< padded physical footprint
+  };
+
+  void workerLoop(int index) {
+    Worker& w = *workers_[static_cast<std::size_t>(index)];
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cvRound_.wait(lock, [&] { return shutdown_ || round_ != seen; });
+        if (shutdown_) return;
+        seen = round_;
+      }
+      evaluate(w);
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) cvDone_.notify_one();
+      }
+    }
+  }
+
+  /// One worker's round: sync to the master state, then (with a task)
+  /// speculatively evaluate kick + repair and roll back to the snapshot.
+  void evaluate(Worker& w) {
+    // Replay last round's committed streams in commit order; the private
+    // tour then matches the master exactly (slot-for-slot on the array
+    // tour, whose tokens are positional).
+    for (const std::vector<LkWorkspace::Flip>& stream : commits_)
+      for (const LkWorkspace::Flip& f : stream) replayFlip(w.tour, f);
+    if (!w.hasTask) return;
+
+    w.ws.resetUndo();
+    applyKickCities(w.tour, w.cities, w.ws);
+    w.ws.recording = true;
+    w.repair = linKernighanOptimize(w.tour, cand_, w.ws.dirty, opt_.lk, w.ws);
+    w.ws.recording = false;
+    w.delta = w.tour.length() - baseLen_;
+    w.stream.assign(w.ws.undoLog.begin(), w.ws.undoLog.end());
+
+    w.intervals.clear();
+    if constexpr (std::is_same_v<TourT, Tour>) {
+      const int n = w.tour.n();
+      for (const LkWorkspace::Flip& f : w.stream) {
+        SlotInterval iv;
+        if (flipSlotFootprint(f.a, f.b, n, iv)) w.intervals.push_back(iv);
+      }
+    } else {
+      // The segment-list tour has no stable position stamps, so its results
+      // claim the whole tour: at most one commit per round, every other
+      // acceptable result re-dispatches (see DESIGN.md §10).
+      w.intervals.push_back({0, w.tour.n() - 1});
+    }
+
+    rollbackKick(w.tour, w.ws);  // audits the undo log empty
+  }
+
+  /// Releases the pool for one round and blocks until every worker is done.
+  /// The mutex pair orders the coordinator's dispatch writes before the
+  /// workers' reads, and the workers' result writes before the commit
+  /// phase's reads.
+  void runRound() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      pending_ = static_cast<int>(workers_.size());
+      ++round_;
+    }
+    cvRound_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cvDone_.wait(lock, [&] { return pending_ == 0; });
+  }
+
+  TourT& master_;
+  const CandidateLists& cand_;
+  const ClkOptions& opt_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cvRound_;
+  std::condition_variable cvDone_;
+  std::uint64_t round_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+
+  // Round-scoped shared state: written by the coordinator between rounds
+  // (and commits_' streams by the commit phase), read by workers during the
+  // round under the runRound() synchronization.
+  std::int64_t baseLen_ = 0;
+  std::vector<std::vector<LkWorkspace::Flip>> commits_;
+  ConflictLedger ledger_;
+  std::deque<std::array<int, 4>> redispatch_;
+};
+
+template <typename TourT>
+ClkResult specImpl(TourT& tour, const CandidateLists& cand, Rng& rng,
+                   LkWorkspace& ws, const ClkOptions& opt,
+                   const AnytimeCallback& onImprove) {
+  if (opt.speculativeWorkers < 1)
+    throw std::invalid_argument(
+        "chainedLinKernighanSpeculative: speculativeWorkers must be >= 1");
+  if (tour.n() < 8)
+    throw std::invalid_argument(
+        "chainedLinKernighanSpeculative: tour too small for a 4-exchange");
+  SpecEngine<TourT> engine(tour, cand, opt);
+  return engine.run(rng, ws, onImprove);
+}
+
+}  // namespace
+
+ClkResult chainedLinKernighanSpeculative(Tour& tour, const CandidateLists& cand,
+                                         Rng& rng, LkWorkspace& ws,
+                                         const ClkOptions& opt,
+                                         const AnytimeCallback& onImprove) {
+  return specImpl(tour, cand, rng, ws, opt, onImprove);
+}
+
+ClkResult chainedLinKernighanSpeculative(BigTour& tour,
+                                         const CandidateLists& cand, Rng& rng,
+                                         LkWorkspace& ws, const ClkOptions& opt,
+                                         const AnytimeCallback& onImprove) {
+  return specImpl(tour, cand, rng, ws, opt, onImprove);
+}
+
+}  // namespace distclk

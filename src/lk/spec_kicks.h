@@ -1,0 +1,116 @@
+// Speculative parallel kick evaluation (the ROADMAP's CPF-style item): a
+// per-node worker pool evaluates k candidate double-bridge kicks + LK
+// repair concurrently, each on a private tour copy of the shared champion
+// snapshot with its own LkWorkspace. A conflict ledger of touched tour
+// regions (padded physical slot intervals of every recorded flip token)
+// detects overlap between speculative results; non-conflicting winners are
+// committed to the master tour in a deterministic task order by replaying
+// their undo-log token streams, losers roll back in O(changed) on their
+// private copies, and conflicted tasks are re-dispatched next round.
+//
+// Determinism: the coordinator draws every kick selection from the single
+// caller Rng in task order (selection is tour-independent, so the stream
+// matches the sequential path), workers make no random choices, and all
+// commit/reject decisions happen on the coordinator in task order — so the
+// trajectory is a pure function of (seed, options, worker count). Thread
+// scheduling can never leak into the result. See DESIGN.md §10.
+#pragma once
+
+#include <span>
+
+#include "lk/chained_lk.h"
+#include "lk/lk_workspace.h"
+#include "tsp/big_tour.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+namespace distclk {
+
+/// Cyclic slot interval [lo, hi] inclusive (walking forward from lo) on an
+/// n-slot array tour; lo may exceed hi when the interval wraps.
+struct SlotInterval {
+  int lo = 0;
+  int hi = 0;
+};
+
+/// Padded physical slot footprint of replaying reverseSegment(a, b) on an
+/// n-city array tour: the slots the flip writes (the shorter arc — the
+/// same choice rule reverseSegment applies, a function of (a, b, n) only)
+/// widened by one slot per side for the boundary-edge distance reads.
+/// Returns false when the flip is a whole-tour no-op (no footprint).
+bool flipSlotFootprint(int a, int b, int n, SlotInterval& out);
+
+/// Ledger of tour regions committed within one speculative round. Each
+/// commit records its intervals under a fresh group id; a candidate result
+/// conflicts when any of its intervals overlaps a slot committed by an
+/// earlier group, in which case its token stream cannot be replayed on the
+/// master (the content it was recorded against has changed).
+class ConflictLedger {
+ public:
+  /// Starts an empty round over an n-slot tour. Keeps capacity.
+  void reset(int n) {
+    n_ = n;
+    entries_.clear();
+    groups_ = 0;
+  }
+
+  /// True iff any interval overlaps a previously committed group's slots.
+  bool conflicts(std::span<const SlotInterval> intervals) const noexcept;
+
+  /// Records the intervals of one committed result as a new group.
+  void commit(std::span<const SlotInterval> intervals);
+
+  int n() const noexcept { return n_; }
+  int groups() const noexcept { return groups_; }
+
+  /// Aborts with a diagnostic unless all committed groups are pairwise
+  /// slot-disjoint — the invariant that makes token-stream replay exact.
+  /// Wired into the commit path via DISTCLK_AUDIT_HOOK.
+  void auditCheck(const char* where) const;
+
+  /// Test hook: records an interval under an arbitrary group id with no
+  /// disjointness screening (for audit death tests).
+  void testRecordRaw(SlotInterval interval, int group) {
+    entries_.push_back({interval, group});
+    groups_ = std::max(groups_, group + 1);
+  }
+
+ private:
+  static bool contains(const SlotInterval& iv, int x) noexcept {
+    return iv.lo <= iv.hi ? x >= iv.lo && x <= iv.hi : x >= iv.lo || x <= iv.hi;
+  }
+  static bool overlap(const SlotInterval& p, const SlotInterval& q) noexcept {
+    return contains(p, q.lo) || contains(q, p.lo);
+  }
+
+  struct Entry {
+    SlotInterval interval;
+    int group = 0;
+  };
+  std::vector<Entry> entries_;
+  int n_ = 0;
+  int groups_ = 0;
+};
+
+/// Chained LK with speculative kick evaluation (opt.speculativeWorkers
+/// worker threads; must be >= 1). The sequential entry points in
+/// chained_lk.h dispatch here — call those, not this, unless testing the
+/// engine directly. Kicks are realized rotation-free (the flip-token
+/// construction the sequential BigTour path uses), so with one worker the
+/// BigTour trajectory is bit-identical to the sequential fast path; the
+/// array Tour's sequential kick anchors its preserved cut on the array
+/// rotation, which cannot be replayed slot-locally, so its speculative
+/// trajectory is a (deterministic) sibling pinned against a sequential
+/// flip-kick reference loop in tests (same precedent as the documented
+/// Tour/BigTour kick divergence in tests/test_big_tour.cpp).
+ClkResult chainedLinKernighanSpeculative(Tour& tour, const CandidateLists& cand,
+                                         Rng& rng, LkWorkspace& ws,
+                                         const ClkOptions& opt,
+                                         const AnytimeCallback& onImprove = {});
+ClkResult chainedLinKernighanSpeculative(BigTour& tour,
+                                         const CandidateLists& cand, Rng& rng,
+                                         LkWorkspace& ws, const ClkOptions& opt,
+                                         const AnytimeCallback& onImprove = {});
+
+}  // namespace distclk

@@ -1,0 +1,413 @@
+// Tests for the speculative kick engine: footprint and conflict-ledger
+// units, exact 1-worker parity against the sequential fast path (BigTour)
+// and against a straight-line flip-kick reference loop built from the same
+// public primitives (ArrayTour — the sequential array kick anchors its
+// preserved cut on the array rotation, which cannot be replayed
+// slot-locally; see tests/test_big_tour.cpp for the precedent that the two
+// kick constructions are different-but-legitimate double bridges), plus
+// multi-worker determinism, validity, and telemetry coherence.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "construct/construct.h"
+#include "core/node.h"
+#include "lk/chained_lk.h"
+#include "lk/kicks.h"
+#include "lk/lin_kernighan.h"
+#include "lk/lk_workspace.h"
+#include "lk/spec_kicks.h"
+#include "tsp/big_tour.h"
+#include "tsp/gen.h"
+#include "tsp/neighbors.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+namespace distclk {
+namespace {
+
+bool intervalContains(const SlotInterval& iv, int x) {
+  return iv.lo <= iv.hi ? x >= iv.lo && x <= iv.hi : x >= iv.lo || x <= iv.hi;
+}
+
+// The footprint must cover every slot reverseSegment(a, b) writes, plus one
+// slot on each side (the boundary-edge distance reads). Checked against a
+// direct simulation of the documented slot rule: reverse [a, b] when that
+// arc is the shorter one, else reverse the complement arc.
+TEST(FlipSlotFootprint, CoversSimulatedReversalPlusPadding) {
+  for (int n : {8, 9, 31, 64}) {
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        SlotInterval iv;
+        const bool has = flipSlotFootprint(a, b, n, iv);
+        const int len = (b - a + n) % n + 1;
+        if (len >= n) {
+          EXPECT_FALSE(has) << "whole-tour flip has no footprint";
+          continue;
+        }
+        ASSERT_TRUE(has);
+        // Slots the reversal physically writes.
+        int lo = a, hi = b;
+        if (2 * len > n) {
+          lo = (b + 1) % n;
+          hi = (a - 1 + n) % n;
+        }
+        for (int s = lo;; s = (s + 1) % n) {
+          EXPECT_TRUE(intervalContains(iv, s))
+              << "n=" << n << " a=" << a << " b=" << b << " slot " << s;
+          if (s == hi) break;
+        }
+        // Padding for the boundary-edge length reads.
+        EXPECT_TRUE(intervalContains(iv, (lo - 1 + n) % n));
+        EXPECT_TRUE(intervalContains(iv, (hi + 1) % n));
+      }
+    }
+  }
+}
+
+TEST(ConflictLedger, DisjointCommitsDoNotConflict) {
+  ConflictLedger ledger;
+  ledger.reset(100);
+  const SlotInterval a{10, 20};
+  EXPECT_FALSE(ledger.conflicts({&a, 1}));  // empty ledger never conflicts
+  ledger.commit({&a, 1});
+  const SlotInterval b{21, 30};
+  EXPECT_FALSE(ledger.conflicts({&b, 1}));
+  ledger.commit({&b, 1});
+  EXPECT_EQ(ledger.groups(), 2);
+  const SlotInterval touching{30, 40};
+  EXPECT_TRUE(ledger.conflicts({&touching, 1}));
+  ledger.auditCheck("test:disjoint");
+}
+
+TEST(ConflictLedger, WraparoundIntervalsOverlapCorrectly) {
+  ConflictLedger ledger;
+  ledger.reset(100);
+  const SlotInterval wrap{90, 5};  // 90..99, 0..5
+  ledger.commit({&wrap, 1});
+  const SlotInterval inside{3, 4};
+  const SlotInterval spanning{80, 92};
+  const SlotInterval clear{40, 60};
+  const SlotInterval containing{50, 70};  // does not reach the wrap
+  EXPECT_TRUE(ledger.conflicts({&inside, 1}));
+  EXPECT_TRUE(ledger.conflicts({&spanning, 1}));
+  EXPECT_FALSE(ledger.conflicts({&clear, 1}));
+  EXPECT_FALSE(ledger.conflicts({&containing, 1}));
+  const SlotInterval whole{0, 99};
+  EXPECT_TRUE(ledger.conflicts({&whole, 1}));
+  ledger.auditCheck("test:wrap");
+}
+
+TEST(ConflictLedger, ResetStartsARoundEmpty) {
+  ConflictLedger ledger;
+  ledger.reset(50);
+  const SlotInterval a{0, 49};
+  ledger.commit({&a, 1});
+  EXPECT_TRUE(ledger.conflicts({&a, 1}));
+  ledger.reset(50);
+  EXPECT_EQ(ledger.groups(), 0);
+  EXPECT_FALSE(ledger.conflicts({&a, 1}));
+}
+
+// One result's own intervals may overlap each other (successive flips of
+// the same kick+repair routinely touch the same slots); only cross-group
+// overlap is a conflict.
+TEST(ConflictLedger, IntervalsWithinOneGroupMayOverlap) {
+  ConflictLedger ledger;
+  ledger.reset(100);
+  const std::array<SlotInterval, 2> group{{{10, 30}, {20, 40}}};
+  ledger.commit({group.data(), group.size()});
+  EXPECT_EQ(ledger.groups(), 1);
+  ledger.auditCheck("test:within-group");
+  const SlotInterval next{35, 50};
+  EXPECT_TRUE(ledger.conflicts({&next, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Parity
+// ---------------------------------------------------------------------------
+
+struct ImprovementTrace {
+  std::vector<std::int64_t> lengths;
+  AnytimeCallback callback() {
+    return [this](double, std::int64_t len) { lengths.push_back(len); };
+  }
+};
+
+// With one worker the BigTour speculative trajectory is bit-identical to
+// the sequential fast path: the worker evaluates the same kick (the
+// flip-token construction IS the sequential BigTour kick) on a tour in the
+// same state, the coordinator draws the same selection stream from the
+// same RNG, and the acceptance rule (delta <= 0) is the sequential
+// newLen <= championLen.
+TEST(SpecParity, OneWorkerBigTourMatchesSequential) {
+  const Instance inst = uniformSquare("spec-big", 260, 77);
+  CandidateLists cand(inst, 8);
+  const std::vector<int> start = quickBoruvkaTour(inst, cand);
+
+  ClkOptions seq;
+  seq.maxKicks = 60;
+  ClkOptions spec = seq;
+  spec.speculativeWorkers = 1;
+
+  BigTour a(inst, start);
+  BigTour b(inst, start);
+  Rng rngA(31);
+  Rng rngB(31);
+  LkWorkspace wsA;
+  LkWorkspace wsB;
+  ImprovementTrace traceA;
+  ImprovementTrace traceB;
+  const ClkResult resA = chainedLinKernighan(a, cand, rngA, wsA, seq,
+                                             traceA.callback());
+  const ClkResult resB = chainedLinKernighan(b, cand, rngB, wsB, spec,
+                                             traceB.callback());
+
+  EXPECT_EQ(a.orderVector(), b.orderVector());
+  EXPECT_EQ(resA.length, resB.length);
+  EXPECT_EQ(resA.kicks, resB.kicks);
+  EXPECT_EQ(resA.improvements, resB.improvements);
+  EXPECT_EQ(resA.flips, resB.flips);
+  EXPECT_EQ(resA.undoneFlips, resB.undoneFlips);
+  EXPECT_EQ(resA.rollbacks, resB.rollbacks);
+  EXPECT_EQ(traceA.lengths, traceB.lengths);  // same commit stream
+  EXPECT_TRUE(b.valid());
+  // One worker can never lose a ledger race.
+  EXPECT_EQ(resB.specConflicts, 0);
+  EXPECT_EQ(resB.speculated, resB.kicks);
+  EXPECT_EQ(resB.specCommitted + resB.rollbacks, resB.kicks);
+  // The sequential path reports no speculation.
+  EXPECT_EQ(resA.speculated, 0);
+  EXPECT_EQ(resA.specCommitted, 0);
+  EXPECT_EQ(resA.specConflicts, 0);
+}
+
+// ArrayTour 1-worker parity against a straight-line sequential loop built
+// from the engine's own public primitives (select + applyKickCities +
+// dirty LK repair + commit/rollback). The engine's master must retrace
+// this loop slot-for-slot: committed token streams replay as positional
+// reverseSegment calls, which reproduce the worker's writes exactly.
+TEST(SpecParity, OneWorkerArrayTourMatchesFlipKickReferenceLoop) {
+  const Instance inst = clustered("spec-array", 240, 8, 78);
+  CandidateLists cand(inst, 8);
+  const std::vector<int> start = quickBoruvkaTour(inst, cand);
+  constexpr std::int64_t kKicks = 60;
+
+  // Reference: the sequential flip-kick loop.
+  Tour ref(inst, start);
+  Rng rngRef(41);
+  LkWorkspace wsRef;
+  std::int64_t refImprovements = 0;
+  linKernighanOptimize(ref, cand, LkOptions{}, wsRef);
+  for (std::int64_t kick = 0; kick < kKicks; ++kick) {
+    const std::int64_t championLen = ref.length();
+    wsRef.resetUndo();
+    selectKickCitiesInto(inst, KickStrategy::kRandomWalk, cand, rngRef,
+                         KickOptions{}, wsRef.kickCities, wsRef.kickScratch);
+    const std::array<int, 4> cities{wsRef.kickCities[0], wsRef.kickCities[1],
+                                    wsRef.kickCities[2], wsRef.kickCities[3]};
+    applyKickCities(ref, cities, wsRef);
+    wsRef.recording = true;
+    linKernighanOptimize(ref, cand, wsRef.dirty, LkOptions{}, wsRef);
+    wsRef.recording = false;
+    if (ref.length() <= championLen) {
+      if (ref.length() < championLen) ++refImprovements;
+      commitKick(wsRef);
+    } else {
+      rollbackKick(ref, wsRef);
+    }
+  }
+
+  ClkOptions spec;
+  spec.maxKicks = kKicks;
+  spec.speculativeWorkers = 1;
+  Tour t(inst, start);
+  Rng rng(41);
+  LkWorkspace ws;
+  const ClkResult res = chainedLinKernighan(t, cand, rng, ws, spec);
+
+  EXPECT_EQ(t.orderVector(), ref.orderVector());  // byte-equal array
+  EXPECT_EQ(res.length, ref.length());
+  EXPECT_EQ(res.kicks, kKicks);
+  EXPECT_EQ(res.improvements, refImprovements);
+  EXPECT_EQ(res.specConflicts, 0);
+  EXPECT_EQ(res.speculated, res.kicks);
+  EXPECT_TRUE(t.valid());
+}
+
+// Speculation off must leave the options object on the sequential pinned
+// path — the dispatch is a pure speculativeWorkers > 0 test.
+TEST(SpecParity, WorkersZeroIsTheSequentialPath) {
+  const Instance inst = uniformSquare("spec-off", 200, 79);
+  CandidateLists cand(inst, 8);
+  const std::vector<int> start = quickBoruvkaTour(inst, cand);
+  ClkOptions off;
+  off.maxKicks = 40;
+  off.speculativeWorkers = 0;
+  ClkOptions plain;
+  plain.maxKicks = 40;
+
+  Tour a(inst, start);
+  Tour b(inst, start);
+  Rng rngA(5);
+  Rng rngB(5);
+  const ClkResult resA = chainedLinKernighan(a, cand, rngA, off);
+  const ClkResult resB = chainedLinKernighan(b, cand, rngB, plain);
+  EXPECT_EQ(a.orderVector(), b.orderVector());
+  EXPECT_EQ(resA.length, resB.length);
+  EXPECT_EQ(resA.speculated, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-worker behaviour
+// ---------------------------------------------------------------------------
+
+void expectCoherentStats(const ClkResult& res, std::int64_t maxKicks) {
+  EXPECT_EQ(res.speculated, res.specCommitted + res.rollbacks +
+                                res.specConflicts);
+  EXPECT_EQ(res.kicks, res.specCommitted + res.rollbacks);
+  EXPECT_LE(res.kicks, maxKicks);
+}
+
+// The trajectory is a pure function of (seed, options, worker count):
+// thread scheduling must never leak into the result.
+TEST(SpecMultiWorker, ArrayTourRunsAreDeterministic) {
+  const Instance inst = uniformSquare("spec-det", 400, 91);
+  CandidateLists cand(inst, 8);
+  const std::vector<int> start = quickBoruvkaTour(inst, cand);
+  ClkOptions opt;
+  opt.maxKicks = 80;
+  opt.speculativeWorkers = 3;
+
+  auto run = [&](std::pair<std::vector<int>, ClkResult>& out) {
+    Tour t(inst, start);
+    Rng rng(13);
+    LkWorkspace ws;
+    out.second = chainedLinKernighan(t, cand, rng, ws, opt);
+    out.first = t.orderVector();
+    EXPECT_TRUE(t.valid());
+  };
+  std::pair<std::vector<int>, ClkResult> first, second;
+  run(first);
+  run(second);
+
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second.length, second.second.length);
+  EXPECT_EQ(first.second.kicks, second.second.kicks);
+  EXPECT_EQ(first.second.improvements, second.second.improvements);
+  EXPECT_EQ(first.second.speculated, second.second.speculated);
+  EXPECT_EQ(first.second.specCommitted, second.second.specCommitted);
+  EXPECT_EQ(first.second.specConflicts, second.second.specConflicts);
+  expectCoherentStats(first.second, opt.maxKicks);
+  EXPECT_EQ(first.second.kicks, opt.maxKicks);  // no target/time cut
+}
+
+TEST(SpecMultiWorker, BigTourRunsAreDeterministic) {
+  const Instance inst = clustered("spec-big-det", 300, 6, 92);
+  CandidateLists cand(inst, 8);
+  const std::vector<int> start = quickBoruvkaTour(inst, cand);
+  ClkOptions opt;
+  opt.maxKicks = 60;
+  opt.speculativeWorkers = 4;
+
+  auto run = [&](std::vector<int>& order, ClkResult& res) {
+    BigTour t(inst, start);
+    Rng rng(17);
+    LkWorkspace ws;
+    res = chainedLinKernighan(t, cand, rng, ws, opt);
+    order = t.orderVector();
+    EXPECT_TRUE(t.valid());
+  };
+  std::vector<int> orderA, orderB;
+  ClkResult resA, resB;
+  run(orderA, resA);
+  run(orderB, resB);
+
+  EXPECT_EQ(orderA, orderB);
+  EXPECT_EQ(resA.length, resB.length);
+  EXPECT_EQ(resA.specConflicts, resB.specConflicts);
+  expectCoherentStats(resA, opt.maxKicks);
+  EXPECT_EQ(resA.kicks, opt.maxKicks);
+}
+
+// Small tour + many workers: footprints are mostly whole-tour, so nearly
+// every round aborts all but one result — the re-dispatch queue must still
+// drain and the run must terminate with the full kick budget resolved.
+TEST(SpecMultiWorker, HeavyConflictsTerminateAndResolveAllKicks) {
+  const Instance inst = uniformSquare("spec-tiny", 50, 93);
+  CandidateLists cand(inst, 6);
+  Tour t(inst, quickBoruvkaTour(inst, cand));
+  Rng rng(19);
+  LkWorkspace ws;
+  ClkOptions opt;
+  opt.maxKicks = 30;
+  opt.speculativeWorkers = 4;
+  const ClkResult res = chainedLinKernighan(t, cand, rng, ws, opt);
+  EXPECT_TRUE(t.valid());
+  expectCoherentStats(res, opt.maxKicks);
+  EXPECT_EQ(res.kicks, opt.maxKicks);
+}
+
+TEST(SpecMultiWorker, TargetLengthStopsTheRun) {
+  const Instance inst = uniformSquare("spec-target", 200, 94);
+  CandidateLists cand(inst, 8);
+  Tour t(inst, quickBoruvkaTour(inst, cand));
+  Rng rng(23);
+  LkWorkspace ws;
+  ClkOptions opt;
+  opt.speculativeWorkers = 2;
+  opt.maxKicks = 1000000;
+  opt.targetLength = t.length();  // already met after the initial LK
+  const ClkResult res = chainedLinKernighan(t, cand, rng, ws, opt);
+  EXPECT_TRUE(res.hitTarget);
+  EXPECT_LE(res.length, opt.targetLength);
+}
+
+TEST(SpecOptions, ReferencePathAndSpeculationAreMutuallyExclusive) {
+  const Instance inst = uniformSquare("spec-excl", 100, 95);
+  CandidateLists cand(inst, 6);
+  Tour t(inst, quickBoruvkaTour(inst, cand));
+  Rng rng(3);
+  ClkOptions opt;
+  opt.referenceKickPath = true;
+  opt.speculativeWorkers = 2;
+  EXPECT_THROW(chainedLinKernighan(t, cand, rng, opt), std::invalid_argument);
+}
+
+// A speculative node must still produce a valid tour deterministically
+// (same seed, same params => same best), and its CLK telemetry must flow
+// into the node metrics.
+TEST(SpecNode, NodeWithSpeculativeWorkersIsDeterministicAndValid) {
+  const Instance inst = uniformSquare("spec-node", 240, 96);
+  CandidateLists cand(inst, 8);
+  DistParams params;
+  params.clkKicksPerCall = 40;
+  params.speculativeWorkers = 2;
+
+  auto run = [&](obs::MetricsRegistry* registry) {
+    DistNode node(inst, cand, params, 0, 7);
+    if (registry != nullptr) node.setMetrics(NodeMetrics::attach(*registry));
+    node.initialStep();
+    const DistNode::StepOutcome out = node.step({});
+    EXPECT_TRUE(node.best().valid());
+    return out.bestLength;
+  };
+  obs::MetricsRegistry registry;
+  const std::int64_t withMetrics = run(&registry);
+  const std::int64_t without = run(nullptr);
+  EXPECT_EQ(withMetrics, without);  // metrics are pure observation
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_GT(snap.counterValue("node.spec_speculated"), 0);
+  EXPECT_EQ(snap.counterValue("node.spec_speculated"),
+            snap.counterValue("node.spec_committed") +
+                snap.counterValue("node.spec_conflicts") +
+                snap.counterValue("node.clk_rollbacks"));
+}
+
+}  // namespace
+}  // namespace distclk

@@ -28,6 +28,18 @@ walks src/ and fails on the project-banned constructs:
   raw-new-array         `new T[n]`: unmanaged array allocations bypass the
                         bounds- and leak-checking the sanitizer presets
                         rely on; use std::vector.
+  threading             std::thread/mutex/condition_variable/atomic/... (or
+                        their includes) in the single-threaded search core
+                        (src/lk, src/tsp). Thread scheduling is the easiest
+                        way to leak nondeterminism into a trajectory, so
+                        every use must be allowlisted with a justification
+                        explaining why the construct cannot affect the
+                        result (e.g. the speculative kick engine's round
+                        barrier, where all RNG draws and commit decisions
+                        happen on the coordinator in deterministic task
+                        order). src/core, src/net, and src/obs host the
+                        runtime/transport/metrics layers and legitimately
+                        use threads; they stay out of scope.
 
 Findings are suppressed by tools/lint_allowlist.txt entries of the form
 
@@ -51,6 +63,7 @@ from pathlib import Path
 TRAJECTORY_DIRS = ("core", "lk", "tsp", "net")
 UNORDERED_DECL_DIRS = TRAJECTORY_DIRS + ("obs",)
 FLOAT_DIRS = ("tsp", "lk")
+THREADING_DIRS = ("lk", "tsp")
 SOURCE_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
 
 RNG_EXEMPT = {"util/rng.h"}
@@ -69,6 +82,13 @@ UNORDERED_DECL_NAME = re.compile(
 POINTER_KEYED = re.compile(r"\bstd::(?:map|set|multimap|multiset)\s*<[^,>]*\*")
 FLOAT_TYPE = re.compile(r"(?<![\w.])float(?![\w.])")
 RAW_NEW_ARRAY = re.compile(r"\bnew\s+[A-Za-z_][\w:<>, ]*\s*\[")
+THREADING_USE = re.compile(
+    r"\bstd::(?:jthread|thread|mutex|shared_mutex|recursive_mutex"
+    r"|condition_variable(?:_any)?|atomic\w*|future|promise|async"
+    r"|barrier|latch|counting_semaphore|binary_semaphore|stop_token)\b")
+THREADING_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:thread|mutex|shared_mutex|condition_variable"
+    r"|atomic|future|barrier|latch|semaphore|stop_token)>")
 
 COMMENT_LINE = re.compile(r"^\s*(//|\*|/\*)")
 
@@ -164,6 +184,14 @@ def lint_file(rel: str, text: str) -> list[Finding]:
                 "raw-new-array", rel, lineno, raw,
                 "raw new[]: use std::vector so sanitizer presets see the "
                 "allocation"))
+
+        if (in_dirs(rel, THREADING_DIRS)
+                and (THREADING_USE.search(line)
+                     or THREADING_INCLUDE.search(line))):
+            findings.append(Finding(
+                "threading", rel, lineno, raw,
+                "threading primitive in the search core: justify (in the "
+                "allowlist) why scheduling cannot leak into the trajectory"))
 
     return findings
 
