@@ -61,7 +61,6 @@
 #include "baselines/multilevel.h"
 #include "baselines/tour_merge.h"
 #include "bound/held_karp.h"
-#include "construct/construct.h"
 #include "core/dist_clk.h"
 #include "core/thread_driver.h"
 #include "experiments/harness.h"
@@ -93,12 +92,14 @@ Instance makeInstanceFromArgs(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
-  const Instance inst = makeInstanceFromArgs(args);
-  const int candK = args.getInt("candidates", 10);
-  const CandidateLists cand(inst, candK,
-                            args.has("quadrant")
-                                ? CandidateLists::Kind::kQuadrant
-                                : CandidateLists::Kind::kNearest);
+  // One preprocessing build path (tsp/instance_context.h): candidate
+  // lists, kd-tree, and the construction tour come from the shared
+  // immutable context instead of ad-hoc per-algorithm setup.
+  const PreprocessParams prep = preprocessParamsFromArgs(args);
+  const std::shared_ptr<const InstanceContext> ctx =
+      makeContext(makeInstanceFromArgs(args), prep);
+  const Instance& inst = ctx->instance();
+  const CandidateLists& cand = ctx->candidates();
   const double seconds = args.getDouble("seconds", 2.0);
   const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
   const KickStrategy kick =
@@ -108,7 +109,7 @@ int main(int argc, char** argv) {
   std::printf("instance : %s (n=%d, %s)\n", inst.name().c_str(), inst.n(),
               toString(inst.weightType()));
   std::printf("algorithm: %s, %.1fs, kick=%s, candidates=%d\n", algo.c_str(),
-              seconds, toString(kick), candK);
+              seconds, toString(kick), prep.candidateK);
 
   Timer timer;
   std::vector<int> bestOrder;
@@ -131,7 +132,7 @@ int main(int argc, char** argv) {
 
   if (algo == "clk") {
     Rng rng(seed);
-    Tour tour(inst, quickBoruvkaTour(inst, cand));
+    Tour tour(inst, ctx->constructionOrder());
     ClkOptions opt;
     opt.kick = kick;
     opt.timeLimitSeconds = seconds;
@@ -153,7 +154,7 @@ int main(int argc, char** argv) {
     cfg.timeLimitPerNode = seconds;
     cfg.seed = seed;
     if (traceSink) cfg.trace = &*traceSink;
-    const RunResult res = runDistributed(inst, cand, cfg);
+    const RunResult res = runDistributed(ctx, cfg);
     bestOrder = res.bestOrder;
     std::printf("result   : %lld on %s runtime (%lld steps, %lld broadcasts, "
                 "%lld restarts, %lld wire bytes)\n",
@@ -168,7 +169,7 @@ int main(int argc, char** argv) {
                     toString(e.type), static_cast<long long>(e.value));
     }
   } else if (algo == "lk" || algo == "2opt") {
-    Tour tour(inst, quickBoruvkaTour(inst, cand));
+    Tour tour(inst, ctx->constructionOrder());
     if (algo == "lk")
       linKernighanOptimize(tour, cand);
     else

@@ -33,8 +33,11 @@ int main(int argc, char** argv) {
   const double budget = positional(1.5);
   const Args args(argc, argv);
 
-  const Instance inst = clustered("dist-demo", n, 10, /*seed=*/9);
-  const CandidateLists cand(inst, 10);
+  // Shared preprocessing build path: candidates + construction tour come
+  // from the immutable InstanceContext (tsp/instance_context.h).
+  const std::shared_ptr<const InstanceContext> ctx = makeContext(
+      clustered("dist-demo", n, 10, /*seed=*/9), preprocessParamsFromArgs(args));
+  const Instance& inst = ctx->instance();
 
   RunConfig cfg = runConfigFromArgs(args, inst);
   // Positional values and demo defaults, unless overridden by flags.
@@ -53,7 +56,7 @@ int main(int argc, char** argv) {
   std::printf("running %d nodes (%s) on %s, %.1fs CPU each, %s runtime\n",
               cfg.nodes, toString(cfg.topology), inst.name().c_str(),
               cfg.timeLimitPerNode, toString(cfg.runtime));
-  const RunResult res = runDistributed(inst, cand, cfg);
+  const RunResult res = runDistributed(ctx, cfg);
 
   std::printf("\nanytime curve (per-node CPU seconds -> global best):\n");
   for (const auto& p : res.curve)

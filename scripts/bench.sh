@@ -3,7 +3,8 @@
 # binaries, runs the micro suites with JSON output, re-runs the
 # kernel-vs-reference determinism check, and merges everything into
 # BENCH_lk.json at the repo root (per-benchmark ns/op, steps/sec, derived
-# speedup ratios, speculative-engine scaling, git describe).
+# speedup ratios, speculative-engine scaling, warm-vs-cold job setup
+# through the solver service, git describe).
 #
 # Environment knobs:
 #   BUILD_DIR  build directory (default build-bench, CMAKE_BUILD_TYPE=Release)
@@ -28,7 +29,8 @@ export MIN_TIME
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target micro_tsp micro_lk micro_tour test_dist_kernel distclk_cli
+  --target micro_tsp micro_lk micro_tour test_dist_kernel distclk_cli \
+           distclk_serve
 
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
@@ -66,6 +68,22 @@ for ((i = 0; i < OVH_REPS; ++i)); do
 done
 paste <(echo untraced; cat "$out/dist_untraced.txt") \
       <(echo traced;   cat "$out/dist_traced.txt") || true
+
+# Context-cache effect on repeated jobs: the same n=10000 instance
+# submitted WVC_JOBS times through distclk_serve on one worker. The first
+# job builds the InstanceContext (candidate lists + construction tour);
+# every later job is a cache hit and must skip preprocessing, so its
+# setup_seconds collapses to the cache-lookup cost. Records are split by
+# the per-job cache_hit flag, not submission order.
+echo "== context cache (repeated identical jobs through distclk_serve)"
+WVC_JOBS=${WVC_JOBS:-8}
+: > "$out/serve_jobs_in.jsonl"
+for ((i = 0; i < WVC_JOBS; ++i)); do
+  printf '{"id":"warm-%d","gen":"uniform","n":10000,"gen_seed":1,"candidates":10,"nodes":4,"seconds":0.2,"seed":1,"modeled_work":1000000}\n' \
+    "$i" >> "$out/serve_jobs_in.jsonl"
+done
+"$BUILD_DIR/tools/distclk_serve" --jobs "$out/serve_jobs_in.jsonl" \
+  --workers 1 --out "$out/serve_jobs.jsonl" > /dev/null
 
 if [[ -n "${SEED_CLI:-}" ]]; then
   echo "== cross-binary vs seed: $SEED_CLI"
@@ -273,8 +291,37 @@ if spec_kicks:
         **spec_kicks,
     }
 
+# Warm-vs-cold job setup through the solver service: identical jobs split
+# by their cache_hit flag. Warm setup is the ContextCache lookup; cold
+# setup is the full preprocessing build (candidate lists + construction).
+jobs_warm_vs_cold = None
+serve_jobs = os.path.join(out, "serve_jobs.jsonl")
+if os.path.exists(serve_jobs):
+    cold, warm = [], []
+    for line in open(serve_jobs):
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue
+        if rec.get("type") != "job-result":
+            continue
+        (warm if rec.get("cache_hit") else cold).append(
+            float(rec.get("setup_seconds", 0.0)))
+    if cold and warm:
+        cold_mean = sum(cold) / len(cold)
+        warm_mean = sum(warm) / len(warm)
+        jobs_warm_vs_cold = {
+            "jobs": len(cold) + len(warm),
+            "cold_jobs": len(cold),
+            "warm_jobs": len(warm),
+            "cold_setup_seconds_mean": round(cold_mean, 6),
+            "warm_setup_seconds_mean": round(warm_mean, 6),
+            "setup_speedup":
+                round(cold_mean / warm_mean, 1) if warm_mean > 0 else None,
+        }
+
 result = {
-    "schema": "distclk-bench-lk-v3",
+    "schema": "distclk-bench-lk-v4",
     "git": os.environ.get("GIT_DESCRIBE", "unknown"),
     "benchmark_min_time": float(os.environ.get("MIN_TIME", "0.05")),
     "benchmarks": benchmarks,
@@ -282,6 +329,7 @@ result = {
     "determinism": determinism,
     "telemetry_overhead": telemetry,
     "spec_kicks_vs_seq": spec_section,
+    "jobs_warm_vs_cold": jobs_warm_vs_cold,
     "vs_seed": vs_seed,
 }
 

@@ -4,8 +4,9 @@
 #   1. Main build at the -Werror warning floor (-Wconversion -Wshadow
 #      -Wextra-semi on the library target) + full ctest suite.
 #   2. ThreadSanitizer over the concurrent components (thread network,
-#      thread driver, metric shards, speculative kick engine) so data races
-#      in the mailbox/metrics/worker-pool paths fail CI on day one.
+#      thread driver, metric shards, speculative kick engine, solver pool)
+#      so data races in the mailbox/metrics/worker-pool/job-layer paths
+#      fail CI on day one.
 #   3. AddressSanitizer over the distance-kernel / candidate-list / tour /
 #      LK paths that index raw SoA and CSR arrays.
 #   4. UndefinedBehaviorSanitizer (signed overflow, shifts, bounds,
@@ -20,6 +21,11 @@
 #      and live metrics on, then trace_report --validate over the captured
 #      trace (schema + causal invariants) and a non-empty Prometheus
 #      snapshot check. Catches tracer/schema drift the unit tests miss.
+#   8. Service smoke run: distclk_serve with one worker over a wall-clock
+#      blocker, a job cancelled while queued, and a job whose deadline
+#      expires behind the blocker — all three terminal states must appear
+#      in the response stream, the shared multi-run trace must validate,
+#      and the Prometheus snapshot must carry the svc job metrics.
 #
 # See DESIGN.md §7 for what each layer is expected to catch.
 set -euo pipefail
@@ -42,12 +48,31 @@ trap 'rm -rf "$SMOKE"' EXIT
 test -s "$SMOKE/metrics.prom"
 grep -q '^distclk_snapshot_time_seconds' "$SMOKE/metrics.prom"
 
+echo "== service smoke run (cancel + deadline + completion through the pool)"
+cat > "$SMOKE/jobs.jsonl" <<'JOBS'
+{"id":"blocker","gen":"uniform","n":400,"gen_seed":7,"candidates":8,"nodes":2,"seconds":0.5,"seed":1,"runtime":"threads"}
+{"id":"hold","gen":"uniform","n":120,"gen_seed":42,"candidates":8,"nodes":8,"seconds":6,"seed":2026,"modeled_work":100000,"priority":1}
+{"id":"doomed","gen":"uniform","n":120,"gen_seed":42,"candidates":8,"nodes":8,"seconds":6,"seed":2026,"modeled_work":100000,"deadline_seconds":0.05}
+{"cancel":"hold"}
+JOBS
+./build/tools/distclk_serve --jobs "$SMOKE/jobs.jsonl" --workers 1 \
+  --out "$SMOKE/serve.jsonl" --trace "$SMOKE/serve_trace.jsonl" \
+  --metrics-out "$SMOKE/serve.prom"
+grep -q '"id":"blocker".*"state":"completed"' "$SMOKE/serve.jsonl"
+grep -q '"id":"hold".*"state":"cancelled"' "$SMOKE/serve.jsonl"
+grep -q '"id":"doomed".*"state":"expired"' "$SMOKE/serve.jsonl"
+./build/tools/trace_report "$SMOKE/serve_trace.jsonl" --validate
+./build/tools/trace_report "$SMOKE/serve_trace.jsonl" --jobs
+grep -q '^distclk_svc_jobs_completed' "$SMOKE/serve.prom"
+grep -q '^distclk_svc_jobs_cancelled' "$SMOKE/serve.prom"
+grep -q '^distclk_svc_jobs_expired' "$SMOKE/serve.prom"
+
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=thread
 cmake --build build-tsan -j "$JOBS" \
   --target test_thread_network test_thread_driver test_runtime \
-           test_obs_metrics test_lk_workspace test_spec_kicks
+           test_obs_metrics test_lk_workspace test_spec_kicks test_svc
 for t in test_thread_network test_thread_driver test_runtime \
-         test_obs_metrics test_lk_workspace test_spec_kicks; do
+         test_obs_metrics test_lk_workspace test_spec_kicks test_svc; do
   echo "== TSan: $t"
   ./build-tsan/tests/"$t"
 done

@@ -9,4 +9,11 @@ SimResult runSimulatedDistClk(const Instance& inst, const CandidateLists& cand,
   return runDistributed(inst, cand, cfg);
 }
 
+SimResult runSimulatedDistClk(const std::shared_ptr<const InstanceContext>& ctx,
+                              const SimOptions& opt) {
+  RunConfig cfg = opt;
+  cfg.runtime = RuntimeKind::kSim;
+  return runDistributed(ctx, cfg);
+}
+
 }  // namespace distclk

@@ -24,4 +24,9 @@ using SimResult = RunResult;
 SimResult runSimulatedDistClk(const Instance& inst, const CandidateLists& cand,
                               const SimOptions& opt);
 
+/// Context-based variant: reuses shared immutable preprocessing
+/// (tsp/instance_context.h) instead of rebuilding it per run.
+SimResult runSimulatedDistClk(const std::shared_ptr<const InstanceContext>& ctx,
+                              const SimOptions& opt);
+
 }  // namespace distclk

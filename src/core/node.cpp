@@ -41,7 +41,10 @@ DistNode::DistNode(const Instance& inst, const CandidateLists& cand,
     throw std::invalid_argument("DistNode: c_v and c_r must be >= 1");
 }
 
-Tour DistNode::initialTour() { return Tour(inst_, quickBoruvkaTour(inst_, cand_)); }
+Tour DistNode::initialTour() {
+  if (constructionOrder_ != nullptr) return Tour(inst_, *constructionOrder_);
+  return Tour(inst_, quickBoruvkaTour(inst_, cand_));
+}
 
 std::int64_t DistNode::innerKicks() const noexcept {
   return params_.clkKicksPerCall > 0 ? params_.clkKicksPerCall : inst_.n();

@@ -131,12 +131,22 @@ class DistNode {
   /// node's RNG stream or decisions.
   void setMetrics(const NodeMetrics& metrics) noexcept { metrics_ = metrics; }
 
+  /// Shares a precomputed Quick-Borůvka order (InstanceContext's cached
+  /// construction) used by initialStep() and every restart instead of
+  /// recomputing it. Must equal quickBoruvkaTour(inst, cand) and outlive
+  /// the node. Trajectory-neutral: the construction is deterministic and
+  /// the modeled-cost charge is unchanged; only wall time shrinks.
+  void setConstructionOrder(const std::vector<int>* order) noexcept {
+    constructionOrder_ = order;
+  }
+
  private:
   Tour initialTour();
   std::int64_t innerKicks() const noexcept;
 
   const Instance& inst_;
   const CandidateLists& cand_;
+  const std::vector<int>* constructionOrder_ = nullptr;
   DistParams params_;
   int id_;
   Rng rng_;

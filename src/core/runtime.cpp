@@ -257,11 +257,17 @@ void NodeRunner::recordBest(double now, std::int64_t length,
       g.bestLength = length;
       g.bestOrder = node_.best().orderVector();
       g.curve.push_back({now, length});
+      if (env_.cfg.onBest) env_.cfg.onBest(now, length);
     }
-  } else if (localImprovement && !improvedByMessage && logImprovement) {
-    // Local semantics (threads): kImprovement marks a locally computed new
-    // node best; received tours are already logged as kTourReceived.
-    logEvent(now, NodeEventType::kImprovement, length);
+  } else {
+    if (localImprovement && !improvedByMessage && logImprovement) {
+      // Local semantics (threads): kImprovement marks a locally computed new
+      // node best; received tours are already logged as kTourReceived.
+      logEvent(now, NodeEventType::kImprovement, length);
+    }
+    // Streaming sees every node-local best (adopted or computed); the job
+    // layer dedups across nodes by value. Observation-only either way.
+    if (localImprovement && env_.cfg.onBest) env_.cfg.onBest(now, length);
   }
   DISTCLK_AUDIT_HOOK(auditCheck("NodeRunner::recordBest"));
 }
@@ -404,15 +410,24 @@ void validateConfig(const RunConfig& cfg) {
       throw std::invalid_argument("RunConfig: failure node out of range");
 }
 
-std::vector<DistNode> buildNodes(const Instance& inst,
-                                 const CandidateLists& cand,
+std::vector<DistNode> buildNodes(const InstanceContext& ctx,
                                  const RunConfig& cfg) {
   Rng master(cfg.seed);
   std::vector<DistNode> nodes;
   nodes.reserve(std::size_t(cfg.nodes));
-  for (int i = 0; i < cfg.nodes; ++i)
-    nodes.emplace_back(inst, cand, cfg.node, i, master());
+  for (int i = 0; i < cfg.nodes; ++i) {
+    nodes.emplace_back(ctx.instance(), ctx.candidates(), cfg.node, i,
+                       master());
+    // All nodes (and all restarts) start from the context's cached
+    // construction order — trajectory-identical to recomputing it, since
+    // quick-Boruvka is a pure function of (instance, candidates).
+    nodes.back().setConstructionOrder(&ctx.constructionOrder());
+  }
   return nodes;
+}
+
+bool cancelled(const RunConfig& cfg) {
+  return cfg.cancel != nullptr && cfg.cancel->load(std::memory_order_relaxed);
 }
 
 // Wires network + node probes and writes the run-meta record. Observation
@@ -444,6 +459,7 @@ void attachObservation(const Instance& inst, const RunConfig& cfg,
   meta.clock = clockName;
   meta.runtime = toString(cfg.runtime);
   meta.wireVersion = kWireVersion;
+  meta.job = cfg.jobLabel;
   cfg.trace->write(obs::runMetaRecord(meta));
 }
 
@@ -477,13 +493,13 @@ void writeRunEnd(const RunConfig& cfg, obs::MetricsRegistry& registry,
 // virtual clock (strict <, ties to the lowest id), so runs are bit-exact
 // reproductions for a fixed seed.
 
-RunResult runSim(const Instance& inst, const CandidateLists& cand,
-                 const RunConfig& cfg) {
+RunResult runSim(const InstanceContext& ctx, const RunConfig& cfg) {
+  const Instance& inst = ctx.instance();
   SimNetwork net(buildTopology(cfg.topology, cfg.nodes), cfg.latencySeconds);
   SimTransport transport(net);
   VirtualClock clock(cfg.nodes, cfg.costModel, cfg.modeledWorkPerSecond,
                      cfg.nodeSpeeds);
-  std::vector<DistNode> nodes = buildNodes(inst, cand, cfg);
+  std::vector<DistNode> nodes = buildNodes(ctx, cfg);
 
   obs::MetricsRegistry metricsReg;
   attachObservation(inst, cfg, "dist-sim", clock.kindName(), net, nodes,
@@ -517,6 +533,9 @@ RunResult runSim(const Instance& inst, const CandidateLists& cand,
   auto failures = cfg.failures;
 
   while (true) {
+    // Cooperative cancellation: wind down before the next scheduled step.
+    // With cfg.cancel unset this is dead code, so trajectories are pinned.
+    if (cancelled(cfg)) break;
     int nodeId = -1;
     double start = std::numeric_limits<double>::infinity();
     for (int i = 0; i < cfg.nodes; ++i) {
@@ -594,12 +613,12 @@ RunResult runSim(const Instance& inst, const CandidateLists& cand,
 // ThreadTransport + WallClock. Failure and late-join injection work exactly
 // as under simulation — the schedules just fire against wall time.
 
-RunResult runThreads(const Instance& inst, const CandidateLists& cand,
-                     const RunConfig& cfg) {
+RunResult runThreads(const InstanceContext& ctx, const RunConfig& cfg) {
+  const Instance& inst = ctx.instance();
   ThreadNetwork net(buildTopology(cfg.topology, cfg.nodes));
   ThreadTransport transport(net);
   WallClock clock(cfg.nodes, cfg.nodeSpeeds);
-  std::vector<DistNode> nodes = buildNodes(inst, cand, cfg);
+  std::vector<DistNode> nodes = buildNodes(ctx, cfg);
 
   obs::MetricsRegistry metricsReg;
   attachObservation(inst, cfg, "dist-threads", clock.kindName(), net, nodes,
@@ -650,9 +669,10 @@ RunResult runThreads(const Instance& inst, const CandidateLists& cand,
           std::this_thread::sleep_for(std::chrono::duration<double>(joinAt));
         // A joiner whose join time is past the budget never runs (matching
         // the simulated scheduler, which kills it before its first step).
-        if (clock.now(i) < cfg.timeLimitPerNode && !runner.initialTick()) {
+        if (clock.now(i) < cfg.timeLimitPerNode && !cancelled(cfg) &&
+            !runner.initialTick()) {
           while (!stopFlag.load(std::memory_order_relaxed) &&
-                 clock.now(i) < cfg.timeLimitPerNode) {
+                 !cancelled(cfg) && clock.now(i) < cfg.timeLimitPerNode) {
             if (clock.now(i) >= failAt) {
               runner.leave(failAt, /*failed=*/true);
               break;
@@ -716,10 +736,17 @@ RunResult runThreads(const Instance& inst, const CandidateLists& cand,
 
 RunResult runDistributed(const Instance& inst, const CandidateLists& cand,
                          const RunConfig& cfg) {
+  return runDistributed(InstanceContext::borrow(inst, cand), cfg);
+}
+
+RunResult runDistributed(const std::shared_ptr<const InstanceContext>& ctx,
+                         const RunConfig& cfg) {
+  if (ctx == nullptr)
+    throw std::invalid_argument("runDistributed: null InstanceContext");
   validateConfig(cfg);
   switch (cfg.runtime) {
-    case RuntimeKind::kSim: return runSim(inst, cand, cfg);
-    case RuntimeKind::kThreads: return runThreads(inst, cand, cfg);
+    case RuntimeKind::kSim: return runSim(*ctx, cfg);
+    case RuntimeKind::kThreads: return runThreads(*ctx, cfg);
   }
   throw std::invalid_argument("RunConfig: unknown runtime");
 }

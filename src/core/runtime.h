@@ -23,7 +23,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +36,7 @@
 #include "net/topology.h"
 #include "obs/trace_sink.h"
 #include "tsp/instance.h"
+#include "tsp/instance_context.h"
 #include "tsp/neighbors.h"
 
 namespace distclk {
@@ -96,6 +99,19 @@ struct RunConfig {
   /// metricsIntervalSeconds and once at run end. Works with or without a
   /// trace sink.
   std::string metricsOutPath;
+  /// Cooperative cancellation (the job layer's kill switch). When non-null
+  /// and set, the run winds down at the next scheduling boundary: the
+  /// simulator stops before the next node step, thread nodes exit their
+  /// loop. Null (the default) leaves every trajectory untouched.
+  std::atomic<bool>* cancel = nullptr;
+  /// Incremental best streaming: called with (per-node seconds, length) on
+  /// every new best — global bests under sim's centralized view, node-local
+  /// bests under threads (where it may be called concurrently from node
+  /// threads; the callback must be thread-safe). Observation-only.
+  std::function<void(double, std::int64_t)> onBest;
+  /// Multi-tenant attribution: when non-empty, stamped into the trace
+  /// run-meta record as "job" so one trace file can carry many runs.
+  std::string jobLabel;
 };
 
 /// One result struct for every substrate. Per-substrate notes: under sim,
@@ -359,6 +375,13 @@ class NodeRunner {
 /// join. Prefer the runSimulatedDistClk / runThreadedDistClk wrappers when
 /// the substrate is fixed at the call site.
 RunResult runDistributed(const Instance& inst, const CandidateLists& cand,
+                         const RunConfig& cfg);
+
+/// Context-based entry point: consumes shared immutable preprocessing (one
+/// candidate build + construction tour for any number of runs). The legacy
+/// (Instance, CandidateLists) overload wraps the references in a borrowed
+/// context and forwards here, so there is exactly one execution path.
+RunResult runDistributed(const std::shared_ptr<const InstanceContext>& ctx,
                          const RunConfig& cfg);
 
 }  // namespace distclk

@@ -10,4 +10,12 @@ ThreadRunResult runThreadedDistClk(const Instance& inst,
   return runDistributed(inst, cand, cfg);
 }
 
+ThreadRunResult runThreadedDistClk(
+    const std::shared_ptr<const InstanceContext>& ctx,
+    const ThreadRunOptions& opt) {
+  RunConfig cfg = opt;
+  cfg.runtime = RuntimeKind::kThreads;
+  return runDistributed(ctx, cfg);
+}
+
 }  // namespace distclk

@@ -26,4 +26,10 @@ ThreadRunResult runThreadedDistClk(const Instance& inst,
                                    const CandidateLists& cand,
                                    const ThreadRunOptions& opt);
 
+/// Context-based variant: reuses shared immutable preprocessing
+/// (tsp/instance_context.h) instead of rebuilding it per run.
+ThreadRunResult runThreadedDistClk(
+    const std::shared_ptr<const InstanceContext>& ctx,
+    const ThreadRunOptions& opt);
+
 }  // namespace distclk

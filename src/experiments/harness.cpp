@@ -6,7 +6,6 @@
 #include <stdexcept>
 
 #include "bound/held_karp.h"
-#include "construct/construct.h"
 #include "tsp/tour.h"
 #include "util/rng.h"
 
@@ -74,8 +73,17 @@ ClkRunSummary runClkExperiment(const Instance& inst,
                                const CandidateLists& cand, KickStrategy kick,
                                double seconds, std::int64_t target,
                                std::uint64_t seed) {
+  return runClkExperiment(*InstanceContext::borrow(inst, cand), kick, seconds,
+                          target, seed);
+}
+
+ClkRunSummary runClkExperiment(const InstanceContext& ctx, KickStrategy kick,
+                               double seconds, std::int64_t target,
+                               std::uint64_t seed) {
+  const Instance& inst = ctx.instance();
+  const CandidateLists& cand = ctx.candidates();
   Rng rng(seed);
-  Tour tour(inst, quickBoruvkaTour(inst, cand));
+  Tour tour(inst, ctx.constructionOrder());
   ClkOptions opt;
   opt.kick = kick;
   opt.timeLimitSeconds = seconds;
@@ -176,6 +184,19 @@ RunConfig runConfigFromArgs(const Args& args, const Instance& inst) {
   const std::string speeds = args.getString("speeds", "");
   if (!speeds.empty()) cfg.nodeSpeeds = parseSpeeds(speeds);
   return cfg;
+}
+
+PreprocessParams preprocessParamsFromArgs(const Args& args) {
+  PreprocessParams p;
+  p.candidateK = args.getInt("candidates", p.candidateK);
+  if (args.has("quadrant")) p.kind = CandidateLists::Kind::kQuadrant;
+  return p;
+}
+
+std::shared_ptr<const InstanceContext> makeContext(
+    Instance inst, const PreprocessParams& params) {
+  return InstanceContext::build(
+      std::make_shared<const Instance>(std::move(inst)), params);
 }
 
 double referenceLength(const PaperInstance& spec, const Instance& inst) {

@@ -13,6 +13,7 @@
 #include "experiments/instances.h"
 #include "lk/chained_lk.h"
 #include "tsp/instance.h"
+#include "tsp/instance_context.h"
 #include "tsp/neighbors.h"
 
 namespace distclk {
@@ -63,6 +64,12 @@ ClkRunSummary runClkExperiment(const Instance& inst,
                                const CandidateLists& cand, KickStrategy kick,
                                double seconds, std::int64_t target,
                                std::uint64_t seed);
+/// Context-based variant: starts from the context's cached construction
+/// order. The (Instance, CandidateLists) overload wraps its references in
+/// a borrowed context and forwards here — one preprocessing build path.
+ClkRunSummary runClkExperiment(const InstanceContext& ctx, KickStrategy kick,
+                               double seconds, std::int64_t target,
+                               std::uint64_t seed);
 
 /// One DistCLK run under the discrete-event simulator, with EA step costs
 /// scaled for laptop budgets (see scaledNodeParams).
@@ -101,6 +108,19 @@ DistParams scaledNodeParams(const Instance& inst);
 ///
 /// Throws std::invalid_argument on malformed values.
 RunConfig runConfigFromArgs(const Args& args, const Instance& inst);
+
+/// Preprocessing parameters from the shared CLI flags:
+///   --candidates K   candidate-list size (default 10)
+///   --quadrant       quadrant-neighbor candidates instead of nearest
+PreprocessParams preprocessParamsFromArgs(const Args& args);
+
+/// THE per-instance preprocessing build path for drivers that own their
+/// instance: moves it into shared ownership and builds the context
+/// (candidates + kd-tree + construction tour in one place). Examples and
+/// benches go through here (or InstanceContext::build directly) rather
+/// than constructing CandidateLists / Quick-Borůvka tours ad hoc.
+std::shared_ptr<const InstanceContext> makeContext(
+    Instance inst, const PreprocessParams& params = {});
 
 /// Parses a "--fail"/"--join" style schedule: "N:T[,N:T...]".
 std::vector<std::pair<int, double>> parseSchedule(const std::string& spec,

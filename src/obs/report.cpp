@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 namespace distclk::obs {
@@ -123,9 +124,19 @@ LoadedTrace loadTrace(std::istream& in) {
       continue;
     }
     const std::string type = v.str("type");
+    // Index of the run bracket currently open; new message records are
+    // stamped with it so validation can scope causality per run.
+    const int curRun = static_cast<int>(trace.runs.size()) - 1;
     if (type == "run-meta") {
-      trace.meta = std::move(v);
+      if (!trace.meta.has_value()) trace.meta = v;
+      trace.runs.push_back(TraceRun{});
+      trace.runs.back().meta = std::move(v);
     } else if (type == "run-end") {
+      if (!trace.runs.empty() && !trace.runs.back().runEnd.has_value()) {
+        trace.runs.back().runEnd = v;
+      } else {
+        ++trace.strayRunEnds;
+      }
       trace.runEnd = std::move(v);
     } else if (type == "metrics") {
       trace.lastMetrics = std::move(v);
@@ -147,7 +158,7 @@ LoadedTrace loadTrace(std::istream& in) {
           v.num("t"), static_cast<int>(v.integer("node", -1)),
           static_cast<std::uint64_t>(v.integer("seq")),
           static_cast<std::uint64_t>(v.integer("lamport")), v.integer("len"),
-          v.integer("bytes")});
+          v.integer("bytes"), curRun});
     } else if (type == "msg-recv") {
       trace.recv.push_back(TraceMsgRecv{
           v.num("t"), static_cast<int>(v.integer("node", -1)),
@@ -155,7 +166,7 @@ LoadedTrace loadTrace(std::istream& in) {
           static_cast<std::uint64_t>(v.integer("seq")),
           static_cast<std::uint64_t>(v.integer("lamport")),
           static_cast<std::uint64_t>(v.integer("recv_lamport")),
-          v.integer("len")});
+          v.integer("len"), curRun});
     } else if (type == "adopt") {
       trace.adopts.push_back(TraceAdopt{
           v.num("t"), static_cast<int>(v.integer("node", -1)),
@@ -164,6 +175,15 @@ LoadedTrace loadTrace(std::istream& in) {
       trace.series.push_back(TraceNodeBest{
           v.num("t"), static_cast<int>(v.integer("node", -1)),
           v.integer("len"), v.integer("no_improve")});
+    } else if (type == "job") {
+      const JsonValue* hit = v.find("cache_hit");
+      trace.jobs.push_back(TraceJob{
+          v.num("t"), v.str("id"), v.str("state"),
+          static_cast<int>(v.integer("priority")), v.integer("best"),
+          v.num("queue_seconds"), v.num("setup_seconds"),
+          v.num("solve_seconds"),
+          hit != nullptr && hit->kind == JsonValue::Kind::kBool &&
+              hit->boolean});
     } else {
       ++trace.badLines;
       addProblem(trace.problems, "line " + std::to_string(lineNo) +
@@ -381,14 +401,43 @@ ValidationResult validateTrace(std::istream& in) {
   result.badLines = trace.badLines;
   result.problems = trace.problems;
 
-  if (!trace.meta.has_value()) {
+  // Bracketing, per run: every run-meta must be closed by a run-end before
+  // the next run-meta opens (a serve daemon appends one bracket per job).
+  const int runCount = static_cast<int>(trace.runs.size());
+  if (runCount == 0) {
     addProblem(result.problems, "missing run-meta record");
   }
-  if (!trace.runEnd.has_value()) {
-    addProblem(result.problems, "missing run-end record");
+  for (int i = 0; i < runCount; ++i) {
+    if (trace.runs[static_cast<std::size_t>(i)].runEnd.has_value()) continue;
+    if (runCount == 1) {
+      addProblem(result.problems, "missing run-end record");
+    } else if (i + 1 < runCount) {
+      std::ostringstream os;
+      os << "run " << i << " has no run-end before run " << i + 1
+         << "'s run-meta opens";
+      addProblem(result.problems, os.str());
+    } else {
+      std::ostringstream os;
+      os << "run " << i << " is missing its run-end record";
+      addProblem(result.problems, os.str());
+    }
+  }
+  if (trace.strayRunEnds > 0) {
+    std::ostringstream os;
+    os << trace.strayRunEnds
+       << " run-end record(s) without a matching open run-meta";
+    addProblem(result.problems, os.str());
   }
 
-  const int nodes = trace.nodeCount();
+  // Node-id range: the widest cluster any run declares (jobs in one stream
+  // may use different node counts), else the observed maximum.
+  int nodes = 0;
+  for (const TraceRun& run : trace.runs) {
+    if (run.meta.has_value()) {
+      nodes = std::max(nodes, static_cast<int>(run.meta->integer("nodes")));
+    }
+  }
+  if (nodes <= 0) nodes = trace.nodeCount();
   const auto checkNode = [&](int node, const char* what) {
     if (node < 0 || node >= nodes) {
       std::ostringstream os;
@@ -404,25 +453,29 @@ ValidationResult validateTrace(std::istream& in) {
     checkNode(a.from, "adopt.from");
   }
 
-  // Causal invariants of the v3 stamps: per-sender (node, seq) pairs are
-  // unique, every receive matches an emitted send, and the Lamport receive
-  // rule ran (receiver's time strictly exceeds the sender stamp).
-  std::set<std::pair<int, std::uint64_t>> sentKeys;
+  // Causal invariants of the v3 stamps, scoped to the enclosing run (the
+  // per-sender seq counters restart with every run bracket): per-run
+  // (node, seq) pairs are unique, every receive matches a send emitted in
+  // the same run, and the Lamport receive rule ran (receiver's time
+  // strictly exceeds the sender stamp).
+  std::set<std::tuple<int, int, std::uint64_t>> sentKeys;
   for (const TraceMsgSent& s : trace.sent) {
     checkNode(s.node, "msg-sent");
-    if (!sentKeys.insert({s.node, s.seq}).second) {
+    if (!sentKeys.insert({s.run, s.node, s.seq}).second) {
       std::ostringstream os;
       os << "duplicate msg-sent seq " << s.seq << " from node " << s.node;
+      if (runCount > 1) os << " in run " << s.run;
       addProblem(result.problems, os.str());
     }
   }
   for (const TraceMsgRecv& r : trace.recv) {
     checkNode(r.node, "msg-recv");
     checkNode(r.from, "msg-recv.from");
-    if (sentKeys.find({r.from, r.seq}) == sentKeys.end()) {
+    if (sentKeys.find({r.run, r.from, r.seq}) == sentKeys.end()) {
       std::ostringstream os;
       os << "msg-recv at node " << r.node << " (from " << r.from << ", seq "
          << r.seq << ") has no matching msg-sent";
+      if (runCount > 1) os << " in run " << r.run;
       addProblem(result.problems, os.str());
     }
     if (r.recvLamport <= r.lamport) {
@@ -433,6 +486,40 @@ ValidationResult validateTrace(std::istream& in) {
     }
   }
   return result;
+}
+
+JobsReport jobsReport(const LoadedTrace& trace) {
+  JobsReport report;
+  report.total = static_cast<int>(trace.jobs.size());
+  double queueSum = 0.0;
+  double setupSum = 0.0;
+  double solveSum = 0.0;
+  for (const TraceJob& j : trace.jobs) {
+    if (j.state == "completed") {
+      ++report.completed;
+    } else if (j.state == "cancelled") {
+      ++report.cancelled;
+    } else if (j.state == "expired") {
+      ++report.expired;
+    } else if (j.state == "failed") {
+      ++report.failed;
+    }
+    if (j.cacheHit) ++report.cacheHits;
+    if (j.state != "completed") continue;
+    queueSum += j.queueSeconds;
+    setupSum += j.setupSeconds;
+    solveSum += j.solveSeconds;
+    report.maxLatencySeconds =
+        std::max(report.maxLatencySeconds,
+                 j.queueSeconds + j.setupSeconds + j.solveSeconds);
+  }
+  if (report.completed > 0) {
+    const double inv = 1.0 / static_cast<double>(report.completed);
+    report.meanQueueSeconds = queueSum * inv;
+    report.meanSetupSeconds = setupSum * inv;
+    report.meanSolveSeconds = solveSum * inv;
+  }
+  return report;
 }
 
 std::vector<double> parseLevels(const std::string& spec) {

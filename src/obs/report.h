@@ -31,6 +31,7 @@ struct TraceMsgSent {
   std::uint64_t lamport = 0;
   std::int64_t len = 0;
   std::int64_t bytes = 0;
+  int run = -1;  ///< index of the enclosing run bracket (-1 = before any)
 };
 
 struct TraceMsgRecv {
@@ -41,6 +42,7 @@ struct TraceMsgRecv {
   std::uint64_t lamport = 0;      ///< sender's Lamport time at send
   std::uint64_t recvLamport = 0;  ///< receiver's Lamport time after receive
   std::int64_t len = 0;
+  int run = -1;  ///< index of the enclosing run bracket (-1 = before any)
 };
 
 struct TraceAdopt {
@@ -57,18 +59,47 @@ struct TraceNodeBest {
   std::int64_t noImprove = 0;
 };
 
+/// One run-meta/run-end bracket in a (possibly multi-run) trace stream.
+/// A serve daemon appends one bracket per job to a shared trace file; a
+/// standalone run writes exactly one.
+struct TraceRun {
+  std::optional<JsonValue> meta;
+  std::optional<JsonValue> runEnd;
+};
+
+/// A job lifecycle record the service layer appends after each job's run
+/// bracket (src/svc/solver_pool.cpp).
+struct TraceJob {
+  double t = 0.0;
+  std::string id;
+  std::string state;  ///< completed | cancelled | expired | failed
+  int priority = 0;
+  std::int64_t best = 0;
+  double queueSeconds = 0.0;
+  double setupSeconds = 0.0;
+  double solveSeconds = 0.0;
+  bool cacheHit = false;
+};
+
 /// One parsed trace. Garbled/unknown lines are skipped and counted, with
 /// the first few diagnostics retained; callers decide whether bad lines are
 /// fatal (trace_report exits non-zero when badLines > 0).
+///
+/// Multi-run streams: each run-meta opens a new entry in `runs`; the next
+/// run-end closes it. `meta`/`runEnd` keep the single-run view (first meta,
+/// last end) so existing analyses keep working on concatenated traces.
 struct LoadedTrace {
-  std::optional<JsonValue> meta;
-  std::optional<JsonValue> runEnd;
+  std::optional<JsonValue> meta;    ///< first run-meta (legacy single-run view)
+  std::optional<JsonValue> runEnd;  ///< last run-end (legacy single-run view)
   std::optional<JsonValue> lastMetrics;
+  std::vector<TraceRun> runs;  ///< run brackets in stream order
+  int strayRunEnds = 0;        ///< run-end records with no open run-meta
   EventLog events;  ///< sorted by (time, node)
   std::vector<TraceMsgSent> sent;
   std::vector<TraceMsgRecv> recv;
   std::vector<TraceAdopt> adopts;
   std::vector<TraceNodeBest> series;
+  std::vector<TraceJob> jobs;  ///< service-layer job records, stream order
   int parsedLines = 0;
   int badLines = 0;
   std::vector<std::string> problems;  ///< first diagnostics, capped
@@ -154,6 +185,27 @@ ConvergenceReport convergenceReport(const LoadedTrace& trace,
                                     const std::vector<double>& levels);
 
 // ---------------------------------------------------------------------------
+// --jobs: service-layer job table + SLO aggregates
+
+/// Aggregates over the trace's job records (one per job the service layer
+/// finished). Seconds fields aggregate completed jobs only — cancelled or
+/// expired jobs have truncated phases that would skew the SLO picture.
+struct JobsReport {
+  int total = 0;
+  int completed = 0;
+  int cancelled = 0;
+  int expired = 0;
+  int failed = 0;
+  int cacheHits = 0;  ///< jobs whose InstanceContext came from the cache
+  double meanQueueSeconds = 0.0;
+  double meanSetupSeconds = 0.0;
+  double meanSolveSeconds = 0.0;
+  double maxLatencySeconds = 0.0;  ///< max queue+setup+solve over completed
+};
+
+JobsReport jobsReport(const LoadedTrace& trace);
+
+// ---------------------------------------------------------------------------
 // --validate: trace schema / causal-consistency check
 
 struct ValidationResult {
@@ -167,8 +219,11 @@ struct ValidationResult {
 
 /// Validates record schemas plus the causal invariants the tracer
 /// guarantees: every msg-recv matches an emitted msg-sent (sender, seq),
-/// receive Lamport times exceed send stamps, node ids are in range, and the
-/// run-meta/run-end bracket is present.
+/// receive Lamport times exceed send stamps, node ids are in range, and
+/// run-meta/run-end brackets pair up. Streams with several brackets (a
+/// serve daemon appends one per job) are validated per run: each run must
+/// close before the next opens, and message causality is scoped to its
+/// enclosing run (per-sender seq counters restart across runs).
 ValidationResult validateTrace(std::istream& in);
 
 /// Parses a "--levels" spec: comma-separated fractions ("0.05,0.01,0").

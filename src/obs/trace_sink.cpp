@@ -129,8 +129,8 @@ std::int64_t JsonlTraceSink::linesWritten() const {
 const char* buildVersion() noexcept { return DISTCLK_GIT_DESCRIBE; }
 
 std::string runMetaRecord(const RunMeta& meta) {
-  return JsonObject()
-      .field("type", "run-meta")
+  JsonObject o;
+  o.field("type", "run-meta")
       .field("instance", meta.instance)
       .field("n", meta.n)
       .field("algorithm", meta.algorithm)
@@ -143,9 +143,12 @@ std::string runMetaRecord(const RunMeta& meta) {
       .field("time_limit_per_node", meta.timeLimitPerNode)
       .field("clock", meta.clock)
       .field("runtime", meta.runtime)
-      .field("wire_version", meta.wireVersion)
-      .field("git", buildVersion())
-      .str();
+      .field("wire_version", meta.wireVersion);
+  // Only multi-tenant (job-layer) runs carry the attribution key, so
+  // standalone traces stay byte-identical to earlier schema versions.
+  if (!meta.job.empty()) o.field("job", meta.job);
+  o.field("git", buildVersion());
+  return o.str();
 }
 
 std::string eventRecord(const NodeEvent& event) {
@@ -225,6 +228,24 @@ std::string nodeBestRecord(double time, int node, std::int64_t best,
       .field("node", node)
       .field("len", best)
       .field("no_improve", noImprovements)
+      .str();
+}
+
+std::string jobRecord(double time, const std::string& id,
+                      const std::string& state, int priority,
+                      std::int64_t best, double queueSeconds,
+                      double setupSeconds, double solveSeconds, bool cacheHit) {
+  return JsonObject()
+      .field("type", "job")
+      .field("t", time)
+      .field("id", id)
+      .field("state", state)
+      .field("priority", priority)
+      .field("best", best)
+      .field("queue_seconds", queueSeconds)
+      .field("setup_seconds", setupSeconds)
+      .field("solve_seconds", solveSeconds)
+      .field("cache_hit", cacheHit)
       .str();
 }
 

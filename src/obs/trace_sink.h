@@ -101,6 +101,10 @@ struct RunMeta {
   std::string clock;    ///< "virtual" | "wall"
   std::string runtime;  ///< "sim" | "threads" (RuntimeKind of the run)
   int wireVersion = 0;  ///< net/message wire-format version of the build
+  /// Multi-tenant attribution (job layer). Empty = standalone run; the
+  /// "job" key is then omitted so single-run traces are byte-identical to
+  /// pre-job-layer ones.
+  std::string job;
 };
 
 /// Compile-time version stamp (git describe at configure time).
@@ -122,5 +126,12 @@ std::string msgRecvRecord(double time, int node, int from, std::uint64_t seq,
 std::string adoptRecord(double time, int node, int from, std::int64_t length);
 std::string nodeBestRecord(double time, int node, std::int64_t best,
                            int noImprovements);
+/// Job-layer SLO record (src/svc SolverPool): written once per finished
+/// job, after that job's run bracket. `time` is seconds since the pool
+/// started; queue/setup/solve are the job's latency decomposition.
+std::string jobRecord(double time, const std::string& id,
+                      const std::string& state, int priority,
+                      std::int64_t best, double queueSeconds,
+                      double setupSeconds, double solveSeconds, bool cacheHit);
 
 }  // namespace distclk::obs

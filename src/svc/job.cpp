@@ -1,0 +1,17 @@
+#include "svc/job.h"
+
+namespace distclk::svc {
+
+const char* toString(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace distclk::svc

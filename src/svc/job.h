@@ -1,0 +1,98 @@
+// Job layer vocabulary: a job is one distributed-CLK run — an instance
+// reference plus RunConfig overrides — with multi-tenant scheduling
+// attributes (priority, deadline) and a per-job result sink. The lifecycle
+// state machine (DESIGN.md §11):
+//
+//   kQueued ──pop──▶ kRunning ──▶ kCompleted
+//      │                │ ├──▶ kCancelled   (cancel() while running)
+//      │                │ └──▶ kExpired     (deadline hit while running)
+//      │                └────▶ kFailed      (run threw)
+//      ├──cancel()──▶ kCancelled            (never ran)
+//      └──deadline──▶ kExpired              (expired in queue / at dequeue)
+//
+// Terminal states are exactly {kCompleted, kCancelled, kExpired, kFailed};
+// every submitted job reaches one and its sink's onResult fires exactly
+// once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "tsp/instance_context.h"
+
+namespace distclk::svc {
+
+enum class JobState {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kCancelled,
+  kExpired,
+  kFailed,
+};
+
+const char* toString(JobState s) noexcept;
+
+/// Everything a client submits: which instance (shared, immutable), how to
+/// preprocess it (the ContextCache key), how to run it, and how to
+/// schedule it against other tenants.
+struct JobSpec {
+  std::string id;
+  std::shared_ptr<const Instance> instance;
+  PreprocessParams preprocess;
+  /// Per-run overrides (nodes, budget, seed, runtime, ...). The pool owns
+  /// cancel/onBest/trace/jobLabel — any values set here are overwritten.
+  RunConfig run;
+  /// Higher runs first; FIFO within a priority level.
+  int priority = 0;
+  /// Seconds from submission until the job is abandoned (<= 0: none).
+  /// Expiry in the queue or at dequeue skips the run entirely; expiry
+  /// mid-run cancels it cooperatively.
+  double deadlineSeconds = 0.0;
+};
+
+/// Incremental best-tour stream: one callback per strictly improving best
+/// observed across the job's nodes. `time` is per-node seconds from the
+/// run's own clock (virtual under sim).
+struct JobProgress {
+  std::string id;
+  double time = 0.0;
+  std::int64_t best = 0;
+};
+
+/// Terminal outcome plus the SLO latency decomposition
+/// (queue -> setup (context build or cache hit) -> solve).
+struct JobResult {
+  std::string id;
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  std::int64_t bestLength = 0;
+  std::vector<int> bestOrder;
+  bool cacheHit = false;
+  double queueSeconds = 0.0;
+  double setupSeconds = 0.0;
+  double solveSeconds = 0.0;
+  std::int64_t totalSteps = 0;
+  std::int64_t messagesSent = 0;
+  /// Full run trajectory (events + anytime curve) for completed and
+  /// mid-run-cancelled jobs; the cache-determinism tests hash `events`.
+  EventLog events;
+  AnytimeCurve curve;
+  bool hitTarget = false;
+  std::string error;  ///< non-empty iff state == kFailed
+};
+
+/// Per-job observer. Called from pool worker threads: implementations must
+/// be thread-safe across jobs (one job's callbacks never overlap
+/// themselves; onResult is the last call for a job).
+class JobSink {
+ public:
+  virtual ~JobSink() = default;
+  virtual void onProgress(const JobProgress&) {}
+  virtual void onResult(const JobResult&) = 0;
+};
+
+}  // namespace distclk::svc

@@ -1,0 +1,74 @@
+#include "svc/job_queue.h"
+
+#include <utility>
+
+namespace distclk::svc {
+
+JobQueue::JobQueue(std::size_t maxDepth) : maxDepth_(maxDepth) {}
+
+bool JobQueue::submit(QueuedJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    if (maxDepth_ > 0 && queue_.size() >= maxDepth_) return false;
+    queue_.emplace(Key{-job.spec.priority, job.seq}, std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<QueuedJob> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  auto it = queue_.begin();
+  QueuedJob job = std::move(it->second);
+  queue_.erase(it);
+  return job;
+}
+
+std::optional<QueuedJob> JobQueue::cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->second.spec.id == id) {
+      QueuedJob job = std::move(it->second);
+      queue_.erase(it);
+      return job;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<QueuedJob> JobQueue::takeExpired(double now) {
+  std::vector<QueuedJob> expired;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->second.deadlineAt <= now) {
+      expired.push_back(std::move(it->second));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace distclk::svc

@@ -1,0 +1,74 @@
+// Priority/deadline job queue with cancellation and bounded depth
+// (backpressure). Ordering: strict priority (higher first), FIFO within a
+// priority level — implemented as an ordered map keyed by
+// (-priority, submission seq), so iteration order is deterministic and
+// independent of allocator behavior. Blocking pop; close() drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "svc/job.h"
+
+namespace distclk::svc {
+
+/// A submitted job plus the pool-clock bookkeeping the SLO metrics need.
+struct QueuedJob {
+  JobSpec spec;
+  JobSink* sink = nullptr;
+  std::int64_t seq = 0;           ///< pool-wide submission counter
+  double submitSeconds = 0.0;     ///< pool clock at submit
+  double deadlineAt = std::numeric_limits<double>::infinity();
+};
+
+class JobQueue {
+ public:
+  /// maxDepth == 0 means unbounded.
+  explicit JobQueue(std::size_t maxDepth = 0);
+
+  /// False when the queue is closed or full (backpressure: the caller owns
+  /// the rejected job and should report it, not block).
+  bool submit(QueuedJob job);
+
+  /// Blocks until a job is available or the queue is closed and empty
+  /// (then returns nullopt). Returns the highest-priority, oldest job.
+  std::optional<QueuedJob> pop();
+
+  /// Removes a still-queued job by id; returns it so the caller can emit
+  /// its kCancelled result. nullopt when no such job is queued (it may be
+  /// running or already finished — the pool handles those separately).
+  std::optional<QueuedJob> cancel(const std::string& id);
+
+  /// Removes and returns every queued job whose deadline is <= now. The
+  /// pool's deadline monitor expires these without occupying a worker.
+  std::vector<QueuedJob> takeExpired(double now);
+
+  /// No further submissions; pending jobs still drain through pop().
+  void close();
+
+  std::size_t depth() const;
+  bool closed() const;
+
+ private:
+  struct Key {
+    int negPriority = 0;
+    std::int64_t seq = 0;
+    bool operator<(const Key& o) const {
+      if (negPriority != o.negPriority) return negPriority < o.negPriority;
+      return seq < o.seq;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, QueuedJob> queue_;
+  std::size_t maxDepth_;
+  bool closed_ = false;
+};
+
+}  // namespace distclk::svc

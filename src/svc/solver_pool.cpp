@@ -1,0 +1,360 @@
+#include "svc/solver_pool.h"
+
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace distclk::svc {
+
+namespace {
+
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SvcMetrics SvcMetrics::attach(obs::MetricsRegistry& registry) {
+  SvcMetrics m;
+  m.registry = &registry;
+  m.jobsSubmitted = registry.counter("svc.jobs_submitted");
+  m.jobsRejected = registry.counter("svc.jobs_rejected");
+  m.jobsCompleted = registry.counter("svc.jobs_completed");
+  m.jobsCancelled = registry.counter("svc.jobs_cancelled");
+  m.jobsExpired = registry.counter("svc.jobs_expired");
+  m.jobsFailed = registry.counter("svc.jobs_failed");
+  m.queueDepth = registry.gauge("svc.queue_depth");
+  m.jobsRunning = registry.gauge("svc.jobs_running");
+  m.cacheHits = registry.counter("svc.context_cache_hits");
+  m.cacheMisses = registry.counter("svc.context_cache_misses");
+  m.queueSeconds = registry.histogram(
+      "svc.job_queue_seconds",
+      obs::MetricsRegistry::exponentialBounds(1e-3, 4.0, 10));
+  m.setupSeconds = registry.histogram(
+      "svc.job_setup_seconds",
+      obs::MetricsRegistry::exponentialBounds(1e-4, 4.0, 10));
+  m.solveSeconds = registry.histogram(
+      "svc.job_solve_seconds",
+      obs::MetricsRegistry::exponentialBounds(1e-2, 4.0, 10));
+  m.latencySeconds = registry.histogram(
+      "svc.job_latency_seconds",
+      obs::MetricsRegistry::exponentialBounds(1e-2, 4.0, 10));
+  return m;
+}
+
+SolverPool::SolverPool(SolverPoolOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.contextCacheCapacity),
+      queue_(opts_.maxQueueDepth),
+      startNs_(steadyNowNs()) {
+  if (opts_.metrics != nullptr) metrics_ = SvcMetrics::attach(*opts_.metrics);
+  const int workers = opts_.workers < 1 ? 1 : opts_.workers;
+  workers_.reserve(std::size_t(workers));
+  for (int i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+  monitor_ = std::thread([this] { monitorLoop(); });
+}
+
+SolverPool::~SolverPool() { shutdown(); }
+
+double SolverPool::nowSeconds() const {
+  return double(steadyNowNs() - startNs_) * 1e-9;
+}
+
+void SolverPool::recordGauges() {
+  if (metrics_.registry == nullptr) return;
+  metrics_.registry->set(metrics_.queueDepth, double(queue_.depth()));
+  std::size_t runningCount = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runningCount = running_.size();
+  }
+  metrics_.registry->set(metrics_.jobsRunning, double(runningCount));
+}
+
+bool SolverPool::submit(JobSpec spec, JobSink* sink) {
+  if (spec.instance == nullptr)
+    throw std::invalid_argument("SolverPool: job has no instance");
+  if (spec.id.empty())
+    throw std::invalid_argument("SolverPool: job id must be non-empty");
+
+  QueuedJob job;
+  job.sink = sink;
+  job.submitSeconds = nowSeconds();
+  job.deadlineAt = spec.deadlineSeconds > 0.0
+                       ? job.submitSeconds + spec.deadlineSeconds
+                       : std::numeric_limits<double>::infinity();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.jobsRejected);
+      return false;
+    }
+    if (!known_.emplace(spec.id, 1).second)
+      throw std::invalid_argument("SolverPool: duplicate job id '" + spec.id +
+                                  "'");
+    job.seq = ++seq_;
+    ++inFlight_;
+  }
+  job.spec = std::move(spec);
+  const std::string id = job.spec.id;
+
+  if (!queue_.submit(std::move(job))) {
+    // Backpressure: undo the bookkeeping so the id can be resubmitted.
+    std::lock_guard<std::mutex> lock(mu_);
+    known_.erase(id);
+    --inFlight_;
+    if (inFlight_ == 0) idle_.notify_all();
+    if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.jobsRejected);
+    return false;
+  }
+  if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.jobsSubmitted);
+  recordGauges();
+  return true;
+}
+
+bool SolverPool::cancel(const std::string& id) {
+  if (auto queued = queue_.cancel(id)) {
+    finishSkipped(std::move(*queued), JobState::kCancelled);
+    return true;
+  }
+  std::shared_ptr<RunningJob> running;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = running_.find(id);
+    if (it == running_.end()) return false;
+    running = it->second;
+  }
+  running->cancelRequested.store(true, std::memory_order_relaxed);
+  running->cancelFlag.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void SolverPool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return inFlight_ == 0; });
+}
+
+void SolverPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  queue_.close();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  stopMonitor_.store(true, std::memory_order_relaxed);
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void SolverPool::workerLoop() {
+  while (auto job = queue_.pop()) runJob(std::move(*job));
+}
+
+void SolverPool::monitorLoop() {
+  const double poll =
+      opts_.deadlinePollSeconds > 1e-3 ? opts_.deadlinePollSeconds : 1e-3;
+  while (!stopMonitor_.load(std::memory_order_relaxed)) {
+    const double now = nowSeconds();
+    // Queued jobs past their deadline expire without occupying a worker.
+    for (QueuedJob& job : queue_.takeExpired(now))
+      finishSkipped(std::move(job), JobState::kExpired);
+    // Running jobs past their deadline are cancelled cooperatively; the
+    // worker classifies the outcome as kExpired via the `expired` flag.
+    std::vector<std::shared_ptr<RunningJob>> due;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [id, running] : running_)
+        if (running->deadlineAt <= now) due.push_back(running);
+    }
+    for (auto& running : due) {
+      running->expired.store(true, std::memory_order_relaxed);
+      running->cancelFlag.store(true, std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll));
+  }
+}
+
+void SolverPool::runJob(QueuedJob job) {
+  const double dequeued = nowSeconds();
+  if (job.deadlineAt <= dequeued) {
+    finishSkipped(std::move(job), JobState::kExpired);
+    return;
+  }
+
+  auto running = std::make_shared<RunningJob>();
+  running->deadlineAt = job.deadlineAt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_.emplace(job.spec.id, running);
+  }
+  recordGauges();
+
+  JobResult result;
+  result.id = job.spec.id;
+  result.priority = job.spec.priority;
+  result.state = JobState::kRunning;
+  result.queueSeconds = dequeued - job.submitSeconds;
+
+  // Setup: resolve shared preprocessing through the LRU cache. A hit costs
+  // one hash of the instance payload; a miss builds candidates + the
+  // construction tour (+ optional HK) exactly once for all future jobs.
+  Timer setupTimer;
+  bool cacheHit = false;
+  std::shared_ptr<const InstanceContext> ctx;
+  try {
+    ctx = cache_.get(job.spec.instance, job.spec.preprocess, &cacheHit);
+  } catch (const std::exception& e) {
+    result.setupSeconds = setupTimer.seconds();
+    result.state = JobState::kFailed;
+    result.error = e.what();
+  }
+  result.setupSeconds = setupTimer.seconds();
+  result.cacheHit = cacheHit;
+  if (metrics_.registry != nullptr)
+    metrics_.registry->add(cacheHit ? metrics_.cacheHits
+                                    : metrics_.cacheMisses);
+
+  if (ctx != nullptr) {
+    RunConfig cfg = job.spec.run;
+    cfg.cancel = &running->cancelFlag;
+    cfg.jobLabel = job.spec.id;
+
+    // Per-job trace buffer: the run's records land here and are appended
+    // to the shared sink as one contiguous bracket in finish().
+    std::ostringstream traceBuf;
+    std::optional<obs::JsonlTraceSink> jobTrace;
+    if (opts_.trace != nullptr) {
+      jobTrace.emplace(traceBuf);
+      cfg.trace = &*jobTrace;
+    } else {
+      cfg.trace = nullptr;
+    }
+
+    // Incremental best streaming, deduplicated across nodes by value (the
+    // thread runtime reports node-local bests concurrently).
+    struct ProgressState {
+      std::mutex mu;
+      std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    };
+    auto progress = std::make_shared<ProgressState>();
+    JobSink* sink = job.sink;
+    const std::string jobId = job.spec.id;
+    if (sink != nullptr) {
+      cfg.onBest = [progress, sink, jobId](double t, std::int64_t length) {
+        {
+          std::lock_guard<std::mutex> lock(progress->mu);
+          if (length >= progress->best) return;
+          progress->best = length;
+        }
+        sink->onProgress({jobId, t, length});
+      };
+    }
+
+    Timer solveTimer;
+    try {
+      RunResult run = runDistributed(ctx, cfg);
+      result.solveSeconds = solveTimer.seconds();
+      result.bestLength = run.bestLength;
+      result.bestOrder = std::move(run.bestOrder);
+      result.totalSteps = run.totalSteps;
+      result.messagesSent = run.messagesSent;
+      result.events = std::move(run.events);
+      result.curve = std::move(run.curve);
+      result.hitTarget = run.hitTarget;
+      if (running->expired.load(std::memory_order_relaxed))
+        result.state = JobState::kExpired;
+      else if (running->cancelRequested.load(std::memory_order_relaxed))
+        result.state = JobState::kCancelled;
+      else
+        result.state = JobState::kCompleted;
+    } catch (const std::exception& e) {
+      result.solveSeconds = solveTimer.seconds();
+      result.state = JobState::kFailed;
+      result.error = e.what();
+    }
+    jobTrace.reset();  // flush the buffered sink before reading traceBuf
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_.erase(job.spec.id);
+    }
+    finish(job, std::move(result), traceBuf.str());
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_.erase(job.spec.id);
+  }
+  finish(job, std::move(result), std::string());
+}
+
+void SolverPool::finishSkipped(QueuedJob job, JobState state) {
+  JobResult result;
+  result.id = job.spec.id;
+  result.priority = job.spec.priority;
+  result.state = state;
+  result.queueSeconds = nowSeconds() - job.submitSeconds;
+  finish(job, std::move(result), std::string());
+}
+
+void SolverPool::finish(const QueuedJob& job, JobResult result,
+                        const std::string& traceBlock) {
+  if (opts_.trace != nullptr) {
+    // One contiguous block per job: the buffered run records, then the
+    // job's SLO record. Guarded so concurrent jobs never interleave.
+    std::lock_guard<std::mutex> lock(traceMu_);
+    std::size_t begin = 0;
+    while (begin < traceBlock.size()) {
+      std::size_t end = traceBlock.find('\n', begin);
+      if (end == std::string::npos) end = traceBlock.size();
+      if (end > begin)
+        opts_.trace->write(
+            std::string_view(traceBlock).substr(begin, end - begin));
+      begin = end + 1;
+    }
+    opts_.trace->write(obs::jobRecord(
+        nowSeconds(), result.id, toString(result.state), result.priority,
+        result.bestLength, result.queueSeconds, result.setupSeconds,
+        result.solveSeconds, result.cacheHit));
+    opts_.trace->flush();
+  }
+
+  if (metrics_.registry != nullptr) {
+    obs::MetricsRegistry& reg = *metrics_.registry;
+    switch (result.state) {
+      case JobState::kCompleted: reg.add(metrics_.jobsCompleted); break;
+      case JobState::kCancelled: reg.add(metrics_.jobsCancelled); break;
+      case JobState::kExpired: reg.add(metrics_.jobsExpired); break;
+      case JobState::kFailed: reg.add(metrics_.jobsFailed); break;
+      case JobState::kQueued:
+      case JobState::kRunning: break;  // not terminal; unreachable here
+    }
+    reg.observe(metrics_.queueSeconds, result.queueSeconds);
+    reg.observe(metrics_.setupSeconds, result.setupSeconds);
+    reg.observe(metrics_.solveSeconds, result.solveSeconds);
+    reg.observe(metrics_.latencySeconds, result.queueSeconds +
+                                             result.setupSeconds +
+                                             result.solveSeconds);
+  }
+
+  if (job.sink != nullptr) job.sink->onResult(result);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inFlight_;
+    if (inFlight_ == 0) idle_.notify_all();
+  }
+  recordGauges();
+}
+
+}  // namespace distclk::svc

@@ -1,0 +1,132 @@
+// Multi-tenant solver pool: N worker threads pull jobs off a priority/
+// deadline JobQueue, resolve each job's InstanceContext through a shared
+// LRU ContextCache, and run the distributed CLK via the unified runtime —
+// streaming incremental bests to the job's sink and recording per-job
+// latency/throughput/queue-depth SLO metrics into a MetricsRegistry and a
+// shared TraceSink.
+//
+// Trace layout: each job's run records are buffered in a private in-memory
+// sink while it executes, then appended to the shared sink as one
+// contiguous block (run-meta ... run-end, followed by one "job" record)
+// when the job finishes. Concurrent jobs therefore never interleave their
+// run brackets in the output file, which is what trace_report's per-run
+// validation and --jobs view parse.
+//
+// Cancellation/deadline semantics are cooperative: a flag checked at the
+// runtime's scheduling boundaries (RunConfig::cancel), so a cancelled run
+// stops within one node step and still reports its partial best.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+#include "svc/job_queue.h"
+#include "tsp/instance_context.h"
+
+namespace distclk::svc {
+
+/// svc.* metric handles (idempotent by name; see DESIGN.md §11).
+struct SvcMetrics {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::MetricId jobsSubmitted;
+  obs::MetricId jobsRejected;   ///< backpressure: queue full or closed
+  obs::MetricId jobsCompleted;
+  obs::MetricId jobsCancelled;
+  obs::MetricId jobsExpired;
+  obs::MetricId jobsFailed;
+  obs::MetricId queueDepth;     ///< gauge
+  obs::MetricId jobsRunning;    ///< gauge
+  obs::MetricId cacheHits;
+  obs::MetricId cacheMisses;
+  obs::MetricId queueSeconds;   ///< histogram: submit -> dequeue
+  obs::MetricId setupSeconds;   ///< histogram: context resolve (≈0 on hit)
+  obs::MetricId solveSeconds;   ///< histogram: runDistributed wall time
+  obs::MetricId latencySeconds; ///< histogram: submit -> terminal state
+
+  static SvcMetrics attach(obs::MetricsRegistry& registry);
+};
+
+struct SolverPoolOptions {
+  int workers = 2;
+  std::size_t maxQueueDepth = 0;        ///< 0 = unbounded
+  std::size_t contextCacheCapacity = 8;
+  obs::MetricsRegistry* metrics = nullptr;  ///< null = no metrics
+  obs::TraceSink* trace = nullptr;          ///< null = no tracing
+  double deadlinePollSeconds = 0.01;    ///< deadline monitor cadence
+};
+
+class SolverPool {
+ public:
+  explicit SolverPool(SolverPoolOptions opts = {});
+  /// Closes the queue and joins the workers (drains pending jobs first).
+  ~SolverPool();
+
+  /// Enqueues a job. Returns false (and emits no result) when rejected by
+  /// backpressure or after shutdown; the caller keeps ownership of the
+  /// rejection. `sink` must outlive the job's terminal callback. Throws on
+  /// a null instance or duplicate/empty id.
+  bool submit(JobSpec spec, JobSink* sink);
+
+  /// Cancels a job by id. Queued jobs finish immediately as kCancelled;
+  /// running jobs get their cooperative flag set and finish as kCancelled
+  /// within one scheduling boundary. False when the id is unknown or the
+  /// job already reached a terminal state.
+  bool cancel(const std::string& id);
+
+  /// Blocks until every job submitted so far reached a terminal state.
+  void drain();
+
+  /// Stops accepting jobs, drains the queue, joins all threads. Idempotent
+  /// (also run by the destructor).
+  void shutdown();
+
+  ContextCache& contexts() noexcept { return cache_; }
+  std::size_t queueDepth() const { return queue_.depth(); }
+  /// Seconds since the pool started (the clock job records are stamped in).
+  double nowSeconds() const;
+
+ private:
+  struct RunningJob {
+    std::atomic<bool> cancelFlag{false};
+    std::atomic<bool> cancelRequested{false};  ///< user cancel()
+    std::atomic<bool> expired{false};          ///< deadline monitor
+    double deadlineAt = 0.0;
+  };
+
+  void workerLoop();
+  void monitorLoop();
+  void runJob(QueuedJob job);
+  void finishSkipped(QueuedJob job, JobState state);
+  void finish(const QueuedJob& job, JobResult result,
+              const std::string& traceBlock);
+  void recordGauges();
+
+  SolverPoolOptions opts_;
+  SvcMetrics metrics_;
+  ContextCache cache_;
+  JobQueue queue_;
+  std::int64_t startNs_ = 0;
+
+  mutable std::mutex mu_;        ///< running set + submitted-id bookkeeping
+  std::map<std::string, std::shared_ptr<RunningJob>> running_;
+  std::map<std::string, char> known_;  ///< ids ever submitted (dup check)
+  std::int64_t seq_ = 0;
+  std::int64_t inFlight_ = 0;    ///< queued + running
+  std::condition_variable idle_; ///< signalled when inFlight_ hits 0
+  bool shutdown_ = false;
+
+  std::mutex traceMu_;           ///< serializes job blocks into opts_.trace
+
+  std::vector<std::thread> workers_;
+  std::thread monitor_;
+  std::atomic<bool> stopMonitor_{false};
+};
+
+}  // namespace distclk::svc

@@ -1,0 +1,149 @@
+// Tests for the shared preprocessing layer (tsp/instance_context.h): a
+// built context must be indistinguishable from ad-hoc preprocessing
+// (candidate lists, construction tour, HK bound), the content hash must
+// identify instances by payload (not by name), and the ContextCache must
+// hit/miss/evict deterministically — the properties the job layer's warm
+// path and the cache-determinism tests in test_svc.cpp stand on.
+#include "tsp/instance_context.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "construct/construct.h"
+#include "tsp/gen.h"
+#include "tsp/neighbors.h"
+
+namespace distclk {
+namespace {
+
+std::shared_ptr<const Instance> sharedInstance(Instance inst) {
+  return std::make_shared<const Instance>(std::move(inst));
+}
+
+TEST(InstanceContext, BuildMatchesAdHocPreprocessing) {
+  const auto inst = sharedInstance(uniformSquare("ctx-build", 200, 7));
+  PreprocessParams params;
+  params.candidateK = 8;
+  const auto ctx = InstanceContext::build(inst, params);
+
+  // Same candidate CSR as direct construction.
+  const CandidateLists direct(*inst, 8);
+  ASSERT_EQ(ctx->candidates().n(), direct.n());
+  for (int c = 0; c < direct.n(); ++c) {
+    const auto a = ctx->candidates().of(c);
+    const auto b = direct.of(c);
+    ASSERT_EQ(a.size(), b.size()) << "city " << c;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+
+  // Same construction tour as calling quick-Boruvka directly.
+  const std::vector<int> order = quickBoruvkaTour(*inst, direct);
+  EXPECT_EQ(ctx->constructionOrder(), order);
+  EXPECT_EQ(ctx->constructionLength(), inst->tourLength(order));
+
+  EXPECT_FALSE(ctx->borrowed());
+  EXPECT_FALSE(ctx->heldKarp().has_value());
+  EXPECT_EQ(&ctx->instance(), inst.get());
+}
+
+TEST(InstanceContext, HeldKarpBoundOnRequest) {
+  const auto inst = sharedInstance(uniformSquare("ctx-hk", 60, 3));
+  PreprocessParams params;
+  params.heldKarp = true;
+  params.heldKarpOptions.iterations = 30;
+  const auto ctx = InstanceContext::build(inst, params);
+  ASSERT_TRUE(ctx->heldKarp().has_value());
+  EXPECT_GT(ctx->heldKarp()->bound, 0.0);
+  // The bound is a lower bound on the construction tour.
+  EXPECT_LE(ctx->heldKarp()->bound,
+            static_cast<double>(ctx->constructionLength()));
+}
+
+TEST(InstanceContext, BorrowWrapsExistingPreprocessing) {
+  const Instance inst = uniformSquare("ctx-borrow", 150, 11);
+  const CandidateLists cand(inst, 6);
+  const auto ctx = InstanceContext::borrow(inst, cand);
+  EXPECT_TRUE(ctx->borrowed());
+  EXPECT_EQ(&ctx->instance(), &inst);
+  EXPECT_EQ(&ctx->candidates(), &cand);
+  EXPECT_EQ(ctx->constructionOrder(), quickBoruvkaTour(inst, cand));
+}
+
+TEST(InstanceContext, ContentHashIgnoresNameButNotPayload) {
+  const Instance a = uniformSquare("name-a", 100, 5);
+  const Instance b = uniformSquare("name-b", 100, 5);   // same payload
+  const Instance c = uniformSquare("name-a", 100, 6);   // different points
+  const Instance d = uniformSquare("name-a", 101, 5);   // different n
+  EXPECT_EQ(instanceContentHash(a), instanceContentHash(b));
+  EXPECT_NE(instanceContentHash(a), instanceContentHash(c));
+  EXPECT_NE(instanceContentHash(a), instanceContentHash(d));
+}
+
+TEST(InstanceContext, CacheKeySeparatesParams) {
+  PreprocessParams a;
+  PreprocessParams b;
+  b.candidateK = 12;
+  PreprocessParams c;
+  c.kind = CandidateLists::Kind::kQuadrant;
+  PreprocessParams d;
+  d.symmetric = true;
+  PreprocessParams e;
+  e.heldKarp = true;
+  EXPECT_NE(a.cacheKey(), b.cacheKey());
+  EXPECT_NE(a.cacheKey(), c.cacheKey());
+  EXPECT_NE(a.cacheKey(), d.cacheKey());
+  EXPECT_NE(a.cacheKey(), e.cacheKey());
+  EXPECT_EQ(a.cacheKey(), PreprocessParams{}.cacheKey());
+}
+
+TEST(ContextCache, HitsShareOneBuildPerKey) {
+  ContextCache cache(4);
+  const auto inst = sharedInstance(uniformSquare("cache-one", 120, 9));
+  bool hit = true;
+  const auto first = cache.get(inst, {}, &hit);
+  EXPECT_FALSE(hit);
+  // Content-identical copy under a different shared_ptr: still a hit.
+  const auto clone = sharedInstance(uniformSquare("cache-one-clone", 120, 9));
+  const auto second = cache.get(clone, {}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // literally the same context
+  const ContextCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.builds, 1);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Different preprocessing params over the same instance: its own entry.
+  PreprocessParams quadrant;
+  quadrant.kind = CandidateLists::Kind::kQuadrant;
+  const auto third = cache.get(inst, quadrant, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(first.get(), third.get());
+  EXPECT_EQ(cache.stats().builds, 2);
+}
+
+TEST(ContextCache, EvictsLeastRecentlyUsed) {
+  ContextCache cache(2);
+  const auto a = sharedInstance(uniformSquare("lru-a", 80, 1));
+  const auto b = sharedInstance(uniformSquare("lru-b", 80, 2));
+  const auto c = sharedInstance(uniformSquare("lru-c", 80, 3));
+  cache.get(a);
+  cache.get(b);
+  cache.get(a);  // refresh a: b is now the LRU entry
+  cache.get(c);  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.size(), 2u);
+  bool hit = false;
+  cache.get(a, {}, &hit);
+  EXPECT_TRUE(hit) << "a was refreshed and must have survived";
+  cache.get(b, {}, &hit);
+  EXPECT_FALSE(hit) << "b was the LRU entry and must have been evicted";
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace distclk

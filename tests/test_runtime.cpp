@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "core/dist_clk.h"
 #include "obs/report.h"
@@ -358,6 +361,99 @@ TEST(RuntimeKindNames, RoundTrip) {
   EXPECT_EQ(runtimeKindFromString("sim"), RuntimeKind::kSim);
   EXPECT_EQ(runtimeKindFromString("threads"), RuntimeKind::kThreads);
   EXPECT_THROW(runtimeKindFromString("mpi"), std::invalid_argument);
+}
+
+// -----------------------------------------------------------------------
+// The job layer's hooks on RunConfig: context-based dispatch, cooperative
+// cancellation, the incremental-best stream, and the run-meta job label.
+
+TEST(RuntimeContext, ContextOverloadReproducesFixture) {
+  const auto inst =
+      std::make_shared<const Instance>(uniformSquare("parity", 120, 42));
+  PreprocessParams params;
+  params.candidateK = 8;
+  const auto ctx = InstanceContext::build(inst, params);
+  const RunResult res = runDistributed(ctx, parityConfig());
+  EXPECT_EQ(res.bestLength, 8126701);
+  EXPECT_EQ(res.totalSteps, 351);
+  EXPECT_EQ(eventLogHash(res.events), 15090688922916996318ULL);
+  EXPECT_THROW(runDistributed(nullptr, parityConfig()),
+               std::invalid_argument);
+}
+
+TEST(RuntimeCancel, CancelStopsSimRunEarly) {
+  const Instance inst = uniformSquare("parity", 120, 42);
+  const CandidateLists cand(inst, 8);
+  std::atomic<bool> cancel{false};
+  RunConfig cfg = parityConfig();
+  cfg.cancel = &cancel;
+  // Flip the flag from the first improvement: the run must stop at the
+  // next scheduling boundary, well short of the fixture's 351 steps.
+  cfg.onBest = [&](double, std::int64_t) { cancel.store(true); };
+  const RunResult res = runDistributed(inst, cand, cfg);
+  EXPECT_GT(res.totalSteps, 0);
+  EXPECT_LT(res.totalSteps, 351);
+  EXPECT_GT(res.bestLength, 0);
+}
+
+TEST(RuntimeCancel, CancelStopsThreadsRunEarly) {
+  const Instance inst = uniformSquare("parity", 120, 42);
+  const CandidateLists cand(inst, 8);
+  std::atomic<bool> cancel{false};
+  RunConfig cfg;
+  cfg.runtime = RuntimeKind::kThreads;
+  cfg.nodes = 2;
+  cfg.node.clkKicksPerCall = 5;
+  cfg.timeLimitPerNode = 30.0;  // would dominate the suite if not cancelled
+  cfg.seed = 7;
+  cfg.cancel = &cancel;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    cancel.store(true);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult res = runDistributed(inst, cand, cfg);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+  EXPECT_LT(wall, 10.0) << "cancellation must beat the 30s budget";
+  EXPECT_GT(res.bestLength, 0);
+}
+
+TEST(RuntimeOnBest, StreamMirrorsTheAnytimeCurve) {
+  const Instance inst = uniformSquare("parity", 120, 42);
+  const CandidateLists cand(inst, 8);
+  AnytimeCurve streamed;
+  RunConfig cfg = parityConfig();
+  cfg.onBest = [&](double t, std::int64_t len) {
+    streamed.push_back(AnytimePoint{t, len});
+  };
+  const RunResult res = runDistributed(inst, cand, cfg);
+  ASSERT_EQ(streamed.size(), res.curve.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].time, res.curve[i].time);
+    EXPECT_EQ(streamed[i].length, res.curve[i].length);
+  }
+}
+
+TEST(RuntimeJobLabel, AppearsInRunMetaOnlyWhenSet) {
+  const Instance inst = uniformSquare("parity", 120, 42);
+  const CandidateLists cand(inst, 8);
+  const auto capture = [&](const std::string& label) {
+    std::ostringstream jsonl;
+    obs::JsonlTraceSink sink(jsonl);
+    RunConfig cfg = parityConfig();
+    cfg.trace = &sink;
+    cfg.jobLabel = label;
+    runDistributed(inst, cand, cfg);
+    std::istringstream in(jsonl.str());
+    const obs::LoadedTrace trace = obs::loadTrace(in);
+    EXPECT_TRUE(trace.meta.has_value());
+    return trace.meta.has_value() ? trace.meta->str("job") : std::string();
+  };
+  EXPECT_EQ(capture("tenant-a/job-1"), "tenant-a/job-1");
+  EXPECT_EQ(capture(""), "");  // standalone runs: key omitted, goldens stable
 }
 
 }  // namespace

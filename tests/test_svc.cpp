@@ -1,0 +1,341 @@
+// Tests for the multi-tenant job layer (svc/): cold vs warm ContextCache
+// runs through the SolverPool must reproduce the pinned pre-refactor
+// fixture bit for bit (the acceptance bar for "the cache changes nothing"),
+// repeated identical jobs must build preprocessing exactly once, and the
+// scheduling semantics — priority order, queued/running cancellation,
+// deadline expiry, backpressure — must be observable through JobResult.
+#include "svc/solver_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.h"
+#include "obs/metrics.h"
+#include "svc/job.h"
+#include "tsp/gen.h"
+#include "tsp/instance_context.h"
+
+namespace distclk {
+namespace {
+
+// Same FNV-1a event-log digest as tests/test_runtime.cpp: the pinned
+// fixture value must be reproduced through the job layer too.
+std::uint64_t eventLogHash(const EventLog& events) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const NodeEvent& e : events) {
+    std::uint64_t timeBits;
+    static_assert(sizeof(timeBits) == sizeof(e.time));
+    __builtin_memcpy(&timeBits, &e.time, sizeof(timeBits));
+    mix(timeBits);
+    mix(static_cast<std::uint64_t>(e.node));
+    mix(static_cast<std::uint64_t>(e.type));
+    mix(static_cast<std::uint64_t>(e.value));
+  }
+  return h;
+}
+
+std::int64_t counterValue(const obs::MetricsSnapshot& snap,
+                          const std::string& name) {
+  for (const auto& c : snap.counters)
+    if (c.name == name) return c.value;
+  return -1;
+}
+
+/// The tests/test_runtime.cpp parity fixture, expressed as a job.
+svc::JobSpec parityJob(std::string id) {
+  svc::JobSpec spec;
+  spec.id = std::move(id);
+  spec.instance =
+      std::make_shared<const Instance>(uniformSquare("parity", 120, 42));
+  spec.preprocess.candidateK = 8;
+  spec.run.nodes = 8;
+  spec.run.costModel = CostModel::kModeled;
+  spec.run.modeledWorkPerSecond = 1e5;
+  spec.run.node.clkKicksPerCall = 5;
+  spec.run.node.cr = 12;
+  spec.run.node.cv = 4;
+  spec.run.timeLimitPerNode = 6.0;
+  spec.run.seed = 2026;
+  return spec;
+}
+
+/// Collects results (and progress) by job id; wakes waiters per terminal
+/// result so tests can block on specific jobs.
+class CollectingSink : public svc::JobSink {
+ public:
+  void onProgress(const svc::JobProgress& p) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    progress_[p.id].push_back(p.best);
+  }
+  void onResult(const svc::JobResult& r) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    order_.push_back(r.id);
+    results_[r.id] = r;
+    cv_.notify_all();
+  }
+  svc::JobResult wait(const std::string& id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return results_.count(id) > 0; });
+    return results_[id];
+  }
+  std::vector<std::string> completionOrder() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return order_;
+  }
+  std::vector<std::int64_t> progressFor(const std::string& id) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return progress_[id];
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, svc::JobResult> results_;
+  std::map<std::string, std::vector<std::int64_t>> progress_;
+  std::vector<std::string> order_;
+};
+
+TEST(SolverPool, ColdAndWarmRunsReproduceThePinnedFixture) {
+  svc::SolverPoolOptions opts;
+  opts.workers = 1;  // serialize, so cold strictly precedes warm
+  svc::SolverPool pool(opts);
+  CollectingSink sink;
+  ASSERT_TRUE(pool.submit(parityJob("cold"), &sink));
+  ASSERT_TRUE(pool.submit(parityJob("warm"), &sink));
+  pool.drain();
+
+  const svc::JobResult cold = sink.wait("cold");
+  const svc::JobResult warm = sink.wait("warm");
+  EXPECT_FALSE(cold.cacheHit);
+  EXPECT_TRUE(warm.cacheHit);
+
+  // Both trajectories are the pre-refactor fixture, bit for bit: a context
+  // cache hit must change nothing about the run.
+  for (const svc::JobResult& r : {cold, warm}) {
+    EXPECT_EQ(r.state, svc::JobState::kCompleted) << r.id;
+    EXPECT_EQ(r.bestLength, 8126701) << r.id;
+    EXPECT_EQ(r.totalSteps, 351) << r.id;
+    ASSERT_EQ(r.events.size(), 113u) << r.id;
+    EXPECT_EQ(eventLogHash(r.events), 15090688922916996318ULL) << r.id;
+    ASSERT_EQ(r.curve.size(), 2u) << r.id;
+    EXPECT_EQ(r.curve[0].time, 0.15969) << r.id;
+    EXPECT_EQ(r.curve[0].length, 8132600) << r.id;
+    EXPECT_EQ(r.curve[1].time, 0.57315000000000005) << r.id;
+    EXPECT_EQ(r.curve[1].length, 8126701) << r.id;
+  }
+
+  // Construction ran exactly once across both jobs.
+  const ContextCache::Stats stats = pool.contexts().stats();
+  EXPECT_EQ(stats.builds, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+
+  // The incremental best stream saw the curve's improvements, in order.
+  const std::vector<std::int64_t> stream = sink.progressFor("cold");
+  ASSERT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream[0], 8132600);
+  EXPECT_EQ(stream[1], 8126701);
+}
+
+TEST(SolverPool, RepeatedJobsBuildPreprocessingOnce) {
+  obs::MetricsRegistry metrics;
+  svc::SolverPoolOptions opts;
+  opts.workers = 2;
+  opts.metrics = &metrics;
+  svc::SolverPool pool(opts);
+  CollectingSink sink;
+  constexpr int kJobs = 6;
+  for (int i = 0; i < kJobs; ++i) {
+    svc::JobSpec spec = parityJob("job-" + std::to_string(i));
+    spec.run.timeLimitPerNode = 1.0;  // shorter: this test is about setup
+    ASSERT_TRUE(pool.submit(std::move(spec), &sink));
+  }
+  pool.drain();
+  const ContextCache::Stats stats = pool.contexts().stats();
+  EXPECT_EQ(stats.builds, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, kJobs - 1);
+
+  // The svc.* metrics agree with the cache's own counters.
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(counterValue(snap, "svc.jobs_submitted"), kJobs);
+  EXPECT_EQ(counterValue(snap, "svc.jobs_completed"), kJobs);
+  EXPECT_EQ(counterValue(snap, "svc.context_cache_hits"), kJobs - 1);
+  EXPECT_EQ(counterValue(snap, "svc.context_cache_misses"), 1);
+}
+
+TEST(SolverPool, PriorityOrdersQueuedJobs) {
+  svc::SolverPoolOptions opts;
+  opts.workers = 1;  // one worker: completion order == schedule order
+  svc::SolverPool pool(opts);
+  CollectingSink sink;
+  // A wall-clock blocker occupies the single worker; three tenants with
+  // distinct priorities are then queued behind it and must run strictly by
+  // descending priority, not submission order.
+  svc::JobSpec blocker = parityJob("blocker");
+  blocker.run.runtime = RuntimeKind::kThreads;
+  blocker.run.costModel = CostModel::kMeasured;
+  blocker.run.nodes = 2;
+  blocker.run.timeLimitPerNode = 0.4;
+  ASSERT_TRUE(pool.submit(std::move(blocker), &sink));
+  while (pool.queueDepth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto quick = [](std::string id, int priority) {
+    svc::JobSpec spec = parityJob(std::move(id));
+    spec.run.timeLimitPerNode = 0.5;
+    spec.priority = priority;
+    return spec;
+  };
+  ASSERT_TRUE(pool.submit(quick("low", -1), &sink));
+  ASSERT_TRUE(pool.submit(quick("high", 5), &sink));
+  ASSERT_TRUE(pool.submit(quick("mid", 2), &sink));
+  pool.drain();
+  const std::vector<std::string> order = sink.completionOrder();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "blocker");
+  const std::vector<std::string> queued(order.begin() + 1, order.end());
+  EXPECT_EQ(queued, (std::vector<std::string>{"high", "mid", "low"}));
+}
+
+TEST(SolverPool, CancelQueuedAndRunningJobs) {
+  svc::SolverPoolOptions opts;
+  opts.workers = 1;
+  svc::SolverPool pool(opts);
+  CollectingSink sink;
+
+  // "running" is a long wall-clock job (threads runtime, measured cost) so
+  // cancellation observably truncates it.
+  svc::JobSpec running = parityJob("running");
+  running.run.runtime = RuntimeKind::kThreads;
+  running.run.costModel = CostModel::kMeasured;
+  running.run.nodes = 2;
+  running.run.timeLimitPerNode = 30.0;
+  ASSERT_TRUE(pool.submit(std::move(running), &sink));
+  ASSERT_TRUE(pool.submit(parityJob("queued"), &sink));
+
+  // Cancel the queued job: terminal immediately, without running.
+  EXPECT_TRUE(pool.cancel("queued"));
+  const svc::JobResult q = sink.wait("queued");
+  EXPECT_EQ(q.state, svc::JobState::kCancelled);
+  EXPECT_EQ(q.totalSteps, 0);
+  EXPECT_EQ(q.solveSeconds, 0.0);
+
+  // Cancel the running job: cooperative, stops long before its 30s budget.
+  EXPECT_TRUE(pool.cancel("running"));
+  const svc::JobResult r = sink.wait("running");
+  EXPECT_EQ(r.state, svc::JobState::kCancelled);
+  EXPECT_LT(r.solveSeconds, 20.0);
+
+  // Terminal jobs cannot be cancelled again; unknown ids are rejected.
+  EXPECT_FALSE(pool.cancel("queued"));
+  EXPECT_FALSE(pool.cancel("no-such-job"));
+  pool.drain();
+}
+
+TEST(SolverPool, DeadlineExpiresQueuedJobs) {
+  obs::MetricsRegistry metrics;
+  svc::SolverPoolOptions opts;
+  opts.workers = 1;
+  opts.metrics = &metrics;
+  opts.deadlinePollSeconds = 0.002;
+  svc::SolverPool pool(opts);
+  CollectingSink sink;
+
+  svc::JobSpec blocker = parityJob("blocker");
+  blocker.run.runtime = RuntimeKind::kThreads;
+  blocker.run.costModel = CostModel::kMeasured;
+  blocker.run.nodes = 2;
+  blocker.run.timeLimitPerNode = 0.5;
+  ASSERT_TRUE(pool.submit(std::move(blocker), &sink));
+
+  svc::JobSpec doomed = parityJob("doomed");
+  doomed.deadlineSeconds = 0.01;  // expires while the blocker runs
+  ASSERT_TRUE(pool.submit(std::move(doomed), &sink));
+
+  const svc::JobResult d = sink.wait("doomed");
+  EXPECT_EQ(d.state, svc::JobState::kExpired);
+  EXPECT_EQ(d.totalSteps, 0);
+  pool.drain();
+  EXPECT_EQ(sink.wait("blocker").state, svc::JobState::kCompleted);
+  EXPECT_EQ(counterValue(metrics.snapshot(), "svc.jobs_expired"), 1);
+}
+
+TEST(SolverPool, BackpressureRejectsWhenTheQueueIsFull) {
+  svc::SolverPoolOptions opts;
+  opts.workers = 1;
+  opts.maxQueueDepth = 1;
+  svc::SolverPool pool(opts);
+  CollectingSink sink;
+  svc::JobSpec blocker = parityJob("blocker");
+  blocker.run.runtime = RuntimeKind::kThreads;
+  blocker.run.costModel = CostModel::kMeasured;
+  blocker.run.nodes = 2;
+  blocker.run.timeLimitPerNode = 0.4;
+  ASSERT_TRUE(pool.submit(std::move(blocker), &sink));
+  // Let the single worker dequeue the blocker, then fill the one queue
+  // slot: the next submission must bounce while the slot stays taken.
+  while (pool.queueDepth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(pool.submit(parityJob("fills-queue"), &sink));
+  ASSERT_EQ(pool.queueDepth(), 1u);  // blocker still holds the worker
+  EXPECT_FALSE(pool.submit(parityJob("bounced"), &sink));
+  pool.drain();
+  EXPECT_EQ(sink.wait("fills-queue").state, svc::JobState::kCompleted);
+
+  // Duplicate and malformed submissions throw rather than overwrite.
+  EXPECT_THROW(pool.submit(parityJob("fills-queue"), &sink),
+               std::invalid_argument);
+  svc::JobSpec noInstance;
+  noInstance.id = "no-instance";
+  EXPECT_THROW(pool.submit(std::move(noInstance), &sink),
+               std::invalid_argument);
+  svc::JobSpec noId = parityJob("");
+  EXPECT_THROW(pool.submit(std::move(noId), &sink), std::invalid_argument);
+}
+
+TEST(SolverPool, ConcurrentTenantsShareThePoolAndCache) {
+  obs::MetricsRegistry metrics;
+  svc::SolverPoolOptions opts;
+  opts.workers = 3;
+  opts.metrics = &metrics;
+  svc::SolverPool pool(opts);
+  CollectingSink sink;
+  // Three tenants with distinct priorities running truly concurrently.
+  for (int i = 0; i < 3; ++i) {
+    svc::JobSpec spec = parityJob("tenant-" + std::to_string(i));
+    spec.priority = i;
+    spec.run.seed = 2026 + static_cast<std::uint64_t>(i);
+    spec.run.timeLimitPerNode = 2.0;
+    ASSERT_TRUE(pool.submit(std::move(spec), &sink));
+  }
+  pool.drain();
+  for (int i = 0; i < 3; ++i) {
+    const svc::JobResult r = sink.wait("tenant-" + std::to_string(i));
+    EXPECT_EQ(r.state, svc::JobState::kCompleted);
+    EXPECT_GT(r.bestLength, 0);
+    EXPECT_EQ(r.priority, i);
+  }
+  // One shared context served all three (concurrent get()s, one build).
+  EXPECT_EQ(pool.contexts().stats().builds, 1);
+  EXPECT_EQ(counterValue(metrics.snapshot(), "svc.jobs_completed"), 3);
+}
+
+}  // namespace
+}  // namespace distclk

@@ -229,6 +229,179 @@ TEST(TraceReport, ValidateCatchesCausalViolations) {
   EXPECT_TRUE(ok.ok()) << (ok.problems.empty() ? "?" : ok.problems.front());
 }
 
+// -----------------------------------------------------------------------
+// Multi-run streams: a serve daemon appends one run bracket per job to a
+// shared trace file; loading and validation must scope per run instead of
+// assuming a single bracket.
+
+TEST(TraceReportMultiRun, ConcatenatedRunsValidateCleanly) {
+  // Two complete runs back to back — per-sender seq counters restart at
+  // the second run-meta, which a single-run validator would misread as
+  // duplicate sends.
+  const std::string jsonl = capturedChurnTrace(RuntimeKind::kSim) +
+                            capturedChurnTrace(RuntimeKind::kSim);
+  const obs::LoadedTrace trace = load(jsonl);
+  ASSERT_EQ(trace.runs.size(), 2u);
+  EXPECT_TRUE(trace.runs[0].meta.has_value());
+  EXPECT_TRUE(trace.runs[0].runEnd.has_value());
+  EXPECT_TRUE(trace.runs[1].meta.has_value());
+  EXPECT_TRUE(trace.runs[1].runEnd.has_value());
+  EXPECT_EQ(trace.strayRunEnds, 0);
+  // Messages are stamped with their enclosing run.
+  ASSERT_FALSE(trace.sent.empty());
+  EXPECT_EQ(trace.sent.front().run, 0);
+  EXPECT_EQ(trace.sent.back().run, 1);
+
+  std::istringstream in(jsonl);
+  const obs::ValidationResult result = obs::validateTrace(in);
+  EXPECT_TRUE(result.ok()) << (result.problems.empty()
+                                   ? "bad lines or no records"
+                                   : result.problems.front());
+}
+
+TEST(TraceReportMultiRun, LegacySingleRunViewIsFirstMetaLastEnd) {
+  const std::string jsonl = capturedChurnTrace(RuntimeKind::kSim) +
+                            capturedChurnTrace(RuntimeKind::kSim);
+  const obs::LoadedTrace trace = load(jsonl);
+  ASSERT_TRUE(trace.meta.has_value());
+  ASSERT_TRUE(trace.runEnd.has_value());
+  // meta is the FIRST run's, runEnd the LAST run's — the view concatenated
+  // pre-multi-run traces always produced.
+  EXPECT_EQ(trace.meta->integer("seed"),
+            trace.runs[0].meta->integer("seed"));
+  EXPECT_EQ(trace.runEnd->integer("best_length"),
+            trace.runs[1].runEnd->integer("best_length"));
+}
+
+TEST(TraceReportMultiRun, UnterminatedRunBeforeNextBracketIsFlagged) {
+  const obs::ValidationResult result = [] {
+    std::istringstream in(
+        "{\"type\":\"run-meta\",\"nodes\":2}\n"
+        "{\"type\":\"run-meta\",\"nodes\":2}\n"
+        "{\"type\":\"run-end\",\"best_length\":1}\n");
+    return obs::validateTrace(in);
+  }();
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems.front().find("no run-end before run 1"),
+            std::string::npos)
+      << result.problems.front();
+}
+
+TEST(TraceReportMultiRun, TruncatedLastRunIsFlagged) {
+  const obs::ValidationResult result = [] {
+    std::istringstream in(
+        "{\"type\":\"run-meta\",\"nodes\":2}\n"
+        "{\"type\":\"run-end\",\"best_length\":1}\n"
+        "{\"type\":\"run-meta\",\"nodes\":2}\n");
+    return obs::validateTrace(in);
+  }();
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems.front().find("run 1 is missing its run-end"),
+            std::string::npos)
+      << result.problems.front();
+}
+
+TEST(TraceReportMultiRun, StrayRunEndIsFlagged) {
+  const obs::ValidationResult result = [] {
+    std::istringstream in(
+        "{\"type\":\"run-end\",\"best_length\":1}\n"
+        "{\"type\":\"run-meta\",\"nodes\":2}\n"
+        "{\"type\":\"run-end\",\"best_length\":2}\n");
+    return obs::validateTrace(in);
+  }();
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.problems.empty());
+  EXPECT_NE(result.problems.front().find("without a matching open run-meta"),
+            std::string::npos)
+      << result.problems.front();
+}
+
+TEST(TraceReportMultiRun, SingleRunMessagesKeepTheLegacyStrings) {
+  // The exact single-run diagnostics are part of the tool's contract.
+  {
+    std::istringstream in("{\"type\":\"run-end\",\"best_length\":1}\n");
+    const obs::ValidationResult r = obs::validateTrace(in);
+    ASSERT_FALSE(r.problems.empty());
+    EXPECT_EQ(r.problems.front(), "missing run-meta record");
+  }
+  {
+    std::istringstream in("{\"type\":\"run-meta\",\"nodes\":2}\n");
+    const obs::ValidationResult r = obs::validateTrace(in);
+    ASSERT_FALSE(r.problems.empty());
+    EXPECT_EQ(r.problems.front(), "missing run-end record");
+  }
+}
+
+TEST(TraceReportMultiRun, CrossRunSeqReuseIsNotADuplicateButCrossRunRecvIs) {
+  const std::string twoRuns =
+      "{\"type\":\"run-meta\",\"nodes\":2}\n"
+      "{\"type\":\"msg-sent\",\"t\":1,\"node\":0,\"seq\":1,\"lamport\":1,"
+      "\"len\":5,\"bytes\":10}\n"
+      "{\"type\":\"run-end\",\"best_length\":1}\n"
+      "{\"type\":\"run-meta\",\"nodes\":2}\n"
+      "{\"type\":\"msg-sent\",\"t\":1,\"node\":0,\"seq\":1,\"lamport\":1,"
+      "\"len\":5,\"bytes\":10}\n";
+  {
+    // Same (node, seq) in two different runs: legal.
+    std::istringstream in(twoRuns + "{\"type\":\"run-end\","
+                                    "\"best_length\":1}\n");
+    const obs::ValidationResult r = obs::validateTrace(in);
+    EXPECT_TRUE(r.ok()) << (r.problems.empty() ? "?" : r.problems.front());
+  }
+  {
+    // A receive in run 1 referencing a send that only exists in run 0 of a
+    // DIFFERENT sender: the match must be scoped to the receive's own run.
+    std::istringstream in(
+        twoRuns +
+        "{\"type\":\"msg-recv\",\"t\":2,\"node\":1,\"from\":0,\"seq\":2,"
+        "\"lamport\":1,\"recv_lamport\":2,\"len\":5}\n"
+        "{\"type\":\"run-end\",\"best_length\":1}\n");
+    const obs::ValidationResult r = obs::validateTrace(in);
+    EXPECT_FALSE(r.ok());  // seq 2 was never sent in run 1
+  }
+}
+
+TEST(TraceReportMultiRun, JobRecordsLoadAndAggregate) {
+  std::istringstream in(
+      "{\"type\":\"run-meta\",\"nodes\":2,\"job\":\"a\"}\n"
+      "{\"type\":\"run-end\",\"best_length\":100}\n"
+      "{\"type\":\"job\",\"t\":1.5,\"id\":\"a\",\"state\":\"completed\","
+      "\"priority\":2,\"best\":100,\"queue_seconds\":0.25,"
+      "\"setup_seconds\":0.5,\"solve_seconds\":1.0,\"cache_hit\":false}\n"
+      "{\"type\":\"run-meta\",\"nodes\":2,\"job\":\"b\"}\n"
+      "{\"type\":\"run-end\",\"best_length\":90}\n"
+      "{\"type\":\"job\",\"t\":2.5,\"id\":\"b\",\"state\":\"completed\","
+      "\"priority\":0,\"best\":90,\"queue_seconds\":0.75,"
+      "\"setup_seconds\":0.5,\"solve_seconds\":1.0,\"cache_hit\":true}\n"
+      "{\"type\":\"job\",\"t\":2.6,\"id\":\"c\",\"state\":\"cancelled\","
+      "\"priority\":0,\"best\":0,\"queue_seconds\":9.0,"
+      "\"setup_seconds\":0,\"solve_seconds\":0,\"cache_hit\":false}\n");
+  const obs::LoadedTrace trace = obs::loadTrace(in);
+  ASSERT_EQ(trace.jobs.size(), 3u);
+  EXPECT_EQ(trace.jobs[0].id, "a");
+  EXPECT_EQ(trace.jobs[0].priority, 2);
+  EXPECT_FALSE(trace.jobs[0].cacheHit);
+  EXPECT_TRUE(trace.jobs[1].cacheHit);
+  EXPECT_EQ(trace.runs.size(), 2u);
+  EXPECT_EQ(trace.runs[1].meta->str("job"), "b");
+
+  const obs::JobsReport report = obs::jobsReport(trace);
+  EXPECT_EQ(report.total, 3);
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.cancelled, 1);
+  EXPECT_EQ(report.expired, 0);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(report.cacheHits, 1);
+  // Aggregates cover completed jobs only — the cancelled job's 9s queue
+  // wait must not leak into the SLO means.
+  EXPECT_DOUBLE_EQ(report.meanQueueSeconds, 0.5);
+  EXPECT_DOUBLE_EQ(report.meanSetupSeconds, 0.5);
+  EXPECT_DOUBLE_EQ(report.meanSolveSeconds, 1.0);
+  EXPECT_DOUBLE_EQ(report.maxLatencySeconds, 2.25);
+}
+
 TEST(TraceReport, ParseLevelsSplitsFractions) {
   const std::vector<double> levels = obs::parseLevels("0.05,0.01,0");
   ASSERT_EQ(levels.size(), 3u);

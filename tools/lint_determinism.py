@@ -30,16 +30,20 @@ walks src/ and fails on the project-banned constructs:
                         rely on; use std::vector.
   threading             std::thread/mutex/condition_variable/atomic/... (or
                         their includes) in the single-threaded search core
-                        (src/lk, src/tsp). Thread scheduling is the easiest
-                        way to leak nondeterminism into a trajectory, so
-                        every use must be allowlisted with a justification
-                        explaining why the construct cannot affect the
-                        result (e.g. the speculative kick engine's round
-                        barrier, where all RNG draws and commit decisions
-                        happen on the coordinator in deterministic task
-                        order). src/core, src/net, and src/obs host the
-                        runtime/transport/metrics layers and legitimately
-                        use threads; they stay out of scope.
+                        (src/lk, src/tsp) and the job layer (src/svc).
+                        Thread scheduling is the easiest way to leak
+                        nondeterminism into a trajectory, so every use must
+                        be allowlisted with a justification explaining why
+                        the construct cannot affect the result (e.g. the
+                        speculative kick engine's round barrier, where all
+                        RNG draws and commit decisions happen on the
+                        coordinator in deterministic task order; or the
+                        solver pool, whose scheduling decides only WHICH
+                        job runs when — each job's trajectory stays a pure
+                        function of its spec). src/core, src/net, and
+                        src/obs host the runtime/transport/metrics layers
+                        and legitimately use threads; they stay out of
+                        scope.
 
 Findings are suppressed by tools/lint_allowlist.txt entries of the form
 
@@ -63,7 +67,7 @@ from pathlib import Path
 TRAJECTORY_DIRS = ("core", "lk", "tsp", "net")
 UNORDERED_DECL_DIRS = TRAJECTORY_DIRS + ("obs",)
 FLOAT_DIRS = ("tsp", "lk")
-THREADING_DIRS = ("lk", "tsp")
+THREADING_DIRS = ("lk", "tsp", "svc")
 SOURCE_SUFFIXES = {".cpp", ".h", ".hpp", ".cc"}
 
 RNG_EXEMPT = {"util/rng.h"}

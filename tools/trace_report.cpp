@@ -14,7 +14,13 @@
 //     --convergence        time-to-within-x% per node and global, plus any
 //                          stall-detector events
 //     --validate           schema + causal-consistency check; exit status
-//                          reports the verdict
+//                          reports the verdict. Tolerates multi-run streams
+//                          (a serve daemon appends one run bracket per job)
+//                          and checks per-run bracketing/causality
+//     --jobs               service-layer job table (distclk_serve traces):
+//                          per-job state, queue/setup/solve split, cache
+//                          hits, plus SLO aggregates; falls back to a run-
+//                          bracket summary when no job records are present
 //     --levels L1,L2,...   quality levels (fraction over final best) for
 //                          the time-to-quality / convergence tables
 //   trace_report --compare A.jsonl B.jsonl [--levels ...]
@@ -353,6 +359,68 @@ void printConvergence(const obs::LoadedTrace& trace,
   }
 }
 
+// Service-layer view: one row per job record (distclk_serve appends one
+// after each job's run bracket) plus SLO aggregates over completed jobs.
+void printJobs(const obs::LoadedTrace& trace) {
+  if (trace.jobs.empty()) {
+    // No job records — still useful on a plain multi-run stream: show the
+    // run brackets so "what did this file capture" has an answer.
+    std::printf("No job records; %zu run bracket(s) in stream\n",
+                trace.runs.size());
+    if (trace.runs.empty()) return;
+    Table runsTable({"run", "job", "instance", "nodes", "best", "ended"});
+    for (std::size_t i = 0; i < trace.runs.size(); ++i) {
+      const obs::TraceRun& run = trace.runs[i];
+      std::string job = "-";
+      std::string instance = "-";
+      std::string nodes = "-";
+      if (run.meta.has_value()) {
+        const std::string j = run.meta->str("job");
+        if (!j.empty()) job = j;
+        instance = run.meta->str("instance");
+        nodes = std::to_string(run.meta->integer("nodes"));
+      }
+      runsTable.addRow(
+          {std::to_string(i), job, instance, nodes,
+           run.runEnd.has_value()
+               ? std::to_string(run.runEnd->integer("best_length"))
+               : "-",
+           run.runEnd.has_value() ? "yes" : "no"});
+    }
+    runsTable.print(std::cout);
+    return;
+  }
+
+  std::printf("Jobs (%zu records over %zu run brackets)\n", trace.jobs.size(),
+              trace.runs.size());
+  Table table({"job", "state", "prio", "best", "queue", "setup", "solve",
+               "latency", "cache"});
+  for (const obs::TraceJob& j : trace.jobs) {
+    table.addRow({j.id, j.state, std::to_string(j.priority),
+                  j.best > 0 ? std::to_string(j.best) : "-",
+                  fmt(j.queueSeconds, 3) + "s", fmt(j.setupSeconds, 3) + "s",
+                  fmt(j.solveSeconds, 3) + "s",
+                  fmt(j.queueSeconds + j.setupSeconds + j.solveSeconds, 3) +
+                      "s",
+                  j.cacheHit ? "hit" : "miss"});
+  }
+  table.print(std::cout);
+
+  const obs::JobsReport report = obs::jobsReport(trace);
+  std::printf("\nSLO      : %d jobs — %d completed, %d cancelled, %d expired,"
+              " %d failed\n",
+              report.total, report.completed, report.cancelled, report.expired,
+              report.failed);
+  std::printf("cache    : %d/%d context cache hits\n", report.cacheHits,
+              report.total);
+  if (report.completed > 0) {
+    std::printf("completed: mean queue %.3fs, mean setup %.3fs, mean solve "
+                "%.3fs, max latency %.3fs\n",
+                report.meanQueueSeconds, report.meanSetupSeconds,
+                report.meanSolveSeconds, report.maxLatencySeconds);
+  }
+}
+
 void printCompare(const std::string& pathA, const obs::LoadedTrace& a,
                   const std::string& pathB, const obs::LoadedTrace& b,
                   const std::vector<double>& levels) {
@@ -412,6 +480,7 @@ int main(int argc, char** argv) {
     kConvergence,
     kCompare,
     kValidate,
+    kJobs,
   };
   View view = View::kSummary;
   std::vector<std::string> paths;
@@ -430,6 +499,8 @@ int main(int argc, char** argv) {
       view = View::kCompare;
     } else if (arg == "--validate") {
       view = View::kValidate;
+    } else if (arg == "--jobs") {
+      view = View::kJobs;
     } else if (!arg.empty() && arg[0] != '-') {
       paths.push_back(arg);
     } else {
@@ -441,7 +512,8 @@ int main(int argc, char** argv) {
   if (paths.size() != wantPaths) {
     std::fprintf(stderr,
                  "usage: trace_report RUN.jsonl [--propagation | --provenance"
-                 " | --convergence | --validate] [--levels 0.05,...]\n"
+                 " | --convergence | --validate | --jobs]"
+                 " [--levels 0.05,...]\n"
                  "       trace_report --compare A.jsonl B.jsonl\n");
     return 1;
   }
@@ -486,6 +558,7 @@ int main(int argc, char** argv) {
     case View::kPropagation: printPropagation(trace); break;
     case View::kProvenance: printProvenance(trace); break;
     case View::kConvergence: printConvergence(trace, levels); break;
+    case View::kJobs: printJobs(trace); break;
     default: printSummary(trace, levels); break;
   }
   return finishWithBadLineCheck(paths[0], trace);
