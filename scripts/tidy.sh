@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# clang-tidy over the deterministic core and the transport layer — the two
-# directories the .clang-tidy profile keeps clean. Optional: the reference
-# toolchain for this repo is GCC, so containers without clang-tidy skip
-# this (tier-1 does not depend on it).
+# clang-tidy over the deterministic core, the transport layer, and the
+# concurrent runtime (job layer + observability) — the directories the
+# .clang-tidy profile keeps clean, including its concurrency-* checks.
+# Optional: the reference toolchain for this repo is GCC, so containers
+# without clang-tidy skip this (tier-1 does not depend on it).
 #
 # Usage: scripts/tidy.sh [extra clang-tidy args...]
 set -euo pipefail
@@ -19,7 +20,7 @@ if [[ ! -f build/compile_commands.json ]]; then
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 
-mapfile -t files < <(ls src/core/*.cpp src/net/*.cpp)
-echo "tidy: checking ${#files[@]} files in src/core src/net" >&2
+mapfile -t files < <(ls src/core/*.cpp src/net/*.cpp src/svc/*.cpp src/obs/*.cpp)
+echo "tidy: checking ${#files[@]} files in src/core src/net src/svc src/obs" >&2
 clang-tidy -p build --quiet "$@" "${files[@]}"
 echo "tidy: clean" >&2

@@ -16,12 +16,20 @@
 #   5. Invariant audit build (-DDISTCLK_AUDIT=ON under ASan): structural
 #      self-checks compiled into Tour/BigTour/TwoLevelList/CandidateLists/
 #      NodeRunner mutation paths, exercised by test_audit.
-#   6. Determinism/portability lint over src/ (scripts/lint.sh).
-#   7. Instrumented smoke run: the pinned churn fixture with causal tracing
+#   6. Clang thread-safety analysis build (tsa preset): compiles the whole
+#      tree with -Werror=thread-safety so the capability annotations on the
+#      sync:: wrappers are PROVEN, not just documented. Skipped with a
+#      visible notice when clang++ is not installed (the attributes are
+#      no-ops under GCC, so a GCC build would verify nothing).
+#   7. Determinism/portability lint over src/ (scripts/lint.sh), plus two
+#      lock-discipline guards: DISTCLK_NO_THREAD_SAFETY_ANALYSIS must not
+#      appear outside util/sync.h, and the threading allowlist must not
+#      grow past its budget (15 entries) without a justified review.
+#   8. Instrumented smoke run: the pinned churn fixture with causal tracing
 #      and live metrics on, then trace_report --validate over the captured
 #      trace (schema + causal invariants) and a non-empty Prometheus
 #      snapshot check. Catches tracer/schema drift the unit tests miss.
-#   8. Service smoke run: distclk_serve with one worker over a wall-clock
+#   9. Service smoke run: distclk_serve with one worker over a wall-clock
 #      blocker, a job cancelled while queued, and a job whose deadline
 #      expires behind the blocker — all three terminal states must appear
 #      in the response stream, the shared multi-run trace must validate,
@@ -69,9 +77,9 @@ grep -q '^distclk_svc_jobs_expired' "$SMOKE/serve.prom"
 
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=thread
 cmake --build build-tsan -j "$JOBS" \
-  --target test_thread_network test_thread_driver test_runtime \
+  --target test_sync test_thread_network test_thread_driver test_runtime \
            test_obs_metrics test_lk_workspace test_spec_kicks test_svc
-for t in test_thread_network test_thread_driver test_runtime \
+for t in test_sync test_thread_network test_thread_driver test_runtime \
          test_obs_metrics test_lk_workspace test_spec_kicks test_svc; do
   echo "== TSan: $t"
   ./build-tsan/tests/"$t"
@@ -99,10 +107,45 @@ done
 
 cmake -B build-audit -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDISTCLK_SAN=address -DDISTCLK_AUDIT=ON
-cmake --build build-audit -j "$JOBS" --target test_audit
+cmake --build build-audit -j "$JOBS" --target test_audit test_sync
 echo "== Audit (ASan): test_audit"
 ./build-audit/tests/test_audit
+echo "== Audit (ASan): test_sync (lock-rank death tests)"
+./build-audit/tests/test_sync
+
+# Thread-safety analysis needs the Clang frontend; the attributes compile
+# to nothing under GCC, so skipping is honest while silence would not be.
+# The proof targets the production tree (library + tools + examples):
+# test_sync's death tests violate the discipline ON PURPOSE to check the
+# runtime audit, so they cannot be analysis-clean by construction.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== Clang thread-safety analysis (-Werror=thread-safety)"
+  cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER=clang++ -DDISTCLK_TSA=ON
+  cmake --build build-tsa -j "$JOBS" \
+    --target distclk calibrate trace_report distclk_serve \
+             quickstart distributed_solve tsplib_tool kick_playground distclk_cli
+else
+  echo "NOTICE: clang++ not found; skipping thread-safety analysis build (tsa preset)"
+fi
 
 scripts/lint.sh
+
+echo "== lock-discipline guards"
+# The analysis escape hatch is reserved for the wrapper internals; an
+# occurrence anywhere else means a contract was suppressed, not proven.
+if grep -rn --include='*.h' --include='*.cpp' 'DISTCLK_NO_THREAD_SAFETY_ANALYSIS' \
+     src tools tests examples bench | grep -v 'src/util/sync\.h'; then
+  echo "FAIL: DISTCLK_NO_THREAD_SAFETY_ANALYSIS used outside src/util/sync.h" >&2
+  exit 1
+fi
+# Threading allowlist budget: 15 entries. Growth needs a justification in
+# tools/lint_allowlist.txt AND a bump here with review — not a drive-by.
+THREADING_ENTRIES=$(grep -c '^threading |' tools/lint_allowlist.txt || true)
+if [ "$THREADING_ENTRIES" -gt 15 ]; then
+  echo "FAIL: threading allowlist has $THREADING_ENTRIES entries (budget 15)" >&2
+  exit 1
+fi
+echo "lock-discipline guards OK (threading allowlist: $THREADING_ENTRIES/15)"
 
 echo "tier-1 OK"

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
 #include "bound/held_karp.h"
 #include "tsp/tour.h"
 #include "util/rng.h"
+#include "util/sync.h"
 
 namespace distclk {
 
@@ -203,17 +203,20 @@ double referenceLength(const PaperInstance& spec, const Instance& inst) {
   if (spec.presumedOptimum > 0 && inst.n() == spec.n)
     return static_cast<double>(spec.presumedOptimum);
   // Cache Held-Karp bounds per (name, n) — several benches share instances.
+  // Concurrent misses may both compute the bound; the second write stores
+  // the identical (deterministic) value, so dropping the lock between
+  // lookup and insert is benign.
   static std::map<std::pair<std::string, int>, double> cache;
-  static std::mutex mu;
+  static sync::Mutex mu(sync::LockRank::kHarnessCache, "harness.refCache");
   const auto key = std::make_pair(inst.name(), inst.n());
   {
-    const std::scoped_lock lock(mu);
+    const sync::MutexLock lock(mu);
     if (const auto it = cache.find(key); it != cache.end()) return it->second;
   }
   HeldKarpOptions opt;
   opt.iterations = inst.n() > 5000 ? 50 : 150;
   const double bound = heldKarpBound(inst, opt).bound;
-  const std::scoped_lock lock(mu);
+  const sync::MutexLock lock(mu);
   cache[key] = bound;
   return bound;
 }

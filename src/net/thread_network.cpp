@@ -18,47 +18,69 @@ void Mailbox::push(Message msg) {
   if (metrics_ != nullptr && metrics_->registry != nullptr)
     entry.enqueueNs = steadyNowNs();
   {
-    const std::scoped_lock lock(mu_);
+    const sync::MutexLock lock(mu_);
     queue_.push_back(std::move(entry));
   }
-  cv_.notify_one();
+  cv_.notifyOne();
 }
 
-std::vector<Message> Mailbox::drainLocked() {
-  if (metrics_ != nullptr && metrics_->registry != nullptr && !queue_.empty()) {
+std::deque<Mailbox::Entry> Mailbox::takeLocked() {
+  std::deque<Entry> taken;
+  taken.swap(queue_);
+  return taken;
+}
+
+std::vector<Message> Mailbox::deliver(std::deque<Entry> entries) {
+  // Runs with mu_ released: delivery metrics must not put the mailbox lock
+  // above the registry/shard locks in the lock order. The depth and ages
+  // reflect the moment of the take, which is what the probes mean anyway.
+  if (metrics_ != nullptr && metrics_->registry != nullptr &&
+      !entries.empty()) {
     obs::MetricsRegistry& reg = *metrics_->registry;
-    reg.observe(metrics_->queueDepth, double(queue_.size()));
-    reg.add(metrics_->deliveries, std::int64_t(queue_.size()));
+    reg.observe(metrics_->queueDepth, double(entries.size()));
+    reg.add(metrics_->deliveries, std::int64_t(entries.size()));
     const std::int64_t now = steadyNowNs();
-    for (const Entry& e : queue_)
+    for (const Entry& e : entries)
       reg.observe(metrics_->messageAge, double(now - e.enqueueNs) * 1e-9);
   }
   std::vector<Message> out;
-  out.reserve(queue_.size());
-  for (Entry& e : queue_) out.push_back(std::move(e.msg));
-  queue_.clear();
+  out.reserve(entries.size());
+  for (Entry& e : entries) out.push_back(std::move(e.msg));
   return out;
 }
 
 std::vector<Message> Mailbox::drain() {
-  const std::scoped_lock lock(mu_);
-  return drainLocked();
+  std::deque<Entry> taken;
+  {
+    const sync::MutexLock lock(mu_);
+    taken = takeLocked();
+  }
+  return deliver(std::move(taken));
 }
 
 std::vector<Message> Mailbox::waitAndDrain(double timeoutSeconds) {
-  std::unique_lock lock(mu_);
-  cv_.wait_for(lock, std::chrono::duration<double>(timeoutSeconds),
-               [&] { return !queue_.empty() || interrupted_; });
-  interrupted_ = false;
-  return drainLocked();
+  std::deque<Entry> taken;
+  {
+    const sync::MutexLock lock(mu_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeoutSeconds));
+    while (queue_.empty() && !interrupted_) {
+      if (cv_.waitUntil(mu_, deadline) == std::cv_status::timeout) break;
+    }
+    interrupted_ = false;
+    taken = takeLocked();
+  }
+  return deliver(std::move(taken));
 }
 
 void Mailbox::interrupt() {
   {
-    const std::scoped_lock lock(mu_);
+    const sync::MutexLock lock(mu_);
     interrupted_ = true;
   }
-  cv_.notify_all();
+  cv_.notifyAll();
 }
 
 ThreadNetwork::ThreadNetwork(Adjacency adj)

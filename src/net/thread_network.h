@@ -5,15 +5,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "net/message.h"
 #include "net/net_metrics.h"
 #include "net/topology.h"
+#include "util/sync.h"
 
 namespace distclk {
 
@@ -39,12 +38,20 @@ class Mailbox {
     Message msg;
     std::int64_t enqueueNs = 0;  ///< only stamped when metrics attached
   };
-  std::vector<Message> drainLocked();
+  /// Moves the whole queue out; caller records metrics and unwraps the
+  /// messages after releasing mu_ (deliver), so the mailbox lock never
+  /// nests with the metrics registry's.
+  std::deque<Entry> takeLocked() DISTCLK_REQUIRES(mu_);
+  /// Records delivery metrics for `entries` and unwraps the messages.
+  /// Lock-free: call with mu_ released.
+  std::vector<Message> deliver(std::deque<Entry> entries);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Entry> queue_;
-  bool interrupted_ = false;
+  sync::Mutex mu_{sync::LockRank::kMailbox, "Mailbox.mu"};
+  sync::CondVar cv_;
+  std::deque<Entry> queue_ DISTCLK_GUARDED_BY(mu_);
+  bool interrupted_ DISTCLK_GUARDED_BY(mu_) = false;
+  // Set once via setMetrics() before node threads start; immutable while
+  // they run, so reads need no lock.
   const NetMetrics* metrics_ = nullptr;
 };
 

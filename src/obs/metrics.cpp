@@ -80,17 +80,18 @@ struct MetricsRegistry::Metric {
 struct MetricsRegistry::Shard {
   /// Guards this shard's values. Only the owner thread records into the
   /// shard, so the lock is uncontended except during a snapshot's brief
-  /// merge — node threads never wait on each other.
-  std::mutex mu;
+  /// merge — node threads never wait on each other. Ranked above the
+  /// registry lock because snapshot()/reset() take it while holding mu_.
+  sync::Mutex mu{sync::LockRank::kMetricsShard, "MetricsRegistry.Shard.mu"};
   struct Slot {
     std::int64_t counter = 0;
     double gauge = 0.0;
     std::uint64_t gaugeSeq = 0;  ///< 0 = never set
     HistogramData hist;          ///< counts sized lazily on first observe
   };
-  std::vector<Slot> slots;
+  std::vector<Slot> slots DISTCLK_GUARDED_BY(mu);
 
-  Slot& slot(int index) {
+  Slot& slot(int index) DISTCLK_REQUIRES(mu) {
     if (index >= static_cast<int>(slots.size()))
       slots.resize(std::size_t(index) + 1);
     return slots[std::size_t(index)];
@@ -106,7 +107,7 @@ MetricsRegistry::Shard& MetricsRegistry::localShard() const {
   thread_local std::unordered_map<std::uint64_t, Shard*> tls;
   const auto it = tls.find(uid_);
   if (it != tls.end()) return *it->second;
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   shards_.push_back(std::make_unique<Shard>());
   Shard* shard = shards_.back().get();
   tls.emplace(uid_, shard);
@@ -114,7 +115,7 @@ MetricsRegistry::Shard& MetricsRegistry::localShard() const {
 }
 
 MetricId MetricsRegistry::counter(const std::string& name) {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     if (metrics_[i].name != name) continue;
     if (metrics_[i].kind != Kind::kCounter)
@@ -126,7 +127,7 @@ MetricId MetricsRegistry::counter(const std::string& name) {
 }
 
 MetricId MetricsRegistry::gauge(const std::string& name) {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     if (metrics_[i].name != name) continue;
     if (metrics_[i].kind != Kind::kGauge)
@@ -143,7 +144,7 @@ MetricId MetricsRegistry::histogram(const std::string& name,
       std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end())
     throw std::invalid_argument("histogram bounds must be strictly ascending: " +
                                 name);
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     if (metrics_[i].name != name) continue;
     if (metrics_[i].kind != Kind::kHistogram)
@@ -157,14 +158,14 @@ MetricId MetricsRegistry::histogram(const std::string& name,
 void MetricsRegistry::add(MetricId id, std::int64_t delta) {
   if (!id.valid()) return;
   Shard& shard = localShard();
-  const std::scoped_lock lock(shard.mu);
+  const sync::MutexLock lock(shard.mu);
   shard.slot(id.index).counter += delta;
 }
 
 void MetricsRegistry::set(MetricId id, double value) {
   if (!id.valid()) return;
   Shard& shard = localShard();
-  const std::scoped_lock lock(shard.mu);
+  const sync::MutexLock lock(shard.mu);
   auto& slot = shard.slot(id.index);
   slot.gauge = value;
   slot.gaugeSeq = gGaugeSeq.fetch_add(1, std::memory_order_relaxed);
@@ -174,11 +175,11 @@ void MetricsRegistry::observe(MetricId id, double value) {
   if (!id.valid()) return;
   std::vector<double> bounds;
   {
-    const std::scoped_lock lock(mu_);
+    const sync::MutexLock lock(mu_);
     bounds = metrics_[std::size_t(id.index)].bounds;
   }
   Shard& shard = localShard();
-  const std::scoped_lock lock(shard.mu);
+  const sync::MutexLock lock(shard.mu);
   auto& hist = shard.slot(id.index).hist;
   if (hist.counts.empty()) {
     hist.bounds = std::move(bounds);
@@ -199,7 +200,7 @@ void MetricsRegistry::observe(MetricId id, double value) {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   MetricsSnapshot snap;
   std::vector<std::uint64_t> gaugeSeqs;
   for (const auto& m : metrics_) {
@@ -223,7 +224,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   gaugeSeqs.assign(snap.gauges.size(), 0);
   for (const auto& shardPtr : shards_) {
     Shard& shard = *shardPtr;
-    const std::scoped_lock shardLock(shard.mu);
+    const sync::MutexLock shardLock(shard.mu);
     std::size_t ci = 0, gi = 0, hi = 0;
     for (std::size_t m = 0; m < metrics_.size(); ++m) {
       const bool have = m < shard.slots.size();
@@ -266,10 +267,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   for (const auto& shardPtr : shards_) {
     Shard& shard = *shardPtr;
-    const std::scoped_lock shardLock(shard.mu);
+    const sync::MutexLock shardLock(shard.mu);
     for (auto& slot : shard.slots) {
       slot.counter = 0;
       slot.gauge = 0.0;

@@ -13,9 +13,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace distclk::obs {
 
@@ -110,9 +111,13 @@ class MetricsRegistry {
   Shard& localShard() const;
 
   const std::uint64_t uid_;  ///< distinguishes registries in thread-local maps
-  mutable std::mutex mu_;    ///< guards metrics_ and shards_ (structure only)
-  std::vector<Metric> metrics_;
-  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  /// Guards metrics_ and shards_ (structure only); each Shard's values sit
+  /// under its own kMetricsShard-ranked lock, acquired inside this one by
+  /// snapshot()/reset().
+  mutable sync::Mutex mu_{sync::LockRank::kMetricsRegistry,
+                          "MetricsRegistry.mu"};
+  std::vector<Metric> metrics_ DISTCLK_GUARDED_BY(mu_);
+  mutable std::vector<std::unique_ptr<Shard>> shards_ DISTCLK_GUARDED_BY(mu_);
 };
 
 /// RAII probe: observes the scope's wall-clock duration (seconds) into a

@@ -1,6 +1,7 @@
 #include "obs/trace_sink.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "util/audit.h"
 
 #ifndef DISTCLK_GIT_DESCRIBE
 #define DISTCLK_GIT_DESCRIBE "unknown"
@@ -25,8 +27,8 @@ std::int64_t steadyNowNs() {
 
 // Registry of live file-backed sinks, for the abnormal-termination flush.
 // Function-local statics so the registry outlives any static sink.
-std::mutex& sinkRegistryMutex() {
-  static std::mutex mu;
+sync::Mutex& sinkRegistryMutex() {
+  static sync::Mutex mu(sync::LockRank::kTraceRegistry, "trace.sinkRegistry");
   return mu;
 }
 
@@ -35,32 +37,50 @@ std::vector<JsonlTraceSink*>& sinkRegistry() {
   return sinks;
 }
 
+/// Signal recorded by the handler, pending service from normal context.
+/// 0 = none. Lock-free atomics are async-signal-safe; mutexes are not.
+std::atomic<int> gPendingSignal{0};
+
 extern "C" void distclkTraceSignalHandler(int sig) {
-  flushAllTraceSinks();
-  // Re-raise with the default action so exit status / core behavior is the
-  // same as without the handler — we only borrow the first delivery.
-  std::signal(sig, SIG_DFL);
-  std::raise(sig);
+  // Async-signal-safe by construction: the handler touches only this
+  // lock-free atomic plus signal()/raise(), never a mutex or the stream.
+  // The flush happens later, from normal context (write()/flush()/atexit
+  // call serviceTracePendingSignal()).
+  int expected = 0;
+  if (!gPendingSignal.compare_exchange_strong(expected, sig,
+                                              std::memory_order_acq_rel)) {
+    // A second delivery before the first was serviced: the user really
+    // wants out — stop borrowing deliveries and die with the default
+    // action immediately (the escape hatch from a wedged flush path).
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
 }
 
 void installTerminationFlush() {
   static bool installed = [] {
     std::signal(SIGINT, distclkTraceSignalHandler);
     std::signal(SIGTERM, distclkTraceSignalHandler);
-    std::signal(SIGABRT, distclkTraceSignalHandler);
-    std::atexit([] { flushAllTraceSinks(); });
+    // Aborts (including audit failures and SIGABRT's default action) flush
+    // via the audit pre-abort hook instead of a SIGABRT handler: the hook
+    // runs in normal context where taking try-locks is legitimate.
+    audit::setPreAbortHook([] { flushAllTraceSinks(); });
+    std::atexit([] {
+      flushAllTraceSinks();
+      serviceTracePendingSignal();
+    });
     return true;
   }();
   (void)installed;
 }
 
 void registerSink(JsonlTraceSink* sink) {
-  const std::scoped_lock lock(sinkRegistryMutex());
+  const sync::MutexLock lock(sinkRegistryMutex());
   sinkRegistry().push_back(sink);
 }
 
 void unregisterSink(JsonlTraceSink* sink) {
-  const std::scoped_lock lock(sinkRegistryMutex());
+  const sync::MutexLock lock(sinkRegistryMutex());
   auto& sinks = sinkRegistry();
   sinks.erase(std::remove(sinks.begin(), sinks.end(), sink), sinks.end());
 }
@@ -70,10 +90,28 @@ void unregisterSink(JsonlTraceSink* sink) {
 void flushAllTraceSinks() noexcept {
   // Try-locks only: a thread that died holding a lock must not wedge the
   // termination path — its sink is skipped (best effort, by design).
-  std::mutex& mu = sinkRegistryMutex();
-  if (!mu.try_lock()) return;
+  sync::Mutex& mu = sinkRegistryMutex();
+  if (!mu.tryLock()) return;
   for (JsonlTraceSink* sink : sinkRegistry()) sink->tryFlush();
   mu.unlock();
+}
+
+int pendingTraceSignal() noexcept {
+  return gPendingSignal.load(std::memory_order_acquire);
+}
+
+void clearPendingTraceSignal() noexcept {
+  gPendingSignal.store(0, std::memory_order_release);
+}
+
+void serviceTracePendingSignal() {
+  const int sig = gPendingSignal.load(std::memory_order_acquire);
+  if (sig == 0) return;
+  flushAllTraceSinks();
+  // Re-raise with the default action so exit status / core behavior is the
+  // same as without the handler — we only borrowed the first delivery.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
 }
 
 JsonlTraceSink::JsonlTraceSink(std::ostream& os) : os_(os) {}
@@ -91,38 +129,46 @@ JsonlTraceSink::~JsonlTraceSink() {
 }
 
 void JsonlTraceSink::write(std::string_view line) {
-  const std::scoped_lock lock(mu_);
-  os_ << line << '\n';
-  ++lines_;
-  if (flushIntervalSeconds_ > 0.0) {
-    const std::int64_t now = steadyNowNs();
-    if (double(now - lastFlushNs_) * 1e-9 >= flushIntervalSeconds_) {
-      os_.flush();
-      lastFlushNs_ = now;
+  {
+    const sync::MutexLock lock(mu_);
+    os_ << line << '\n';
+    ++lines_;
+    if (flushIntervalSeconds_ > 0.0) {
+      const std::int64_t now = steadyNowNs();
+      if (double(now - lastFlushNs_) * 1e-9 >= flushIntervalSeconds_) {
+        os_.flush();
+        lastFlushNs_ = now;
+      }
     }
   }
+  // After releasing mu_ — so the all-sinks flush can try-lock this sink
+  // too — persist everything and die if a termination signal arrived.
+  serviceTracePendingSignal();
 }
 
 void JsonlTraceSink::flush() {
-  const std::scoped_lock lock(mu_);
-  os_.flush();
-  lastFlushNs_ = steadyNowNs();
+  {
+    const sync::MutexLock lock(mu_);
+    os_.flush();
+    lastFlushNs_ = steadyNowNs();
+  }
+  serviceTracePendingSignal();
 }
 
 void JsonlTraceSink::tryFlush() noexcept {
-  if (!mu_.try_lock()) return;
+  if (!mu_.tryLock()) return;
   os_.flush();
   mu_.unlock();
 }
 
 void JsonlTraceSink::setFlushIntervalSeconds(double seconds) {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   flushIntervalSeconds_ = seconds;
   lastFlushNs_ = steadyNowNs();
 }
 
 std::int64_t JsonlTraceSink::linesWritten() const {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   return lines_;
 }
 

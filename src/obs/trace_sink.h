@@ -24,13 +24,13 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 
 #include "core/trace.h"
 #include "obs/metrics.h"
+#include "util/sync.h"
 
 namespace distclk::obs {
 
@@ -70,21 +70,36 @@ class JsonlTraceSink : public TraceSink {
 
  private:
   std::ofstream owned_;
-  std::ostream& os_;
-  mutable std::mutex mu_;
-  std::int64_t lines_ = 0;
-  double flushIntervalSeconds_ = 0.0;
-  std::int64_t lastFlushNs_ = 0;
-  bool registered_ = false;
+  std::ostream& os_;  // stream writes happen under mu_
+  mutable sync::Mutex mu_{sync::LockRank::kTraceSink, "JsonlTraceSink.mu"};
+  std::int64_t lines_ DISTCLK_GUARDED_BY(mu_) = 0;
+  double flushIntervalSeconds_ DISTCLK_GUARDED_BY(mu_) = 0.0;
+  std::int64_t lastFlushNs_ DISTCLK_GUARDED_BY(mu_) = 0;
+  bool registered_ = false;  // set once in the constructor
 };
 
-/// Best-effort flush of every live file-backed JsonlTraceSink. Installed on
-/// SIGINT/SIGTERM/SIGABRT (then re-raised with the default action) and via
-/// atexit by the first file-backed sink; safe to call directly. Uses
-/// try-locks throughout, so a thread crashed mid-write is skipped instead
-/// of deadlocking. Not async-signal-safe in the strict POSIX sense —
-/// acceptable for a crash path whose alternative is losing the tail.
+/// Best-effort flush of every live file-backed JsonlTraceSink. Called from
+/// normal (non-signal) context: atexit, the audit pre-abort hook, and
+/// serviceTracePendingSignal(); safe to call directly. Uses try-locks
+/// throughout, so a thread crashed mid-write is skipped instead of
+/// deadlocking.
 void flushAllTraceSinks() noexcept;
+
+/// Signal-flush protocol. The SIGINT/SIGTERM handler installed by the
+/// first file-backed sink is async-signal-safe: it only records the signal
+/// number in an atomic flag (a second delivery before service restores the
+/// default action and re-raises immediately). The flag is serviced from
+/// normal context — every JsonlTraceSink::write()/flush() checks it after
+/// releasing the sink lock, and atexit covers runs that stop writing —
+/// by flushing all sinks and re-raising the signal with its default
+/// action, so exit status matches an unhandled delivery.
+///
+/// Pending signal number (0 = none); test/diagnostic hook.
+int pendingTraceSignal() noexcept;
+/// Flushes all sinks and re-raises the pending signal (no-op when none).
+void serviceTracePendingSignal();
+/// Drops a recorded signal without servicing it (tests only).
+void clearPendingTraceSignal() noexcept;
 
 /// Run-level metadata captured at trace start.
 struct RunMeta {

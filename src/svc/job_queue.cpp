@@ -8,18 +8,18 @@ JobQueue::JobQueue(std::size_t maxDepth) : maxDepth_(maxDepth) {}
 
 bool JobQueue::submit(QueuedJob job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     if (closed_) return false;
     if (maxDepth_ > 0 && queue_.size() >= maxDepth_) return false;
     queue_.emplace(Key{-job.spec.priority, job.seq}, std::move(job));
   }
-  cv_.notify_one();
+  cv_.notifyOne();
   return true;
 }
 
 std::optional<QueuedJob> JobQueue::pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  const sync::MutexLock lock(mu_);
+  while (!closed_ && queue_.empty()) cv_.wait(mu_);
   if (queue_.empty()) return std::nullopt;
   auto it = queue_.begin();
   QueuedJob job = std::move(it->second);
@@ -28,7 +28,7 @@ std::optional<QueuedJob> JobQueue::pop() {
 }
 
 std::optional<QueuedJob> JobQueue::cancel(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (it->second.spec.id == id) {
       QueuedJob job = std::move(it->second);
@@ -41,7 +41,7 @@ std::optional<QueuedJob> JobQueue::cancel(const std::string& id) {
 
 std::vector<QueuedJob> JobQueue::takeExpired(double now) {
   std::vector<QueuedJob> expired;
-  std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (it->second.deadlineAt <= now) {
       expired.push_back(std::move(it->second));
@@ -55,19 +55,19 @@ std::vector<QueuedJob> JobQueue::takeExpired(double now) {
 
 void JobQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.notifyAll();
 }
 
 std::size_t JobQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   return queue_.size();
 }
 
 bool JobQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   return closed_;
 }
 

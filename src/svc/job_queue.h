@@ -5,15 +5,14 @@
 // independent of allocator behavior. Blocking pop; close() drains.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "svc/job.h"
+#include "util/sync.h"
 
 namespace distclk::svc {
 
@@ -64,11 +63,11 @@ class JobQueue {
     }
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<Key, QueuedJob> queue_;
-  std::size_t maxDepth_;
-  bool closed_ = false;
+  mutable sync::Mutex mu_{sync::LockRank::kJobQueue, "JobQueue.mu"};
+  sync::CondVar cv_;
+  std::map<Key, QueuedJob> queue_ DISTCLK_GUARDED_BY(mu_);
+  std::size_t maxDepth_;  // immutable after construction
+  bool closed_ DISTCLK_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace distclk::svc

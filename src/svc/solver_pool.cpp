@@ -73,7 +73,7 @@ void SolverPool::recordGauges() {
   metrics_.registry->set(metrics_.queueDepth, double(queue_.depth()));
   std::size_t runningCount = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     runningCount = running_.size();
   }
   metrics_.registry->set(metrics_.jobsRunning, double(runningCount));
@@ -91,31 +91,45 @@ bool SolverPool::submit(JobSpec spec, JobSink* sink) {
   job.deadlineAt = spec.deadlineSeconds > 0.0
                        ? job.submitSeconds + spec.deadlineSeconds
                        : std::numeric_limits<double>::infinity();
+  bool rejected = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     if (shutdown_) {
-      if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.jobsRejected);
-      return false;
+      rejected = true;
+    } else {
+      if (!known_.emplace(spec.id, 1).second)
+        throw std::invalid_argument("SolverPool: duplicate job id '" + spec.id +
+                                    "'");
+      job.seq = ++seq_;
+      ++inFlight_;
     }
-    if (!known_.emplace(spec.id, 1).second)
-      throw std::invalid_argument("SolverPool: duplicate job id '" + spec.id +
-                                  "'");
-    job.seq = ++seq_;
-    ++inFlight_;
+  }
+  if (rejected) {
+    // Metric recording stays outside mu_: the pool lock must never nest
+    // into the registry/shard locks.
+    if (metrics_.registry != nullptr)
+      metrics_.registry->add(metrics_.jobsRejected);
+    return false;
   }
   job.spec = std::move(spec);
   const std::string id = job.spec.id;
 
   if (!queue_.submit(std::move(job))) {
     // Backpressure: undo the bookkeeping so the id can be resubmitted.
-    std::lock_guard<std::mutex> lock(mu_);
-    known_.erase(id);
-    --inFlight_;
-    if (inFlight_ == 0) idle_.notify_all();
-    if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.jobsRejected);
+    bool nowIdle = false;
+    {
+      const sync::MutexLock lock(mu_);
+      known_.erase(id);
+      --inFlight_;
+      nowIdle = inFlight_ == 0;
+    }
+    if (nowIdle) idle_.notifyAll();
+    if (metrics_.registry != nullptr)
+      metrics_.registry->add(metrics_.jobsRejected);
     return false;
   }
-  if (metrics_.registry != nullptr) metrics_.registry->add(metrics_.jobsSubmitted);
+  if (metrics_.registry != nullptr)
+    metrics_.registry->add(metrics_.jobsSubmitted);
   recordGauges();
   return true;
 }
@@ -127,7 +141,7 @@ bool SolverPool::cancel(const std::string& id) {
   }
   std::shared_ptr<RunningJob> running;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     auto it = running_.find(id);
     if (it == running_.end()) return false;
     running = it->second;
@@ -138,14 +152,21 @@ bool SolverPool::cancel(const std::string& id) {
 }
 
 void SolverPool::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [&] { return inFlight_ == 0; });
+  const sync::MutexLock lock(mu_);
+  while (inFlight_ != 0) idle_.wait(mu_);
 }
 
 void SolverPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return;
+    const sync::MutexLock lock(mu_);
+    if (shutdown_) {
+      // Another caller won the shutdown race (e.g. explicit shutdown()
+      // concurrent with the destructor). Returning immediately would let
+      // the destructor run while the winner is still joining threads that
+      // touch pool members; wait for the teardown to complete instead.
+      while (!teardownDone_) teardown_.wait(mu_);
+      return;
+    }
     shutdown_ = true;
   }
   queue_.close();
@@ -153,6 +174,11 @@ void SolverPool::shutdown() {
   workers_.clear();
   stopMonitor_.store(true, std::memory_order_relaxed);
   if (monitor_.joinable()) monitor_.join();
+  {
+    const sync::MutexLock lock(mu_);
+    teardownDone_ = true;
+  }
+  teardown_.notifyAll();
 }
 
 void SolverPool::workerLoop() {
@@ -171,7 +197,7 @@ void SolverPool::monitorLoop() {
     // worker classifies the outcome as kExpired via the `expired` flag.
     std::vector<std::shared_ptr<RunningJob>> due;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const sync::MutexLock lock(mu_);
       for (auto& [id, running] : running_)
         if (running->deadlineAt <= now) due.push_back(running);
     }
@@ -193,7 +219,7 @@ void SolverPool::runJob(QueuedJob job) {
   auto running = std::make_shared<RunningJob>();
   running->deadlineAt = job.deadlineAt;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     running_.emplace(job.spec.id, running);
   }
   recordGauges();
@@ -242,8 +268,9 @@ void SolverPool::runJob(QueuedJob job) {
     // Incremental best streaming, deduplicated across nodes by value (the
     // thread runtime reports node-local bests concurrently).
     struct ProgressState {
-      std::mutex mu;
-      std::int64_t best = std::numeric_limits<std::int64_t>::max();
+      sync::Mutex mu{sync::LockRank::kJobProgress, "SolverPool.jobProgress"};
+      std::int64_t best DISTCLK_GUARDED_BY(mu) =
+          std::numeric_limits<std::int64_t>::max();
     };
     auto progress = std::make_shared<ProgressState>();
     JobSink* sink = job.sink;
@@ -251,7 +278,7 @@ void SolverPool::runJob(QueuedJob job) {
     if (sink != nullptr) {
       cfg.onBest = [progress, sink, jobId](double t, std::int64_t length) {
         {
-          std::lock_guard<std::mutex> lock(progress->mu);
+          const sync::MutexLock lock(progress->mu);
           if (length >= progress->best) return;
           progress->best = length;
         }
@@ -284,7 +311,7 @@ void SolverPool::runJob(QueuedJob job) {
     jobTrace.reset();  // flush the buffered sink before reading traceBuf
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const sync::MutexLock lock(mu_);
       running_.erase(job.spec.id);
     }
     finish(job, std::move(result), traceBuf.str());
@@ -292,7 +319,7 @@ void SolverPool::runJob(QueuedJob job) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     running_.erase(job.spec.id);
   }
   finish(job, std::move(result), std::string());
@@ -312,7 +339,7 @@ void SolverPool::finish(const QueuedJob& job, JobResult result,
   if (opts_.trace != nullptr) {
     // One contiguous block per job: the buffered run records, then the
     // job's SLO record. Guarded so concurrent jobs never interleave.
-    std::lock_guard<std::mutex> lock(traceMu_);
+    const sync::MutexLock lock(traceMu_);
     std::size_t begin = 0;
     while (begin < traceBlock.size()) {
       std::size_t end = traceBlock.find('\n', begin);
@@ -349,11 +376,13 @@ void SolverPool::finish(const QueuedJob& job, JobResult result,
 
   if (job.sink != nullptr) job.sink->onResult(result);
 
+  bool nowIdle = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     --inFlight_;
-    if (inFlight_ == 0) idle_.notify_all();
+    nowIdle = inFlight_ == 0;
   }
+  if (nowIdle) idle_.notifyAll();
   recordGauges();
 }
 

@@ -29,6 +29,7 @@
 #include "obs/trace_sink.h"
 #include "svc/job_queue.h"
 #include "tsp/instance_context.h"
+#include "util/sync.h"
 
 namespace distclk::svc {
 
@@ -114,16 +115,29 @@ class SolverPool {
   JobQueue queue_;
   std::int64_t startNs_ = 0;
 
-  mutable std::mutex mu_;        ///< running set + submitted-id bookkeeping
-  std::map<std::string, std::shared_ptr<RunningJob>> running_;
-  std::map<std::string, char> known_;  ///< ids ever submitted (dup check)
-  std::int64_t seq_ = 0;
-  std::int64_t inFlight_ = 0;    ///< queued + running
-  std::condition_variable idle_; ///< signalled when inFlight_ hits 0
-  bool shutdown_ = false;
+  /// Running set + submitted-id bookkeeping.
+  mutable sync::Mutex mu_{sync::LockRank::kSolverPool, "SolverPool.mu"};
+  std::map<std::string, std::shared_ptr<RunningJob>> running_
+      DISTCLK_GUARDED_BY(mu_);
+  /// Ids ever submitted (dup check).
+  std::map<std::string, char> known_ DISTCLK_GUARDED_BY(mu_);
+  std::int64_t seq_ DISTCLK_GUARDED_BY(mu_) = 0;
+  /// Queued + running.
+  std::int64_t inFlight_ DISTCLK_GUARDED_BY(mu_) = 0;
+  sync::CondVar idle_;  ///< signalled when inFlight_ hits 0
+  bool shutdown_ DISTCLK_GUARDED_BY(mu_) = false;
+  /// Set by the shutdown winner once every thread is joined; losers wait
+  /// on teardown_ for it instead of returning into a still-tearing-down
+  /// pool (destructor vs concurrent shutdown() race).
+  bool teardownDone_ DISTCLK_GUARDED_BY(mu_) = false;
+  sync::CondVar teardown_;
 
-  std::mutex traceMu_;           ///< serializes job blocks into opts_.trace
+  /// Serializes job blocks into opts_.trace.
+  sync::Mutex traceMu_{sync::LockRank::kPoolTrace, "SolverPool.traceMu"};
 
+  // Started in the constructor; joined only by the single shutdown winner
+  // (the teardown handshake above keeps every other thread out), so the
+  // thread handles themselves need no lock.
   std::vector<std::thread> workers_;
   std::thread monitor_;
   std::atomic<bool> stopMonitor_{false};

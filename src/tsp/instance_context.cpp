@@ -103,7 +103,7 @@ std::shared_ptr<const InstanceContext> ContextCache::get(
   os << instanceContentHash(*inst) << "/" << params.cacheKey();
   const std::string key = os.str();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   ++tick_;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -129,17 +129,17 @@ std::shared_ptr<const InstanceContext> ContextCache::get(
 }
 
 ContextCache::Stats ContextCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t ContextCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   return entries_.size();
 }
 
 void ContextCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const sync::MutexLock lock(mu_);
   entries_.clear();
 }
 

@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bound/held_karp.h"
+#include "util/sync.h"
 #include "tsp/dist_kernel.h"
 #include "tsp/instance.h"
 #include "tsp/neighbors.h"
@@ -144,11 +144,11 @@ class ContextCache {
     std::int64_t lastUsed = 0;
   };
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::int64_t tick_ = 0;
-  std::map<std::string, Entry> entries_;
-  Stats stats_;
+  mutable sync::Mutex mu_{sync::LockRank::kContextCache, "ContextCache.mu"};
+  std::size_t capacity_;  // immutable after construction
+  std::int64_t tick_ DISTCLK_GUARDED_BY(mu_) = 0;
+  std::map<std::string, Entry> entries_ DISTCLK_GUARDED_BY(mu_);
+  Stats stats_ DISTCLK_GUARDED_BY(mu_);
 };
 
 }  // namespace distclk

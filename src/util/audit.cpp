@@ -1,14 +1,28 @@
 #include "util/audit.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace distclk::audit {
 
+namespace {
+std::atomic<PreAbortHook> gPreAbortHook{nullptr};
+}  // namespace
+
+PreAbortHook setPreAbortHook(PreAbortHook hook) noexcept {
+  return gPreAbortHook.exchange(hook, std::memory_order_acq_rel);
+}
+
 void fail(const char* structure, const char* where, const char* what) noexcept {
   std::fprintf(stderr, "distclk audit: %s audit failed in %s: %s\n", structure,
                where, what);
   std::fflush(stderr);
+  if (PreAbortHook hook = gPreAbortHook.load(std::memory_order_acquire)) {
+    // Guard against a hook that itself audit-fails: run it at most once.
+    if (gPreAbortHook.exchange(nullptr, std::memory_order_acq_rel) == hook)
+      hook();
+  }
   std::abort();
 }
 

@@ -19,6 +19,15 @@ namespace distclk::audit {
 [[noreturn]] void fail(const char* structure, const char* where,
                        const char* what) noexcept;
 
+/// Installs a hook run by fail() after printing the diagnostic and before
+/// abort(). Lets higher layers (e.g. the trace sinks, obs/trace_sink.cpp)
+/// persist buffered state on an audit abort without util/ depending on
+/// them. The hook runs in normal (non-signal) context but mid-crash: it
+/// must not assume invariants hold and must not itself abort. Pass nullptr
+/// to clear. Returns the previous hook.
+using PreAbortHook = void (*)();
+PreAbortHook setPreAbortHook(PreAbortHook hook) noexcept;
+
 /// True in -DDISTCLK_AUDIT=ON builds; lets tests assert the mode.
 #ifdef DISTCLK_AUDIT_ENABLED
 inline constexpr bool kEnabled = true;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <sstream>
@@ -154,6 +156,61 @@ TEST(TraceSink, FlushIntervalAndTerminationFlushKeepFileCurrent) {
   obs::flushAllTraceSinks();
   EXPECT_NE(fileContents().find("\"type\":\"run-end\""), std::string::npos);
   EXPECT_EQ(sink.linesWritten(), 2);
+}
+
+TEST(TraceSink, SignalHandlerOnlyRecordsTheSignal) {
+  // The SIGTERM/SIGINT handler must be async-signal-safe: it records the
+  // signal in an atomic and returns — no registry mutex, no stream I/O.
+  // Creating a file-backed sink installs the handler.
+  const std::string path = ::testing::TempDir() + "/signal_record.jsonl";
+  obs::JsonlTraceSink sink(path);
+  obs::clearPendingTraceSignal();
+  ASSERT_EQ(obs::pendingTraceSignal(), 0);
+  std::raise(SIGTERM);
+  // Still alive: the handler deferred everything to normal context.
+  EXPECT_EQ(obs::pendingTraceSignal(), SIGTERM);
+  obs::clearPendingTraceSignal();
+  EXPECT_EQ(obs::pendingTraceSignal(), 0);
+}
+
+TEST(TraceSinkDeath, FlushesBufferedLinesBeforeSignalDeath) {
+  const std::string path = ::testing::TempDir() + "/signal_flush.jsonl";
+  // Child: buffer a line, take the signal, write once more. The write's
+  // pending-signal service must flush BOTH lines, then re-raise SIGTERM
+  // with the default action (killed-by-signal exit).
+  EXPECT_EXIT(
+      {
+        obs::JsonlTraceSink sink(path);
+        obs::clearPendingTraceSignal();
+        sink.write(R"({"type":"before-signal"})");
+        std::raise(SIGTERM);
+        sink.write(R"({"type":"after-signal"})");
+        // Unreachable: the write above services the signal and dies.
+        std::_Exit(0);
+      },
+      ::testing::KilledBySignal(SIGTERM), "");
+  std::ifstream is(path);
+  const std::string contents{std::istreambuf_iterator<char>(is),
+                             std::istreambuf_iterator<char>()};
+  EXPECT_NE(contents.find("\"type\":\"before-signal\""), std::string::npos);
+  EXPECT_NE(contents.find("\"type\":\"after-signal\""), std::string::npos);
+}
+
+TEST(TraceSinkDeath, SecondSignalBeforeServiceDiesImmediately) {
+  // Escape hatch: if the process never reaches a service point (wedged
+  // run), a second delivery restores the default action and re-raises from
+  // inside the handler.
+  EXPECT_EXIT(
+      {
+        const std::string path =
+            ::testing::TempDir() + "/signal_second.jsonl";
+        obs::JsonlTraceSink sink(path);
+        obs::clearPendingTraceSignal();
+        std::raise(SIGTERM);  // recorded, deferred
+        std::raise(SIGTERM);  // second delivery: immediate default action
+        std::_Exit(0);        // unreachable
+      },
+      ::testing::KilledBySignal(SIGTERM), "");
 }
 
 class TracedRuns : public ::testing::Test {

@@ -45,7 +45,6 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
@@ -57,6 +56,7 @@
 #include "svc/solver_pool.h"
 #include "tsp/gen.h"
 #include "tsp/tsplib.h"
+#include "util/sync.h"
 
 using namespace distclk;
 
@@ -146,7 +146,7 @@ class ServeSink : public svc::JobSink {
     o.field("hit_target", r.hitTarget);
     if (!r.error.empty()) o.field("error", r.error);
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const sync::MutexLock lock(mu_);
       out_ << o.str() << '\n';
       out_.flush();
       switch (r.state) {
@@ -166,26 +166,39 @@ class ServeSink : public svc::JobSink {
   }
 
   void writeLine(const std::string& line) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::MutexLock lock(mu_);
     out_ << line << '\n';
     out_.flush();
   }
 
-  int completed() const { return completed_; }
-  int cancelled() const { return cancelled_; }
-  int expired() const { return expired_; }
-  int failed() const { return failed_; }
+  int completed() const {
+    const sync::MutexLock lock(mu_);
+    return completed_;
+  }
+  int cancelled() const {
+    const sync::MutexLock lock(mu_);
+    return cancelled_;
+  }
+  int expired() const {
+    const sync::MutexLock lock(mu_);
+    return expired_;
+  }
+  int failed() const {
+    const sync::MutexLock lock(mu_);
+    return failed_;
+  }
 
  private:
   std::ostream& out_;
   svc::SolverPool& pool_;
   obs::MetricsRegistry* metrics_;
   std::string metricsOut_;
-  std::mutex mu_;
-  int completed_ = 0;
-  int cancelled_ = 0;
-  int expired_ = 0;
-  int failed_ = 0;
+  /// Serializes response lines and the terminal-state tallies.
+  mutable sync::Mutex mu_{sync::LockRank::kServeOut, "serve.out"};
+  int completed_ DISTCLK_GUARDED_BY(mu_) = 0;
+  int cancelled_ DISTCLK_GUARDED_BY(mu_) = 0;
+  int expired_ DISTCLK_GUARDED_BY(mu_) = 0;
+  int failed_ DISTCLK_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace

@@ -28,6 +28,16 @@ walks src/ and fails on the project-banned constructs:
   raw-new-array         `new T[n]`: unmanaged array allocations bypass the
                         bounds- and leak-checking the sanitizer presets
                         rely on; use std::vector.
+  bare-sync             std::mutex / std::lock_guard / std::unique_lock /
+                        std::condition_variable / ... (or <mutex>,
+                        <shared_mutex>, <condition_variable> includes)
+                        anywhere outside src/util/sync.h. All locking goes
+                        through the capability-annotated, rank-audited
+                        sync::Mutex/CondVar wrappers so that the clang
+                        thread-safety build (tsa preset) and the lock-rank
+                        audit see every acquisition. Not allowlistable by
+                        policy: if the wrappers cannot express a pattern,
+                        extend the wrappers.
   threading             std::thread/mutex/condition_variable/atomic/... (or
                         their includes) in the single-threaded search core
                         (src/lk, src/tsp) and the job layer (src/svc).
@@ -86,6 +96,13 @@ UNORDERED_DECL_NAME = re.compile(
 POINTER_KEYED = re.compile(r"\bstd::(?:map|set|multimap|multiset)\s*<[^,>]*\*")
 FLOAT_TYPE = re.compile(r"(?<![\w.])float(?![\w.])")
 RAW_NEW_ARRAY = re.compile(r"\bnew\s+[A-Za-z_][\w:<>, ]*\s*\[")
+BARE_SYNC_EXEMPT = {"util/sync.h"}
+BARE_SYNC_USE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable(?:_any)?)\b")
+BARE_SYNC_INCLUDE = re.compile(
+    r"#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
 THREADING_USE = re.compile(
     r"\bstd::(?:jthread|thread|mutex|shared_mutex|recursive_mutex"
     r"|condition_variable(?:_any)?|atomic\w*|future|promise|async"
@@ -188,6 +205,14 @@ def lint_file(rel: str, text: str) -> list[Finding]:
                 "raw-new-array", rel, lineno, raw,
                 "raw new[]: use std::vector so sanitizer presets see the "
                 "allocation"))
+
+        if (rel not in BARE_SYNC_EXEMPT
+                and (BARE_SYNC_USE.search(line)
+                     or BARE_SYNC_INCLUDE.search(line))):
+            findings.append(Finding(
+                "bare-sync", rel, lineno, raw,
+                "raw standard-library lock primitive: use the capability-"
+                "annotated, rank-audited wrappers in util/sync.h"))
 
         if (in_dirs(rel, THREADING_DIRS)
                 and (THREADING_USE.search(line)
