@@ -17,6 +17,12 @@
 //                           default 0 = sequential pinned loop)
 //     --candidates K        candidate list size (default 10)
 //     --quadrant            use quadrant candidate lists
+//     --prep-threads T      preprocessing build parallelism (default 1;
+//                           byte-identical output for any T)
+//     --prep-partition S    Hilbert-partitioned Quick-Borůvka construction
+//                           over S shards (default 0 = serial QB)
+//     --prep-only           build the preprocessing context, print the
+//                           phase times, and exit (pipeline smoke/bench)
 //     --seed S              solver seed (default 1)
 //     --out F.tour          write the best tour
 //     --trace F.jsonl       stream a JSONL run trace (dist*, see
@@ -110,6 +116,16 @@ int main(int argc, char** argv) {
               toString(inst.weightType()));
   std::printf("algorithm: %s, %.1fs, kick=%s, candidates=%d\n", algo.c_str(),
               seconds, toString(kick), prep.candidateK);
+  const PreprocessBuildStats& prepStats = ctx->buildStats();
+  std::printf("prep     : kdtree %.1fms, candidates %.1fms, construct %.1fms"
+              " (threads=%d, total %.1fms)\n",
+              prepStats.kdtreeMs, prepStats.candMs, prepStats.constructMs,
+              prepStats.threads, prepStats.totalMs);
+  if (args.has("prep-only")) {
+    std::printf("result   : construction %lld (prep-only)\n",
+                static_cast<long long>(ctx->constructionLength()));
+    return 0;
+  }
 
   Timer timer;
   std::vector<int> bestOrder;

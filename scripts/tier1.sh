@@ -34,6 +34,11 @@
 #      expires behind the blocker — all three terminal states must appear
 #      in the response stream, the shared multi-run trace must validate,
 #      and the Prometheus snapshot must carry the svc job metrics.
+#  10. Prep-parallelism smoke: a 10^5-city context built at
+#      --prep-threads 4 must report the same construction tour length as
+#      the serial build (byte-identical preprocessing, DESIGN.md §13), and
+#      concurrent same-key jobs through distclk_serve must cost exactly
+#      one context build (cache_builds:1).
 #
 # See DESIGN.md §7 for what each layer is expected to catch.
 set -euo pipefail
@@ -75,12 +80,36 @@ grep -q '^distclk_svc_jobs_completed' "$SMOKE/serve.prom"
 grep -q '^distclk_svc_jobs_cancelled' "$SMOKE/serve.prom"
 grep -q '^distclk_svc_jobs_expired' "$SMOKE/serve.prom"
 
+echo "== prep-parallelism smoke (byte-identical context at --prep-threads 4)"
+# A 10^5-city context built serially and with 4 prep threads must report
+# the same construction length (byte-identical preprocessing, DESIGN.md
+# §13); the prep phase line must be present in both.
+./build/examples/distclk_cli --gen uniform --n 100000 --gen-seed 1 \
+  --prep-only > "$SMOKE/prep1.txt"
+./build/examples/distclk_cli --gen uniform --n 100000 --gen-seed 1 \
+  --prep-threads 4 --prep-only > "$SMOKE/prep4.txt"
+grep -q '^prep ' "$SMOKE/prep1.txt"
+grep -q 'threads=4' "$SMOKE/prep4.txt"
+diff <(grep '^result' "$SMOKE/prep1.txt") <(grep '^result' "$SMOKE/prep4.txt")
+# Concurrent same-key jobs through the pool still cost exactly one context
+# build (the cache builds under its lock; prepThreads is not in the key).
+cat > "$SMOKE/prep_jobs.jsonl" <<'JOBS'
+{"id":"prep-a","gen":"uniform","n":5000,"gen_seed":3,"candidates":8,"prep_threads":4,"nodes":2,"seconds":0.2,"seed":1,"modeled_work":1000000}
+{"id":"prep-b","gen":"uniform","n":5000,"gen_seed":3,"candidates":8,"prep_threads":1,"nodes":2,"seconds":0.2,"seed":1,"modeled_work":1000000}
+{"id":"prep-c","gen":"uniform","n":5000,"gen_seed":3,"candidates":8,"nodes":2,"seconds":0.2,"seed":1,"modeled_work":1000000}
+JOBS
+./build/tools/distclk_serve --jobs "$SMOKE/prep_jobs.jsonl" --workers 2 \
+  --prep-threads 4 --out "$SMOKE/prep_serve.jsonl" > /dev/null
+grep -q '"cache_builds":1' "$SMOKE/prep_serve.jsonl"
+
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=thread
 cmake --build build-tsan -j "$JOBS" \
   --target test_sync test_thread_network test_thread_driver test_runtime \
-           test_obs_metrics test_lk_workspace test_spec_kicks test_svc
+           test_obs_metrics test_lk_workspace test_spec_kicks test_svc \
+           test_prep_parallel
 for t in test_sync test_thread_network test_thread_driver test_runtime \
-         test_obs_metrics test_lk_workspace test_spec_kicks test_svc; do
+         test_obs_metrics test_lk_workspace test_spec_kicks test_svc \
+         test_prep_parallel; do
   echo "== TSan: $t"
   ./build-tsan/tests/"$t"
 done
@@ -88,16 +117,16 @@ done
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=address
 cmake --build build-asan -j "$JOBS" \
   --target test_dist_kernel test_neighbors test_tour test_lk \
-           test_lk_workspace test_spec_kicks
+           test_lk_workspace test_spec_kicks test_prep_parallel
 for t in test_dist_kernel test_neighbors test_tour test_lk \
-         test_lk_workspace test_spec_kicks; do
+         test_lk_workspace test_spec_kicks test_prep_parallel; do
   echo "== ASan: $t"
   ./build-asan/tests/"$t"
 done
 
 UBSAN_TESTS=(test_dist_kernel test_tour test_twolevel test_big_tour test_lk
              test_lk_workspace test_chained_lk test_spec_kicks test_message
-             test_tsplib test_metrics)
+             test_tsplib test_metrics test_prep_parallel)
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDISTCLK_SAN=undefined
 cmake --build build-ubsan -j "$JOBS" --target "${UBSAN_TESTS[@]}"
 for t in "${UBSAN_TESTS[@]}"; do

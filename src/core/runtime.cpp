@@ -436,14 +436,27 @@ bool cancelled(const RunConfig& cfg) {
 // (trace sink or --metrics-out exposition); the run-meta record needs a
 // sink.
 template <typename Network>
-void attachObservation(const Instance& inst, const RunConfig& cfg,
+void attachObservation(const InstanceContext& ctx, const RunConfig& cfg,
                        const char* algorithm, const char* clockName,
                        Network& net, std::vector<DistNode>& nodes,
                        obs::MetricsRegistry& registry) {
+  const Instance& inst = ctx.instance();
   if (cfg.trace == nullptr && cfg.metricsOutPath.empty()) return;
   net.attachMetrics(registry);
   const NodeMetrics nodeMetrics = NodeMetrics::attach(registry);
   for (auto& node : nodes) node.setMetrics(nodeMetrics);
+  // Preprocessing phase wall times for this run's context (zero when the
+  // context was borrowed, e.g. legacy call sites without a full build).
+  // Gauges, not histograms: one context per run; the Prometheus snapshot
+  // (distclk_prep_kdtree_ms, ...) and the trace's metrics record carry
+  // them to dashboards and trace_report.
+  if (!ctx.borrowed()) {
+    const PreprocessBuildStats& prep = ctx.buildStats();
+    registry.set(registry.gauge("prep.kdtree_ms"), prep.kdtreeMs);
+    registry.set(registry.gauge("prep.cand_ms"), prep.candMs);
+    registry.set(registry.gauge("prep.construct_ms"), prep.constructMs);
+    registry.set(registry.gauge("prep.threads"), double(prep.threads));
+  }
   if (cfg.trace == nullptr) return;
   obs::RunMeta meta;
   meta.instance = inst.name();
@@ -494,7 +507,6 @@ void writeRunEnd(const RunConfig& cfg, obs::MetricsRegistry& registry,
 // reproductions for a fixed seed.
 
 RunResult runSim(const InstanceContext& ctx, const RunConfig& cfg) {
-  const Instance& inst = ctx.instance();
   SimNetwork net(buildTopology(cfg.topology, cfg.nodes), cfg.latencySeconds);
   SimTransport transport(net);
   VirtualClock clock(cfg.nodes, cfg.costModel, cfg.modeledWorkPerSecond,
@@ -502,7 +514,7 @@ RunResult runSim(const InstanceContext& ctx, const RunConfig& cfg) {
   std::vector<DistNode> nodes = buildNodes(ctx, cfg);
 
   obs::MetricsRegistry metricsReg;
-  attachObservation(inst, cfg, "dist-sim", clock.kindName(), net, nodes,
+  attachObservation(ctx, cfg, "dist-sim", clock.kindName(), net, nodes,
                     metricsReg);
   // One shared snapshotter: any node's step may cross an interval boundary.
   Snapshotter snapshotter(cfg.trace, metricsReg, cfg.metricsIntervalSeconds,
@@ -614,14 +626,13 @@ RunResult runSim(const InstanceContext& ctx, const RunConfig& cfg) {
 // as under simulation — the schedules just fire against wall time.
 
 RunResult runThreads(const InstanceContext& ctx, const RunConfig& cfg) {
-  const Instance& inst = ctx.instance();
   ThreadNetwork net(buildTopology(cfg.topology, cfg.nodes));
   ThreadTransport transport(net);
   WallClock clock(cfg.nodes, cfg.nodeSpeeds);
   std::vector<DistNode> nodes = buildNodes(ctx, cfg);
 
   obs::MetricsRegistry metricsReg;
-  attachObservation(inst, cfg, "dist-threads", clock.kindName(), net, nodes,
+  attachObservation(ctx, cfg, "dist-threads", clock.kindName(), net, nodes,
                     metricsReg);
   // Node 0 doubles as the metrics reporter: snapshots merge every shard, so
   // one thread emitting suffices.

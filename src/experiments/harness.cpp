@@ -190,6 +190,8 @@ PreprocessParams preprocessParamsFromArgs(const Args& args) {
   PreprocessParams p;
   p.candidateK = args.getInt("candidates", p.candidateK);
   if (args.has("quadrant")) p.kind = CandidateLists::Kind::kQuadrant;
+  p.prepThreads = args.getInt("prep-threads", p.prepThreads);
+  p.partitionShards = args.getInt("prep-partition", p.partitionShards);
   return p;
 }
 

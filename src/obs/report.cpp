@@ -183,7 +183,9 @@ LoadedTrace loadTrace(std::istream& in) {
           v.num("queue_seconds"), v.num("setup_seconds"),
           v.num("solve_seconds"),
           hit != nullptr && hit->kind == JsonValue::Kind::kBool &&
-              hit->boolean});
+              hit->boolean,
+          v.num("prep_kdtree_ms"), v.num("prep_cand_ms"),
+          v.num("prep_construct_ms")});
     } else {
       ++trace.badLines;
       addProblem(trace.problems, "line " + std::to_string(lineNo) +

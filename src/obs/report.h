@@ -79,6 +79,11 @@ struct TraceJob {
   double setupSeconds = 0.0;
   double solveSeconds = 0.0;
   bool cacheHit = false;
+  /// Cache-miss preprocessing decomposition; zero when the record predates
+  /// these fields or the job hit the context cache.
+  double prepKdtreeMs = 0.0;
+  double prepCandMs = 0.0;
+  double prepConstructMs = 0.0;
 };
 
 /// One parsed trace. Garbled/unknown lines are skipped and counted, with

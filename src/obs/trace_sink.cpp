@@ -280,9 +280,11 @@ std::string nodeBestRecord(double time, int node, std::int64_t best,
 std::string jobRecord(double time, const std::string& id,
                       const std::string& state, int priority,
                       std::int64_t best, double queueSeconds,
-                      double setupSeconds, double solveSeconds, bool cacheHit) {
-  return JsonObject()
-      .field("type", "job")
+                      double setupSeconds, double solveSeconds, bool cacheHit,
+                      double prepKdtreeMs, double prepCandMs,
+                      double prepConstructMs) {
+  JsonObject o;
+  o.field("type", "job")
       .field("t", time)
       .field("id", id)
       .field("state", state)
@@ -291,8 +293,15 @@ std::string jobRecord(double time, const std::string& id,
       .field("queue_seconds", queueSeconds)
       .field("setup_seconds", setupSeconds)
       .field("solve_seconds", solveSeconds)
-      .field("cache_hit", cacheHit)
-      .str();
+      .field("cache_hit", cacheHit);
+  // Emitted only when a build ran: keeps hit records (the common case in a
+  // warmed pool) at the pre-existing shape.
+  if (prepKdtreeMs > 0.0 || prepCandMs > 0.0 || prepConstructMs > 0.0) {
+    o.field("prep_kdtree_ms", prepKdtreeMs)
+        .field("prep_cand_ms", prepCandMs)
+        .field("prep_construct_ms", prepConstructMs);
+  }
+  return o.str();
 }
 
 }  // namespace distclk::obs

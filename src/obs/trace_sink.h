@@ -144,9 +144,13 @@ std::string nodeBestRecord(double time, int node, std::int64_t best,
 /// Job-layer SLO record (src/svc SolverPool): written once per finished
 /// job, after that job's run bracket. `time` is seconds since the pool
 /// started; queue/setup/solve are the job's latency decomposition.
+/// The prep*Ms fields decompose a cache-miss context build (all zero on a
+/// hit — readers treat absent/zero as "no build ran").
 std::string jobRecord(double time, const std::string& id,
                       const std::string& state, int priority,
                       std::int64_t best, double queueSeconds,
-                      double setupSeconds, double solveSeconds, bool cacheHit);
+                      double setupSeconds, double solveSeconds, bool cacheHit,
+                      double prepKdtreeMs = 0.0, double prepCandMs = 0.0,
+                      double prepConstructMs = 0.0);
 
 }  // namespace distclk::obs

@@ -75,6 +75,14 @@ struct JobResult {
   double queueSeconds = 0.0;
   double setupSeconds = 0.0;
   double solveSeconds = 0.0;
+  /// Preprocessing phase decomposition of the setup, populated on a cache
+  /// miss (the build this job actually paid for); all zero on a hit.
+  /// prepThreads is the parallelism the pool granted after clamping the
+  /// request to SolverPoolOptions::prepThreads minus in-use builds.
+  double prepKdtreeMs = 0.0;
+  double prepCandMs = 0.0;
+  double prepConstructMs = 0.0;
+  int prepThreads = 0;
   std::int64_t totalSteps = 0;
   std::int64_t messagesSent = 0;
   /// Full run trajectory (events + anytime curve) for completed and

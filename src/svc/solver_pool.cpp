@@ -1,5 +1,6 @@
 #include "svc/solver_pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <limits>
@@ -46,6 +47,17 @@ SvcMetrics SvcMetrics::attach(obs::MetricsRegistry& registry) {
   m.latencySeconds = registry.histogram(
       "svc.job_latency_seconds",
       obs::MetricsRegistry::exponentialBounds(1e-2, 4.0, 10));
+  // Preprocessing phase decomposition, observed only on cache misses (the
+  // jobs that actually run InstanceContext::build).
+  m.prepKdtreeMs = registry.histogram(
+      "svc.prep_kdtree_ms",
+      obs::MetricsRegistry::exponentialBounds(1e-1, 4.0, 10));
+  m.prepCandMs = registry.histogram(
+      "svc.prep_cand_ms",
+      obs::MetricsRegistry::exponentialBounds(1e-1, 4.0, 10));
+  m.prepConstructMs = registry.histogram(
+      "svc.prep_construct_ms",
+      obs::MetricsRegistry::exponentialBounds(1e-1, 4.0, 10));
   return m;
 }
 
@@ -233,21 +245,53 @@ void SolverPool::runJob(QueuedJob job) {
   // Setup: resolve shared preprocessing through the LRU cache. A hit costs
   // one hash of the instance payload; a miss builds candidates + the
   // construction tour (+ optional HK) exactly once for all future jobs.
+  // The job's requested build parallelism is clamped to what remains of
+  // the pool-wide prep-thread budget for the duration of the resolve.
+  // Safe w.r.t. the cache key: prepThreads never changes the built bytes.
+  PreprocessParams prep = job.spec.preprocess;
+  const int requested = prep.prepThreads < 1 ? 1 : prep.prepThreads;
+  int granted = 1;
+  {
+    const sync::MutexLock lock(mu_);
+    const int budget = opts_.prepThreads < 1 ? 1 : opts_.prepThreads;
+    const int avail = budget - prepInUse_;
+    granted = std::min(requested, avail < 1 ? 1 : avail);
+    prepInUse_ += granted;
+  }
+  prep.prepThreads = granted;
   Timer setupTimer;
   bool cacheHit = false;
   std::shared_ptr<const InstanceContext> ctx;
   try {
-    ctx = cache_.get(job.spec.instance, job.spec.preprocess, &cacheHit);
+    ctx = cache_.get(job.spec.instance, prep, &cacheHit);
   } catch (const std::exception& e) {
     result.setupSeconds = setupTimer.seconds();
     result.state = JobState::kFailed;
     result.error = e.what();
   }
+  {
+    const sync::MutexLock lock(mu_);
+    prepInUse_ -= granted;
+  }
   result.setupSeconds = setupTimer.seconds();
   result.cacheHit = cacheHit;
-  if (metrics_.registry != nullptr)
+  if (ctx != nullptr && !cacheHit) {
+    const PreprocessBuildStats& bs = ctx->buildStats();
+    result.prepKdtreeMs = bs.kdtreeMs;
+    result.prepCandMs = bs.candMs;
+    result.prepConstructMs = bs.constructMs;
+    result.prepThreads = bs.threads;
+  }
+  if (metrics_.registry != nullptr) {
     metrics_.registry->add(cacheHit ? metrics_.cacheHits
                                     : metrics_.cacheMisses);
+    if (ctx != nullptr && !cacheHit) {
+      metrics_.registry->observe(metrics_.prepKdtreeMs, result.prepKdtreeMs);
+      metrics_.registry->observe(metrics_.prepCandMs, result.prepCandMs);
+      metrics_.registry->observe(metrics_.prepConstructMs,
+                                 result.prepConstructMs);
+    }
+  }
 
   if (ctx != nullptr) {
     RunConfig cfg = job.spec.run;
@@ -352,7 +396,8 @@ void SolverPool::finish(const QueuedJob& job, JobResult result,
     opts_.trace->write(obs::jobRecord(
         nowSeconds(), result.id, toString(result.state), result.priority,
         result.bestLength, result.queueSeconds, result.setupSeconds,
-        result.solveSeconds, result.cacheHit));
+        result.solveSeconds, result.cacheHit, result.prepKdtreeMs,
+        result.prepCandMs, result.prepConstructMs));
     opts_.trace->flush();
   }
 

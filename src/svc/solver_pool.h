@@ -50,6 +50,9 @@ struct SvcMetrics {
   obs::MetricId setupSeconds;   ///< histogram: context resolve (≈0 on hit)
   obs::MetricId solveSeconds;   ///< histogram: runDistributed wall time
   obs::MetricId latencySeconds; ///< histogram: submit -> terminal state
+  obs::MetricId prepKdtreeMs;   ///< histogram: kd-tree build (misses only)
+  obs::MetricId prepCandMs;     ///< histogram: candidate CSR (misses only)
+  obs::MetricId prepConstructMs;///< histogram: construction (misses only)
 
   static SvcMetrics attach(obs::MetricsRegistry& registry);
 };
@@ -58,6 +61,12 @@ struct SolverPoolOptions {
   int workers = 2;
   std::size_t maxQueueDepth = 0;        ///< 0 = unbounded
   std::size_t contextCacheCapacity = 8;
+  /// Pool-wide preprocessing thread budget. A job's requested
+  /// PreprocessParams::prepThreads is clamped to what's left of this
+  /// budget (never below 1) while its context build runs; since
+  /// prepThreads is excluded from the cache key, the clamp never changes
+  /// which cached context the job gets — only how fast a miss builds.
+  int prepThreads = 1;
   obs::MetricsRegistry* metrics = nullptr;  ///< null = no metrics
   obs::TraceSink* trace = nullptr;          ///< null = no tracing
   double deadlinePollSeconds = 0.01;    ///< deadline monitor cadence
@@ -122,6 +131,9 @@ class SolverPool {
   /// Ids ever submitted (dup check).
   std::map<std::string, char> known_ DISTCLK_GUARDED_BY(mu_);
   std::int64_t seq_ DISTCLK_GUARDED_BY(mu_) = 0;
+  /// Preprocessing threads currently granted to in-progress context
+  /// builds (see SolverPoolOptions::prepThreads).
+  int prepInUse_ DISTCLK_GUARDED_BY(mu_) = 0;
   /// Queued + running.
   std::int64_t inFlight_ DISTCLK_GUARDED_BY(mu_) = 0;
   sync::CondVar idle_;  ///< signalled when inFlight_ hits 0

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "construct/construct.h"
+#include "tsp/kdtree.h"
+#include "util/task_pool.h"
+#include "util/timer.h"
 
 namespace distclk {
 
@@ -41,6 +44,11 @@ std::string PreprocessParams::cacheKey() const {
     os << ";hk=" << heldKarpOptions.iterations << ","
        << heldKarpOptions.exactLimit << "," << heldKarpOptions.candidateK;
   }
+  // partitionShards changes the construction tour, so it splits the cache;
+  // prepThreads only changes the build schedule (byte-identical output)
+  // and is intentionally absent. Appended conditionally so pre-existing
+  // keys (and the fixtures that pin them) are unchanged at the default.
+  if (partitionShards > 0) os << ";part=" << partitionShards;
   return os.str();
 }
 
@@ -62,14 +70,52 @@ std::shared_ptr<const InstanceContext> InstanceContext::build(
   ctx->inst_ = std::move(inst);
   ctx->params_ = params;
   ctx->instanceHash_ = instanceContentHash(*ctx->inst_);
-  auto cand = std::make_shared<CandidateLists>(
-      *ctx->inst_, params.candidateK, params.kind);
-  if (params.symmetric) cand->makeSymmetric();
-  ctx->cand_ = std::move(cand);
-  ctx->constructionOrder_ = quickBoruvkaTour(*ctx->inst_, *ctx->cand_);
-  ctx->constructionLength_ = ctx->inst_->tourLength(ctx->constructionOrder_);
-  if (params.heldKarp)
+
+  // One task pool for every phase of this build. The pool only decides the
+  // schedule: kd-tree layout, candidate CSR bytes, and the construction
+  // tour are identical for every thread count (DESIGN.md §13), which is
+  // why prepThreads stays out of the cache key.
+  const int threads = params.prepThreads < 1 ? 1 : params.prepThreads;
+  std::optional<TaskPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  TaskPool* pp = pool ? &*pool : nullptr;
+  PreprocessBuildStats stats;
+  stats.threads = threads;
+  const Timer total;
+
+  std::optional<KdTree> tree;
+  {
+    const Timer t;
+    if (ctx->inst_->hasCoords() && ctx->inst_->n() > 0)
+      tree.emplace(ctx->inst_->points(), pp);
+    stats.kdtreeMs = t.millis();
+  }
+  {
+    const Timer t;
+    auto cand = std::make_shared<CandidateLists>(
+        *ctx->inst_, params.candidateK, params.kind,
+        tree ? &*tree : nullptr, pp);
+    if (params.symmetric) cand->makeSymmetric();
+    ctx->cand_ = std::move(cand);
+    stats.candMs = t.millis();
+  }
+  {
+    const Timer t;
+    ctx->constructionOrder_ =
+        params.partitionShards > 0
+            ? partitionedQuickBoruvkaTour(*ctx->inst_, *ctx->cand_,
+                                          params.partitionShards, pp)
+            : quickBoruvkaTour(*ctx->inst_, *ctx->cand_);
+    ctx->constructionLength_ = ctx->inst_->tourLength(ctx->constructionOrder_);
+    stats.constructMs = t.millis();
+  }
+  if (params.heldKarp) {
+    const Timer t;
     ctx->heldKarp_ = heldKarpBound(*ctx->inst_, params.heldKarpOptions);
+    stats.heldKarpMs = t.millis();
+  }
+  stats.totalMs = total.millis();
+  ctx->buildStats_ = stats;
   return ctx;
 }
 

@@ -40,9 +40,32 @@ struct PreprocessParams {
   /// Compute a Held-Karp lower bound at build time (exposed via heldKarp()).
   bool heldKarp = false;
   HeldKarpOptions heldKarpOptions;
+  /// Build-time parallelism for the preprocessing pipeline (kd-tree build,
+  /// candidate shards, partitioned construction). 1 = the exact serial
+  /// path. Deliberately EXCLUDED from cacheKey(): every thread count
+  /// produces byte-identical preprocessing output (DESIGN.md §13), so
+  /// contexts built at different prepThreads are interchangeable.
+  int prepThreads = 1;
+  /// > 0 switches the construction tour to partitionedQuickBoruvkaTour
+  /// with that many Hilbert-order shards. Changes the construction TOUR
+  /// (not just its schedule), so it IS part of cacheKey(). 0 = the serial
+  /// determinism-pinned quickBoruvkaTour.
+  int partitionShards = 0;
 
   /// Canonical text form; equal strings == interchangeable preprocessing.
   std::string cacheKey() const;
+};
+
+/// Wall-time decomposition of one InstanceContext::build(), recorded on
+/// every non-borrowed build and surfaced as prep.* metrics (obs) and the
+/// svc job records.
+struct PreprocessBuildStats {
+  double kdtreeMs = 0.0;     ///< kd-tree construction (0 without coords)
+  double candMs = 0.0;       ///< candidate CSR build (+ makeSymmetric)
+  double constructMs = 0.0;  ///< Quick-Borůvka construction tour
+  double heldKarpMs = 0.0;   ///< optional Held-Karp bound
+  double totalMs = 0.0;      ///< whole build() wall time
+  int threads = 1;           ///< parallelism actually used
 };
 
 /// FNV-1a over the instance payload (n, weight type, coordinates or the
@@ -88,6 +111,12 @@ class InstanceContext {
     return heldKarp_;
   }
 
+  /// Per-phase build wall times (all zero for borrowed contexts). Pure
+  /// observability: not part of the cache identity or the trajectory.
+  const PreprocessBuildStats& buildStats() const noexcept {
+    return buildStats_;
+  }
+
   std::uint64_t instanceHash() const noexcept { return instanceHash_; }
   bool borrowed() const noexcept { return borrowed_; }
   /// Full cache identity: "<instanceHash>/<params cacheKey>".
@@ -105,6 +134,7 @@ class InstanceContext {
   std::vector<int> constructionOrder_;
   std::int64_t constructionLength_ = 0;
   std::optional<HeldKarpResult> heldKarp_;
+  PreprocessBuildStats buildStats_;
   std::uint64_t instanceHash_ = 0;
   bool borrowed_ = false;
 };

@@ -4,51 +4,80 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
-#include <queue>
+
+#include "util/task_pool.h"
 
 namespace distclk {
 
-KdTree::KdTree(std::span<const Point> pts) : pts_(pts) {
+namespace {
+
+/// Number of tree nodes a subtree over m points occupies. The split point
+/// mid = (begin+end)/2 makes the child sizes floor(m/2) and ceil(m/2) — a
+/// function of m alone — so node ids can be assigned in preorder BEFORE
+/// the subtrees are built: left = id+1, right = id+1+count(leftSize).
+/// That is what lets concurrent subtree tasks write disjoint nodes_ slices
+/// while reproducing the serial numbering exactly. Memoized because only
+/// O(log m) distinct sizes occur (at most two per level).
+int subtreeNodeCount(int m, int leafSize, std::map<int, int>& memo) {
+  if (m <= leafSize) return 1;
+  const auto it = memo.find(m);
+  if (it != memo.end()) return it->second;
+  const int c = 1 + subtreeNodeCount(m / 2, leafSize, memo) +
+                subtreeNodeCount(m - m / 2, leafSize, memo);
+  memo.emplace(m, c);
+  return c;
+}
+
+}  // namespace
+
+KdTree::KdTree(std::span<const Point> pts, TaskPool* pool) : pts_(pts) {
   order_.resize(pts_.size());
   std::iota(order_.begin(), order_.end(), 0);
   leafOf_.resize(pts_.size(), -1);
   active_.assign(pts_.size(), 1);
   activeCount_ = static_cast<int>(pts_.size());
-  nodes_.reserve(2 * pts_.size() / kLeafSize + 4);
-  if (!pts_.empty()) build(0, static_cast<int>(pts_.size()));
+  if (!pts_.empty()) {
+    const int n = static_cast<int>(pts_.size());
+    std::map<int, int> subtreeNodes;
+    const int total = subtreeNodeCount(n, kLeafSize, subtreeNodes);
+    // Pre-sized: build tasks write nodes_[id] in place, no reallocation.
+    nodes_.resize(std::size_t(total));
+    buildRange(0, 0, n, subtreeNodes, pool);
+    if (pool != nullptr) pool->runUntilIdle();
+  }
   posInOrder_.resize(pts_.size());
   for (std::size_t p = 0; p < order_.size(); ++p)
     posInOrder_[std::size_t(order_[p])] = static_cast<int>(p);
 }
 
-int KdTree::build(int begin, int end) {
-  const int id = static_cast<int>(nodes_.size());
-  nodes_.emplace_back();
-  {
-    Node& nd = nodes_.back();
-    nd.begin = begin;
-    nd.end = end;
-    nd.activeInSubtree = end - begin;
-    nd.xmin = nd.ymin = std::numeric_limits<double>::infinity();
-    nd.xmax = nd.ymax = -std::numeric_limits<double>::infinity();
-    for (int i = begin; i < end; ++i) {
-      const Point& p = pts_[std::size_t(order_[std::size_t(i)])];
-      nd.xmin = std::min(nd.xmin, p.x);
-      nd.xmax = std::max(nd.xmax, p.x);
-      nd.ymin = std::min(nd.ymin, p.y);
-      nd.ymax = std::max(nd.ymax, p.y);
-    }
+void KdTree::buildRange(int id, int begin, int end,
+                        const std::map<int, int>& subtreeNodes,
+                        TaskPool* pool) {
+  Node& nd = nodes_[std::size_t(id)];
+  nd.begin = begin;
+  nd.end = end;
+  nd.activeInSubtree = end - begin;
+  nd.xmin = nd.ymin = std::numeric_limits<double>::infinity();
+  nd.xmax = nd.ymax = -std::numeric_limits<double>::infinity();
+  for (int i = begin; i < end; ++i) {
+    const Point& p = pts_[std::size_t(order_[std::size_t(i)])];
+    nd.xmin = std::min(nd.xmin, p.x);
+    nd.xmax = std::max(nd.xmax, p.x);
+    nd.ymin = std::min(nd.ymin, p.y);
+    nd.ymax = std::max(nd.ymax, p.y);
   }
   if (end - begin <= kLeafSize) {
     for (int i = begin; i < end; ++i)
       leafOf_[std::size_t(order_[std::size_t(i)])] = id;
-    return id;
+    return;
   }
-  const int dim = (nodes_[std::size_t(id)].xmax - nodes_[std::size_t(id)].xmin >=
-                   nodes_[std::size_t(id)].ymax - nodes_[std::size_t(id)].ymin)
-                      ? 0
-                      : 1;
+  const int dim = (nd.xmax - nd.xmin >= nd.ymax - nd.ymin) ? 0 : 1;
   const int mid = (begin + end) / 2;
+  // The partition runs on whoever owns this subtree's task, always over
+  // the exact element sequence the serial build would see (the parent's
+  // partition completed before this task was forked). Parallelism never
+  // crosses an nth_element call, because its result order feeds the knn
+  // tie-handling and must stay bit-identical.
   std::nth_element(order_.begin() + begin, order_.begin() + mid,
                    order_.begin() + end, [&](int a, int b) {
                      const Point& pa = pts_[std::size_t(a)];
@@ -56,15 +85,25 @@ int KdTree::build(int begin, int end) {
                      return dim == 0 ? pa.x < pb.x : pa.y < pb.y;
                    });
   const Point& mp = pts_[std::size_t(order_[std::size_t(mid)])];
-  // Children may reallocate nodes_, so write fields through the index.
-  const int left = build(begin, mid);
-  const int right = build(mid, end);
-  Node& nd = nodes_[std::size_t(id)];
   nd.splitDim = dim;
   nd.splitVal = dim == 0 ? mp.x : mp.y;
-  nd.left = left;
-  nd.right = right;
-  return id;
+  const int leftSize = mid - begin;
+  const int leftId = id + 1;
+  const int rightId =
+      leftId + (leftSize <= kLeafSize ? 1 : subtreeNodes.at(leftSize));
+  nd.left = leftId;
+  nd.right = rightId;
+  if (pool != nullptr && end - begin >= kParallelGrain) {
+    pool->submit([this, leftId, begin, mid, &subtreeNodes, pool] {
+      buildRange(leftId, begin, mid, subtreeNodes, pool);
+    });
+    pool->submit([this, rightId, mid, end, &subtreeNodes, pool] {
+      buildRange(rightId, mid, end, subtreeNodes, pool);
+    });
+  } else {
+    buildRange(leftId, begin, mid, subtreeNodes, pool);
+    buildRange(rightId, mid, end, subtreeNodes, pool);
+  }
 }
 
 double KdTree::boxDist2(const Node& nd, const Point& p) const noexcept {
@@ -99,37 +138,71 @@ void KdTree::search(int node, const Point& p, double& bound,
     search(second, p, bound, visit);
 }
 
-std::vector<int> KdTree::knn(const Point& loc, int k) const {
-  k = std::min<int>(k, static_cast<int>(pts_.size()));
-  if (k <= 0) return {};
-  // Max-heap of the best k candidates seen so far.
-  using Entry = std::pair<double, int>;
-  std::priority_queue<Entry> heap;
+void KdTree::knnHeap(const Point& loc, int k, KnnScratch& scratch) const {
+  // Max-heap (std::push_heap/pop_heap over the scratch vector — the same
+  // comparisons std::priority_queue<pair> performs) of the best k seen.
+  auto& heap = scratch.heap_;
+  heap.clear();
   double bound = std::numeric_limits<double>::infinity();
   search(0, loc, bound, [&](int idx, double d2) {
     if (static_cast<int>(heap.size()) < k) {
-      heap.emplace(d2, idx);
-      if (static_cast<int>(heap.size()) == k) bound = heap.top().first;
-    } else if (d2 < heap.top().first) {
-      heap.pop();
-      heap.emplace(d2, idx);
-      bound = heap.top().first;
+      heap.emplace_back(d2, idx);
+      std::push_heap(heap.begin(), heap.end());
+      if (static_cast<int>(heap.size()) == k) bound = heap.front().first;
+    } else if (d2 < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {d2, idx};
+      std::push_heap(heap.begin(), heap.end());
+      bound = heap.front().first;
     }
   });
-  std::vector<int> out(heap.size());
-  for (auto it = out.rbegin(); it != out.rend(); ++it) {
-    *it = heap.top().second;
-    heap.pop();
+  // (dist2, index) pairs are unique, so ascending sort reproduces exactly
+  // the pop-and-reverse order of the heap.
+  std::sort(heap.begin(), heap.end());
+}
+
+int KdTree::knnInto(const Point& loc, int k, std::span<int> out,
+                    KnnScratch& scratch) const {
+  k = std::min<int>(k, size());
+  if (k <= 0) return 0;
+  knnHeap(loc, k, scratch);
+  const int m = static_cast<int>(scratch.heap_.size());
+  for (int i = 0; i < m; ++i) out[std::size_t(i)] = scratch.heap_[std::size_t(i)].second;
+  return m;
+}
+
+int KdTree::knnInto(int query, int k, std::span<int> out,
+                    KnnScratch& scratch) const {
+  k = std::min<int>(k, size() - 1);
+  if (k <= 0) return 0;
+  // Ask for one extra and drop the query point itself (it may legitimately
+  // be absent under duplicate coordinates, hence the written-count cap).
+  knnHeap(pts_[std::size_t(query)], std::min(k + 1, size()), scratch);
+  int written = 0;
+  for (const auto& [d2, idx] : scratch.heap_) {
+    if (idx == query) continue;
+    if (written == k) break;
+    out[std::size_t(written++)] = idx;
   }
+  return written;
+}
+
+std::vector<int> KdTree::knn(const Point& loc, int k) const {
+  k = std::min<int>(k, size());
+  if (k <= 0) return {};
+  KnnScratch scratch;
+  std::vector<int> out(static_cast<std::size_t>(k));
+  out.resize(std::size_t(knnInto(loc, k, out, scratch)));
   return out;
 }
 
 std::vector<int> KdTree::knn(int query, int k) const {
-  // Ask for one extra and drop the query point itself.
-  auto res = knn(pts_[std::size_t(query)], k + 1);
-  std::erase(res, query);
-  if (static_cast<int>(res.size()) > k) res.resize(static_cast<std::size_t>(k));
-  return res;
+  k = std::min<int>(k, size() - 1);
+  if (k <= 0) return {};
+  KnnScratch scratch;
+  std::vector<int> out(static_cast<std::size_t>(k));
+  out.resize(std::size_t(knnInto(query, k, out, scratch)));
+  return out;
 }
 
 void KdTree::deactivate(int i) {

@@ -2,9 +2,16 @@
 // queries (candidate-list construction) and nearest-active queries with
 // deactivation (greedy construction heuristics such as nearest-neighbor and
 // Quick-Borůvka consume cities one by one).
+//
+// The build can run on a TaskPool: independent sibling subtrees are forked
+// as tasks after their shared nth_element partition, which leaves every
+// partition input — and therefore order_, the node numbering (preorder,
+// precomputed from subtree sizes), and every query answer — bit-identical
+// to the serial build. See DESIGN.md §13 for the determinism argument.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -12,11 +19,26 @@
 
 namespace distclk {
 
+class TaskPool;
+
+/// Reusable scratch for allocation-free knnInto queries. One per calling
+/// thread; queries reuse the internal heap's capacity across calls.
+class KnnScratch {
+ public:
+  KnnScratch() = default;
+
+ private:
+  friend class KdTree;
+  std::vector<std::pair<double, int>> heap_;
+};
+
 class KdTree {
  public:
   /// Builds a balanced tree over `pts` (copied indices only; the caller
   /// keeps ownership of the coordinates, which must outlive the tree).
-  explicit KdTree(std::span<const Point> pts);
+  /// With a non-null pool, sibling subtrees build concurrently; the
+  /// resulting tree is bit-identical to the serial build.
+  explicit KdTree(std::span<const Point> pts, TaskPool* pool = nullptr);
 
   int size() const noexcept { return static_cast<int>(pts_.size()); }
 
@@ -26,6 +48,16 @@ class KdTree {
 
   /// Indices of the k nearest points to an arbitrary location.
   std::vector<int> knn(const Point& loc, int k) const;
+
+  /// Allocation-free k-NN: writes up to k indices (nearest first) into
+  /// `out` and returns how many were written (< k only when the tree holds
+  /// fewer points). `out` must have room for k entries; `scratch` is
+  /// caller-owned and reusable across queries. Results are identical to
+  /// the knn() overloads above.
+  int knnInto(const Point& loc, int k, std::span<int> out,
+              KnnScratch& scratch) const;
+  /// Same, excluding `query` itself (the candidate-list work loop).
+  int knnInto(int query, int k, std::span<int> out, KnnScratch& scratch) const;
 
   /// Deactivates a point (it will no longer be returned by nearestActive).
   void deactivate(int i);
@@ -38,6 +70,11 @@ class KdTree {
   /// Returns -1 when no active point qualifies.
   int nearestActive(const Point& p, int exclude = -1) const;
 
+  /// The point permutation underlying the tree (leaves are contiguous
+  /// ranges of it). Exposed so tests can pin that parallel builds produce
+  /// byte-identical layouts to the serial build.
+  const std::vector<int>& order() const noexcept { return order_; }
+
  private:
   struct Node {
     int begin = 0, end = 0;      // range in order_
@@ -48,9 +85,12 @@ class KdTree {
     double xmin = 0, xmax = 0, ymin = 0, ymax = 0;  // bounding box
   };
 
-  int build(int begin, int end);
+  void buildRange(int id, int begin, int end,
+                  const std::map<int, int>& subtreeNodes, TaskPool* pool);
   template <typename Visit>
   void search(int node, const Point& p, double& bound, Visit&& visit) const;
+  /// Branch-and-bound fill of scratch.heap_ with the k nearest to `loc`.
+  void knnHeap(const Point& loc, int k, KnnScratch& scratch) const;
   static double sq(double v) noexcept { return v * v; }
   double boxDist2(const Node& nd, const Point& p) const noexcept;
 
@@ -62,6 +102,8 @@ class KdTree {
   std::vector<char> active_;
   int activeCount_ = 0;
   static constexpr int kLeafSize = 16;
+  /// Subtrees at least this large fork their children as pool tasks.
+  static constexpr int kParallelGrain = 2048;
 };
 
 }  // namespace distclk

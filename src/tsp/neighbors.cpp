@@ -2,87 +2,149 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "tsp/dist_kernel.h"
 #include "tsp/kdtree.h"
 #include "util/audit.h"
+#include "util/task_pool.h"
 
 namespace distclk {
 
-namespace {
-
-std::vector<std::vector<int>> nearestLists(const Instance& inst, int k) {
-  const int n = inst.n();
-  std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
-  if (inst.hasCoords()) {
-    KdTree tree(inst.points());
-    for (int c = 0; c < n; ++c) lists[std::size_t(c)] = tree.knn(c, k);
-  } else {
-    std::vector<int> idx(static_cast<std::size_t>(n));
-    for (int c = 0; c < n; ++c) {
-      idx.clear();
-      for (int j = 0; j < n; ++j)
-        if (j != c) idx.push_back(j);
-      const auto kk = std::min<std::size_t>(std::size_t(k), idx.size());
-      std::partial_sort(idx.begin(), idx.begin() + kk, idx.end(),
-                        [&](int a, int b) {
-                          const auto da = inst.dist(c, a), db = inst.dist(c, b);
-                          return da != db ? da < db : a < b;
-                        });
-      idx.resize(kk);
-      lists[std::size_t(c)] = idx;
-    }
-  }
-  return lists;
-}
-
-std::vector<std::vector<int>> quadrantLists(const Instance& inst, int k) {
-  if (!inst.hasCoords())
-    return nearestLists(inst, k);  // quadrants undefined without coordinates
-  const int n = inst.n();
-  const int perQuad = std::max(1, (k + 3) / 4);
-  KdTree tree(inst.points());
-  std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
-  // Over-fetch nearest neighbors, then keep the closest `perQuad` per
-  // quadrant; top up with globally nearest if quadrants are starved.
-  const int fetch = std::min(n - 1, std::max(4 * k, 24));
-  for (int c = 0; c < n; ++c) {
-    const auto cand = tree.knn(c, fetch);
-    const Point& pc = inst.point(c);
-    int quadCount[4] = {0, 0, 0, 0};
-    auto& out = lists[std::size_t(c)];
-    for (int nb : cand) {
-      const Point& pn = inst.point(nb);
-      const int q = (pn.x >= pc.x ? 1 : 0) | (pn.y >= pc.y ? 2 : 0);
-      if (quadCount[q] < perQuad) {
-        ++quadCount[q];
-        out.push_back(nb);
-        if (static_cast<int>(out.size()) >= k) break;
-      }
-    }
-    for (int nb : cand) {
-      if (static_cast<int>(out.size()) >= k) break;
-      if (std::find(out.begin(), out.end(), nb) == out.end())
-        out.push_back(nb);
-    }
-    // Keep the construction metric ordering (distance ascending).
-    std::sort(out.begin(), out.end(), [&](int a, int b) {
-      const auto da = inst.dist(c, a), db = inst.dist(c, b);
-      return da != db ? da < db : a < b;
-    });
-  }
-  return lists;
-}
-
-}  // namespace
-
 CandidateLists::CandidateLists(const Instance& inst, int k, Kind kind)
+    : CandidateLists(inst, k, kind, nullptr, nullptr) {}
+
+CandidateLists::CandidateLists(const Instance& inst, int k, Kind kind,
+                               const KdTree* tree, TaskPool* pool)
     : inst_(&inst), distanceSorted_(true) {
   if (k < 1) throw std::invalid_argument("CandidateLists: k must be >= 1");
   k = std::min(k, inst.n() - 1);
-  assign(kind == Kind::kQuadrant ? quadrantLists(inst, k)
-                                 : nearestLists(inst, k));
+  if (k <= 0) {
+    // Degenerate single-city instance: empty lists, coherent CSR.
+    offsets_.assign(std::size_t(inst.n()) + 1, 0);
+    return;
+  }
+  buildFixedK(k, kind, tree, pool);
+}
+
+void CandidateLists::buildFixedK(int k, Kind kind, const KdTree* tree,
+                                 TaskPool* pool) {
+  const int n = inst_->n();
+  // Every construction below emits exactly k candidates per city (k is
+  // already clamped to n-1), so the whole CSR layout is known up front:
+  // no incremental growth, and shard s can write rows [begin, end) of
+  // data_/dists_ with no coordination.
+  offsets_.resize(std::size_t(n) + 1);
+  for (std::size_t c = 0; c < offsets_.size(); ++c)
+    offsets_[c] = c * std::size_t(k);
+  data_.resize(std::size_t(n) * std::size_t(k));
+  dists_.resize(data_.size());
+  maxDegree_ = k;
+
+  std::optional<KdTree> ownTree;
+  if (tree == nullptr && inst_->hasCoords()) {
+    ownTree.emplace(inst_->points(), pool);
+    tree = &*ownTree;
+  }
+  // Quadrants are undefined without coordinates; fall back to k-nearest.
+  const bool quadrant = kind == Kind::kQuadrant && tree != nullptr;
+  // Over-shard relative to the worker count for load balance; boundaries
+  // are a function of (n, shards) only, so the output never depends on
+  // which worker fills which shard.
+  const int shards = pool == nullptr ? 1 : pool->parallelism() * 4;
+  TaskPool::parallelForShards(pool, n, shards, [&](int begin, int end) {
+    if (tree == nullptr) {
+      fillMatrixShard(k, begin, end);
+    } else if (quadrant) {
+      fillQuadrantShard(*tree, k, begin, end);
+    } else {
+      fillNearestShard(*tree, k, begin, end);
+    }
+  });
+  DISTCLK_AUDIT_HOOK(auditCheck("CandidateLists::build"));
+}
+
+void CandidateLists::fillNearestShard(const KdTree& tree, int k, int begin,
+                                      int end) {
+  const DistanceKernel dist(*inst_);
+  KnnScratch scratch;
+  for (int c = begin; c < end; ++c) {
+    int* row = data_.data() + std::size_t(c) * std::size_t(k);
+    tree.knnInto(c, k, {row, std::size_t(k)}, scratch);  // writes exactly k
+    std::int64_t* drow = dists_.data() + std::size_t(c) * std::size_t(k);
+    for (int i = 0; i < k; ++i) drow[i] = dist(c, row[i]);
+  }
+}
+
+void CandidateLists::fillQuadrantShard(const KdTree& tree, int k, int begin,
+                                       int end) {
+  const DistanceKernel dist(*inst_);
+  const int n = inst_->n();
+  const int perQuad = std::max(1, (k + 3) / 4);
+  // Over-fetch nearest neighbors, then keep the closest `perQuad` per
+  // quadrant; top up with globally nearest if quadrants are starved.
+  const int fetch = std::min(n - 1, std::max(4 * k, 24));
+  KnnScratch scratch;
+  std::vector<int> cand(static_cast<std::size_t>(fetch));
+  std::vector<int> sel;
+  sel.reserve(std::size_t(k));
+  for (int c = begin; c < end; ++c) {
+    const int got = tree.knnInto(c, fetch, cand, scratch);
+    const Point& pc = inst_->point(c);
+    int quadCount[4] = {0, 0, 0, 0};
+    sel.clear();
+    for (int j = 0; j < got; ++j) {
+      const int nb = cand[std::size_t(j)];
+      const Point& pn = inst_->point(nb);
+      const int q = (pn.x >= pc.x ? 1 : 0) | (pn.y >= pc.y ? 2 : 0);
+      if (quadCount[q] < perQuad) {
+        ++quadCount[q];
+        sel.push_back(nb);
+        if (static_cast<int>(sel.size()) >= k) break;
+      }
+    }
+    for (int j = 0; j < got; ++j) {
+      if (static_cast<int>(sel.size()) >= k) break;
+      const int nb = cand[std::size_t(j)];
+      if (std::find(sel.begin(), sel.end(), nb) == sel.end())
+        sel.push_back(nb);
+    }
+    // Keep the construction metric ordering (distance ascending).
+    std::sort(sel.begin(), sel.end(), [&](int a, int b) {
+      const auto da = dist(c, a), db = dist(c, b);
+      return da != db ? da < db : a < b;
+    });
+    int* row = data_.data() + std::size_t(c) * std::size_t(k);
+    std::int64_t* drow = dists_.data() + std::size_t(c) * std::size_t(k);
+    for (int i = 0; i < k; ++i) {
+      row[i] = sel[std::size_t(i)];
+      drow[i] = dist(c, row[i]);
+    }
+  }
+}
+
+void CandidateLists::fillMatrixShard(int k, int begin, int end) {
+  const DistanceKernel dist(*inst_);
+  const int n = inst_->n();
+  std::vector<int> idx;
+  idx.reserve(std::size_t(n));
+  for (int c = begin; c < end; ++c) {
+    idx.clear();
+    for (int j = 0; j < n; ++j)
+      if (j != c) idx.push_back(j);
+    std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                      [&](int a, int b) {
+                        const auto da = dist(c, a), db = dist(c, b);
+                        return da != db ? da < db : a < b;
+                      });
+    int* row = data_.data() + std::size_t(c) * std::size_t(k);
+    std::int64_t* drow = dists_.data() + std::size_t(c) * std::size_t(k);
+    for (int i = 0; i < k; ++i) {
+      row[i] = idx[std::size_t(i)];
+      drow[i] = dist(c, row[i]);
+    }
+  }
 }
 
 CandidateLists::CandidateLists(const Instance& inst,

@@ -10,6 +10,14 @@
 // candidate edge's integral distance is computed once at construction, so
 // the LK/2-opt/Or-opt candidate scans read d(c, candidate) from memory
 // instead of re-evaluating the metric per visit (see tsp/dist_kernel.h).
+//
+// Construction is shardable: every city's list has exactly
+// min(k, n-1) entries, so the CSR arrays are sized once up front and
+// contiguous city shards fill disjoint regions (k-NN via the
+// allocation-free KdTree::knnInto, distances annotated in the same sweep).
+// Shard boundaries depend only on (n, shard count), never on the worker
+// schedule, so the CSR bytes are identical for every thread count
+// (DESIGN.md §13; pinned by tests/test_prep_parallel.cpp).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +28,9 @@
 
 namespace distclk {
 
+class KdTree;
+class TaskPool;
+
 class CandidateLists {
  public:
   enum class Kind {
@@ -29,6 +40,14 @@ class CandidateLists {
 
   /// Builds lists of (up to) k candidates per city.
   CandidateLists(const Instance& inst, int k, Kind kind = Kind::kNearest);
+
+  /// Same, reusing an already-built kd-tree over inst.points() and
+  /// (optionally) filling city shards concurrently on `pool`. Both may be
+  /// null: a null tree builds one internally when coordinates exist, a
+  /// null pool fills serially. The resulting CSR arrays are byte-identical
+  /// regardless of `pool`.
+  CandidateLists(const Instance& inst, int k, Kind kind, const KdTree* tree,
+                 TaskPool* pool);
 
   /// Wraps externally computed lists (e.g. alpha-nearness). Pass
   /// `distanceSorted = true` iff every list is ascending in tour distance
@@ -77,6 +96,12 @@ class CandidateLists {
 
  private:
   void assign(std::vector<std::vector<int>> lists);
+  /// Uniform-degree build: offsets from (n, k) up front, then contiguous
+  /// city shards filled into disjoint data_/dists_ regions.
+  void buildFixedK(int k, Kind kind, const KdTree* tree, TaskPool* pool);
+  void fillNearestShard(const KdTree& tree, int k, int begin, int end);
+  void fillQuadrantShard(const KdTree& tree, int k, int begin, int end);
+  void fillMatrixShard(int k, int begin, int end);
 
   const Instance* inst_;
   std::vector<std::size_t> offsets_;  // CSR layout

@@ -83,11 +83,15 @@ namespace distclk::sync {
 ///                                        finished job's block to the sink)
 ///   kTraceRegistry  -> kTraceSink       (flushAllTraceSinks try-flushes
 ///                                        each registered sink)
+///   kContextCache   -> kPrepPool        (InstanceContext::build runs its
+///                                        preprocessing task pool while the
+///                                        cache lock is held on a miss)
 ///   kMetricsRegistry-> kMetricsShard    (snapshot/reset merge the shards)
 enum class LockRank : int {
   kSolverPool = 10,      ///< svc/solver_pool.h   SolverPool::mu_
   kJobQueue = 20,        ///< svc/job_queue.h     JobQueue::mu_
   kContextCache = 30,    ///< tsp/instance_context.h ContextCache::mu_
+  kPrepPool = 35,        ///< util/task_pool.h    TaskPool::mu_
   kSpecEngine = 40,      ///< lk/spec_kicks.cpp   SpecEngine::mu_
   kHarnessCache = 45,    ///< experiments/harness.cpp HK-bound memo
   kJobProgress = 50,     ///< svc/solver_pool.cpp per-job onBest dedup

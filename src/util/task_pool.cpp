@@ -1,0 +1,105 @@
+#include "util/task_pool.h"
+
+#include <utility>
+
+namespace distclk {
+
+TaskPool::TaskPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(std::size_t(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    const sync::MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  workAvailable_.notifyAll();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::submit(std::function<void()> task) {
+  if (threads_ <= 1) {
+    // Serial pool: run inline so TaskPool(1) is exactly the serial path.
+    task();
+    return;
+  }
+  {
+    const sync::MutexLock lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  workAvailable_.notifyOne();
+  // A joiner sleeping in runUntilIdle() can steal forked work too.
+  idle_.notifyAll();
+}
+
+bool TaskPool::runOneTask() {
+  std::function<void()> task;
+  {
+    const sync::MutexLock lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.back());
+    queue_.pop_back();
+    ++activeTasks_;
+  }
+  task();
+  bool nowIdle = false;
+  {
+    const sync::MutexLock lock(mu_);
+    --activeTasks_;
+    nowIdle = queue_.empty() && activeTasks_ == 0;
+  }
+  // Tasks spawned by this one were pushed before its completion, so a true
+  // `nowIdle` means the whole fork-join tree is done.
+  if (nowIdle) idle_.notifyAll();
+  return true;
+}
+
+void TaskPool::workerLoop() {
+  while (true) {
+    {
+      const sync::MutexLock lock(mu_);
+      while (queue_.empty() && !stopping_) workAvailable_.wait(mu_);
+      if (stopping_ && queue_.empty()) return;
+    }
+    // Another thread may have raced us to the task; runOneTask simply
+    // returns false then and we go back to waiting.
+    runOneTask();
+  }
+}
+
+void TaskPool::runUntilIdle() {
+  if (threads_ <= 1) return;  // inline submits already ran everything
+  while (true) {
+    if (runOneTask()) continue;
+    const sync::MutexLock lock(mu_);
+    if (queue_.empty() && activeTasks_ == 0) return;
+    // Workers hold every remaining task; sleep until the tree completes or
+    // one of those tasks forks new work for us to steal.
+    if (queue_.empty()) idle_.wait(mu_);
+  }
+}
+
+void TaskPool::parallelForShards(TaskPool* pool, int count, int shards,
+                                 const std::function<void(int, int)>& body) {
+  if (count <= 0) return;
+  if (pool == nullptr || pool->parallelism() <= 1 || shards <= 1) {
+    body(0, count);
+    return;
+  }
+  if (shards > count) shards = count;
+  // Contiguous ceil-division ranges: a function of (count, shards) only,
+  // so the shard boundaries (and therefore every shard's output) are
+  // identical no matter how many workers execute them.
+  const int per = (count + shards - 1) / shards;
+  for (int s = 0; s < shards; ++s) {
+    const int begin = s * per;
+    const int end = begin + per < count ? begin + per : count;
+    if (begin >= end) break;
+    pool->submit([&body, begin, end] { body(begin, end); });
+  }
+  pool->runUntilIdle();
+}
+
+}  // namespace distclk

@@ -12,6 +12,10 @@
 //     --queue-depth D       max queued jobs, 0 = unbounded (default 0);
 //                           overflow submissions are rejected (backpressure)
 //     --cache C             InstanceContext LRU capacity (default 8)
+//     --prep-threads T      pool-wide preprocessing thread budget: each
+//                           job's requested build parallelism is clamped
+//                           to what's left of T while its context builds
+//                           (default 1 = serial builds)
 //     --trace F.jsonl       shared JSONL trace: each job appends one
 //                           contiguous run bracket plus a "job" record
 //                           (read with trace_report --jobs / --validate)
@@ -28,6 +32,12 @@
 //     n, gen_seed      generator size/seed (default 1000 / 1)
 //     candidates       candidate-list size (default 10)
 //     quadrant         true = quadrant candidate lists
+//     prep_threads     requested preprocessing build parallelism (clamped
+//                      to the pool's --prep-threads budget; output is
+//                      byte-identical for any value)
+//     prep_partition   Hilbert-partitioned construction shard count
+//                      (changes the construction tour; part of the
+//                      context cache key)
 //     nodes, topology, seconds, seed, kick, runtime, modeled_work, target
 //                      RunConfig fields, same semantics as distclk_cli
 //     priority         higher runs first (default 0; FIFO within a level)
@@ -91,6 +101,10 @@ svc::JobSpec makeSpec(const obs::JsonValue& v) {
       static_cast<int>(v.integer("candidates", spec.preprocess.candidateK));
   if (jsonBool(v, "quadrant"))
     spec.preprocess.kind = CandidateLists::Kind::kQuadrant;
+  spec.preprocess.prepThreads = static_cast<int>(
+      v.integer("prep_threads", spec.preprocess.prepThreads));
+  spec.preprocess.partitionShards = static_cast<int>(
+      v.integer("prep_partition", spec.preprocess.partitionShards));
   RunConfig& cfg = spec.run;
   cfg.runtime = runtimeKindFromString(v.str("runtime", "sim"));
   cfg.nodes = static_cast<int>(v.integer("nodes", cfg.nodes));
@@ -141,6 +155,12 @@ class ServeSink : public svc::JobSink {
     o.field("queue_seconds", r.queueSeconds);
     o.field("setup_seconds", r.setupSeconds);
     o.field("solve_seconds", r.solveSeconds);
+    if (!r.cacheHit && r.prepThreads > 0) {
+      o.field("prep_kdtree_ms", r.prepKdtreeMs);
+      o.field("prep_cand_ms", r.prepCandMs);
+      o.field("prep_construct_ms", r.prepConstructMs);
+      o.field("prep_threads", r.prepThreads);
+    }
     o.field("steps", r.totalSteps);
     o.field("messages", r.messagesSent);
     o.field("hit_target", r.hitTarget);
@@ -209,8 +229,8 @@ int main(int argc, char** argv) {
   if (jobsPath.empty()) {
     std::fprintf(stderr,
                  "usage: distclk_serve --jobs FILE [--out FILE] [--workers W]"
-                 " [--queue-depth D] [--cache C] [--trace F.jsonl]"
-                 " [--metrics-out FILE]\n");
+                 " [--queue-depth D] [--cache C] [--prep-threads T]"
+                 " [--trace F.jsonl] [--metrics-out FILE]\n");
     return 1;
   }
 
@@ -243,6 +263,7 @@ int main(int argc, char** argv) {
   opts.maxQueueDepth = static_cast<std::size_t>(args.getInt("queue-depth", 0));
   opts.contextCacheCapacity =
       static_cast<std::size_t>(args.getInt("cache", 8));
+  opts.prepThreads = args.getInt("prep-threads", 1);
   opts.metrics = &metrics;
   const std::string tracePath = args.getString("trace", "");
   if (!tracePath.empty()) {

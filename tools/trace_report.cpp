@@ -394,15 +394,17 @@ void printJobs(const obs::LoadedTrace& trace) {
   std::printf("Jobs (%zu records over %zu run brackets)\n", trace.jobs.size(),
               trace.runs.size());
   Table table({"job", "state", "prio", "best", "queue", "setup", "solve",
-               "latency", "cache"});
+               "latency", "cache", "prep"});
   for (const obs::TraceJob& j : trace.jobs) {
+    const double prepMs = j.prepKdtreeMs + j.prepCandMs + j.prepConstructMs;
     table.addRow({j.id, j.state, std::to_string(j.priority),
                   j.best > 0 ? std::to_string(j.best) : "-",
                   fmt(j.queueSeconds, 3) + "s", fmt(j.setupSeconds, 3) + "s",
                   fmt(j.solveSeconds, 3) + "s",
                   fmt(j.queueSeconds + j.setupSeconds + j.solveSeconds, 3) +
                       "s",
-                  j.cacheHit ? "hit" : "miss"});
+                  j.cacheHit ? "hit" : "miss",
+                  prepMs > 0.0 ? fmt(prepMs, 1) + "ms" : "-"});
   }
   table.print(std::cout);
 
